@@ -1,0 +1,53 @@
+//! Criterion benches for the schedulers (ablation A1 included):
+//! GRD (Algorithm 1, list-based) vs GRD-PQ (heap + lazy rescoring) vs the
+//! TOP and RAND baselines, across instance scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_core::{
+    GreedyHeapScheduler, GreedyScheduler, RandomScheduler, Scheduler, TopScheduler,
+};
+use ses_datagen::synthetic;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    for &(users, events, intervals, k) in
+        &[(200usize, 40usize, 30usize, 20usize), (500, 100, 75, 50)]
+    {
+        let inst = synthetic::uniform(users, events, intervals, 42);
+        let label = format!("u{users}_e{events}_t{intervals}_k{k}");
+        group.bench_with_input(BenchmarkId::new("GRD", &label), &inst, |b, inst| {
+            b.iter(|| GreedyScheduler::new().run(inst, k).unwrap().total_utility)
+        });
+        group.bench_with_input(BenchmarkId::new("GRD-PQ", &label), &inst, |b, inst| {
+            b.iter(|| GreedyHeapScheduler::new().run(inst, k).unwrap().total_utility)
+        });
+        group.bench_with_input(BenchmarkId::new("TOP", &label), &inst, |b, inst| {
+            b.iter(|| TopScheduler::new().run(inst, k).unwrap().total_utility)
+        });
+        group.bench_with_input(BenchmarkId::new("RAND", &label), &inst, |b, inst| {
+            b.iter(|| RandomScheduler::new(7).run(inst, k).unwrap().total_utility)
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_scaling_in_k(c: &mut Criterion) {
+    // The shape behind Fig. 1b: GRD work grows with k (updates), TOP's does
+    // not (no update phase).
+    let mut group = c.benchmark_group("scaling_k");
+    group.sample_size(10);
+    let inst = synthetic::uniform(300, 80, 60, 13);
+    for &k in &[10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("GRD", k), &k, |b, &k| {
+            b.iter(|| GreedyScheduler::new().run(&inst, k).unwrap().total_utility)
+        });
+        group.bench_with_input(BenchmarkId::new("TOP", k), &k, |b, &k| {
+            b.iter(|| TopScheduler::new().run(&inst, k).unwrap().total_utility)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_greedy_scaling_in_k);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Engine micro-benchmarks (ablations A2 and A5):
+//! * score evaluation (Eq. 4) throughput via the inverted index;
+//! * dense vs sparse interest backends;
+//! * assign/unassign round-trip cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{
+    AttendanceEngine, CandidateEvent, CompetingEvent, CompetingEventId, ConstantActivity,
+    DenseInterest, EventId, IntervalId, LocationId, Organizer, SesInstance, UserId,
+};
+use ses_core::interest::{InterestBuilder, SparseInterest};
+use ses_core::model::uniform_grid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_interest(users: usize, events: usize, density: f64) -> (SparseInterest, DenseInterest) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut sparse_b = InterestBuilder::new(users, events, 1);
+    let mut dense_b = InterestBuilder::new(users, events, 1);
+    for u in 0..users {
+        for e in 0..events {
+            if rng.gen_bool(density) {
+                let v = rng.gen_range(0.05..1.0);
+                sparse_b
+                    .set(UserId::new(u as u32), EventId::new(e as u32), v)
+                    .unwrap();
+                dense_b
+                    .set(UserId::new(u as u32), EventId::new(e as u32), v)
+                    .unwrap();
+            }
+        }
+    }
+    (
+        sparse_b.build_sparse().unwrap(),
+        dense_b.build_dense().unwrap(),
+    )
+}
+
+fn instance_with(interest: impl ses_core::InterestModel + 'static, users: usize, events: usize) -> SesInstance {
+    SesInstance::builder()
+        .organizer(Organizer::new(1e9))
+        .intervals(uniform_grid(8, 100))
+        .events(
+            (0..events)
+                .map(|e| CandidateEvent::new(EventId::new(e as u32), LocationId::new(e as u32), 1.0))
+                .collect(),
+        )
+        .competing(vec![CompetingEvent::new(
+            CompetingEventId::new(0),
+            IntervalId::new(0),
+        )])
+        .interest(interest)
+        .activity(ConstantActivity::new(users, 8, 0.7).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn bench_score_backends(c: &mut Criterion) {
+    // A2: the same interest data behind the sparse and the dense backend;
+    // the engine only ever walks posting lists, so the backends should be
+    // close — this bench verifies that claim.
+    let (users, events) = (2000usize, 64usize);
+    let (sparse, dense) = build_interest(users, events, 0.3);
+    let sparse_inst = instance_with(sparse, users, events);
+    let dense_inst = instance_with(dense, users, events);
+    let mut group = c.benchmark_group("score_backend");
+    group.sample_size(20);
+    for (name, inst) in [("sparse", &sparse_inst), ("dense", &dense_inst)] {
+        group.bench_with_input(BenchmarkId::new(name, "64ev"), inst, |b, inst| {
+            let engine = AttendanceEngine::new(inst);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for e in 0..inst.num_events() {
+                    acc += engine.score(EventId::new(e as u32), IntervalId::new(0));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assign_unassign(c: &mut Criterion) {
+    let inst = random_instance(&TestInstanceConfig {
+        num_users: 2000,
+        num_events: 40,
+        num_intervals: 10,
+        num_competing: 30,
+        num_locations: 40,
+        theta: 1e9,
+        xi_max: 1.0,
+        interest_density: 0.3,
+        seed: 5,
+    });
+    c.bench_function("assign_unassign_roundtrip", |b| {
+        let mut engine = AttendanceEngine::new(&inst);
+        b.iter(|| {
+            for e in 0..10u32 {
+                engine.assign(EventId::new(e), IntervalId::new(e % 10)).unwrap();
+            }
+            for e in 0..10u32 {
+                engine.unassign(EventId::new(e)).unwrap();
+            }
+            engine.total_utility()
+        })
+    });
+}
+
+fn bench_initial_scoring(c: &mut Criterion) {
+    // A5: the O(|E||T||U|) initial scoring phase that dominates TOP and the
+    // startup of GRD.
+    let inst = random_instance(&TestInstanceConfig {
+        num_users: 3000,
+        num_events: 60,
+        num_intervals: 45,
+        num_competing: 100,
+        num_locations: 25,
+        theta: 20.0,
+        xi_max: 3.0,
+        interest_density: 0.25,
+        seed: 9,
+    });
+    c.bench_function("initial_scoring_60x45", |b| {
+        let engine = AttendanceEngine::new(&inst);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in 0..inst.num_events() {
+                for t in 0..inst.num_intervals() {
+                    acc += engine.score(EventId::new(e as u32), IntervalId::new(t as u32));
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_score_backends,
+    bench_assign_unassign,
+    bench_initial_scoring
+);
+criterion_main!(benches);

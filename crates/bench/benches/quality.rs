@@ -1,0 +1,64 @@
+//! Benches for the extension machinery: exact branch-and-bound node
+//! throughput (A3 runtime side) and local-search pass cost (A4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{
+    ExactScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler,
+};
+use ses_datagen::synthetic;
+
+fn small(seed: u64) -> ses_core::SesInstance {
+    random_instance(&TestInstanceConfig {
+        num_users: 12,
+        num_events: 8,
+        num_intervals: 4,
+        num_competing: 6,
+        num_locations: 3,
+        theta: 8.0,
+        xi_max: 3.0,
+        interest_density: 0.45,
+        seed,
+    })
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bnb");
+    group.sample_size(10);
+    for &k in &[2usize, 3, 4] {
+        let inst = small(3);
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| ExactScheduler::new().run(&inst, k).unwrap().total_utility)
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search");
+    group.sample_size(10);
+    let inst = synthetic::clustered(300, 60, 30, 5, 11);
+    group.bench_function("GRD_alone", |b| {
+        b.iter(|| GreedyScheduler::new().run(&inst, 30).unwrap().total_utility)
+    });
+    group.bench_function("GRD_plus_LS", |b| {
+        b.iter(|| {
+            LocalSearchScheduler::new(GreedyScheduler::new())
+                .run(&inst, 30)
+                .unwrap()
+                .total_utility
+        })
+    });
+    group.bench_function("RAND_plus_LS", |b| {
+        b.iter(|| {
+            LocalSearchScheduler::new(RandomScheduler::new(1))
+                .run(&inst, 30)
+                .unwrap()
+                .total_utility
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_local_search);
+criterion_main!(benches);

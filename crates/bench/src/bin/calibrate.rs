@@ -1,0 +1,62 @@
+//! Prints the calibration statistics of a generated dataset against the
+//! numbers the paper extracts from the Meetup dumps (§IV-A):
+//! mean concurrent events (paper: 8.1), spatio-temporal conflict rate
+//! (behind the 25-locations choice) and Jaccard interest sparsity.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin calibrate -- [--users N] [--seed S]
+//! ```
+
+use ses_ebsn::{
+    estimate_slot_activity, generate, interest_stats, mean_activity_by_slot, overlap_stats,
+    slot_label, GeneratorConfig, SmoothingConfig, SLOTS_PER_WEEK,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut users = 3000usize;
+    let mut seed = 0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--users" => users = it.next().and_then(|v| v.parse().ok()).unwrap_or(users),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--full" => users = 42_444,
+            other => {
+                eprintln!("calibrate: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut cfg = GeneratorConfig::meetup_california_scaled(users);
+    cfg.seed = seed;
+    let ds = generate(&cfg);
+    println!("dataset: {}", ds.summary());
+
+    let o = overlap_stats(&ds);
+    println!("\n== temporal overlap (paper measures 8.1 mean concurrent) ==");
+    println!("mean concurrent events : {:.2}", o.mean_concurrent);
+    println!("max concurrent events  : {}", o.max_concurrent);
+    println!(
+        "temporal conflicts     : {:.4}% of event pairs",
+        o.temporal_conflict_fraction * 100.0
+    );
+    println!(
+        "spatio-temporal        : {:.4}% of event pairs (basis for 25 locations)",
+        o.spatiotemporal_conflict_fraction * 100.0
+    );
+
+    let i = interest_stats(&ds, 50_000, seed);
+    println!("\n== Jaccard interest sparsity ==");
+    println!("nonzero fraction       : {:.3}", i.nonzero_fraction);
+    println!("mean interest          : {:.4}", i.mean_interest);
+    println!("mean nonzero interest  : {:.4}", i.mean_nonzero_interest);
+
+    let profile = estimate_slot_activity(&ds, SmoothingConfig::default());
+    let means = mean_activity_by_slot(&profile);
+    println!("\n== estimated σ by weekly slot (from simulated check-ins) ==");
+    for (s, mean) in means.iter().enumerate().take(SLOTS_PER_WEEK) {
+        println!("{:<14} {:.4}", slot_label(s), mean);
+    }
+    ExitCode::SUCCESS
+}

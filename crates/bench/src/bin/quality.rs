@@ -1,0 +1,87 @@
+//! Ablation A3: solution quality of the heuristics against the exact
+//! optimum on small instances (the regime where branch-and-bound is
+//! tractable). Prints the mean utility ratio `heuristic / OPT` per
+//! algorithm over a batch of seeded instances.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin quality -- [--instances N] [--k K]
+//! ```
+
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{
+    ExactScheduler, GreedyHeapScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler,
+    Scheduler, TopScheduler,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut instances = 20usize;
+    let mut k = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--instances" => {
+                instances = it.next().and_then(|v| v.parse().ok()).unwrap_or(instances)
+            }
+            "--k" => k = it.next().and_then(|v| v.parse().ok()).unwrap_or(k),
+            other => {
+                eprintln!("quality: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let algos: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("GRD", Box::new(GreedyScheduler::new())),
+        ("GRD-PQ", Box::new(GreedyHeapScheduler::new())),
+        ("GRD+LS", Box::new(LocalSearchScheduler::new(GreedyScheduler::new()))),
+        ("TOP", Box::new(TopScheduler::new())),
+        ("RAND", Box::new(RandomScheduler::new(0))),
+    ];
+    let mut ratio_sums = vec![0.0f64; algos.len()];
+    let mut ratio_mins = vec![f64::INFINITY; algos.len()];
+    let mut solved = 0usize;
+
+    for seed in 0..instances as u64 {
+        let inst = random_instance(&TestInstanceConfig {
+            num_users: 12,
+            num_events: 8,
+            num_intervals: 4,
+            num_competing: 6,
+            num_locations: 3,
+            theta: 8.0,
+            xi_max: 3.0,
+            interest_density: 0.45,
+            seed,
+        });
+        let Ok(opt) = ExactScheduler::new().run(&inst, k) else {
+            continue; // node budget exceeded — skip this instance
+        };
+        if opt.total_utility <= 0.0 {
+            continue;
+        }
+        solved += 1;
+        for (i, (_, sched)) in algos.iter().enumerate() {
+            let h = sched.run(&inst, k).expect("k ≤ |E|");
+            let ratio = h.total_utility / opt.total_utility;
+            ratio_sums[i] += ratio;
+            ratio_mins[i] = ratio_mins[i].min(ratio);
+        }
+    }
+
+    if solved == 0 {
+        eprintln!("quality: no instance solved exactly");
+        return ExitCode::FAILURE;
+    }
+    println!("== A3: utility ratio vs exact optimum ({solved} instances, k = {k}) ==");
+    println!("{:>8} {:>12} {:>12}", "algo", "mean ratio", "worst ratio");
+    for (i, (name, _)) in algos.iter().enumerate() {
+        println!(
+            "{:>8} {:>12.4} {:>12.4}",
+            name,
+            ratio_sums[i] / solved as f64,
+            ratio_mins[i]
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! # ses-bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (§IV, Fig. 1a–1d) and
+//! the ablations listed in `DESIGN.md`. The `fig1` binary drives
+//! [`run_sweep`] over the paper's sweeps and prints one table per panel;
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_sweep, AlgoKind, CellResult, HarnessConfig};
+pub use report::{panel_table, write_json};

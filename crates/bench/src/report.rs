@@ -1,0 +1,147 @@
+//! Result formatting: per-panel tables (the textual equivalent of the
+//! paper's figure panels) and JSON dumps for downstream plotting.
+
+use crate::harness::CellResult;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Which measurement a panel displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelMetric {
+    /// Total utility Ω (Fig. 1a / 1c).
+    Utility,
+    /// Wall-clock milliseconds (Fig. 1b / 1d).
+    TimeMillis,
+    /// Hardware-independent score evaluations (supplementary).
+    ScoreEvaluations,
+}
+
+impl PanelMetric {
+    fn header(&self) -> &'static str {
+        match self {
+            PanelMetric::Utility => "utility Ω",
+            PanelMetric::TimeMillis => "time (ms)",
+            PanelMetric::ScoreEvaluations => "score evals",
+        }
+    }
+
+    fn extract(&self, row: &CellResult) -> f64 {
+        match self {
+            PanelMetric::Utility => row.utility,
+            PanelMetric::TimeMillis => row.millis,
+            PanelMetric::ScoreEvaluations => row.score_evaluations as f64,
+        }
+    }
+}
+
+/// Renders one panel as an aligned text table: one row per axis value, one
+/// column per algorithm (in first-appearance order).
+pub fn panel_table(title: &str, rows: &[CellResult], metric: PanelMetric) -> String {
+    let mut algos: Vec<String> = Vec::new();
+    for r in rows {
+        if !algos.contains(&r.algorithm) {
+            algos.push(r.algorithm.clone());
+        }
+    }
+    let axis = rows.first().map(|r| r.axis.clone()).unwrap_or_default();
+    let values: BTreeSet<u64> = rows.iter().map(|r| r.value.round() as u64).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} — {} ==", metric.header());
+    let _ = write!(out, "{axis:>8}");
+    for a in &algos {
+        let _ = write!(out, " {a:>14}");
+    }
+    out.push('\n');
+    for v in values {
+        let _ = write!(out, "{v:>8}");
+        for a in &algos {
+            let cell = rows
+                .iter()
+                .find(|r| r.value.round() as u64 == v && &r.algorithm == a)
+                .map(|r| metric.extract(r));
+            match cell {
+                Some(x) if metric == PanelMetric::TimeMillis => {
+                    let _ = write!(out, " {x:>14.2}");
+                }
+                Some(x) => {
+                    let _ = write!(out, " {x:>14.3}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes all rows as JSON (array of objects) for external plotting.
+pub fn write_json(path: impl AsRef<Path>, rows: &[CellResult]) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(axis: &str, value: f64, algo: &str, utility: f64, millis: f64) -> CellResult {
+        CellResult {
+            axis: axis.into(),
+            value,
+            algorithm: algo.into(),
+            utility,
+            millis,
+            scheduled: 10,
+            complete: true,
+            score_evaluations: 100,
+            posting_visits: 1000,
+            updates: 5,
+        }
+    }
+
+    #[test]
+    fn table_lays_out_axis_by_algorithm() {
+        let rows = vec![
+            row("k", 100.0, "GRD", 50.0, 10.0),
+            row("k", 100.0, "TOP", 20.0, 2.0),
+            row("k", 200.0, "GRD", 90.0, 30.0),
+            row("k", 200.0, "TOP", 35.0, 4.0),
+        ];
+        let t = panel_table("Fig 1a", &rows, PanelMetric::Utility);
+        assert!(t.contains("Fig 1a"));
+        assert!(t.contains("GRD"));
+        assert!(t.contains("TOP"));
+        assert!(t.contains("50.000"));
+        assert!(t.contains("90.000"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + title + 2 value rows");
+    }
+
+    #[test]
+    fn table_handles_missing_cells() {
+        let rows = vec![
+            row("k", 100.0, "GRD", 50.0, 10.0),
+            row("k", 200.0, "TOP", 35.0, 4.0),
+        ];
+        let t = panel_table("x", &rows, PanelMetric::TimeMillis);
+        assert!(t.contains('-'));
+        assert!(t.contains("4.00"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rows = vec![row("k", 100.0, "GRD", 50.0, 10.0)];
+        let dir = std::env::temp_dir().join("ses_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        write_json(&path, &rows).unwrap();
+        let back: Vec<CellResult> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_file(path).ok();
+    }
+}

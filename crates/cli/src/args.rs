@@ -1,0 +1,156 @@
+//! Minimal argument parsing for the `ses` binary (no external parser in the
+//! offline dependency set; the surface is small enough to hand-roll).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+/// Errors from parsing or option lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option was given without a value.
+    MissingValue(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// The unparseable text.
+        value: String,
+    },
+    /// A required option was absent.
+    MissingOption(String),
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "missing subcommand (try `ses help`)"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::BadValue { key, value } => {
+                write!(f, "option --{key} has invalid value '{value}'")
+            }
+            ArgsError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Option names that are flags (take no value).
+const FLAG_NAMES: &[&str] = &["full", "quiet", "checkins"];
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {
+    let mut out = ParsedArgs::default();
+    let mut it = args.iter();
+    out.command = it.next().cloned().ok_or(ArgsError::MissingCommand)?;
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if FLAG_NAMES.contains(&key) {
+                out.flags.push(key.to_owned());
+            } else {
+                let value = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| ArgsError::MissingValue(key.to_owned()))?;
+                out.options.insert(key.to_owned(), value);
+            }
+        } else {
+            return Err(ArgsError::BadValue {
+                key: "<positional>".to_owned(),
+                value: arg.clone(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+impl ParsedArgs {
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: key.to_owned(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgsError::MissingOption(key.to_owned()))
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse(&sv(&["schedule", "--k", "30", "--algo", "GRD", "--full"])).unwrap();
+        assert_eq!(p.command, "schedule");
+        assert_eq!(p.options["k"], "30");
+        assert_eq!(p.options["algo"], "GRD");
+        assert!(p.has_flag("full"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn get_or_parses_with_default() {
+        let p = parse(&sv(&["x", "--k", "7"])).unwrap();
+        assert_eq!(p.get_or("k", 1usize).unwrap(), 7);
+        assert_eq!(p.get_or("missing", 42usize).unwrap(), 42);
+        let p = parse(&sv(&["x", "--k", "seven"])).unwrap();
+        assert!(matches!(
+            p.get_or("k", 1usize).unwrap_err(),
+            ArgsError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let p = parse(&sv(&["x"])).unwrap();
+        assert!(matches!(
+            p.require("dataset").unwrap_err(),
+            ArgsError::MissingOption(_)
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgsError::MissingCommand);
+        assert!(matches!(
+            parse(&sv(&["x", "--k"])).unwrap_err(),
+            ArgsError::MissingValue(_)
+        ));
+        assert!(matches!(
+            parse(&sv(&["x", "stray"])).unwrap_err(),
+            ArgsError::BadValue { .. }
+        ));
+    }
+}

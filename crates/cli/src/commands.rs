@@ -1,0 +1,226 @@
+//! Subcommand implementations for the `ses` binary.
+
+use crate::args::ParsedArgs;
+use ses_core::{
+    schedule_metrics, utility_upper_bound, AnnealingScheduler, ExactScheduler,
+    GreedyHeapScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler,
+    TopScheduler,
+};
+use ses_datagen::paper::{PaperConfig, SigmaMode};
+use ses_datagen::pipeline::build_instance;
+use ses_ebsn::{
+    generate as generate_dataset, interest_stats, overlap_stats, EbsnDataset, GeneratorConfig,
+};
+
+/// Help text for `ses help`.
+pub const HELP: &str = "\
+ses — social event scheduling (ICDE 2018 reproduction)
+
+USAGE:
+    ses <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    generate    generate a Meetup-like EBSN dataset and save it as JSON
+                  --members N (3000)  --events N (auto)  --groups N (auto)
+                  --weeks W (52)      --seed S (0)       --out PATH (required)
+    analyze     print dataset statistics (overlap, sparsity, group sizes)
+                  --dataset PATH (required)
+    schedule    build the paper's instance from a dataset and schedule it
+                  --dataset PATH (required)   --k K (100)
+                  --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS (GRD)
+                  --seed S (0)                --checkins  (σ from check-ins)
+                  --out PATH  (write the schedule as JSON)
+    quality     compare heuristics against the exact optimum on small instances
+                  --instances N (20)  --k K (4)
+    help        show this message
+";
+
+fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn Scheduler>, String> {
+    match name.to_ascii_uppercase().as_str() {
+        "GRD" => Ok(Box::new(GreedyScheduler::new())),
+        "GRD-PQ" | "GRDPQ" | "PQ" => Ok(Box::new(GreedyHeapScheduler::new())),
+        "TOP" => Ok(Box::new(TopScheduler::new())),
+        "RAND" | "RANDOM" => Ok(Box::new(RandomScheduler::new(seed))),
+        "LS" | "GRD+LS" => Ok(Box::new(LocalSearchScheduler::new(GreedyScheduler::new()))),
+        "SA" | "GRD+SA" => Ok(Box::new(AnnealingScheduler::new(GreedyScheduler::new()))),
+        "EXACT" => Ok(Box::new(ExactScheduler::new())),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+/// `ses generate`
+pub fn generate(args: &ParsedArgs) -> Result<(), String> {
+    let members: usize = args.get_or("members", 3000).map_err(|e| e.to_string())?;
+    let mut cfg = GeneratorConfig::meetup_california_scaled(members);
+    cfg.num_events = args
+        .get_or("events", cfg.num_events)
+        .map_err(|e| e.to_string())?;
+    cfg.num_groups = args
+        .get_or("groups", cfg.num_groups)
+        .map_err(|e| e.to_string())?;
+    cfg.horizon_weeks = args
+        .get_or("weeks", cfg.horizon_weeks)
+        .map_err(|e| e.to_string())?;
+    cfg.seed = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+
+    let dataset = generate_dataset(&cfg);
+    dataset.save_json(out).map_err(|e| e.to_string())?;
+    println!("wrote {}: {}", out, dataset.summary());
+    Ok(())
+}
+
+fn load(args: &ParsedArgs) -> Result<EbsnDataset, String> {
+    let path = args.require("dataset").map_err(|e| e.to_string())?;
+    EbsnDataset::load_json(path).map_err(|e| e.to_string())
+}
+
+/// `ses analyze`
+pub fn analyze(args: &ParsedArgs) -> Result<(), String> {
+    let dataset = load(args)?;
+    println!("dataset: {}", dataset.summary());
+    let o = overlap_stats(&dataset);
+    println!("\ntemporal overlap:");
+    println!("  mean concurrent events : {:.2}", o.mean_concurrent);
+    println!("  max concurrent events  : {}", o.max_concurrent);
+    println!(
+        "  spatio-temporal clashes: {:.4}% of event pairs",
+        o.spatiotemporal_conflict_fraction * 100.0
+    );
+    let i = interest_stats(&dataset, 50_000, 0);
+    println!("\ninterest (Jaccard over tags):");
+    println!("  nonzero fraction       : {:.3}", i.nonzero_fraction);
+    println!("  mean nonzero interest  : {:.4}", i.mean_nonzero_interest);
+    let hist = ses_ebsn::group_size_histogram(&dataset, &[10, 50, 200, 1000]);
+    println!("\ngroup sizes (≤10 / ≤50 / ≤200 / ≤1000 / larger):");
+    println!(
+        "  {} / {} / {} / {} / {}",
+        hist[0], hist[1], hist[2], hist[3], hist[4]
+    );
+    Ok(())
+}
+
+/// `ses schedule`
+pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
+    let dataset = load(args)?;
+    let k: usize = args.get_or("k", 100).map_err(|e| e.to_string())?;
+    let t_factor: f64 = args.get_or("t-factor", 1.5).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let algo_name = args
+        .options
+        .get("algo")
+        .map(String::as_str)
+        .unwrap_or("GRD");
+    let cfg = PaperConfig {
+        k,
+        t_factor,
+        seed,
+        sigma: if args.has_flag("checkins") {
+            SigmaMode::FromCheckins
+        } else {
+            SigmaMode::Uniform
+        },
+        ..PaperConfig::default()
+    };
+    let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
+    let scheduler = scheduler_by_name(algo_name, seed)?;
+    let outcome = scheduler.run(&built.instance, k).map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: scheduled {}/{} events, utility Ω = {:.3}, {:.1} ms",
+        outcome.algorithm,
+        outcome.len(),
+        k,
+        outcome.total_utility,
+        outcome.stats.elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "ops: {} score evaluations, {} posting visits, {} updates",
+        outcome.stats.engine.score_evaluations,
+        outcome.stats.engine.posting_visits,
+        outcome.stats.updates
+    );
+    let metrics = schedule_metrics(&built.instance, &outcome.schedule);
+    println!(
+        "metrics: reach {:.1} users, attendance/event {:.2} (min {:.2} / max {:.2}, gini {:.3}), \
+         {} intervals occupied (max {} events), {:.0}% resource use",
+        metrics.expected_reach,
+        metrics.mean_event_attendance,
+        metrics.min_event_attendance,
+        metrics.max_event_attendance,
+        metrics.attendance_gini,
+        metrics.occupied_intervals,
+        metrics.max_events_per_interval,
+        metrics.mean_resource_utilization * 100.0
+    );
+    let ub = utility_upper_bound(&built.instance, k);
+    if ub > 0.0 {
+        println!(
+            "certified quality: Ω is ≥ {:.1}% of any feasible schedule's utility \
+             (admissible upper bound {:.3})",
+            100.0 * outcome.total_utility / ub,
+            ub
+        );
+    }
+    if let Some(out) = args.options.get("out") {
+        let json =
+            serde_json::to_string_pretty(&outcome.schedule).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("wrote schedule to {out}");
+    } else {
+        // Print the first few assignments as a preview.
+        for (i, a) in outcome.schedule.iter().enumerate() {
+            if i >= 10 {
+                println!("  … ({} more)", outcome.len() - 10);
+                break;
+            }
+            let src = built.candidate_source[a.event.index()];
+            println!("  {} → {} (dataset event {src})", a.event, a.interval);
+        }
+    }
+    Ok(())
+}
+
+/// `ses quality`
+pub fn quality(args: &ParsedArgs) -> Result<(), String> {
+    use ses_core::testkit::{random_instance, TestInstanceConfig};
+    let instances: usize = args.get_or("instances", 20).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("k", 4).map_err(|e| e.to_string())?;
+    let names = ["GRD", "GRD-PQ", "LS", "TOP", "RAND"];
+    let mut sums = vec![0.0; names.len()];
+    let mut solved = 0usize;
+    for seed in 0..instances as u64 {
+        let inst = random_instance(&TestInstanceConfig {
+            num_users: 12,
+            num_events: 8,
+            num_intervals: 4,
+            num_competing: 6,
+            num_locations: 3,
+            theta: 8.0,
+            xi_max: 3.0,
+            interest_density: 0.45,
+            seed,
+        });
+        let Ok(opt) = ExactScheduler::new().run(&inst, k) else {
+            continue;
+        };
+        if opt.total_utility <= 0.0 {
+            continue;
+        }
+        solved += 1;
+        for (i, name) in names.iter().enumerate() {
+            let out = scheduler_by_name(name, seed)?
+                .run(&inst, k)
+                .map_err(|e| e.to_string())?;
+            sums[i] += out.total_utility / opt.total_utility;
+        }
+    }
+    if solved == 0 {
+        return Err("no instance solved exactly".to_owned());
+    }
+    println!("mean utility ratio vs exact optimum over {solved} instances (k = {k}):");
+    for (i, name) in names.iter().enumerate() {
+        println!("  {:<7} {:.4}", name, sums[i] / solved as f64);
+    }
+    Ok(())
+}

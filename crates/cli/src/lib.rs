@@ -1,0 +1,7 @@
+//! Library surface of the `ses` command-line tool, exposed so the
+//! subcommands are integration-testable without spawning processes.
+
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,41 @@
+//! `ses` — command-line front end for social event scheduling.
+//!
+//! ```text
+//! ses generate --members 3000 --events 1500 --weeks 52 --seed 0 --out data.json
+//! ses analyze  --dataset data.json
+//! ses schedule --dataset data.json --k 100 --algo GRD [--checkins] [--out plan.json]
+//! ses quality  [--instances 20] [--k 4]
+//! ses help
+//! ```
+
+use ses_cli::{args, commands};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ses: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "schedule" => commands::schedule(&parsed),
+        "quality" => commands::quality(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}' (try `ses help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ses: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

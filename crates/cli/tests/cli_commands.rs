@@ -1,0 +1,103 @@
+//! Integration tests of the `ses` subcommands, driven through the same
+//! parsed-argument structures the binary uses.
+
+use ses_cli::args::parse;
+use ses_cli::commands;
+
+fn argv(parts: &[&str]) -> ses_cli::args::ParsedArgs {
+    let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    parse(&v).expect("test argv parses")
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ses_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_analyze_schedule_pipeline() {
+    let out = temp_path("pipeline.json");
+    let out_str = out.to_str().unwrap();
+    commands::generate(&argv(&[
+        "generate", "--members", "200", "--events", "150", "--weeks", "6", "--out", out_str,
+    ]))
+    .expect("generate succeeds");
+    assert!(out.exists());
+
+    commands::analyze(&argv(&["analyze", "--dataset", out_str])).expect("analyze succeeds");
+
+    let plan = temp_path("plan.json");
+    commands::schedule(&argv(&[
+        "schedule",
+        "--dataset",
+        out_str,
+        "--k",
+        "10",
+        "--algo",
+        "GRD",
+        "--out",
+        plan.to_str().unwrap(),
+    ]))
+    .expect("schedule succeeds");
+    // The schedule JSON must deserialize into a ses-core Schedule with 10
+    // assignments.
+    let json = std::fs::read_to_string(&plan).unwrap();
+    let schedule: ses_core::Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(schedule.len(), 10);
+
+    std::fs::remove_file(out).ok();
+    std::fs::remove_file(plan).ok();
+}
+
+#[test]
+fn schedule_supports_every_algorithm_name() {
+    let out = temp_path("algos.json");
+    let out_str = out.to_str().unwrap();
+    commands::generate(&argv(&[
+        "generate", "--members", "120", "--events", "120", "--out", out_str,
+    ]))
+    .unwrap();
+    for algo in ["GRD", "GRD-PQ", "TOP", "RAND", "LS", "SA"] {
+        commands::schedule(&argv(&[
+            "schedule", "--dataset", out_str, "--k", "5", "--algo", algo,
+        ]))
+        .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
+    }
+    let err = commands::schedule(&argv(&[
+        "schedule", "--dataset", out_str, "--k", "5", "--algo", "BOGUS",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("unknown algorithm"));
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn schedule_with_checkin_sigma_flag() {
+    let out = temp_path("checkins.json");
+    let out_str = out.to_str().unwrap();
+    commands::generate(&argv(&[
+        "generate", "--members", "150", "--events", "130", "--out", out_str,
+    ]))
+    .unwrap();
+    commands::schedule(&argv(&[
+        "schedule", "--dataset", out_str, "--k", "8", "--checkins",
+    ]))
+    .expect("checkins sigma mode works");
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn quality_command_runs() {
+    commands::quality(&argv(&["quality", "--instances", "4", "--k", "3"]))
+        .expect("quality succeeds");
+}
+
+#[test]
+fn missing_dataset_is_a_clean_error() {
+    let err = commands::analyze(&argv(&["analyze", "--dataset", "/no/such/file.json"]))
+        .unwrap_err();
+    assert!(err.contains("I/O") || err.contains("No such file") || !err.is_empty());
+    let err = commands::generate(&argv(&["generate"])).unwrap_err();
+    assert!(err.contains("--out"));
+}

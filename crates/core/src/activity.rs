@@ -1,0 +1,409 @@
+//! The social-activity probability `σ : U × T → [0,1]` (paper §II, "Users").
+//!
+//! `σ(u,t)` is the probability that user `u` engages in *some* social
+//! activity during interval `t`, estimated from past behaviour (e.g.
+//! check-ins). Backends:
+//!
+//! * [`DenseActivity`] — explicit `|U| × |T|` matrix;
+//! * [`SlotActivity`] — per-user weekly-slot profile shared by all intervals
+//!   that fall into the same slot (what check-in estimation produces);
+//! * [`ConstantActivity`] — a single value, for analytical tests;
+//! * [`HashedActivity`] — procedural `U[0,1)` values derived from a seed, so
+//!   paper-scale populations need no `|U| × |T|` storage (the paper draws
+//!   σ from a uniform distribution).
+
+use crate::ids::{IntervalId, UserId};
+use crate::util::fxhash::FxHasher;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hasher;
+
+/// Read access to the activity probability.
+pub trait ActivityModel: Send + Sync {
+    /// Number of users `|U|`.
+    fn num_users(&self) -> usize;
+    /// Number of intervals `|T|`.
+    fn num_intervals(&self) -> usize;
+    /// The probability `σ(u, t) ∈ [0,1]`.
+    fn activity(&self, user: UserId, interval: IntervalId) -> f64;
+}
+
+/// Errors raised while building an activity model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActivityError {
+    /// A probability outside `[0,1]` (or NaN).
+    ValueOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Matrix shape does not match the declared universe.
+    ShapeMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Supplied number of entries.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ActivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivityError::ValueOutOfRange { value } => {
+                write!(f, "activity probability {value} is outside [0,1]")
+            }
+            ActivityError::ShapeMismatch { expected, actual } => {
+                write!(f, "activity matrix has {actual} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActivityError {}
+
+fn check_prob(value: f64) -> Result<(), ActivityError> {
+    if (0.0..=1.0).contains(&value) && !value.is_nan() {
+        Ok(())
+    } else {
+        Err(ActivityError::ValueOutOfRange { value })
+    }
+}
+
+/// Explicit row-major `|U| × |T|` matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseActivity {
+    num_users: usize,
+    num_intervals: usize,
+    /// `values[u * num_intervals + t]`
+    values: Vec<f64>,
+}
+
+impl DenseActivity {
+    /// Builds from a flat row-major vector (`values[u * num_intervals + t]`).
+    pub fn from_flat(
+        num_users: usize,
+        num_intervals: usize,
+        values: Vec<f64>,
+    ) -> Result<Self, ActivityError> {
+        if values.len() != num_users * num_intervals {
+            return Err(ActivityError::ShapeMismatch {
+                expected: num_users * num_intervals,
+                actual: values.len(),
+            });
+        }
+        for &v in &values {
+            check_prob(v)?;
+        }
+        Ok(Self {
+            num_users,
+            num_intervals,
+            values,
+        })
+    }
+
+    /// Builds from per-user rows.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, ActivityError> {
+        let num_users = rows.len();
+        let num_intervals = rows.first().map_or(0, Vec::len);
+        let mut values = Vec::with_capacity(num_users * num_intervals);
+        for row in &rows {
+            if row.len() != num_intervals {
+                return Err(ActivityError::ShapeMismatch {
+                    expected: num_intervals,
+                    actual: row.len(),
+                });
+            }
+            values.extend_from_slice(row);
+        }
+        Self::from_flat(num_users, num_intervals, values)
+    }
+}
+
+impl ActivityModel for DenseActivity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    #[inline]
+    fn activity(&self, user: UserId, interval: IntervalId) -> f64 {
+        self.values[user.index() * self.num_intervals + interval.index()]
+    }
+}
+
+/// Per-user profile over a small number of recurring slots (e.g. 21 slots =
+/// 7 days × {morning, afternoon, evening}); each interval maps to one slot.
+///
+/// This is the shape produced by estimating σ from check-in histories: a
+/// user's Friday-evening propensity applies to *every* Friday-evening
+/// interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotActivity {
+    num_users: usize,
+    num_slots: usize,
+    /// `profile[u * num_slots + s]`
+    profile: Vec<f64>,
+    /// `slot_of[t]` — which slot interval `t` belongs to.
+    slot_of: Vec<u16>,
+}
+
+impl SlotActivity {
+    /// Builds from per-user slot profiles and the interval→slot mapping.
+    pub fn new(
+        num_slots: usize,
+        profile: Vec<f64>,
+        slot_of: Vec<u16>,
+    ) -> Result<Self, ActivityError> {
+        if num_slots == 0 || !profile.len().is_multiple_of(num_slots) {
+            return Err(ActivityError::ShapeMismatch {
+                expected: num_slots,
+                actual: profile.len(),
+            });
+        }
+        for &v in &profile {
+            check_prob(v)?;
+        }
+        for &s in &slot_of {
+            if s as usize >= num_slots {
+                return Err(ActivityError::ShapeMismatch {
+                    expected: num_slots,
+                    actual: s as usize,
+                });
+            }
+        }
+        Ok(Self {
+            num_users: profile.len() / num_slots,
+            num_slots,
+            profile,
+            slot_of,
+        })
+    }
+
+    /// Number of recurring slots.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+}
+
+impl ActivityModel for SlotActivity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    #[inline]
+    fn activity(&self, user: UserId, interval: IntervalId) -> f64 {
+        let slot = self.slot_of[interval.index()] as usize;
+        self.profile[user.index() * self.num_slots + slot]
+    }
+}
+
+/// A single probability shared by all users and intervals. Useful for
+/// analytical tests (Theorem 1 uses "the same σ for each user and interval").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstantActivity {
+    num_users: usize,
+    num_intervals: usize,
+    value: f64,
+}
+
+impl ConstantActivity {
+    /// Builds a constant-σ model.
+    pub fn new(num_users: usize, num_intervals: usize, value: f64) -> Result<Self, ActivityError> {
+        check_prob(value)?;
+        Ok(Self {
+            num_users,
+            num_intervals,
+            value,
+        })
+    }
+}
+
+impl ActivityModel for ConstantActivity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    #[inline]
+    fn activity(&self, _user: UserId, _interval: IntervalId) -> f64 {
+        self.value
+    }
+}
+
+/// Procedural uniform σ: `σ(u,t)` is a deterministic hash of
+/// `(seed, u, t)` mapped to `[lo, hi) ⊆ [0,1]`.
+///
+/// This reproduces the paper's "σ defined using a Uniform distribution" at
+/// any population scale with zero storage, and is reproducible by seed.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HashedActivity {
+    num_users: usize,
+    num_intervals: usize,
+    seed: u64,
+    lo: f64,
+    hi: f64,
+}
+
+impl HashedActivity {
+    /// Uniform over `[0,1)`.
+    pub fn standard(num_users: usize, num_intervals: usize, seed: u64) -> Self {
+        Self::with_range(num_users, num_intervals, seed, 0.0, 1.0).expect("[0,1) is valid")
+    }
+
+    /// Uniform over `[lo, hi) ⊆ [0,1]`.
+    pub fn with_range(
+        num_users: usize,
+        num_intervals: usize,
+        seed: u64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, ActivityError> {
+        check_prob(lo)?;
+        check_prob(hi)?;
+        if lo > hi {
+            return Err(ActivityError::ValueOutOfRange { value: lo });
+        }
+        Ok(Self {
+            num_users,
+            num_intervals,
+            seed,
+            lo,
+            hi,
+        })
+    }
+}
+
+impl ActivityModel for HashedActivity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    #[inline]
+    fn activity(&self, user: UserId, interval: IntervalId) -> f64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seed);
+        h.write_u32(user.raw());
+        h.write_u32(interval.raw());
+        // Map the top 53 bits to [0,1).
+        let unit = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        self.lo + unit * (self.hi - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_from_rows_and_lookup() {
+        let a = DenseActivity::from_rows(vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        assert_eq!(a.num_users(), 2);
+        assert_eq!(a.num_intervals(), 2);
+        assert_eq!(a.activity(UserId::new(1), IntervalId::new(0)), 0.3);
+    }
+
+    #[test]
+    fn dense_rejects_bad_shape_and_values() {
+        assert!(matches!(
+            DenseActivity::from_flat(2, 2, vec![0.0; 3]).unwrap_err(),
+            ActivityError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            DenseActivity::from_rows(vec![vec![0.5], vec![1.5]]).unwrap_err(),
+            ActivityError::ValueOutOfRange { .. }
+        ));
+        assert!(matches!(
+            DenseActivity::from_rows(vec![vec![0.5, 0.1], vec![0.5]]).unwrap_err(),
+            ActivityError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_activity_maps_intervals_to_slots() {
+        // 2 users × 3 slots; 4 intervals alternating slots 0,1,2,0.
+        let a = SlotActivity::new(
+            3,
+            vec![0.1, 0.2, 0.3, 0.9, 0.8, 0.7],
+            vec![0, 1, 2, 0],
+        )
+        .unwrap();
+        assert_eq!(a.num_users(), 2);
+        assert_eq!(a.num_intervals(), 4);
+        assert_eq!(a.activity(UserId::new(0), IntervalId::new(3)), 0.1);
+        assert_eq!(a.activity(UserId::new(1), IntervalId::new(2)), 0.7);
+    }
+
+    #[test]
+    fn slot_activity_rejects_bad_slot_index() {
+        let err = SlotActivity::new(2, vec![0.1, 0.2], vec![0, 5]).unwrap_err();
+        assert!(matches!(err, ActivityError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let a = ConstantActivity::new(10, 10, 0.6).unwrap();
+        assert_eq!(a.activity(UserId::new(3), IntervalId::new(9)), 0.6);
+        assert!(ConstantActivity::new(1, 1, -0.1).is_err());
+    }
+
+    #[test]
+    fn hashed_is_deterministic_and_in_range() {
+        let a = HashedActivity::standard(100, 50, 42);
+        let v1 = a.activity(UserId::new(7), IntervalId::new(13));
+        let v2 = a.activity(UserId::new(7), IntervalId::new(13));
+        assert_eq!(v1, v2);
+        for u in 0..100u32 {
+            for t in 0..50u32 {
+                let v = a.activity(UserId::new(u), IntervalId::new(t));
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_seed_changes_values() {
+        let a = HashedActivity::standard(10, 10, 1);
+        let b = HashedActivity::standard(10, 10, 2);
+        let differs = (0..10u32).any(|u| {
+            a.activity(UserId::new(u), IntervalId::new(0))
+                != b.activity(UserId::new(u), IntervalId::new(0))
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn hashed_mean_is_near_half() {
+        let a = HashedActivity::standard(200, 200, 7);
+        let mut sum = 0.0;
+        for u in 0..200u32 {
+            for t in 0..200u32 {
+                sum += a.activity(UserId::new(u), IntervalId::new(t));
+            }
+        }
+        let mean = sum / (200.0 * 200.0);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn hashed_range_is_respected() {
+        let a = HashedActivity::with_range(50, 50, 3, 0.2, 0.4).unwrap();
+        for u in 0..50u32 {
+            let v = a.activity(UserId::new(u), IntervalId::new(u));
+            assert!((0.2..0.4).contains(&v));
+        }
+        assert!(HashedActivity::with_range(1, 1, 0, 0.9, 0.1).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! GRD-PQ — a priority-queue variant of the paper's greedy.
+//!
+//! Algorithm 1 keeps `L` as a flat list: each selection scans all of `L`
+//! (`O(|E||T|)`) and eagerly rescores every same-interval entry. GRD-PQ
+//! replaces the list with a binary heap plus *lazy* rescoring:
+//!
+//! * every interval carries a version counter, bumped on each commit;
+//! * heap entries remember the interval version they were scored at;
+//! * on pop, a stale entry (entry version < interval version) is rescored
+//!   against the current state and pushed back; a fresh entry is committed.
+//!
+//! A fresh entry at the top of the heap dominates every other entry's
+//! *current* score (stale scores can only be over-estimates, because
+//! per-interval marginal gains diminish as intervals fill — see
+//! `engine.rs`), so GRD-PQ selects the same assignment as GRD at every step
+//! up to floating-point ties. The ablation bench (DESIGN.md A1) quantifies
+//! how much work lazy rescoring saves.
+
+use crate::engine::AttendanceEngine;
+use crate::ids::{EventId, IntervalId};
+use crate::instance::SesInstance;
+
+use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    event: EventId,
+    interval: IntervalId,
+    /// Version of `interval` at scoring time.
+    version: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by score; tie-break on ids for determinism.
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.event.cmp(&self.event))
+            .then_with(|| other.interval.cmp(&self.interval))
+    }
+}
+
+/// Priority-queue greedy with lazy rescoring (same selections as GRD).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyHeapScheduler;
+
+impl GreedyHeapScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for GreedyHeapScheduler {
+    fn name(&self) -> &'static str {
+        "GRD-PQ"
+    }
+
+    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+        validate_k(inst, k)?;
+        let start = Instant::now();
+        let mut engine = AttendanceEngine::new(inst);
+        let mut pops = 0u64;
+        let mut updates = 0u64;
+
+        let mut versions = vec![0u64; inst.num_intervals()];
+        let mut heap = BinaryHeap::with_capacity(inst.num_events() * inst.num_intervals());
+        for e in 0..inst.num_events() {
+            let event = EventId::new(e as u32);
+            for t in 0..inst.num_intervals() {
+                let interval = IntervalId::new(t as u32);
+                heap.push(HeapEntry {
+                    score: engine.score(event, interval),
+                    event,
+                    interval,
+                    version: 0,
+                });
+            }
+        }
+
+        while engine.schedule().len() < k {
+            let Some(entry) = heap.pop() else {
+                break;
+            };
+            pops += 1;
+            if engine.check_assignment(entry.event, entry.interval).is_err() {
+                continue; // invalid entries are dropped, never rescored
+            }
+            let current_version = versions[entry.interval.index()];
+            if entry.version < current_version {
+                // Stale: rescore lazily against the current interval state.
+                updates += 1;
+                heap.push(HeapEntry {
+                    score: engine.score(entry.event, entry.interval),
+                    version: current_version,
+                    ..entry
+                });
+                continue;
+            }
+            engine
+                .assign(entry.event, entry.interval)
+                .expect("checked assignment must apply");
+            versions[entry.interval.index()] += 1;
+        }
+
+        let placed = engine.schedule().len();
+        Ok(ScheduleOutcome {
+            algorithm: self.name(),
+            total_utility: engine.total_utility(),
+            complete: placed == k,
+            stats: RunStats {
+                elapsed: start.elapsed(),
+                engine: engine.counters(),
+                pops,
+                updates,
+            },
+            schedule: engine.into_schedule(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::GreedyScheduler;
+    use crate::testkit;
+    use crate::util::float::approx_eq;
+
+    #[test]
+    fn matches_list_greedy_utility() {
+        for seed in 0..10u64 {
+            let inst = testkit::medium_instance(seed);
+            let a = GreedyScheduler::new().run(&inst, 6).unwrap();
+            let b = GreedyHeapScheduler::new().run(&inst, 6).unwrap();
+            assert!(
+                approx_eq(a.total_utility, b.total_utility),
+                "seed {seed}: GRD {} vs GRD-PQ {}",
+                a.total_utility,
+                b.total_utility
+            );
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn produces_feasible_schedules() {
+        let inst = testkit::medium_instance(123);
+        let out = GreedyHeapScheduler::new().run(&inst, 8).unwrap();
+        inst.check_schedule(&out.schedule).unwrap();
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn performs_fewer_score_updates_than_eager_greedy() {
+        // Lazy rescoring should not do *more* update work than the eager
+        // same-interval pass on a non-trivial run.
+        let inst = testkit::medium_instance(5);
+        let a = GreedyScheduler::new().run(&inst, 10).unwrap();
+        let b = GreedyHeapScheduler::new().run(&inst, 10).unwrap();
+        assert!(
+            b.stats.updates <= a.stats.updates,
+            "lazy updates {} > eager updates {}",
+            b.stats.updates,
+            a.stats.updates
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let inst = testkit::small_instance(0);
+        assert!(GreedyHeapScheduler::new().run(&inst, 99).is_err());
+    }
+
+    #[test]
+    fn incomplete_when_constraints_bind() {
+        let inst = testkit::single_slot_shared_location(5);
+        let out = GreedyHeapScheduler::new().run(&inst, 4).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(!out.complete);
+    }
+}

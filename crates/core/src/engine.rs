@@ -1,0 +1,739 @@
+//! The attendance engine: Luce-choice attendance probabilities (Eq. 1),
+//! expected attendance (Eq. 2), total utility (Eq. 3) and incremental
+//! assignment scores (Eq. 4).
+//!
+//! # Data layout
+//!
+//! For every interval `t` the engine maintains two per-user aggregates:
+//!
+//! * `B_t[u] = Σ_{c ∈ C_t} µ(u,c)` — the static *competing mass*;
+//! * `M_t[u] = Σ_{p ∈ E_t(S)} µ(u,p)` — the dynamic *scheduled mass*.
+//!
+//! With `D = B_t[u] + M_t[u]`, Eq. 1 gives `ρ(u,e,t) = σ(u,t)·µ(u,e)/D`, the
+//! interval's total expected attendance is `Σ_u σ(u,t)·M_t[u]/D`, and the
+//! assignment score of `r → t` (Eq. 4) telescopes to
+//!
+//! ```text
+//! score = Σ_{u: µ(u,r)>0} σ(u,t) · [ (M+µ)/(B+M+µ) − M/(B+M) ]
+//! ```
+//!
+//! so only users on `r`'s posting list are touched. Because `x ↦ x/(B+x)` is
+//! increasing, scores are non-negative: adding an event never decreases an
+//! interval's total expected attendance (it *does* cannibalize co-scheduled
+//! events — Eq. 4 accounts for that).
+//!
+//! The engine keeps the running total utility in sync with every
+//! `assign`/`unassign`, so `ΔΩ` equals the assignment score by construction;
+//! [`evaluate_schedule`] recomputes Ω from scratch and is the testing oracle
+//! for that invariant.
+
+use crate::ids::{EventId, IntervalId, UserId};
+use crate::instance::{FeasibilityViolation, SesInstance};
+use crate::schedule::{Schedule, ScheduleError};
+use crate::util::float::luce_ratio;
+use crate::util::fxhash::FxHashMap;
+use std::cell::Cell;
+
+/// One user's scheduled mass at one interval, together with the number of
+/// scheduled events contributing to it.
+///
+/// The count exists for numerical robustness, not bookkeeping convenience:
+/// the Luce ratio `M/(B+M)` is scale-invariant, so when `B = 0` a
+/// floating-point residue of `1e-16` left in `M` after an unassign would
+/// evaluate to `1.0` — a whole phantom user of utility. Snapping the mass to
+/// exactly zero when the last contributing event leaves makes unassign an
+/// exact inverse of assign.
+#[derive(Debug, Clone, Copy, Default)]
+struct MassEntry {
+    mass: f64,
+    count: u32,
+}
+
+/// Operation counters, for the paper's complexity claims and the benches.
+///
+/// These are hardware-independent companions to wall-clock numbers: Fig. 1b/1d
+/// shapes can be checked against operation counts directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Number of assignment-score evaluations (Eq. 4 computations).
+    pub score_evaluations: u64,
+    /// Number of posting entries visited while scoring.
+    pub posting_visits: u64,
+    /// Number of `assign` operations applied.
+    pub assigns: u64,
+    /// Number of `unassign` operations applied.
+    pub unassigns: u64,
+}
+
+/// Incremental attendance/utility engine bound to one instance.
+///
+/// Owns the evolving [`Schedule`]. All mutating operations keep the cached
+/// aggregates, the feasibility trackers and the running utility consistent.
+pub struct AttendanceEngine<'a> {
+    inst: &'a SesInstance,
+    schedule: Schedule,
+    /// Per-interval competing mass `B_t` (static after construction).
+    b: Vec<FxHashMap<UserId, f64>>,
+    /// Per-interval scheduled mass `M_t` with contributing-event counts.
+    m: Vec<FxHashMap<UserId, MassEntry>>,
+    /// Per-interval resources in use.
+    used_resources: Vec<f64>,
+    /// Per-interval occupied locations (location → occupying event).
+    used_locations: Vec<FxHashMap<u32, EventId>>,
+    total_utility: f64,
+    score_evaluations: Cell<u64>,
+    posting_visits: Cell<u64>,
+    assigns: u64,
+    unassigns: u64,
+}
+
+impl<'a> AttendanceEngine<'a> {
+    /// Creates an engine with an empty schedule; builds the competing masses
+    /// `B_t` from the instance's competing events (`O(Σ_c |postings(c)|)`).
+    pub fn new(inst: &'a SesInstance) -> Self {
+        let nt = inst.num_intervals();
+        let mut b: Vec<FxHashMap<UserId, f64>> = vec![FxHashMap::default(); nt];
+        for c in inst.competing() {
+            let postings = inst.interest().interested_users(c.id.into());
+            let map = &mut b[c.interval.index()];
+            for &(u, mu) in postings {
+                *map.entry(u).or_insert(0.0) += mu;
+            }
+        }
+        Self {
+            inst,
+            schedule: inst.empty_schedule(),
+            b,
+            m: vec![FxHashMap::default(); nt],
+            used_resources: vec![0.0; nt],
+            used_locations: vec![FxHashMap::default(); nt],
+            total_utility: 0.0,
+            score_evaluations: Cell::new(0),
+            posting_visits: Cell::new(0),
+            assigns: 0,
+            unassigns: 0,
+        }
+    }
+
+    /// Creates an engine pre-loaded with an existing (feasible) schedule.
+    pub fn with_schedule(
+        inst: &'a SesInstance,
+        schedule: &Schedule,
+    ) -> Result<Self, FeasibilityViolation> {
+        let mut engine = Self::new(inst);
+        for a in schedule.iter() {
+            engine.assign(a.event, a.interval)?;
+        }
+        Ok(engine)
+    }
+
+    /// The instance this engine is bound to.
+    #[inline]
+    pub fn instance(&self) -> &'a SesInstance {
+        self.inst
+    }
+
+    /// The current schedule.
+    #[inline]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Consumes the engine, returning the schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+
+    /// The running total utility `Ω(S)` (Eq. 3), maintained incrementally.
+    #[inline]
+    pub fn total_utility(&self) -> f64 {
+        self.total_utility
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            score_evaluations: self.score_evaluations.get(),
+            posting_visits: self.posting_visits.get(),
+            assigns: self.assigns,
+            unassigns: self.unassigns,
+        }
+    }
+
+    /// Resets the operation counters (the aggregates are untouched).
+    pub fn reset_counters(&mut self) {
+        self.score_evaluations.set(0);
+        self.posting_visits.set(0);
+        self.assigns = 0;
+        self.unassigns = 0;
+    }
+
+    /// Fast feasibility/validity check for `event → interval` against the
+    /// *current* schedule, using the cached per-interval trackers.
+    pub fn check_assignment(
+        &self,
+        event: EventId,
+        interval: IntervalId,
+    ) -> Result<(), FeasibilityViolation> {
+        if self.schedule.contains(event) {
+            return Err(FeasibilityViolation::EventAlreadyScheduled { event });
+        }
+        let ev = self.inst.event(event);
+        let ti = interval.index();
+        if let Some(&existing) = self.used_locations[ti].get(&ev.location.raw()) {
+            return Err(FeasibilityViolation::LocationConflict {
+                interval,
+                existing,
+                incoming: event,
+            });
+        }
+        let used = self.used_resources[ti];
+        let budget = self.inst.budget();
+        if used + ev.required_resources > budget {
+            return Err(FeasibilityViolation::ResourcesExceeded {
+                interval,
+                used,
+                requested: ev.required_resources,
+                budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`Self::check_assignment`].
+    #[inline]
+    pub fn is_valid(&self, event: EventId, interval: IntervalId) -> bool {
+        self.check_assignment(event, interval).is_ok()
+    }
+
+    /// The assignment score of `event → interval` w.r.t. the current
+    /// schedule (Eq. 4): the gain in total expected attendance from adding
+    /// the assignment. Does **not** check feasibility.
+    pub fn score(&self, event: EventId, interval: IntervalId) -> f64 {
+        self.score_evaluations.set(self.score_evaluations.get() + 1);
+        let postings = self.inst.interest().interested_users(event.into());
+        self.posting_visits
+            .set(self.posting_visits.get() + postings.len() as u64);
+        let ti = interval.index();
+        let bt = &self.b[ti];
+        let mt = &self.m[ti];
+        let activity = self.inst.activity();
+        let mut sum = 0.0;
+        for &(u, mu) in postings {
+            let b = bt.get(&u).copied().unwrap_or(0.0);
+            let m = mt.get(&u).map_or(0.0, |e| e.mass);
+            let before = luce_ratio(m, b + m);
+            let after = luce_ratio(m + mu, b + m + mu);
+            sum += activity.activity(u, interval) * (after - before);
+        }
+        sum
+    }
+
+    /// Applies `event → interval` if it is a *valid* assignment; returns the
+    /// realized gain (equal to [`Self::score`] at the moment of application).
+    pub fn assign(
+        &mut self,
+        event: EventId,
+        interval: IntervalId,
+    ) -> Result<f64, FeasibilityViolation> {
+        self.check_assignment(event, interval)?;
+        let gain = self.score(event, interval);
+
+        self.schedule
+            .assign(event, interval)
+            .expect("validated assignment must apply");
+        let ti = interval.index();
+        let postings = self.inst.interest().interested_users(event.into());
+        let mt = &mut self.m[ti];
+        for &(u, mu) in postings {
+            let entry = mt.entry(u).or_default();
+            entry.mass += mu;
+            entry.count += 1;
+        }
+        let ev = self.inst.event(event);
+        self.used_resources[ti] += ev.required_resources;
+        self.used_locations[ti].insert(ev.location.raw(), event);
+        self.total_utility += gain;
+        self.assigns += 1;
+        Ok(gain)
+    }
+
+    /// Removes `event` from the schedule; returns the utility *loss* (the
+    /// positive amount by which Ω decreased). Used by local search.
+    pub fn unassign(&mut self, event: EventId) -> Result<f64, ScheduleError> {
+        let interval = self.schedule.unassign(event)?;
+        let ti = interval.index();
+        let postings = self.inst.interest().interested_users(event.into());
+        let activity = self.inst.activity();
+        let bt = &self.b[ti];
+        let mt = &mut self.m[ti];
+        let mut loss = 0.0;
+        for &(u, mu) in postings {
+            let b = bt.get(&u).copied().unwrap_or(0.0);
+            let entry = mt
+                .get_mut(&u)
+                .expect("posting user must have a mass entry while assigned");
+            let m = entry.mass;
+            entry.count -= 1;
+            // Snap to exactly zero when the last contributor leaves; see
+            // `MassEntry` for why a residue here would corrupt Ω.
+            let m_new = if entry.count == 0 {
+                0.0
+            } else {
+                (m - mu).max(0.0)
+            };
+            entry.mass = m_new;
+            let remove = entry.count == 0;
+            let before = luce_ratio(m, b + m);
+            let after = luce_ratio(m_new, b + m_new);
+            loss += activity.activity(u, interval) * (before - after);
+            if remove {
+                mt.remove(&u);
+            }
+        }
+        let ev = self.inst.event(event);
+        self.used_resources[ti] = (self.used_resources[ti] - ev.required_resources).max(0.0);
+        self.used_locations[ti].remove(&ev.location.raw());
+        self.total_utility -= loss;
+        self.unassigns += 1;
+        Ok(loss)
+    }
+
+    /// The attendance probability `ρ(u, e, t_e(S))` (Eq. 1) of a *scheduled*
+    /// event; `None` if `e` is not scheduled.
+    pub fn attendance_probability(&self, user: UserId, event: EventId) -> Option<f64> {
+        let interval = self.schedule.interval_of(event)?;
+        let ti = interval.index();
+        let mu = self.inst.mu(user, event);
+        let b = self.b[ti].get(&user).copied().unwrap_or(0.0);
+        let m = self.m[ti].get(&user).map_or(0.0, |e| e.mass);
+        Some(self.inst.sigma(user, interval) * luce_ratio(mu, b + m))
+    }
+
+    /// The expected attendance `ω(e, t_e(S))` (Eq. 2) of a *scheduled* event;
+    /// `None` if `e` is not scheduled.
+    pub fn expected_attendance(&self, event: EventId) -> Option<f64> {
+        let interval = self.schedule.interval_of(event)?;
+        let ti = interval.index();
+        let postings = self.inst.interest().interested_users(event.into());
+        let activity = self.inst.activity();
+        let mut sum = 0.0;
+        for &(u, mu) in postings {
+            let b = self.b[ti].get(&u).copied().unwrap_or(0.0);
+            let m = self.m[ti].get(&u).map_or(0.0, |e| e.mass);
+            sum += activity.activity(u, interval) * luce_ratio(mu, b + m);
+        }
+        Some(sum)
+    }
+
+    /// Total expected attendance of one interval: `Σ_{e ∈ E_t(S)} ω(e,t)`.
+    pub fn interval_utility(&self, interval: IntervalId) -> f64 {
+        let ti = interval.index();
+        let activity = self.inst.activity();
+        self.m[ti]
+            .iter()
+            .map(|(&u, entry)| {
+                let b = self.b[ti].get(&u).copied().unwrap_or(0.0);
+                activity.activity(u, interval) * luce_ratio(entry.mass, b + entry.mass)
+            })
+            .sum()
+    }
+
+    /// Resources currently used at `interval`.
+    #[inline]
+    pub fn used_resources(&self, interval: IntervalId) -> f64 {
+        self.used_resources[interval.index()]
+    }
+
+    /// Injects additional competing mass at `interval` — a third-party event
+    /// announced *after* the instance was built (the online setting; see
+    /// [`crate::online`]). `postings` lists the interested users with their
+    /// `µ(u, c) ∈ [0,1]`, like an inverted-index row.
+    ///
+    /// Returns the (non-positive) change in total utility: every scheduled
+    /// event at the interval loses attendance to the newcomer. The engine's
+    /// aggregates stay authoritative; the underlying instance is unchanged.
+    pub fn add_competing_mass(
+        &mut self,
+        interval: IntervalId,
+        postings: &[(UserId, f64)],
+    ) -> f64 {
+        let ti = interval.index();
+        let activity = self.inst.activity();
+        let mut delta = 0.0;
+        for &(u, mu_c) in postings {
+            debug_assert!((0.0..=1.0).contains(&mu_c), "competing µ out of range");
+            let b_entry = self.b[ti].entry(u).or_insert(0.0);
+            let b_old = *b_entry;
+            *b_entry += mu_c;
+            if let Some(m_entry) = self.m[ti].get(&u) {
+                let m = m_entry.mass;
+                let before = luce_ratio(m, b_old + m);
+                let after = luce_ratio(m, b_old + mu_c + m);
+                delta += activity.activity(u, interval) * (after - before);
+            }
+        }
+        self.total_utility += delta;
+        delta
+    }
+}
+
+/// Per-event attendance report of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Total utility `Ω(S)`.
+    pub total_utility: f64,
+    /// `(event, interval, ω(e,t))` for every assignment, in event order.
+    pub per_event: Vec<(EventId, IntervalId, f64)>,
+}
+
+/// From-scratch reference evaluation of a schedule (independent of the
+/// incremental engine; the testing oracle for Ω bookkeeping).
+///
+/// Cost: `O(Σ_{h ∈ C ∪ E(S)} |postings(h)|)`.
+pub fn evaluate_schedule(inst: &SesInstance, schedule: &Schedule) -> Evaluation {
+    let nt = inst.num_intervals();
+    // Denominator per (interval, user): competing mass + scheduled mass.
+    let mut denom: Vec<FxHashMap<UserId, f64>> = vec![FxHashMap::default(); nt];
+    for c in inst.competing() {
+        for &(u, mu) in inst.interest().interested_users(c.id.into()) {
+            *denom[c.interval.index()].entry(u).or_insert(0.0) += mu;
+        }
+    }
+    for a in schedule.iter() {
+        for &(u, mu) in inst.interest().interested_users(a.event.into()) {
+            *denom[a.interval.index()].entry(u).or_insert(0.0) += mu;
+        }
+    }
+    let mut per_event = Vec::with_capacity(schedule.len());
+    let mut total = 0.0;
+    for a in schedule.iter() {
+        let ti = a.interval.index();
+        let mut omega = 0.0;
+        for &(u, mu) in inst.interest().interested_users(a.event.into()) {
+            let d = denom[ti].get(&u).copied().unwrap_or(0.0);
+            omega += inst.sigma(u, a.interval) * luce_ratio(mu, d);
+        }
+        per_event.push((a.event, a.interval, omega));
+        total += omega;
+    }
+    Evaluation {
+        total_utility: total,
+        per_event,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ConstantActivity;
+    use crate::ids::{CompetingEventId, LocationId};
+    use crate::interest::InterestBuilder;
+    use crate::model::{uniform_grid, CandidateEvent, CompetingEvent, Organizer};
+    use crate::util::float::{approx_eq, approx_ge};
+
+    /// 2 users, 3 events, 2 intervals, 1 competing event at t0.
+    /// µ(u0,e0)=0.8, µ(u0,e1)=0.4, µ(u1,e1)=0.5, µ(u1,e2)=0.6, µ(u0,c0)=0.5.
+    /// σ ≡ 1, θ = 10, all events at distinct locations with ξ = 1.
+    fn inst() -> SesInstance {
+        let mut interest = InterestBuilder::new(2, 3, 1);
+        interest.set(UserId::new(0), EventId::new(0), 0.8).unwrap();
+        interest.set(UserId::new(0), EventId::new(1), 0.4).unwrap();
+        interest.set(UserId::new(1), EventId::new(1), 0.5).unwrap();
+        interest.set(UserId::new(1), EventId::new(2), 0.6).unwrap();
+        interest
+            .set(UserId::new(0), CompetingEventId::new(0), 0.5)
+            .unwrap();
+        SesInstance::builder()
+            .organizer(Organizer::new(10.0))
+            .intervals(uniform_grid(2, 100))
+            .events(vec![
+                CandidateEvent::new(EventId::new(0), LocationId::new(0), 1.0),
+                CandidateEvent::new(EventId::new(1), LocationId::new(1), 1.0),
+                CandidateEvent::new(EventId::new(2), LocationId::new(2), 1.0),
+            ])
+            .competing(vec![CompetingEvent::new(
+                CompetingEventId::new(0),
+                IntervalId::new(0),
+            )])
+            .interest(interest.build_sparse().unwrap())
+            .activity(ConstantActivity::new(2, 2, 1.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn e(i: u32) -> EventId {
+        EventId::new(i)
+    }
+    fn t(i: u32) -> IntervalId {
+        IntervalId::new(i)
+    }
+    fn u(i: u32) -> UserId {
+        UserId::new(i)
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_utility() {
+        let inst = inst();
+        let engine = AttendanceEngine::new(&inst);
+        assert_eq!(engine.total_utility(), 0.0);
+        assert_eq!(engine.schedule().len(), 0);
+    }
+
+    #[test]
+    fn score_on_empty_interval_matches_hand_computation() {
+        let inst = inst();
+        let engine = AttendanceEngine::new(&inst);
+        // e0 → t0: user0 only; B = 0.5 (c0), M = 0.
+        // score = 1 * (0.8 / (0.5 + 0.8)) = 0.8/1.3.
+        let s = engine.score(e(0), t(0));
+        assert!(approx_eq(s, 0.8 / 1.3), "got {s}");
+        // e0 → t1: no competing events, so ρ = µ/µ = 1 → score = 1.
+        let s = engine.score(e(0), t(1));
+        assert!(approx_eq(s, 1.0), "got {s}");
+    }
+
+    #[test]
+    fn assign_gain_equals_prior_score_and_updates_utility() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        let predicted = engine.score(e(0), t(0));
+        let gain = engine.assign(e(0), t(0)).unwrap();
+        assert!(approx_eq(predicted, gain));
+        assert!(approx_eq(engine.total_utility(), gain));
+        let eval = evaluate_schedule(&inst, engine.schedule());
+        assert!(approx_eq(eval.total_utility, engine.total_utility()));
+    }
+
+    #[test]
+    fn score_accounts_for_cannibalization() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        // Adding e1 to t0: user0 shares both events → e0's attendance drops.
+        // Score must equal ΔΩ exactly.
+        let before = engine.total_utility();
+        let predicted = engine.score(e(1), t(0));
+        engine.assign(e(1), t(0)).unwrap();
+        let after = engine.total_utility();
+        assert!(approx_eq(after - before, predicted));
+        // Hand computation:
+        //   user0: B=0.5, M=0.8 → Δ = (1.2/1.7) − (0.8/1.3)
+        //   user1: B=0, M=0 → Δ = 0.5/0.5 = 1
+        let expected = (1.2f64 / 1.7 - 0.8 / 1.3) + 1.0;
+        assert!(approx_eq(predicted, expected), "{predicted} vs {expected}");
+    }
+
+    #[test]
+    fn scores_are_nonnegative_and_diminish_within_interval() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        let s_before = engine.score(e(1), t(0));
+        engine.assign(e(0), t(0)).unwrap();
+        let s_after = engine.score(e(1), t(0));
+        assert!(s_before >= 0.0 && s_after >= 0.0);
+        assert!(
+            s_after <= s_before + 1e-12,
+            "marginal gain must not increase as the interval fills: {s_before} -> {s_after}"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_reference_after_many_ops() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        engine.assign(e(1), t(0)).unwrap();
+        engine.assign(e(2), t(1)).unwrap();
+        engine.unassign(e(1)).unwrap();
+        engine.assign(e(1), t(1)).unwrap();
+        engine.unassign(e(0)).unwrap();
+        engine.assign(e(0), t(1)).unwrap();
+        let eval = evaluate_schedule(&inst, engine.schedule());
+        assert!(
+            approx_eq(eval.total_utility, engine.total_utility()),
+            "incremental {} vs reference {}",
+            engine.total_utility(),
+            eval.total_utility
+        );
+    }
+
+    #[test]
+    fn unassign_snaps_mass_to_exact_zero() {
+        // Regression test: M/(B+M) is scale-invariant, so with B = 0 a float
+        // residue (e.g. 1.1 − 0.6 − 0.5 ≈ 1e-16) left in M after unassigns
+        // would evaluate to a full phantom attendance of 1.0. The engine must
+        // therefore be an exact no-op after any assign/unassign round trip.
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(1), t(0)).unwrap(); // µ(u1,e1) = 0.5, B(u1,t0) = 0
+        engine.assign(e(2), t(0)).unwrap(); // µ(u1,e2) = 0.6 → M(u1) = 1.1
+        engine.unassign(e(2)).unwrap();
+        engine.unassign(e(1)).unwrap();
+        assert_eq!(
+            engine.total_utility(),
+            0.0,
+            "empty schedule must have exactly zero utility, no residue"
+        );
+        // And a fresh assignment still scores exactly as on a fresh engine.
+        let fresh = AttendanceEngine::new(&inst);
+        assert_eq!(engine.score(e(1), t(0)), fresh.score(e(1), t(0)));
+    }
+
+    #[test]
+    fn unassign_restores_previous_utility() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        let before = engine.total_utility();
+        engine.assign(e(1), t(0)).unwrap();
+        let loss = engine.unassign(e(1)).unwrap();
+        assert!(loss > 0.0);
+        assert!(approx_eq(engine.total_utility(), before));
+    }
+
+    #[test]
+    fn attendance_probability_and_expected_attendance() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        assert_eq!(engine.attendance_probability(u(0), e(0)), None);
+        engine.assign(e(0), t(0)).unwrap();
+        // ρ(u0, e0) = 0.8 / (0.5 + 0.8)
+        let rho = engine.attendance_probability(u(0), e(0)).unwrap();
+        assert!(approx_eq(rho, 0.8 / 1.3));
+        // u1 has µ = 0 for e0 → ρ = 0 (denominator for u1 at t0 is 0 → 0/0 := 0).
+        let rho1 = engine.attendance_probability(u(1), e(0)).unwrap();
+        assert_eq!(rho1, 0.0);
+        let omega = engine.expected_attendance(e(0)).unwrap();
+        assert!(approx_eq(omega, 0.8 / 1.3));
+        assert!(approx_eq(engine.interval_utility(t(0)), omega));
+    }
+
+    #[test]
+    fn per_user_total_attendance_probability_bounded_by_sigma() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        engine.assign(e(1), t(0)).unwrap();
+        for user in [u(0), u(1)] {
+            let total: f64 = [e(0), e(1)]
+                .iter()
+                .map(|&ev| engine.attendance_probability(user, ev).unwrap())
+                .sum();
+            let sigma = inst.sigma(user, t(0));
+            assert!(
+                total <= sigma + 1e-12,
+                "user {user}: Σρ = {total} > σ = {sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_checks_use_cached_state() {
+        // Rebuild inst with clashing locations to exercise the fast checker.
+        let mut interest = InterestBuilder::new(1, 2, 0);
+        interest.set(u(0), e(0), 0.5).unwrap();
+        interest.set(u(0), e(1), 0.5).unwrap();
+        let inst = SesInstance::builder()
+            .organizer(Organizer::new(1.5))
+            .intervals(uniform_grid(1, 10))
+            .events(vec![
+                CandidateEvent::new(e(0), LocationId::new(0), 1.0),
+                CandidateEvent::new(e(1), LocationId::new(0), 1.0),
+            ])
+            .interest(interest.build_sparse().unwrap())
+            .activity(ConstantActivity::new(1, 1, 1.0).unwrap())
+            .build()
+            .unwrap();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        let err = engine.assign(e(1), t(0)).unwrap_err();
+        assert!(matches!(err, FeasibilityViolation::LocationConflict { .. }));
+        // After unassigning, the location frees up but resources reset too.
+        engine.unassign(e(0)).unwrap();
+        assert!(engine.is_valid(e(1), t(0)));
+        assert_eq!(engine.used_resources(t(0)), 0.0);
+    }
+
+    #[test]
+    fn with_schedule_preloads_state() {
+        let inst = inst();
+        let mut s = inst.empty_schedule();
+        s.assign(e(0), t(0)).unwrap();
+        s.assign(e(2), t(1)).unwrap();
+        let engine = AttendanceEngine::with_schedule(&inst, &s).unwrap();
+        let eval = evaluate_schedule(&inst, &s);
+        assert!(approx_eq(engine.total_utility(), eval.total_utility));
+        assert_eq!(engine.schedule().len(), 2);
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.score(e(0), t(0));
+        engine.assign(e(1), t(1)).unwrap(); // internal score counts too
+        let c = engine.counters();
+        assert_eq!(c.score_evaluations, 2);
+        assert_eq!(c.assigns, 1);
+        assert!(c.posting_visits >= 2);
+        engine.reset_counters();
+        assert_eq!(engine.counters(), EngineCounters::default());
+    }
+
+    #[test]
+    fn add_competing_mass_shifts_attendance_down() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(1)).unwrap(); // u0, no competition at t1 → ρ = 1
+        let before = engine.total_utility();
+        assert!(approx_eq(before, 1.0));
+        // A rival show at t1 that u0 likes with µ = 0.8.
+        let delta = engine.add_competing_mass(t(1), &[(u(0), 0.8)]);
+        assert!(delta < 0.0);
+        // New ρ(u0, e0) = 0.8 / (0.8 + 0.8) = 0.5.
+        assert!(approx_eq(engine.total_utility(), 0.5));
+        assert!(approx_eq(
+            engine.attendance_probability(u(0), e(0)).unwrap(),
+            0.5
+        ));
+        // Scores seen by future assignments account for the new mass.
+        let s = engine.score(e(1), t(1));
+        let eval = evaluate_schedule(&inst, engine.schedule());
+        // The reference evaluator knows nothing of the dynamic event, so it
+        // must now *disagree* — the engine is authoritative online.
+        assert!(eval.total_utility > engine.total_utility());
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn add_competing_mass_for_uninterested_users_is_free() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        let before = engine.total_utility();
+        // u1 has no interest in e0; extra competition for u1 changes nothing.
+        let delta = engine.add_competing_mass(t(0), &[(u(1), 0.9)]);
+        assert_eq!(delta, 0.0);
+        assert_eq!(engine.total_utility(), before);
+    }
+
+    #[test]
+    fn evaluate_schedule_reports_per_event() {
+        let inst = inst();
+        let mut s = inst.empty_schedule();
+        s.assign(e(0), t(0)).unwrap();
+        s.assign(e(1), t(0)).unwrap();
+        let eval = evaluate_schedule(&inst, &s);
+        assert_eq!(eval.per_event.len(), 2);
+        let total: f64 = eval.per_event.iter().map(|(_, _, w)| w).sum();
+        assert!(approx_eq(total, eval.total_utility));
+        // Greater utility than scheduling e0 alone (score non-negativity).
+        let mut s1 = inst.empty_schedule();
+        s1.assign(e(0), t(0)).unwrap();
+        assert!(approx_ge(
+            eval.total_utility,
+            evaluate_schedule(&inst, &s1).total_utility
+        ));
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed identifiers for the SES domain.
+//!
+//! All entities are identified by dense `u32` indices wrapped in newtypes so
+//! that a [`UserId`] can never be confused with an [`EventId`]. Dense indices
+//! (as opposed to interned strings or UUIDs) are deliberate: every hot path in
+//! the engine indexes flat arrays by id, which is the cache-friendly layout a
+//! scheduling engine wants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, for direct array indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user (potential attendee).
+    UserId,
+    "u"
+);
+define_id!(
+    /// Identifier of a candidate event (an event the organizer may schedule).
+    EventId,
+    "e"
+);
+define_id!(
+    /// Identifier of a competing event (already scheduled by a third party).
+    CompetingEventId,
+    "c"
+);
+define_id!(
+    /// Identifier of a candidate time interval.
+    IntervalId,
+    "t"
+);
+define_id!(
+    /// Identifier of a location (e.g. a stage or a hall).
+    LocationId,
+    "l"
+);
+
+/// A reference to *any* event a user can be interested in: either a candidate
+/// event of the organizer or a competing third-party event.
+///
+/// The interest function `µ : U × (E ∪ C) → [0,1]` of the paper is defined
+/// over this union type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventRef {
+    /// A candidate event (member of `E`).
+    Candidate(EventId),
+    /// A competing event (member of `C`).
+    Competing(CompetingEventId),
+}
+
+impl EventRef {
+    /// Returns the candidate event id, if this refers to a candidate event.
+    #[inline]
+    pub fn candidate(self) -> Option<EventId> {
+        match self {
+            EventRef::Candidate(e) => Some(e),
+            EventRef::Competing(_) => None,
+        }
+    }
+
+    /// Returns the competing event id, if this refers to a competing event.
+    #[inline]
+    pub fn competing(self) -> Option<CompetingEventId> {
+        match self {
+            EventRef::Candidate(_) => None,
+            EventRef::Competing(c) => Some(c),
+        }
+    }
+}
+
+impl From<EventId> for EventRef {
+    #[inline]
+    fn from(e: EventId) -> Self {
+        EventRef::Candidate(e)
+    }
+}
+
+impl From<CompetingEventId> for EventRef {
+    #[inline]
+    fn from(c: CompetingEventId) -> Self {
+        EventRef::Competing(c)
+    }
+}
+
+impl fmt::Display for EventRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventRef::Candidate(e) => write!(f, "{e}"),
+            EventRef::Competing(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let u = UserId::new(7);
+        assert_eq!(u.raw(), 7);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u32::from(u), 7);
+        assert_eq!(usize::from(u), 7);
+        assert_eq!(UserId::from(7), u);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(EventId::new(1) < EventId::new(2));
+        assert!(IntervalId::new(0) < IntervalId::new(10));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(UserId::new(3).to_string(), "u3");
+        assert_eq!(EventId::new(4).to_string(), "e4");
+        assert_eq!(CompetingEventId::new(5).to_string(), "c5");
+        assert_eq!(IntervalId::new(6).to_string(), "t6");
+        assert_eq!(LocationId::new(7).to_string(), "l7");
+    }
+
+    #[test]
+    fn event_ref_projection() {
+        let r: EventRef = EventId::new(1).into();
+        assert_eq!(r.candidate(), Some(EventId::new(1)));
+        assert_eq!(r.competing(), None);
+
+        let r: EventRef = CompetingEventId::new(2).into();
+        assert_eq!(r.candidate(), None);
+        assert_eq!(r.competing(), Some(CompetingEventId::new(2)));
+    }
+
+    #[test]
+    fn event_ref_display() {
+        assert_eq!(EventRef::Candidate(EventId::new(1)).to_string(), "e1");
+        assert_eq!(
+            EventRef::Competing(CompetingEventId::new(2)).to_string(),
+            "c2"
+        );
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&UserId::new(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: UserId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, UserId::new(42));
+    }
+}

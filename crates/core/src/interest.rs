@@ -1,0 +1,514 @@
+//! The interest function `µ : U × (E ∪ C) → [0,1]` (paper §II, "Users").
+//!
+//! Two storage backends are provided:
+//!
+//! * [`DenseInterest`] — flat row-major matrices; right for small/medium
+//!   instances and for tests;
+//! * [`SparseInterest`] — posting lists only; right for EBSN-derived
+//!   instances where most (user, event) pairs have zero interest (tag-based
+//!   Jaccard interest is extremely sparse).
+//!
+//! Both backends expose the *inverted index* `event → [(user, µ)]`. All hot
+//! engine paths iterate posting lists: a user with `µ(u,r) = 0` contributes
+//! nothing to the score of any assignment of `r` (see `DESIGN.md` §1), so
+//! scoring an assignment costs `O(|postings(r)|)` instead of `O(|U|)`.
+
+use crate::ids::{CompetingEventId, EventId, EventRef, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A posting: one user with strictly positive interest in an event.
+pub type Posting = (UserId, f64);
+
+/// Per-event posting lists (one boxed, sorted slice per event).
+type PostingLists = Vec<Box<[Posting]>>;
+
+/// Read access to the interest function and its inverted index.
+///
+/// Implementations must guarantee:
+/// * values are within `[0,1]`;
+/// * posting lists are sorted by user id and contain only positive values;
+/// * `interest` and `interested_users` agree with each other.
+pub trait InterestModel: Send + Sync {
+    /// Number of users `|U|`.
+    fn num_users(&self) -> usize;
+    /// Number of candidate events `|E|`.
+    fn num_candidates(&self) -> usize;
+    /// Number of competing events `|C|`.
+    fn num_competing(&self) -> usize;
+
+    /// The interest `µ(u, h)` of user `u` in (candidate or competing) event `h`.
+    fn interest(&self, user: UserId, event: EventRef) -> f64;
+
+    /// Users with strictly positive interest in `h`, sorted by user id.
+    fn interested_users(&self, event: EventRef) -> &[Posting];
+
+    /// Total number of non-zero entries (for diagnostics and benchmarks).
+    fn nnz(&self) -> usize {
+        let cand = (0..self.num_candidates())
+            .map(|e| self.interested_users(EventId::new(e as u32).into()).len())
+            .sum::<usize>();
+        let comp = (0..self.num_competing())
+            .map(|c| {
+                self.interested_users(CompetingEventId::new(c as u32).into())
+                    .len()
+            })
+            .sum::<usize>();
+        cand + comp
+    }
+}
+
+/// Errors raised while building an interest model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterestError {
+    /// A value outside `[0,1]` (or NaN) was supplied.
+    ValueOutOfRange {
+        /// Offending user.
+        user: UserId,
+        /// Offending event.
+        event: EventRef,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A (user, event) pair was supplied twice.
+    DuplicateEntry {
+        /// Offending user.
+        user: UserId,
+        /// Offending event.
+        event: EventRef,
+    },
+    /// A user id ≥ `num_users` was supplied.
+    UserOutOfBounds {
+        /// Offending user.
+        user: UserId,
+        /// Declared universe size.
+        num_users: usize,
+    },
+    /// An event id outside the declared universe was supplied.
+    EventOutOfBounds {
+        /// Offending event.
+        event: EventRef,
+        /// Declared number of candidate events.
+        num_candidates: usize,
+        /// Declared number of competing events.
+        num_competing: usize,
+    },
+}
+
+impl fmt::Display for InterestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterestError::ValueOutOfRange { user, event, value } => {
+                write!(f, "interest µ({user},{event}) = {value} is outside [0,1]")
+            }
+            InterestError::DuplicateEntry { user, event } => {
+                write!(f, "interest µ({user},{event}) supplied more than once")
+            }
+            InterestError::UserOutOfBounds { user, num_users } => {
+                write!(f, "user {user} out of bounds (|U| = {num_users})")
+            }
+            InterestError::EventOutOfBounds {
+                event,
+                num_candidates,
+                num_competing,
+            } => write!(
+                f,
+                "event {event} out of bounds (|E| = {num_candidates}, |C| = {num_competing})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InterestError {}
+
+/// Incrementally accumulates `(user, event, µ)` triples and builds either
+/// backend. Zero values are accepted and silently dropped (they are the
+/// common case in EBSN data).
+#[derive(Debug, Clone)]
+pub struct InterestBuilder {
+    num_users: usize,
+    num_candidates: usize,
+    num_competing: usize,
+    candidate_entries: Vec<Vec<Posting>>, // indexed by event
+    competing_entries: Vec<Vec<Posting>>, // indexed by competing event
+}
+
+impl InterestBuilder {
+    /// Starts a builder for the given universe sizes.
+    pub fn new(num_users: usize, num_candidates: usize, num_competing: usize) -> Self {
+        Self {
+            num_users,
+            num_candidates,
+            num_competing,
+            candidate_entries: vec![Vec::new(); num_candidates],
+            competing_entries: vec![Vec::new(); num_competing],
+        }
+    }
+
+    /// Records `µ(user, event) = value`. Values equal to zero are dropped.
+    pub fn set(
+        &mut self,
+        user: UserId,
+        event: impl Into<EventRef>,
+        value: f64,
+    ) -> Result<&mut Self, InterestError> {
+        let event = event.into();
+        if !(0.0..=1.0).contains(&value) || value.is_nan() {
+            return Err(InterestError::ValueOutOfRange { user, event, value });
+        }
+        if user.index() >= self.num_users {
+            return Err(InterestError::UserOutOfBounds {
+                user,
+                num_users: self.num_users,
+            });
+        }
+        let list = match event {
+            EventRef::Candidate(e) => {
+                self.candidate_entries
+                    .get_mut(e.index())
+                    .ok_or(InterestError::EventOutOfBounds {
+                        event,
+                        num_candidates: self.num_candidates,
+                        num_competing: self.num_competing,
+                    })?
+            }
+            EventRef::Competing(c) => {
+                self.competing_entries
+                    .get_mut(c.index())
+                    .ok_or(InterestError::EventOutOfBounds {
+                        event,
+                        num_candidates: self.num_candidates,
+                        num_competing: self.num_competing,
+                    })?
+            }
+        };
+        if value > 0.0 {
+            list.push((user, value));
+        }
+        Ok(self)
+    }
+
+    fn finish_postings(mut self) -> Result<(PostingLists, PostingLists), InterestError> {
+        let sort_check = |entries: &mut Vec<Posting>,
+                          event: EventRef|
+         -> Result<Box<[Posting]>, InterestError> {
+            entries.sort_unstable_by_key(|(u, _)| *u);
+            for w in entries.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(InterestError::DuplicateEntry {
+                        user: w[0].0,
+                        event,
+                    });
+                }
+            }
+            Ok(std::mem::take(entries).into_boxed_slice())
+        };
+        let cand = self
+            .candidate_entries
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| sort_check(e, EventRef::Candidate(EventId::new(i as u32))))
+            .collect::<Result<Vec<_>, _>>()?;
+        let comp = self
+            .competing_entries
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| sort_check(e, EventRef::Competing(CompetingEventId::new(i as u32))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((cand, comp))
+    }
+
+    /// Builds the sparse backend.
+    pub fn build_sparse(self) -> Result<SparseInterest, InterestError> {
+        let (num_users, num_candidates, num_competing) =
+            (self.num_users, self.num_candidates, self.num_competing);
+        let (candidate_postings, competing_postings) = self.finish_postings()?;
+        Ok(SparseInterest {
+            num_users,
+            num_candidates,
+            num_competing,
+            candidate_postings,
+            competing_postings,
+        })
+    }
+
+    /// Builds the dense backend (materializes full matrices).
+    pub fn build_dense(self) -> Result<DenseInterest, InterestError> {
+        let sparse = self.build_sparse()?;
+        Ok(DenseInterest::from_sparse(&sparse))
+    }
+}
+
+/// Posting-list-only backend; `interest()` binary-searches the posting list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseInterest {
+    num_users: usize,
+    num_candidates: usize,
+    num_competing: usize,
+    candidate_postings: Vec<Box<[Posting]>>,
+    competing_postings: Vec<Box<[Posting]>>,
+}
+
+impl SparseInterest {
+    fn postings(&self, event: EventRef) -> &[Posting] {
+        match event {
+            EventRef::Candidate(e) => &self.candidate_postings[e.index()],
+            EventRef::Competing(c) => &self.competing_postings[c.index()],
+        }
+    }
+}
+
+impl InterestModel for SparseInterest {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.num_candidates
+    }
+
+    fn num_competing(&self) -> usize {
+        self.num_competing
+    }
+
+    fn interest(&self, user: UserId, event: EventRef) -> f64 {
+        let postings = self.postings(event);
+        match postings.binary_search_by_key(&user, |(u, _)| *u) {
+            Ok(i) => postings[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    fn interested_users(&self, event: EventRef) -> &[Posting] {
+        self.postings(event)
+    }
+}
+
+/// Flat row-major matrix backend with materialized posting lists.
+///
+/// Lookup is `O(1)`; memory is `|U| · (|E| + |C|)` doubles, so prefer
+/// [`SparseInterest`] beyond a few thousand users.
+#[derive(Debug, Clone)]
+pub struct DenseInterest {
+    num_users: usize,
+    num_candidates: usize,
+    num_competing: usize,
+    /// `candidate[u * num_candidates + e]`
+    candidate: Vec<f64>,
+    /// `competing[u * num_competing + c]`
+    competing: Vec<f64>,
+    candidate_postings: Vec<Box<[Posting]>>,
+    competing_postings: Vec<Box<[Posting]>>,
+}
+
+impl DenseInterest {
+    /// Builds from explicit matrices: `candidate[u][e]`, `competing[u][c]`.
+    ///
+    /// Returns an error if any value is outside `[0,1]` or row lengths are
+    /// ragged.
+    pub fn from_matrices(
+        candidate: Vec<Vec<f64>>,
+        competing: Vec<Vec<f64>>,
+    ) -> Result<Self, InterestError> {
+        let num_users = candidate.len().max(competing.len());
+        let num_candidates = candidate.first().map_or(0, Vec::len);
+        let num_competing = competing.first().map_or(0, Vec::len);
+        let mut builder = InterestBuilder::new(num_users, num_candidates, num_competing);
+        for (u, row) in candidate.iter().enumerate() {
+            for (e, &v) in row.iter().enumerate() {
+                builder.set(UserId::new(u as u32), EventId::new(e as u32), v)?;
+            }
+        }
+        for (u, row) in competing.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                builder.set(UserId::new(u as u32), CompetingEventId::new(c as u32), v)?;
+            }
+        }
+        builder.build_dense()
+    }
+
+    /// Materializes a dense copy of a sparse model.
+    pub fn from_sparse(sparse: &SparseInterest) -> Self {
+        let (nu, ne, nc) = (
+            sparse.num_users,
+            sparse.num_candidates,
+            sparse.num_competing,
+        );
+        let mut candidate = vec![0.0; nu * ne];
+        let mut competing = vec![0.0; nu * nc];
+        for (e, postings) in sparse.candidate_postings.iter().enumerate() {
+            for &(u, v) in postings.iter() {
+                candidate[u.index() * ne + e] = v;
+            }
+        }
+        for (c, postings) in sparse.competing_postings.iter().enumerate() {
+            for &(u, v) in postings.iter() {
+                competing[u.index() * nc + c] = v;
+            }
+        }
+        Self {
+            num_users: nu,
+            num_candidates: ne,
+            num_competing: nc,
+            candidate,
+            competing,
+            candidate_postings: sparse.candidate_postings.clone(),
+            competing_postings: sparse.competing_postings.clone(),
+        }
+    }
+}
+
+impl InterestModel for DenseInterest {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.num_candidates
+    }
+
+    fn num_competing(&self) -> usize {
+        self.num_competing
+    }
+
+    fn interest(&self, user: UserId, event: EventRef) -> f64 {
+        match event {
+            EventRef::Candidate(e) => self.candidate[user.index() * self.num_candidates + e.index()],
+            EventRef::Competing(c) => self.competing[user.index() * self.num_competing + c.index()],
+        }
+    }
+
+    fn interested_users(&self, event: EventRef) -> &[Posting] {
+        match event {
+            EventRef::Candidate(e) => &self.candidate_postings[e.index()],
+            EventRef::Competing(c) => &self.competing_postings[c.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_builder() -> InterestBuilder {
+        // 3 users, 2 candidate events, 1 competing event.
+        let mut b = InterestBuilder::new(3, 2, 1);
+        b.set(UserId::new(0), EventId::new(0), 0.9).unwrap();
+        b.set(UserId::new(2), EventId::new(0), 0.3).unwrap();
+        b.set(UserId::new(1), EventId::new(1), 0.5).unwrap();
+        b.set(UserId::new(0), CompetingEventId::new(0), 0.2).unwrap();
+        b.set(UserId::new(1), EventId::new(0), 0.0).unwrap(); // dropped
+        b
+    }
+
+    #[test]
+    fn sparse_lookup_and_postings_agree() {
+        let m = small_builder().build_sparse().unwrap();
+        assert_eq!(m.interest(UserId::new(0), EventId::new(0).into()), 0.9);
+        assert_eq!(m.interest(UserId::new(1), EventId::new(0).into()), 0.0);
+        assert_eq!(m.interest(UserId::new(2), EventId::new(0).into()), 0.3);
+        assert_eq!(
+            m.interest(UserId::new(0), CompetingEventId::new(0).into()),
+            0.2
+        );
+        let postings = m.interested_users(EventId::new(0).into());
+        assert_eq!(
+            postings,
+            &[(UserId::new(0), 0.9), (UserId::new(2), 0.3)],
+            "postings sorted by user id, zeros dropped"
+        );
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn dense_matches_sparse_everywhere() {
+        let sparse = small_builder().build_sparse().unwrap();
+        let dense = small_builder().build_dense().unwrap();
+        for u in 0..3u32 {
+            for e in 0..2u32 {
+                let h = EventRef::Candidate(EventId::new(e));
+                assert_eq!(
+                    dense.interest(UserId::new(u), h),
+                    sparse.interest(UserId::new(u), h)
+                );
+            }
+            let h = EventRef::Competing(CompetingEventId::new(0));
+            assert_eq!(
+                dense.interest(UserId::new(u), h),
+                sparse.interest(UserId::new(u), h)
+            );
+        }
+        assert_eq!(
+            dense.interested_users(EventId::new(1).into()),
+            sparse.interested_users(EventId::new(1).into())
+        );
+    }
+
+    #[test]
+    fn from_matrices_roundtrip() {
+        let dense = DenseInterest::from_matrices(
+            vec![vec![0.1, 0.0], vec![0.0, 0.7]],
+            vec![vec![0.5], vec![0.0]],
+        )
+        .unwrap();
+        assert_eq!(dense.num_users(), 2);
+        assert_eq!(dense.interest(UserId::new(1), EventId::new(1).into()), 0.7);
+        assert_eq!(
+            dense.interested_users(CompetingEventId::new(0).into()),
+            &[(UserId::new(0), 0.5)]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_value() {
+        let mut b = InterestBuilder::new(1, 1, 0);
+        let err = b.set(UserId::new(0), EventId::new(0), 1.5).unwrap_err();
+        assert!(matches!(err, InterestError::ValueOutOfRange { .. }));
+        let err = b.set(UserId::new(0), EventId::new(0), f64::NAN).unwrap_err();
+        assert!(matches!(err, InterestError::ValueOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates_at_build() {
+        let mut b = InterestBuilder::new(2, 1, 0);
+        b.set(UserId::new(0), EventId::new(0), 0.4).unwrap();
+        b.set(UserId::new(0), EventId::new(0), 0.6).unwrap();
+        let err = b.build_sparse().unwrap_err();
+        assert!(matches!(err, InterestError::DuplicateEntry { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_ids() {
+        let mut b = InterestBuilder::new(1, 1, 1);
+        assert!(matches!(
+            b.set(UserId::new(5), EventId::new(0), 0.5).unwrap_err(),
+            InterestError::UserOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            b.set(UserId::new(0), EventId::new(9), 0.5).unwrap_err(),
+            InterestError::EventOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            b.set(UserId::new(0), CompetingEventId::new(9), 0.5)
+                .unwrap_err(),
+            InterestError::EventOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = InterestError::ValueOutOfRange {
+            user: UserId::new(1),
+            event: EventRef::Candidate(EventId::new(2)),
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("µ(u1,e2)"));
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let m = InterestBuilder::new(0, 0, 0).build_sparse().unwrap();
+        assert_eq!(m.num_users(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! # ses-core — Social Event Scheduling
+//!
+//! A faithful, production-quality implementation of the **Social Event
+//! Scheduling (SES)** problem introduced by Bikakis, Kalogeraki and
+//! Gunopulos (*ICDE 2018*): given candidate events, disjoint candidate time
+//! intervals, competing third-party events and a population of users with
+//! per-event interests and per-interval activity probabilities, schedule `k`
+//! events so that the total expected attendance is maximized, subject to
+//! per-interval location and resource constraints.
+//!
+//! ## What lives where
+//!
+//! * [`model`] — intervals, candidate events, competing events, organizer;
+//! * [`interest`] / [`activity`] — the `µ(u,h)` and `σ(u,t)` inputs, with
+//!   dense, sparse, slot-based and procedural backends;
+//! * [`instance`] — validated problem instances ([`SesInstance`]);
+//! * [`schedule`] — assignments and schedules;
+//! * [`engine`] — the Luce-choice attendance engine: probabilities (Eq. 1),
+//!   expected attendance (Eq. 2), total utility (Eq. 3) and incremental
+//!   assignment scores (Eq. 4);
+//! * [`algorithms`] — the paper's greedy **GRD** (Algorithm 1), the **TOP**
+//!   and **RAND** baselines, a priority-queue greedy (**GRD-PQ**), an exact
+//!   branch-and-bound oracle and a local-search post-optimizer;
+//! * [`reduction`] — the Theorem 1 MKPI → SES reduction, executable;
+//! * [`testkit`] — deterministic instance factories for tests and benches.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ses_core::prelude::*;
+//!
+//! // 2 users, 2 candidate events, 2 evening slots, 1 competing event.
+//! let mut interest = InterestBuilder::new(2, 2, 1);
+//! interest.set(UserId::new(0), EventId::new(0), 0.9).unwrap();
+//! interest.set(UserId::new(1), EventId::new(1), 0.7).unwrap();
+//! interest.set(UserId::new(0), CompetingEventId::new(0), 0.4).unwrap();
+//!
+//! let instance = SesInstance::builder()
+//!     .organizer(Organizer::new(10.0))
+//!     .intervals(uniform_grid(2, 180))
+//!     .events(vec![
+//!         CandidateEvent::new(EventId::new(0), LocationId::new(0), 2.0),
+//!         CandidateEvent::new(EventId::new(1), LocationId::new(1), 2.0),
+//!     ])
+//!     .competing(vec![CompetingEvent::new(CompetingEventId::new(0), IntervalId::new(0))])
+//!     .interest(interest.build_sparse().unwrap())
+//!     .activity(ConstantActivity::new(2, 2, 0.8).unwrap())
+//!     .build()
+//!     .unwrap();
+//!
+//! let outcome = GreedyScheduler::new().run(&instance, 2).unwrap();
+//! assert_eq!(outcome.len(), 2);
+//! assert!(outcome.total_utility > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activity;
+pub mod algorithms;
+pub mod engine;
+pub mod ids;
+pub mod instance;
+pub mod interest;
+pub mod metrics;
+pub mod model;
+pub mod online;
+pub mod reduction;
+pub mod schedule;
+pub mod testkit;
+pub mod util;
+
+pub use activity::{ActivityModel, ConstantActivity, DenseActivity, HashedActivity, SlotActivity};
+pub use algorithms::{
+    AnnealingConfig, AnnealingScheduler, ExactScheduler, GreedyHeapScheduler, GreedyScheduler,
+    LocalSearchConfig, LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome,
+    Scheduler, SesError, TopScheduler,
+};
+pub use metrics::{schedule_metrics, utility_upper_bound, IntervalReport, ScheduleMetrics};
+pub use online::{OnlineSession, RepairReport};
+pub use engine::{evaluate_schedule, AttendanceEngine, EngineCounters, Evaluation};
+pub use ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
+pub use instance::{FeasibilityViolation, InstanceBuilder, SesInstance, ValidationError};
+pub use interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
+pub use model::{
+    spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
+};
+pub use schedule::{Assignment, Schedule, ScheduleError};
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::activity::{
+        ActivityModel, ConstantActivity, DenseActivity, HashedActivity, SlotActivity,
+    };
+    pub use crate::algorithms::{
+        AnnealingScheduler, ExactScheduler, GreedyHeapScheduler, GreedyScheduler,
+        LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome, Scheduler, SesError,
+        TopScheduler,
+    };
+    pub use crate::engine::{evaluate_schedule, AttendanceEngine, Evaluation};
+    pub use crate::metrics::{schedule_metrics, utility_upper_bound, ScheduleMetrics};
+    pub use crate::online::{OnlineSession, RepairReport};
+    pub use crate::ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
+    pub use crate::instance::{FeasibilityViolation, InstanceBuilder, SesInstance};
+    pub use crate::interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
+    pub use crate::model::{
+        spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
+    };
+    pub use crate::schedule::{Assignment, Schedule};
+}

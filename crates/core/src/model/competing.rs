@@ -1,0 +1,74 @@
+//! Competing (third-party) events.
+
+use crate::ids::{CompetingEventId, IntervalId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A competing event `c ∈ C`: an event already scheduled by a third party
+/// that may attract the organizer's potential attendees.
+///
+/// A competing event is pinned to the candidate interval `t_c` it temporally
+/// coincides with; it is an *input* of the problem, never a decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetingEvent {
+    /// Dense id of this competing event.
+    pub id: CompetingEventId,
+    /// The candidate interval during which the competing event takes place.
+    pub interval: IntervalId,
+    /// Optional human-readable label.
+    pub name: Option<String>,
+}
+
+impl CompetingEvent {
+    /// Creates a competing event pinned to `interval`.
+    pub fn new(id: CompetingEventId, interval: IntervalId) -> Self {
+        Self {
+            id,
+            interval,
+            name: None,
+        }
+    }
+
+    /// Creates a labelled competing event.
+    pub fn named(id: CompetingEventId, interval: IntervalId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            interval,
+            name: Some(name.into()),
+        }
+    }
+}
+
+impl fmt::Display for CompetingEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}@{}", self.interval),
+            None => write!(f, "{}@{}", self.id, self.interval),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_to_interval() {
+        let c = CompetingEvent::new(CompetingEventId::new(0), IntervalId::new(7));
+        assert_eq!(c.interval, IntervalId::new(7));
+        assert_eq!(c.to_string(), "c0@t7");
+    }
+
+    #[test]
+    fn named_display() {
+        let c = CompetingEvent::named(CompetingEventId::new(1), IntervalId::new(2), "Rival Gig");
+        assert_eq!(c.to_string(), "Rival Gig@t2");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CompetingEvent::named(CompetingEventId::new(3), IntervalId::new(1), "X");
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<CompetingEvent>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,99 @@
+//! Candidate events.
+
+use crate::ids::{EventId, LocationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A candidate event `e ∈ E`: an event the organizer *may* schedule.
+///
+/// Each candidate event is tied to a location `ℓe` (the place that would host
+/// it, e.g. a specific stage) and requires `ξe ≥ 0` organizer resources
+/// (e.g. staff) when scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEvent {
+    /// Dense id of this event.
+    pub id: EventId,
+    /// The location that hosts the event if it is scheduled.
+    pub location: LocationId,
+    /// Resources `ξe` consumed when the event is scheduled (`>= 0`).
+    pub required_resources: f64,
+    /// Optional human-readable label (carried through from datasets; never
+    /// inspected by the engine).
+    pub name: Option<String>,
+}
+
+impl CandidateEvent {
+    /// Creates a candidate event without a label.
+    pub fn new(id: EventId, location: LocationId, required_resources: f64) -> Self {
+        Self {
+            id,
+            location,
+            required_resources,
+            name: None,
+        }
+    }
+
+    /// Creates a labelled candidate event.
+    pub fn named(
+        id: EventId,
+        location: LocationId,
+        required_resources: f64,
+        name: impl Into<String>,
+    ) -> Self {
+        Self {
+            id,
+            location,
+            required_resources,
+            name: Some(name.into()),
+        }
+    }
+
+    /// Returns the label if present, otherwise the id rendering.
+    pub fn display_name(&self) -> String {
+        self.name.clone().unwrap_or_else(|| self.id.to_string())
+    }
+}
+
+impl fmt::Display for CandidateEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} (ξ={})",
+            self.display_name(),
+            self.location,
+            self.required_resources
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = CandidateEvent::new(EventId::new(0), LocationId::new(2), 3.5);
+        assert_eq!(e.required_resources, 3.5);
+        assert_eq!(e.display_name(), "e0");
+
+        let named = CandidateEvent::named(EventId::new(1), LocationId::new(0), 1.0, "Pop Night");
+        assert_eq!(named.display_name(), "Pop Night");
+    }
+
+    #[test]
+    fn display_contains_location_and_resources() {
+        let e = CandidateEvent::named(EventId::new(1), LocationId::new(4), 2.0, "Gala");
+        let s = e.to_string();
+        assert!(s.contains("Gala"));
+        assert!(s.contains("l4"));
+        assert!(s.contains("ξ=2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = CandidateEvent::named(EventId::new(9), LocationId::new(1), 0.5, "Jazz");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CandidateEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

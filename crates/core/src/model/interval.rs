@@ -1,0 +1,142 @@
+//! Candidate time intervals.
+
+use crate::ids::IntervalId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A candidate time interval `t ∈ T`: a period available for organizing
+/// events, e.g. "Monday 19:00–22:00".
+///
+/// The paper requires the intervals in `T` to be pairwise disjoint; the
+/// [`InstanceBuilder`](crate::instance::InstanceBuilder) validates this.
+/// Times are opaque ticks (e.g. minutes since the schedule horizon start);
+/// the engine never interprets them beyond disjointness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeInterval {
+    /// Dense id of this interval.
+    pub id: IntervalId,
+    /// Inclusive start tick.
+    pub start: u64,
+    /// Exclusive end tick. Must be strictly greater than `start`.
+    pub end: u64,
+}
+
+impl TimeInterval {
+    /// Creates an interval; panics if `end <= start` (a construction bug,
+    /// not a data error — data errors are reported by the builder).
+    pub fn new(id: IntervalId, start: u64, end: u64) -> Self {
+        assert!(end > start, "interval {id} must have end > start");
+        Self { id, start, end }
+    }
+
+    /// Duration in ticks.
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether two intervals overlap in time (half-open semantics).
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether a tick falls within the interval.
+    #[inline]
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.end
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{})", self.id, self.start, self.end)
+    }
+}
+
+/// Builds `n` equally sized, disjoint, consecutive intervals — the common
+/// shape for experiment grids ("150 evening slots").
+pub fn uniform_grid(n: usize, slot_len: u64) -> Vec<TimeInterval> {
+    assert!(slot_len > 0, "slot length must be positive");
+    (0..n)
+        .map(|i| {
+            TimeInterval::new(
+                IntervalId::new(i as u32),
+                i as u64 * slot_len,
+                (i as u64 + 1) * slot_len,
+            )
+        })
+        .collect()
+}
+
+/// Builds `n` disjoint intervals with a gap between consecutive slots
+/// (e.g. one 3-hour slot per evening).
+pub fn spaced_grid(n: usize, slot_len: u64, gap: u64) -> Vec<TimeInterval> {
+    assert!(slot_len > 0, "slot length must be positive");
+    let stride = slot_len + gap;
+    (0..n)
+        .map(|i| {
+            let start = i as u64 * stride;
+            TimeInterval::new(IntervalId::new(i as u32), start, start + slot_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_contains() {
+        let t = TimeInterval::new(IntervalId::new(0), 10, 20);
+        assert_eq!(t.duration(), 10);
+        assert!(t.contains(10));
+        assert!(t.contains(19));
+        assert!(!t.contains(20));
+        assert!(!t.contains(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "end > start")]
+    fn empty_interval_panics() {
+        let _ = TimeInterval::new(IntervalId::new(0), 5, 5);
+    }
+
+    #[test]
+    fn overlap_semantics_are_half_open() {
+        let a = TimeInterval::new(IntervalId::new(0), 0, 10);
+        let b = TimeInterval::new(IntervalId::new(1), 10, 20);
+        let c = TimeInterval::new(IntervalId::new(2), 9, 11);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(c.overlaps(&a), "overlap is symmetric");
+    }
+
+    #[test]
+    fn uniform_grid_is_disjoint_and_consecutive() {
+        let grid = uniform_grid(5, 100);
+        assert_eq!(grid.len(), 5);
+        for w in grid.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(grid[4].id, IntervalId::new(4));
+    }
+
+    #[test]
+    fn spaced_grid_leaves_gaps() {
+        let grid = spaced_grid(3, 180, 60);
+        assert_eq!(grid[0].end, 180);
+        assert_eq!(grid[1].start, 240);
+        for w in grid.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let t = TimeInterval::new(IntervalId::new(3), 1, 2);
+        assert_eq!(t.to_string(), "t3[1..2)");
+    }
+}

@@ -1,0 +1,12 @@
+//! Domain entities of the SES problem: intervals, candidate events,
+//! competing events, and the organizer.
+
+pub mod competing;
+pub mod event;
+pub mod interval;
+pub mod organizer;
+
+pub use competing::CompetingEvent;
+pub use event::CandidateEvent;
+pub use interval::{spaced_grid, uniform_grid, TimeInterval};
+pub use organizer::Organizer;

@@ -1,0 +1,71 @@
+//! The event organizer and its resource budget.
+
+use serde::{Deserialize, Serialize};
+
+/// The organizer (company, venue, …) running the schedule.
+///
+/// The only quantity the optimization consumes is the per-interval resource
+/// budget `θ`: the total required resources of events scheduled in any single
+/// interval must not exceed it (e.g. available staff at any one time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Organizer {
+    /// Available resources `θ > 0` per time interval.
+    pub available_resources: f64,
+    /// Optional label for reports.
+    pub name: Option<String>,
+}
+
+impl Organizer {
+    /// Creates an organizer with budget `θ`.
+    pub fn new(available_resources: f64) -> Self {
+        Self {
+            available_resources,
+            name: None,
+        }
+    }
+
+    /// Creates a labelled organizer.
+    pub fn named(available_resources: f64, name: impl Into<String>) -> Self {
+        Self {
+            available_resources,
+            name: Some(name.into()),
+        }
+    }
+
+    /// An organizer with effectively unlimited resources, for instances where
+    /// only the location constraint matters (the paper's Theorem 1 uses the
+    /// converse restriction).
+    pub fn unconstrained() -> Self {
+        Self::new(f64::INFINITY)
+    }
+}
+
+impl Default for Organizer {
+    /// The paper's experimental default: `θ = 20`.
+    fn default() -> Self {
+        Self::new(20.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        assert_eq!(Organizer::default().available_resources, 20.0);
+    }
+
+    #[test]
+    fn unconstrained_is_infinite() {
+        assert!(Organizer::unconstrained()
+            .available_resources
+            .is_infinite());
+    }
+
+    #[test]
+    fn named_keeps_label() {
+        let o = Organizer::named(10.0, "Summerfest Inc.");
+        assert_eq!(o.name.as_deref(), Some("Summerfest Inc."));
+    }
+}

@@ -1,0 +1,297 @@
+//! Online schedule maintenance (extension beyond the paper).
+//!
+//! The paper schedules once, offline. In practice the world moves after
+//! publication: rivals announce new events, acts cancel, the organizer finds
+//! budget for one more show. This module keeps a *live* schedule optimal-ish
+//! under three kinds of change, reusing the incremental engine:
+//!
+//! * [`OnlineSession::announce_competing`] — a third-party event appears at
+//!   an interval; affected scheduled events may be worth relocating;
+//! * [`OnlineSession::cancel_event`] — a scheduled event is cancelled; the
+//!   slot is backfilled with the best remaining candidate;
+//! * [`OnlineSession::extend`] — schedule one more event greedily.
+//!
+//! Repairs are greedy and local (a bounded relocate pass around the touched
+//! interval), mirroring how GRD itself works; each repair reports the
+//! utility swing so operators can see the cost of each disruption.
+
+use crate::engine::AttendanceEngine;
+use crate::ids::{EventId, IntervalId, UserId};
+use crate::instance::SesInstance;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::util::float::total_cmp;
+
+/// What a repair changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// Utility before the disruption.
+    pub utility_before: f64,
+    /// Utility right after the disruption, before repair.
+    pub utility_disrupted: f64,
+    /// Utility after repair.
+    pub utility_after: f64,
+    /// Events moved or added by the repair, with their new interval.
+    pub moves: Vec<(EventId, IntervalId)>,
+}
+
+impl RepairReport {
+    /// Net damage of the disruption after repair (≥ 0 in the usual case of
+    /// a hostile change; negative means the repair found a net improvement).
+    pub fn net_loss(&self) -> f64 {
+        self.utility_before - self.utility_after
+    }
+
+    /// How much of the disruption the repair recovered.
+    pub fn recovered(&self) -> f64 {
+        self.utility_after - self.utility_disrupted
+    }
+}
+
+/// A live schedule bound to an instance.
+pub struct OnlineSession<'a> {
+    engine: AttendanceEngine<'a>,
+}
+
+impl<'a> OnlineSession<'a> {
+    /// Starts a session from an existing feasible schedule.
+    pub fn new(
+        inst: &'a SesInstance,
+        schedule: &Schedule,
+    ) -> Result<Self, crate::instance::FeasibilityViolation> {
+        Ok(Self {
+            engine: AttendanceEngine::with_schedule(inst, schedule)?,
+        })
+    }
+
+    /// Current schedule.
+    pub fn schedule(&self) -> &Schedule {
+        self.engine.schedule()
+    }
+
+    /// Current utility (reflecting all dynamic competing events so far).
+    pub fn utility(&self) -> f64 {
+        self.engine.total_utility()
+    }
+
+    /// The instance this session runs against.
+    pub fn instance(&self) -> &'a SesInstance {
+        self.engine.instance()
+    }
+
+    /// Best valid placement for `event` over all intervals, if any.
+    fn best_placement(&self, event: EventId) -> Option<(IntervalId, f64)> {
+        let inst = self.engine.instance();
+        (0..inst.num_intervals())
+            .map(|t| IntervalId::new(t as u32))
+            .filter(|&t| self.engine.is_valid(event, t))
+            .map(|t| (t, self.engine.score(event, t)))
+            .max_by(|a, b| total_cmp(a.1, b.1))
+    }
+
+    /// One relocate pass over the events scheduled at `interval`: each is
+    /// moved to its globally best slot if that strictly improves Ω.
+    fn relocate_interval(&mut self, interval: IntervalId, moves: &mut Vec<(EventId, IntervalId)>) {
+        let events: Vec<EventId> = self.engine.schedule().events_at(interval).to_vec();
+        for event in events {
+            let loss = self
+                .engine
+                .unassign(event)
+                .expect("event was scheduled at the interval");
+            let (target, gain) = self
+                .best_placement(event)
+                .expect("the vacated home slot is always valid");
+            let destination = if gain > loss + 1e-9 { target } else { interval };
+            self.engine
+                .assign(event, destination)
+                .expect("chosen placement was validated");
+            if destination != interval {
+                moves.push((event, destination));
+            }
+        }
+    }
+
+    /// A rival announces an event at `interval`; `postings` lists users and
+    /// their interest in it. Applies the change, then tries to relocate the
+    /// interval's scheduled events to better slots.
+    pub fn announce_competing(
+        &mut self,
+        interval: IntervalId,
+        postings: &[(UserId, f64)],
+    ) -> RepairReport {
+        let utility_before = self.engine.total_utility();
+        self.engine.add_competing_mass(interval, postings);
+        let utility_disrupted = self.engine.total_utility();
+        let mut moves = Vec::new();
+        self.relocate_interval(interval, &mut moves);
+        RepairReport {
+            utility_before,
+            utility_disrupted,
+            utility_after: self.engine.total_utility(),
+            moves,
+        }
+    }
+
+    /// A scheduled event is cancelled; backfills with the best remaining
+    /// unscheduled candidate (if any placement is valid).
+    pub fn cancel_event(&mut self, event: EventId) -> Result<RepairReport, ScheduleError> {
+        let utility_before = self.engine.total_utility();
+        self.engine.unassign(event)?;
+        let utility_disrupted = self.engine.total_utility();
+        let mut moves = Vec::new();
+        if let Some((replacement, target, _)) = self.best_unscheduled() {
+            self.engine
+                .assign(replacement, target)
+                .expect("placement was validated");
+            moves.push((replacement, target));
+        }
+        Ok(RepairReport {
+            utility_before,
+            utility_disrupted,
+            utility_after: self.engine.total_utility(),
+            moves,
+        })
+    }
+
+    /// Greedily schedules one more event (the `k → k+1` upgrade). Returns
+    /// `None` when no valid assignment remains.
+    pub fn extend(&mut self) -> Option<RepairReport> {
+        let utility_before = self.engine.total_utility();
+        let (event, target, _) = self.best_unscheduled()?;
+        self.engine
+            .assign(event, target)
+            .expect("placement was validated");
+        Some(RepairReport {
+            utility_before,
+            utility_disrupted: utility_before,
+            utility_after: self.engine.total_utility(),
+            moves: vec![(event, target)],
+        })
+    }
+
+    /// The cancelled event itself can be re-added later (e.g. the act is
+    /// rebooked): it is just another unscheduled candidate.
+    fn best_unscheduled(&self) -> Option<(EventId, IntervalId, f64)> {
+        let inst = self.engine.instance();
+        (0..inst.num_events())
+            .map(|e| EventId::new(e as u32))
+            .filter(|&e| !self.engine.schedule().contains(e))
+            .filter_map(|e| self.best_placement(e).map(|(t, s)| (e, t, s)))
+            .max_by(|a, b| total_cmp(a.2, b.2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{GreedyScheduler, Scheduler};
+    use crate::testkit;
+
+    fn session(seed: u64, k: usize) -> (crate::instance::SesInstance, Schedule) {
+        let inst = testkit::medium_instance(seed);
+        let out = GreedyScheduler::new().run(&inst, k).unwrap();
+        (inst, out.schedule)
+    }
+
+    #[test]
+    fn announce_competing_damages_then_repair_recovers() {
+        let (inst, schedule) = session(1, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let before = s.utility();
+        // A strong rival interesting to every user, at a busy interval.
+        let busy = s
+            .schedule()
+            .occupied_intervals()
+            .next()
+            .expect("schedule is non-empty");
+        let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+            .map(|u| (UserId::new(u as u32), 0.9))
+            .collect();
+        let report = s.announce_competing(busy, &postings);
+        assert_eq!(report.utility_before, before);
+        assert!(
+            report.utility_disrupted < report.utility_before,
+            "a universally interesting rival must cost attendance"
+        );
+        assert!(report.utility_after >= report.utility_disrupted - 1e-9);
+        assert_eq!(s.schedule().len(), 6, "repairs never change |S|");
+        inst.check_schedule(s.schedule()).unwrap();
+    }
+
+    #[test]
+    fn repair_relocates_away_from_poisoned_interval() {
+        let (inst, schedule) = session(3, 4);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let busy = s
+            .schedule()
+            .occupied_intervals()
+            .max_by_key(|&t| s.schedule().events_at(t).len())
+            .unwrap();
+        let events_before = s.schedule().events_at(busy).len();
+        let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+            .map(|u| (UserId::new(u as u32), 1.0))
+            .collect();
+        // Poison the interval twice to make staying clearly bad.
+        s.announce_competing(busy, &postings);
+        let report = s.announce_competing(busy, &postings);
+        let events_after = s.schedule().events_at(busy).len();
+        assert!(
+            events_after <= events_before,
+            "poisoned interval should not gain events"
+        );
+        // Any moves recorded must have actually been applied.
+        for &(e, t) in &report.moves {
+            assert_eq!(s.schedule().interval_of(e), Some(t));
+        }
+    }
+
+    #[test]
+    fn cancel_event_backfills() {
+        let (inst, schedule) = session(5, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let victim = schedule.scheduled_events()[0];
+        let report = s.cancel_event(victim).unwrap();
+        assert!(!s.schedule().contains(victim) || report.moves.iter().any(|&(e, _)| e == victim));
+        // 12 events, 6 scheduled → replacements exist; size restored.
+        assert_eq!(s.schedule().len(), 6);
+        assert!(report.recovered() >= -1e-9);
+        inst.check_schedule(s.schedule()).unwrap();
+    }
+
+    #[test]
+    fn cancel_unscheduled_event_errors() {
+        let (inst, schedule) = session(5, 3);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let unscheduled = (0..inst.num_events() as u32)
+            .map(EventId::new)
+            .find(|&e| !schedule.contains(e))
+            .unwrap();
+        assert!(s.cancel_event(unscheduled).is_err());
+    }
+
+    #[test]
+    fn extend_adds_the_greedy_best_event() {
+        let (inst, schedule) = session(7, 5);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let before = s.utility();
+        let report = s.extend().expect("unscheduled events remain");
+        assert_eq!(s.schedule().len(), 6);
+        assert!(report.utility_after >= before);
+        assert_eq!(report.moves.len(), 1);
+        inst.check_schedule(s.schedule()).unwrap();
+        // Extending until no event remains terminates cleanly.
+        while s.extend().is_some() {}
+        assert!(s.schedule().len() <= inst.num_events());
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = RepairReport {
+            utility_before: 10.0,
+            utility_disrupted: 7.0,
+            utility_after: 9.0,
+            moves: vec![],
+        };
+        assert!((r.net_loss() - 1.0).abs() < 1e-12);
+        assert!((r.recovered() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! Schedules and assignments (paper §II, "Schedule & Assignment").
+//!
+//! A [`Schedule`] is a set of assignments `α_e^t` with at most one assignment
+//! per event. This module is pure bookkeeping; feasibility (location and
+//! resource constraints) is defined by the instance and checked by
+//! [`SesInstance`](crate::instance::SesInstance) /
+//! [`AttendanceEngine`](crate::engine::AttendanceEngine).
+
+use crate::ids::{EventId, IntervalId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single assignment `α_e^t`: candidate event `e` scheduled at interval `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The scheduled candidate event.
+    pub event: EventId,
+    /// The interval it is assigned to.
+    pub interval: IntervalId,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    #[inline]
+    pub fn new(event: EventId, interval: IntervalId) -> Self {
+        Self { event, interval }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α({}→{})", self.event, self.interval)
+    }
+}
+
+/// Errors from schedule mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The event is already assigned (schedules hold at most one assignment
+    /// per event).
+    AlreadyAssigned {
+        /// The event in question.
+        event: EventId,
+        /// Where it currently sits.
+        current: IntervalId,
+    },
+    /// The event is not assigned (cannot unassign).
+    NotAssigned {
+        /// The event in question.
+        event: EventId,
+    },
+    /// Event id outside the schedule's universe.
+    EventOutOfBounds {
+        /// The event in question.
+        event: EventId,
+        /// The declared number of candidate events.
+        num_events: usize,
+    },
+    /// Interval id outside the schedule's universe.
+    IntervalOutOfBounds {
+        /// The interval in question.
+        interval: IntervalId,
+        /// The declared number of intervals.
+        num_intervals: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::AlreadyAssigned { event, current } => {
+                write!(f, "event {event} is already assigned to {current}")
+            }
+            ScheduleError::NotAssigned { event } => write!(f, "event {event} is not assigned"),
+            ScheduleError::EventOutOfBounds { event, num_events } => {
+                write!(f, "event {event} out of bounds (|E| = {num_events})")
+            }
+            ScheduleError::IntervalOutOfBounds {
+                interval,
+                num_intervals,
+            } => write!(f, "interval {interval} out of bounds (|T| = {num_intervals})"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// An event schedule `S`: a set of assignments with no two assignments
+/// referring to the same event.
+///
+/// Stored both directions — `event → interval` for `O(1)` membership and
+/// `interval → events` for per-interval iteration (`E_t(S)` in the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `slot[e] = Some(t)` iff event `e` is assigned to interval `t`.
+    slot: Vec<Option<IntervalId>>,
+    /// `at[t]` = events assigned to interval `t`, in assignment order.
+    at: Vec<Vec<EventId>>,
+    assigned: usize,
+}
+
+impl PartialEq for Schedule {
+    /// Semantic equality: two schedules are equal iff they contain the same
+    /// assignments over the same universe. The per-interval `at` vectors
+    /// record *insertion order*, which is presentation state, not identity —
+    /// the same schedule built in a different order must compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.slot == other.slot && self.at.len() == other.at.len()
+    }
+}
+
+impl Eq for Schedule {}
+
+impl Schedule {
+    /// An empty schedule over `num_events` candidate events and
+    /// `num_intervals` intervals.
+    pub fn empty(num_events: usize, num_intervals: usize) -> Self {
+        Self {
+            slot: vec![None; num_events],
+            at: vec![Vec::new(); num_intervals],
+            assigned: 0,
+        }
+    }
+
+    /// Number of candidate events in the universe (assigned or not).
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// Number of intervals in the universe.
+    #[inline]
+    pub fn num_intervals(&self) -> usize {
+        self.at.len()
+    }
+
+    /// Number of assignments `|S|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assigned
+    }
+
+    /// Whether the schedule is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assigned == 0
+    }
+
+    /// The interval event `e` is assigned to (`t_e(S)`), if any.
+    #[inline]
+    pub fn interval_of(&self, event: EventId) -> Option<IntervalId> {
+        self.slot.get(event.index()).copied().flatten()
+    }
+
+    /// Whether event `e` is scheduled (`e ∈ E(S)`).
+    #[inline]
+    pub fn contains(&self, event: EventId) -> bool {
+        self.interval_of(event).is_some()
+    }
+
+    /// Events assigned to interval `t` (`E_t(S)`), in assignment order.
+    #[inline]
+    pub fn events_at(&self, interval: IntervalId) -> &[EventId] {
+        &self.at[interval.index()]
+    }
+
+    /// Adds assignment `event → interval`.
+    pub fn assign(&mut self, event: EventId, interval: IntervalId) -> Result<(), ScheduleError> {
+        if event.index() >= self.slot.len() {
+            return Err(ScheduleError::EventOutOfBounds {
+                event,
+                num_events: self.slot.len(),
+            });
+        }
+        if interval.index() >= self.at.len() {
+            return Err(ScheduleError::IntervalOutOfBounds {
+                interval,
+                num_intervals: self.at.len(),
+            });
+        }
+        if let Some(current) = self.slot[event.index()] {
+            return Err(ScheduleError::AlreadyAssigned { event, current });
+        }
+        self.slot[event.index()] = Some(interval);
+        self.at[interval.index()].push(event);
+        self.assigned += 1;
+        Ok(())
+    }
+
+    /// Removes the assignment of `event`, returning the interval it was at.
+    pub fn unassign(&mut self, event: EventId) -> Result<IntervalId, ScheduleError> {
+        let interval = self
+            .interval_of(event)
+            .ok_or(ScheduleError::NotAssigned { event })?;
+        self.slot[event.index()] = None;
+        let list = &mut self.at[interval.index()];
+        let pos = list
+            .iter()
+            .position(|&e| e == event)
+            .expect("slot/at views must agree");
+        list.remove(pos);
+        self.assigned -= 1;
+        Ok(interval)
+    }
+
+    /// Iterates all assignments in event-id order.
+    pub fn iter(&self) -> impl Iterator<Item = Assignment> + '_ {
+        self.slot.iter().enumerate().filter_map(|(e, t)| {
+            t.map(|interval| Assignment::new(EventId::new(e as u32), interval))
+        })
+    }
+
+    /// The set of scheduled events `E(S)`, in event-id order.
+    pub fn scheduled_events(&self) -> Vec<EventId> {
+        self.iter().map(|a| a.event).collect()
+    }
+
+    /// Intervals that have at least one assignment.
+    pub fn occupied_intervals(&self) -> impl Iterator<Item = IntervalId> + '_ {
+        self.at
+            .iter()
+            .enumerate()
+            .filter(|(_, events)| !events.is_empty())
+            .map(|(t, _)| IntervalId::new(t as u32))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EventId {
+        EventId::new(i)
+    }
+    fn t(i: u32) -> IntervalId {
+        IntervalId::new(i)
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut s = Schedule::empty(3, 2);
+        assert!(s.is_empty());
+        s.assign(e(0), t(1)).unwrap();
+        s.assign(e(2), t(1)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.interval_of(e(0)), Some(t(1)));
+        assert_eq!(s.interval_of(e(1)), None);
+        assert!(s.contains(e(2)));
+        assert_eq!(s.events_at(t(1)), &[e(0), e(2)]);
+        assert_eq!(s.events_at(t(0)), &[] as &[EventId]);
+    }
+
+    #[test]
+    fn no_two_assignments_for_same_event() {
+        let mut s = Schedule::empty(2, 2);
+        s.assign(e(0), t(0)).unwrap();
+        let err = s.assign(e(0), t(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::AlreadyAssigned {
+                event: e(0),
+                current: t(0)
+            }
+        );
+    }
+
+    #[test]
+    fn unassign_restores_state() {
+        let mut s = Schedule::empty(2, 2);
+        s.assign(e(0), t(0)).unwrap();
+        s.assign(e(1), t(0)).unwrap();
+        let was_at = s.unassign(e(0)).unwrap();
+        assert_eq!(was_at, t(0));
+        assert_eq!(s.events_at(t(0)), &[e(1)]);
+        assert!(!s.contains(e(0)));
+        assert_eq!(s.len(), 1);
+        // Re-assign works after unassign.
+        s.assign(e(0), t(1)).unwrap();
+        assert_eq!(s.interval_of(e(0)), Some(t(1)));
+    }
+
+    #[test]
+    fn unassign_missing_errors() {
+        let mut s = Schedule::empty(1, 1);
+        assert_eq!(
+            s.unassign(e(0)).unwrap_err(),
+            ScheduleError::NotAssigned { event: e(0) }
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut s = Schedule::empty(1, 1);
+        assert!(matches!(
+            s.assign(e(5), t(0)).unwrap_err(),
+            ScheduleError::EventOutOfBounds { .. }
+        ));
+        assert!(matches!(
+            s.assign(e(0), t(5)).unwrap_err(),
+            ScheduleError::IntervalOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn iter_and_display() {
+        let mut s = Schedule::empty(3, 2);
+        s.assign(e(2), t(0)).unwrap();
+        s.assign(e(0), t(1)).unwrap();
+        let assignments: Vec<_> = s.iter().collect();
+        assert_eq!(
+            assignments,
+            vec![Assignment::new(e(0), t(1)), Assignment::new(e(2), t(0))]
+        );
+        assert_eq!(s.to_string(), "{α(e0→t1), α(e2→t0)}");
+        assert_eq!(s.scheduled_events(), vec![e(0), e(2)]);
+        let occupied: Vec<_> = s.occupied_intervals().collect();
+        assert_eq!(occupied, vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Schedule::empty(2, 2);
+        s.assign(e(1), t(0)).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn equality_ignores_assignment_order() {
+        let mut a = Schedule::empty(3, 2);
+        a.assign(e(0), t(0)).unwrap();
+        a.assign(e(1), t(0)).unwrap();
+        let mut b = Schedule::empty(3, 2);
+        b.assign(e(1), t(0)).unwrap();
+        b.assign(e(0), t(0)).unwrap();
+        assert_eq!(a, b, "same assignments, different insertion order");
+        b.unassign(e(0)).unwrap();
+        assert_ne!(a, b);
+        // Different universes are never equal, even both empty.
+        assert_ne!(Schedule::empty(1, 1), Schedule::empty(1, 2));
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic instance factories for tests, property tests, benches and
+//! quick experiments.
+//!
+//! Everything here is seeded and reproducible. These are *not* the paper's
+//! experimental workloads (those live in the `ses-datagen` crate, built on
+//! the EBSN substrate); they are small, structurally varied instances for
+//! exercising engine and algorithm behaviour.
+
+use crate::activity::{ConstantActivity, HashedActivity};
+use crate::ids::{CompetingEventId, EventId, IntervalId, LocationId, UserId};
+use crate::instance::SesInstance;
+use crate::interest::InterestBuilder;
+use crate::model::{uniform_grid, CandidateEvent, CompetingEvent, Organizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a random test instance.
+#[derive(Debug, Clone)]
+pub struct TestInstanceConfig {
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Number of candidate events `|E|`.
+    pub num_events: usize,
+    /// Number of intervals `|T|`.
+    pub num_intervals: usize,
+    /// Number of competing events `|C|` (spread uniformly over intervals).
+    pub num_competing: usize,
+    /// Number of distinct locations events are drawn from.
+    pub num_locations: usize,
+    /// Organizer budget θ.
+    pub theta: f64,
+    /// Required resources drawn uniformly from `[1, xi_max]`.
+    pub xi_max: f64,
+    /// Probability that a (user, event) pair has non-zero interest.
+    pub interest_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TestInstanceConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 30,
+            num_events: 12,
+            num_intervals: 6,
+            num_competing: 10,
+            num_locations: 4,
+            theta: 10.0,
+            xi_max: 3.0,
+            interest_density: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a random sparse instance from a config. Deterministic in the seed.
+pub fn random_instance(cfg: &TestInstanceConfig) -> SesInstance {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut interest = InterestBuilder::new(cfg.num_users, cfg.num_events, cfg.num_competing);
+    for u in 0..cfg.num_users {
+        for e in 0..cfg.num_events {
+            if rng.gen_bool(cfg.interest_density) {
+                interest
+                    .set(
+                        UserId::new(u as u32),
+                        EventId::new(e as u32),
+                        rng.gen_range(0.05..=1.0),
+                    )
+                    .expect("generated value in range");
+            }
+        }
+        for c in 0..cfg.num_competing {
+            if rng.gen_bool(cfg.interest_density) {
+                interest
+                    .set(
+                        UserId::new(u as u32),
+                        CompetingEventId::new(c as u32),
+                        rng.gen_range(0.05..=1.0),
+                    )
+                    .expect("generated value in range");
+            }
+        }
+    }
+    let events = (0..cfg.num_events)
+        .map(|e| {
+            CandidateEvent::new(
+                EventId::new(e as u32),
+                LocationId::new(rng.gen_range(0..cfg.num_locations.max(1)) as u32),
+                if cfg.xi_max > 1.0 {
+                    rng.gen_range(1.0..=cfg.xi_max)
+                } else {
+                    cfg.xi_max
+                },
+            )
+        })
+        .collect();
+    let competing = (0..cfg.num_competing)
+        .map(|c| {
+            CompetingEvent::new(
+                CompetingEventId::new(c as u32),
+                IntervalId::new(rng.gen_range(0..cfg.num_intervals.max(1)) as u32),
+            )
+        })
+        .collect();
+    SesInstance::builder()
+        .organizer(Organizer::new(cfg.theta))
+        .intervals(uniform_grid(cfg.num_intervals, 100))
+        .events(events)
+        .competing(competing)
+        .interest(interest.build_sparse().unwrap())
+        .activity(HashedActivity::standard(
+            cfg.num_users,
+            cfg.num_intervals,
+            cfg.seed ^ 0x5eed,
+        ))
+        .build()
+        .expect("generated instance must validate")
+}
+
+/// A medium instance: 30 users, 12 events, 6 intervals, 10 competing events.
+pub fn medium_instance(seed: u64) -> SesInstance {
+    random_instance(&TestInstanceConfig {
+        seed,
+        ..TestInstanceConfig::default()
+    })
+}
+
+/// A small instance suitable for the exact solver: 8 users, 6 events,
+/// 3 intervals, 4 competing events.
+pub fn small_instance(seed: u64) -> SesInstance {
+    random_instance(&TestInstanceConfig {
+        num_users: 8,
+        num_events: 6,
+        num_intervals: 3,
+        num_competing: 4,
+        num_locations: 3,
+        theta: 6.0,
+        xi_max: 3.0,
+        interest_density: 0.5,
+        seed,
+    })
+}
+
+/// One interval, every event at the same location: at most one event can
+/// ever be scheduled. Exercises the `complete = false` paths.
+pub fn single_slot_shared_location(num_events: usize) -> SesInstance {
+    let num_users = 5;
+    let mut interest = InterestBuilder::new(num_users, num_events, 0);
+    for u in 0..num_users {
+        for e in 0..num_events {
+            interest
+                .set(
+                    UserId::new(u as u32),
+                    EventId::new(e as u32),
+                    0.1 + 0.8 * ((u + e) % num_users) as f64 / num_users as f64,
+                )
+                .unwrap();
+        }
+    }
+    let events = (0..num_events)
+        .map(|e| CandidateEvent::new(EventId::new(e as u32), LocationId::new(0), 1.0))
+        .collect();
+    SesInstance::builder()
+        .organizer(Organizer::new(100.0))
+        .intervals(uniform_grid(1, 100))
+        .events(events)
+        .interest(interest.build_sparse().unwrap())
+        .activity(ConstantActivity::new(num_users, 1, 1.0).unwrap())
+        .build()
+        .unwrap()
+}
+
+/// A fully deterministic 2-user / 3-event / 2-interval instance with one
+/// competing event, for hand-verifiable assertions.
+///
+/// * `µ(u0,e0)=0.8, µ(u0,e1)=0.4, µ(u1,e1)=0.5, µ(u1,e2)=0.6, µ(u0,c0)=0.5`
+/// * `c0` sits at `t0`; `σ ≡ 1`; `θ = 10`; distinct locations; `ξ = 1`.
+pub fn hand_instance() -> SesInstance {
+    let mut interest = InterestBuilder::new(2, 3, 1);
+    interest.set(UserId::new(0), EventId::new(0), 0.8).unwrap();
+    interest.set(UserId::new(0), EventId::new(1), 0.4).unwrap();
+    interest.set(UserId::new(1), EventId::new(1), 0.5).unwrap();
+    interest.set(UserId::new(1), EventId::new(2), 0.6).unwrap();
+    interest
+        .set(UserId::new(0), CompetingEventId::new(0), 0.5)
+        .unwrap();
+    SesInstance::builder()
+        .organizer(Organizer::new(10.0))
+        .intervals(uniform_grid(2, 100))
+        .events(vec![
+            CandidateEvent::new(EventId::new(0), LocationId::new(0), 1.0),
+            CandidateEvent::new(EventId::new(1), LocationId::new(1), 1.0),
+            CandidateEvent::new(EventId::new(2), LocationId::new(2), 1.0),
+        ])
+        .competing(vec![CompetingEvent::new(
+            CompetingEventId::new(0),
+            IntervalId::new(0),
+        )])
+        .interest(interest.build_sparse().unwrap())
+        .activity(ConstantActivity::new(2, 2, 1.0).unwrap())
+        .build()
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instance_is_deterministic_in_seed() {
+        let a = medium_instance(9);
+        let b = medium_instance(9);
+        assert_eq!(a.num_events(), b.num_events());
+        assert_eq!(
+            a.mu(UserId::new(0), EventId::new(0)),
+            b.mu(UserId::new(0), EventId::new(0))
+        );
+        assert_eq!(
+            a.event(EventId::new(3)).location,
+            b.event(EventId::new(3)).location
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = medium_instance(1);
+        let b = medium_instance(2);
+        let differs = (0..a.num_events()).any(|e| {
+            a.event(EventId::new(e as u32)).required_resources
+                != b.event(EventId::new(e as u32)).required_resources
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn factories_validate() {
+        // Builders panic on invalid instances, so constructing is the test.
+        let _ = small_instance(0);
+        let _ = single_slot_shared_location(3);
+        let _ = hand_instance();
+    }
+}

@@ -1,0 +1,102 @@
+//! Floating-point helpers shared by the engine and the algorithms.
+//!
+//! Utility values are `f64` probabilities/expectations; the algorithms order
+//! assignments by score, so we need a total order on scores and tolerant
+//! comparison for testing invariants that are exact in real arithmetic but
+//! only approximate in floating point.
+
+use std::cmp::Ordering;
+
+/// Default relative tolerance used by [`approx_eq`] when comparing utilities.
+pub const REL_TOLERANCE: f64 = 1e-9;
+
+/// Absolute floor below which two values are considered equal regardless of
+/// relative error (guards comparisons around zero).
+pub const ABS_TOLERANCE: f64 = 1e-12;
+
+/// Total order on `f64` for score ordering.
+///
+/// NaN never occurs in a correct engine (denominators of Luce ratios are only
+/// zero when the numerator is too, and we define `0/0 := 0`), but a total
+/// order keeps sorting panic-free even when debugging a broken model.
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Tolerant equality: `|a-b| <= max(ABS_TOLERANCE, REL_TOLERANCE * max(|a|,|b|))`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, REL_TOLERANCE)
+}
+
+/// Tolerant equality with a caller-provided relative tolerance.
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, rel: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= ABS_TOLERANCE || diff <= rel * a.abs().max(b.abs())
+}
+
+/// `a >= b` up to tolerance (used for "never worse than" test assertions).
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b || approx_eq(a, b)
+}
+
+/// Luce ratio `num / den` with the paper's convention `0/0 := 0`.
+///
+/// `den` is a sum of interest values and is therefore `>= num >= 0`; it is
+/// zero only when every term (including `num`) is zero.
+#[inline]
+pub fn luce_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cmp_orders_plain_values() {
+        assert_eq!(total_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_cmp(2.0, 1.0), Ordering::Greater);
+        assert_eq!(total_cmp(1.5, 1.5), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_cmp_handles_nan_without_panicking() {
+        // NaN sorts after +inf under IEEE total order; we only need "no panic".
+        assert_eq!(total_cmp(f64::NAN, 0.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn approx_eq_accepts_tiny_relative_error() {
+        let a = 0.1 + 0.2;
+        assert!(approx_eq(a, 0.3));
+        assert!(!approx_eq(1.0, 1.0001));
+    }
+
+    #[test]
+    fn approx_eq_near_zero_uses_absolute_floor() {
+        assert!(approx_eq(0.0, 1e-13));
+        assert!(!approx_eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn approx_ge_boundary() {
+        assert!(approx_ge(1.0, 1.0));
+        assert!(approx_ge(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(1.0 - 1e-12, 1.0)); // within tolerance
+        assert!(!approx_ge(0.9, 1.0));
+    }
+
+    #[test]
+    fn luce_ratio_zero_over_zero_is_zero() {
+        assert_eq!(luce_ratio(0.0, 0.0), 0.0);
+        assert_eq!(luce_ratio(0.5, 1.0), 0.5);
+    }
+}

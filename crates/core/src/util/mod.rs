@@ -1,0 +1,7 @@
+//! Small self-contained utilities used across the crate.
+
+pub mod float;
+pub mod fxhash;
+
+pub use float::{approx_eq, approx_eq_tol, approx_ge, luce_ratio, total_cmp};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};

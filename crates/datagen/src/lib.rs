@@ -1,0 +1,24 @@
+//! # ses-datagen — experimental workloads for SES
+//!
+//! Builds the workloads of the paper's evaluation (§IV):
+//!
+//! * [`paper`] — the exact parameterization of §IV-A (`k`, `|T| = 3k/2`,
+//!   `|E| = 2k`, 25 locations, `θ = 20`, `ξ ~ U[1, 20/3]`, competing events
+//!   per interval uniform with mean 8.1, uniform σ);
+//! * [`pipeline`] — turns a `ses_ebsn` dataset into a ready-to-schedule
+//!   `ses_core::SesInstance` with Jaccard interest over tags;
+//! * [`sweep`] — the Fig. 1 sweeps (vary `k`; vary `|T|`);
+//! * [`synthetic`] — EBSN-free instance families for stress tests and
+//!   ablations (uniform, clustered, TOP-adversarial).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod paper;
+pub mod pipeline;
+pub mod sweep;
+pub mod synthetic;
+
+pub use paper::{PaperConfig, SigmaMode};
+pub use pipeline::{build_instance, BuildError, BuiltInstance};
+pub use sweep::{k_sweep, paper_sweeps, t_sweep, SweepCell};

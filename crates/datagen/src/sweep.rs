@@ -1,0 +1,89 @@
+//! Parameter sweeps for the paper's figures.
+//!
+//! * Fig. 1a/1b vary `k` with `|T| = 3k/2` (and `|E| = 2k`);
+//! * Fig. 1c/1d fix `k = 100` and vary `|T|` from `k/5` to `3k`.
+
+use crate::paper::PaperConfig;
+use serde::{Deserialize, Serialize};
+
+/// One cell of a sweep: the configuration plus axis metadata for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Axis label ("k" or "|T|").
+    pub axis: String,
+    /// Axis value for this cell.
+    pub value: f64,
+    /// The full configuration of the cell.
+    pub config: PaperConfig,
+}
+
+/// The `k` sweep of Fig. 1a/1b.
+pub fn k_sweep(values: &[usize], seed: u64) -> Vec<SweepCell> {
+    values
+        .iter()
+        .map(|&k| SweepCell {
+            axis: "k".to_owned(),
+            value: k as f64,
+            config: PaperConfig {
+                seed,
+                ..PaperConfig::with_k(k)
+            },
+        })
+        .collect()
+}
+
+/// The `|T|` sweep of Fig. 1c/1d at fixed `k`.
+pub fn t_sweep(k: usize, factors: &[f64], seed: u64) -> Vec<SweepCell> {
+    factors
+        .iter()
+        .map(|&f| SweepCell {
+            axis: "|T|".to_owned(),
+            value: (k as f64 * f).round(),
+            config: PaperConfig {
+                seed,
+                ..PaperConfig::with_k_and_t_factor(k, f)
+            },
+        })
+        .collect()
+}
+
+/// The paper's exact sweeps (default seeds).
+pub fn paper_sweeps(seed: u64) -> (Vec<SweepCell>, Vec<SweepCell>) {
+    (
+        k_sweep(PaperConfig::paper_k_values(), seed),
+        t_sweep(100, PaperConfig::paper_t_factors(), seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_sets_axis_and_config() {
+        let cells = k_sweep(&[100, 200], 7);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].axis, "k");
+        assert_eq!(cells[0].value, 100.0);
+        assert_eq!(cells[1].config.k, 200);
+        assert_eq!(cells[1].config.num_intervals(), 300);
+        assert!(cells.iter().all(|c| c.config.seed == 7));
+    }
+
+    #[test]
+    fn t_sweep_holds_k_fixed() {
+        let cells = t_sweep(100, &[0.2, 3.0], 0);
+        assert_eq!(cells[0].value, 20.0);
+        assert_eq!(cells[1].value, 300.0);
+        assert!(cells.iter().all(|c| c.config.k == 100));
+    }
+
+    #[test]
+    fn paper_sweeps_cover_both_figures() {
+        let (ks, ts) = paper_sweeps(0);
+        assert_eq!(ks.len(), 5);
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ks[0].config.k, 100);
+        assert_eq!(ts[0].config.num_intervals(), 20);
+    }
+}

@@ -1,0 +1,228 @@
+//! Self-contained synthetic instance families.
+//!
+//! These do not go through the EBSN substrate; they exist to stress
+//! particular structural regimes in tests and ablation benches:
+//!
+//! * [`uniform`] — unstructured sparse interest (the "no signal" regime);
+//! * [`clustered`] — users and events partitioned into communities with
+//!   strong in-community interest (the realistic EBSN-like regime);
+//! * [`top_trap`] — an adversarial family where the TOP baseline piles
+//!   events into one popular interval and cannibalizes itself, while GRD
+//!   spreads; used to demonstrate the paper's qualitative claim about TOP.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{
+    CandidateEvent, CompetingEvent, CompetingEventId, ConstantActivity, EventId, IntervalId,
+    LocationId, Organizer, SesInstance, UserId,
+};
+use ses_core::interest::InterestBuilder;
+use ses_core::model::uniform_grid;
+
+/// Unstructured sparse instance (delegates to `ses_core::testkit`).
+pub fn uniform(
+    num_users: usize,
+    num_events: usize,
+    num_intervals: usize,
+    seed: u64,
+) -> SesInstance {
+    random_instance(&TestInstanceConfig {
+        num_users,
+        num_events,
+        num_intervals,
+        num_competing: num_intervals * 2,
+        num_locations: 25.min(num_events.max(1)),
+        theta: 20.0,
+        xi_max: 20.0 / 3.0,
+        interest_density: 0.15,
+        seed,
+    })
+}
+
+/// Community-structured instance: `clusters` communities, users interested
+/// almost exclusively in their community's events (strongly, `µ ∈
+/// [0.5, 1.0]`) with light cross-community interest.
+pub fn clustered(
+    num_users: usize,
+    num_events: usize,
+    num_intervals: usize,
+    clusters: usize,
+    seed: u64,
+) -> SesInstance {
+    assert!(clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_competing = num_intervals;
+    let mut interest = InterestBuilder::new(num_users, num_events, num_competing);
+    for u in 0..num_users {
+        let cu = u % clusters;
+        for e in 0..num_events {
+            let ce = e % clusters;
+            let mu = if cu == ce {
+                rng.gen_range(0.5..=1.0)
+            } else if rng.gen_bool(0.05) {
+                rng.gen_range(0.01..0.2)
+            } else {
+                0.0
+            };
+            if mu > 0.0 {
+                interest
+                    .set(UserId::new(u as u32), EventId::new(e as u32), mu)
+                    .expect("in range");
+            }
+        }
+        // Mild uniform interest in competing events.
+        for c in 0..num_competing {
+            if rng.gen_bool(0.2) {
+                interest
+                    .set(
+                        UserId::new(u as u32),
+                        CompetingEventId::new(c as u32),
+                        rng.gen_range(0.05..0.5),
+                    )
+                    .expect("in range");
+            }
+        }
+    }
+    let events = (0..num_events)
+        .map(|e| {
+            CandidateEvent::new(
+                EventId::new(e as u32),
+                LocationId::new((e % 25) as u32),
+                rng.gen_range(1.0..=20.0 / 3.0),
+            )
+        })
+        .collect();
+    let competing = (0..num_competing)
+        .map(|c| {
+            CompetingEvent::new(
+                CompetingEventId::new(c as u32),
+                IntervalId::new((c % num_intervals) as u32),
+            )
+        })
+        .collect();
+    SesInstance::builder()
+        .organizer(Organizer::new(20.0))
+        .intervals(uniform_grid(num_intervals, 180))
+        .events(events)
+        .competing(competing)
+        .interest(interest.build_sparse().expect("valid"))
+        .activity(ses_core::HashedActivity::standard(
+            num_users,
+            num_intervals,
+            seed ^ 0xC1D5_72ED,
+        ))
+        .build()
+        .expect("clustered instance validates")
+}
+
+/// Adversarial family for TOP: one interval has no competing events (so
+/// every event scores highest there initially), all users share broad
+/// interest, and the resource budget allows many events per interval. TOP
+/// stacks the popular interval and cannibalizes; GRD spreads out.
+pub fn top_trap(num_users: usize, num_events: usize, num_intervals: usize, seed: u64) -> SesInstance {
+    assert!(num_intervals >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One competing event in every interval except interval 0, with high
+    // shared interest — making interval 0 the unique "free lunch".
+    let num_competing = num_intervals - 1;
+    let mut interest = InterestBuilder::new(num_users, num_events, num_competing);
+    for u in 0..num_users {
+        for e in 0..num_events {
+            interest
+                .set(
+                    UserId::new(u as u32),
+                    EventId::new(e as u32),
+                    rng.gen_range(0.4..=1.0),
+                )
+                .expect("in range");
+        }
+        for c in 0..num_competing {
+            interest
+                .set(UserId::new(u as u32), CompetingEventId::new(c as u32), 0.9)
+                .expect("in range");
+        }
+    }
+    let events = (0..num_events)
+        .map(|e| {
+            // Distinct locations and tiny ξ: the only thing stopping TOP
+            // from stacking interval 0 is… nothing.
+            CandidateEvent::new(EventId::new(e as u32), LocationId::new(e as u32), 0.1)
+        })
+        .collect();
+    let competing = (0..num_competing)
+        .map(|c| {
+            CompetingEvent::new(
+                CompetingEventId::new(c as u32),
+                IntervalId::new((c + 1) as u32),
+            )
+        })
+        .collect();
+    SesInstance::builder()
+        .organizer(Organizer::new(20.0))
+        .intervals(uniform_grid(num_intervals, 180))
+        .events(events)
+        .competing(competing)
+        .interest(interest.build_sparse().expect("valid"))
+        .activity(ConstantActivity::new(num_users, num_intervals, 1.0).expect("valid"))
+        .build()
+        .expect("top_trap instance validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::{GreedyScheduler, Scheduler, TopScheduler};
+
+    #[test]
+    fn uniform_builds_and_is_deterministic() {
+        let a = uniform(20, 10, 5, 3);
+        let b = uniform(20, 10, 5, 3);
+        assert_eq!(a.num_events(), 10);
+        assert_eq!(
+            a.mu(UserId::new(0), EventId::new(0)),
+            b.mu(UserId::new(0), EventId::new(0))
+        );
+    }
+
+    #[test]
+    fn clustered_has_community_structure() {
+        let inst = clustered(30, 12, 6, 3, 1);
+        // In-cluster interest must dominate cross-cluster on average.
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0, 0, 0.0, 0);
+        for u in 0..30u32 {
+            for e in 0..12u32 {
+                let mu = inst.mu(UserId::new(u), EventId::new(e));
+                if u % 3 == e % 3 {
+                    in_sum += mu;
+                    in_n += 1;
+                } else {
+                    out_sum += mu;
+                    out_n += 1;
+                }
+            }
+        }
+        assert!(in_sum / in_n as f64 > 3.0 * (out_sum / out_n as f64));
+    }
+
+    #[test]
+    fn top_trap_punishes_top() {
+        let inst = top_trap(25, 12, 4, 0);
+        let k = 8;
+        let grd = GreedyScheduler::new().run(&inst, k).unwrap();
+        let top = TopScheduler::new().run(&inst, k).unwrap();
+        assert!(
+            grd.total_utility > top.total_utility,
+            "GRD {} must beat TOP {} on the trap",
+            grd.total_utility,
+            top.total_utility
+        );
+        // TOP stacks the free interval far more than GRD does.
+        let top_stack = top.schedule.events_at(IntervalId::new(0)).len();
+        let grd_stack = grd.schedule.events_at(IntervalId::new(0)).len();
+        assert!(
+            top_stack >= grd_stack,
+            "TOP stacked {top_stack} < GRD {grd_stack}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests of the EBSN → SES pipeline: every paper configuration
+//! buildable from the dataset must yield a valid instance with the paper's
+//! derived shapes, on which the schedulers behave lawfully.
+
+use proptest::prelude::*;
+use ses_core::{GreedyScheduler, Scheduler};
+use ses_datagen::paper::{PaperConfig, SigmaMode};
+use ses_datagen::pipeline::build_instance;
+use ses_ebsn::{generate, EbsnDataset, GeneratorConfig};
+use std::sync::OnceLock;
+
+/// One moderately sized dataset shared by all cases (generation dominates
+/// the test cost otherwise).
+fn dataset() -> &'static EbsnDataset {
+    static DS: OnceLock<EbsnDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        generate(&GeneratorConfig {
+            num_members: 250,
+            num_events: 260,
+            ..GeneratorConfig::default()
+        })
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = PaperConfig> {
+    (
+        2usize..40,      // k  (|E| = 2k ≤ 80 ≪ 260 dataset events)
+        0.2f64..3.0,     // t_factor
+        0.0f64..12.0,    // competing mean
+        any::<u64>(),    // seed
+        prop::bool::ANY, // sigma mode
+    )
+        .prop_map(|(k, t_factor, competing_mean, seed, checkins)| PaperConfig {
+            k,
+            t_factor,
+            competing_mean,
+            seed,
+            sigma: if checkins {
+                SigmaMode::FromCheckins
+            } else {
+                SigmaMode::Uniform
+            },
+            ..PaperConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn built_instances_have_paper_shapes(cfg in config_strategy()) {
+        let built = build_instance(dataset(), &cfg).unwrap();
+        let inst = &built.instance;
+        prop_assert_eq!(inst.num_events(), cfg.num_events());
+        prop_assert_eq!(inst.num_intervals(), cfg.num_intervals());
+        prop_assert_eq!(inst.num_users(), dataset().members.len());
+        prop_assert_eq!(inst.budget(), cfg.theta);
+        // ξ within the paper's draw.
+        for e in inst.events() {
+            prop_assert!(e.required_resources >= cfg.xi_min - 1e-12);
+            prop_assert!(e.required_resources <= cfg.xi_max + 1e-12);
+            prop_assert!((e.location.raw() as usize) < cfg.num_locations);
+        }
+        // Candidate provenance is injective (sampling without replacement).
+        let mut sources = built.candidate_source.clone();
+        sources.sort_unstable();
+        sources.dedup();
+        prop_assert_eq!(sources.len(), built.candidate_source.len());
+    }
+
+    #[test]
+    fn greedy_runs_lawfully_on_every_cell(cfg in config_strategy()) {
+        let built = build_instance(dataset(), &cfg).unwrap();
+        let out = GreedyScheduler::new().run(&built.instance, cfg.k).unwrap();
+        prop_assert!(out.len() <= cfg.k);
+        prop_assert!(built.instance.check_schedule(&out.schedule).is_ok());
+        prop_assert!(out.total_utility >= 0.0);
+        // Utility can never exceed Σ_{u,t} σ(u,t) trivially; use the coarse
+        // bound |U| · |T| as an absolute sanity ceiling.
+        prop_assert!(
+            out.total_utility
+                <= (built.instance.num_users() * built.instance.num_intervals()) as f64
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed(cfg in config_strategy()) {
+        let a = build_instance(dataset(), &cfg).unwrap();
+        let b = build_instance(dataset(), &cfg).unwrap();
+        prop_assert_eq!(a.candidate_source, b.candidate_source);
+        prop_assert_eq!(a.competing_source, b.competing_source);
+        let out_a = GreedyScheduler::new().run(&a.instance, cfg.k).unwrap();
+        let out_b = GreedyScheduler::new().run(&b.instance, cfg.k).unwrap();
+        prop_assert_eq!(out_a.schedule, out_b.schedule);
+    }
+}

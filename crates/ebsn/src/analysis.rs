@@ -1,0 +1,228 @@
+//! Dataset statistics mirroring the measurements the paper extracts from the
+//! Meetup dumps (§IV-A):
+//!
+//! * the mean number of events taking place during overlapping intervals
+//!   (the paper reports 8.1 → the competing-events-per-interval draw);
+//! * the percentage of spatio-temporally conflicting event pairs (used to
+//!   pick 25 available locations);
+//! * interest (Jaccard) sparsity between members and events.
+
+use crate::dataset::EbsnDataset;
+use crate::similarity::jaccard;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Temporal-overlap statistics over the event set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapStats {
+    /// Mean number of *other* events overlapping an event in time.
+    pub mean_concurrent: f64,
+    /// Maximum number of other events overlapping any single event.
+    pub max_concurrent: usize,
+    /// Fraction of event pairs that overlap in time.
+    pub temporal_conflict_fraction: f64,
+    /// Fraction of event pairs that overlap in time *and* share a venue.
+    pub spatiotemporal_conflict_fraction: f64,
+}
+
+/// Computes overlap statistics with a sweep-line over event endpoints
+/// (`O(n log n)` for the concurrency counts, pair fractions estimated
+/// exactly from the same pass).
+pub fn overlap_stats(dataset: &EbsnDataset) -> OverlapStats {
+    let n = dataset.events.len();
+    if n == 0 {
+        return OverlapStats {
+            mean_concurrent: 0.0,
+            max_concurrent: 0,
+            temporal_conflict_fraction: 0.0,
+            spatiotemporal_conflict_fraction: 0.0,
+        };
+    }
+    // Sort by start; for each event, scan forward while starts precede its
+    // end. Event durations are bounded (≤ 240 min), so the forward window is
+    // short and this is effectively O(n log n).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| dataset.events[i].start);
+    let mut concurrent = vec![0usize; n];
+    let mut temporal_pairs = 0u64;
+    let mut spatiotemporal_pairs = 0u64;
+    for (pos, &i) in order.iter().enumerate() {
+        let ei = &dataset.events[i];
+        for &j in order[pos + 1..].iter() {
+            let ej = &dataset.events[j];
+            if ej.start >= ei.end() {
+                break;
+            }
+            concurrent[i] += 1;
+            concurrent[j] += 1;
+            temporal_pairs += 1;
+            if ei.venue == ej.venue {
+                spatiotemporal_pairs += 1;
+            }
+        }
+    }
+    let total_pairs = (n as u64 * (n as u64 - 1)) / 2;
+    OverlapStats {
+        mean_concurrent: concurrent.iter().sum::<usize>() as f64 / n as f64,
+        max_concurrent: concurrent.iter().copied().max().unwrap_or(0),
+        temporal_conflict_fraction: if total_pairs == 0 {
+            0.0
+        } else {
+            temporal_pairs as f64 / total_pairs as f64
+        },
+        spatiotemporal_conflict_fraction: if total_pairs == 0 {
+            0.0
+        } else {
+            spatiotemporal_pairs as f64 / total_pairs as f64
+        },
+    }
+}
+
+/// Interest-sparsity statistics from a uniform sample of (member, event)
+/// pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterestStats {
+    /// Fraction of sampled pairs with strictly positive Jaccard interest.
+    pub nonzero_fraction: f64,
+    /// Mean Jaccard over sampled pairs (zeros included).
+    pub mean_interest: f64,
+    /// Mean Jaccard conditional on being non-zero.
+    pub mean_nonzero_interest: f64,
+}
+
+/// Samples `samples` (member, event) pairs uniformly and reports sparsity.
+pub fn interest_stats(dataset: &EbsnDataset, samples: usize, seed: u64) -> InterestStats {
+    if dataset.members.is_empty() || dataset.events.is_empty() || samples == 0 {
+        return InterestStats {
+            nonzero_fraction: 0.0,
+            mean_interest: 0.0,
+            mean_nonzero_interest: 0.0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nonzero = 0usize;
+    let mut sum = 0.0;
+    let mut nonzero_sum = 0.0;
+    for _ in 0..samples {
+        let m = &dataset.members[rng.gen_range(0..dataset.members.len())];
+        let e = &dataset.events[rng.gen_range(0..dataset.events.len())];
+        let s = jaccard(&m.tags, &e.tags);
+        sum += s;
+        if s > 0.0 {
+            nonzero += 1;
+            nonzero_sum += s;
+        }
+    }
+    InterestStats {
+        nonzero_fraction: nonzero as f64 / samples as f64,
+        mean_interest: sum / samples as f64,
+        mean_nonzero_interest: if nonzero == 0 {
+            0.0
+        } else {
+            nonzero_sum / nonzero as f64
+        },
+    }
+}
+
+/// Histogram of group sizes (for popularity-skew reports).
+pub fn group_size_histogram(dataset: &EbsnDataset, buckets: &[usize]) -> Vec<usize> {
+    let mut hist = vec![0usize; buckets.len() + 1];
+    for g in &dataset.groups {
+        let size = g.members.len();
+        let bucket = buckets
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(buckets.len());
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{EbsnEvent, EbsnEventId, GroupId, VenueId};
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::tags::TagSet;
+
+    fn event(id: u32, start: u64, duration: u64, venue: u32) -> EbsnEvent {
+        EbsnEvent {
+            id: EbsnEventId(id),
+            group: GroupId(0),
+            venue: VenueId(venue),
+            start,
+            duration,
+            tags: TagSet::new(),
+        }
+    }
+
+    #[test]
+    fn overlap_stats_on_hand_built_events() {
+        let mut ds = generate(&GeneratorConfig {
+            num_events: 1,
+            ..GeneratorConfig::default()
+        });
+        // 3 events: A [0,100) v0, B [50,150) v0, C [200,300) v1.
+        ds.events = vec![
+            event(0, 0, 100, 0),
+            event(1, 50, 100, 0),
+            event(2, 200, 100, 1),
+        ];
+        let stats = overlap_stats(&ds);
+        // Only (A,B) overlap; they share venue 0.
+        assert_eq!(stats.max_concurrent, 1);
+        assert!((stats.mean_concurrent - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.temporal_conflict_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.spatiotemporal_conflict_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_stats_empty_dataset() {
+        let mut ds = generate(&GeneratorConfig::default());
+        ds.events.clear();
+        let stats = overlap_stats(&ds);
+        assert_eq!(stats.mean_concurrent, 0.0);
+        assert_eq!(stats.max_concurrent, 0);
+    }
+
+    #[test]
+    fn generated_dataset_has_meaningful_overlap() {
+        // Event density drives overlap: at paper-like density (16K events
+        // over 52 weeks ≈ 44/day) the calibration target is ~8 concurrent;
+        // here 600 events over 4 weeks ≈ 21/day should yield a clearly
+        // positive overlap.
+        let ds = generate(&GeneratorConfig {
+            num_events: 600,
+            horizon_weeks: 4,
+            ..GeneratorConfig::default()
+        });
+        let stats = overlap_stats(&ds);
+        assert!(
+            stats.mean_concurrent > 1.0,
+            "600 events over 4 weeks must collide: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn interest_stats_are_sane() {
+        let ds = generate(&GeneratorConfig::default());
+        let stats = interest_stats(&ds, 5_000, 7);
+        assert!(stats.nonzero_fraction > 0.0 && stats.nonzero_fraction < 1.0);
+        assert!(stats.mean_interest <= stats.mean_nonzero_interest);
+        assert!(stats.mean_nonzero_interest <= 1.0);
+    }
+
+    #[test]
+    fn interest_stats_deterministic_in_seed() {
+        let ds = generate(&GeneratorConfig::default());
+        assert_eq!(interest_stats(&ds, 1000, 3), interest_stats(&ds, 1000, 3));
+    }
+
+    #[test]
+    fn group_size_histogram_buckets() {
+        let ds = generate(&GeneratorConfig::default());
+        let hist = group_size_histogram(&ds, &[5, 20, 50]);
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist.iter().sum::<usize>(), ds.groups.len());
+    }
+}

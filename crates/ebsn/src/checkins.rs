@@ -1,0 +1,103 @@
+//! Weekly time slots for check-in analysis.
+//!
+//! The paper estimates the social-activity probability `σ(u,t)` "by
+//! examining the user's past behavior (e.g. number of check-ins)". Behaviour
+//! is strongly periodic by weekday and daypart ("on Tuesdays she works until
+//! late"), so we bucket time into 21 recurring slots — 7 days × 3 dayparts —
+//! and estimate per-slot propensities (see [`crate::activity`]).
+
+/// Ticks are minutes throughout the EBSN substrate.
+pub const TICKS_PER_HOUR: u64 = 60;
+/// Minutes per day.
+pub const TICKS_PER_DAY: u64 = 24 * TICKS_PER_HOUR;
+/// Minutes per week.
+pub const TICKS_PER_WEEK: u64 = 7 * TICKS_PER_DAY;
+/// Number of dayparts per day.
+pub const DAYPARTS: usize = 3;
+/// Number of weekly slots (7 days × 3 dayparts).
+pub const SLOTS_PER_WEEK: usize = 7 * DAYPARTS;
+
+/// Daypart of a within-day minute: 0 = morning (00:00–12:00),
+/// 1 = afternoon (12:00–18:00), 2 = evening (18:00–24:00).
+#[inline]
+pub fn daypart_of_minute(minute_of_day: u64) -> usize {
+    match minute_of_day {
+        m if m < 12 * TICKS_PER_HOUR => 0,
+        m if m < 18 * TICKS_PER_HOUR => 1,
+        _ => 2,
+    }
+}
+
+/// Weekly slot (0..21) of an absolute tick.
+#[inline]
+pub fn slot_of_tick(tick: u64) -> usize {
+    let day = (tick / TICKS_PER_DAY) % 7;
+    let minute_of_day = tick % TICKS_PER_DAY;
+    day as usize * DAYPARTS + daypart_of_minute(minute_of_day)
+}
+
+/// Human-readable slot label, e.g. `"Fri evening"`.
+pub fn slot_label(slot: usize) -> String {
+    const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    const PARTS: [&str; 3] = ["morning", "afternoon", "evening"];
+    format!("{} {}", DAYS[(slot / DAYPARTS) % 7], PARTS[slot % DAYPARTS])
+}
+
+/// Number of complete weeks in a horizon (at least 1 to avoid division by
+/// zero on short horizons).
+#[inline]
+pub fn weeks_in_horizon(horizon_ticks: u64) -> u64 {
+    (horizon_ticks / TICKS_PER_WEEK).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dayparts_partition_the_day() {
+        assert_eq!(daypart_of_minute(0), 0);
+        assert_eq!(daypart_of_minute(11 * 60 + 59), 0);
+        assert_eq!(daypart_of_minute(12 * 60), 1);
+        assert_eq!(daypart_of_minute(17 * 60 + 59), 1);
+        assert_eq!(daypart_of_minute(18 * 60), 2);
+        assert_eq!(daypart_of_minute(23 * 60 + 59), 2);
+    }
+
+    #[test]
+    fn slots_cycle_weekly() {
+        let monday_evening = 19 * TICKS_PER_HOUR; // day 0, evening
+        assert_eq!(slot_of_tick(monday_evening), 2);
+        assert_eq!(
+            slot_of_tick(monday_evening + TICKS_PER_WEEK),
+            slot_of_tick(monday_evening)
+        );
+        let tuesday_morning = TICKS_PER_DAY + 9 * TICKS_PER_HOUR;
+        assert_eq!(slot_of_tick(tuesday_morning), 3);
+    }
+
+    #[test]
+    fn all_slots_reachable_and_bounded() {
+        let mut seen = [false; SLOTS_PER_WEEK];
+        for tick in (0..TICKS_PER_WEEK).step_by(60) {
+            let s = slot_of_tick(tick);
+            assert!(s < SLOTS_PER_WEEK);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every weekly slot must occur");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(slot_label(0), "Mon morning");
+        assert_eq!(slot_label(2), "Mon evening");
+        assert_eq!(slot_label(20), "Sun evening");
+    }
+
+    #[test]
+    fn weeks_in_horizon_floors_with_minimum_one() {
+        assert_eq!(weeks_in_horizon(0), 1);
+        assert_eq!(weeks_in_horizon(TICKS_PER_WEEK - 1), 1);
+        assert_eq!(weeks_in_horizon(3 * TICKS_PER_WEEK + 5), 3);
+    }
+}

@@ -1,0 +1,384 @@
+//! CSV interchange for EBSN datasets.
+//!
+//! Real Meetup exports arrive as flat tables; this module writes and reads a
+//! dataset as a directory of CSV files so external data can be adapted
+//! without touching JSON:
+//!
+//! ```text
+//! <dir>/vocabulary.csv   id,name
+//! <dir>/members.csv      id,activity_level,tags,groups     (`;`-separated lists)
+//! <dir>/groups.csv       id,tags,members
+//! <dir>/venues.csv       id,x,y
+//! <dir>/events.csv       id,group,venue,start,duration,tags
+//! <dir>/rsvps.csv        member,event,attended
+//! <dir>/meta.csv         key,value                          (horizon_ticks)
+//! ```
+//!
+//! The writer quotes fields containing commas/quotes/newlines (RFC-4180
+//! style); the reader understands the same quoting. No external CSV crate
+//! is in the offline dependency set, and the dialect here is deliberately
+//! small.
+
+use crate::dataset::{DatasetError, EbsnDataset};
+use crate::entities::{
+    EbsnEvent, EbsnEventId, Group, GroupId, Member, MemberId, Rsvp, Venue, VenueId,
+};
+use crate::tags::{Tag, TagSet, TagVocabulary};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn io_err(e: impl std::fmt::Display) -> DatasetError {
+    DatasetError::Io(e.to_string())
+}
+
+/// Quotes a field if needed (RFC-4180).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits one CSV line into fields, honouring quotes.
+fn split_line(line: &str) -> Result<Vec<String>, DatasetError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) if field.is_empty() => in_quotes = true,
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => {
+                fields.push(std::mem::take(&mut field));
+            }
+            (c, _) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(io_err(format!("unterminated quote in CSV line: {line}")));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn tags_field(tags: &TagSet) -> String {
+    let mut s = String::new();
+    for (i, t) in tags.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let _ = write!(s, "{}", t.raw());
+    }
+    s
+}
+
+fn parse_tags(field: &str) -> Result<TagSet, DatasetError> {
+    if field.is_empty() {
+        return Ok(TagSet::new());
+    }
+    field
+        .split(';')
+        .map(|t| t.parse::<u32>().map(Tag).map_err(io_err))
+        .collect::<Result<TagSet, _>>()
+}
+
+fn parse_ids<T, F: Fn(u32) -> T>(field: &str, wrap: F) -> Result<Vec<T>, DatasetError> {
+    if field.is_empty() {
+        return Ok(Vec::new());
+    }
+    field
+        .split(';')
+        .map(|t| t.parse::<u32>().map(&wrap).map_err(io_err))
+        .collect()
+}
+
+fn write_file(dir: &Path, name: &str, content: &str) -> Result<(), DatasetError> {
+    std::fs::write(dir.join(name), content).map_err(io_err)
+}
+
+fn read_rows(dir: &Path, name: &str, columns: usize) -> Result<Vec<Vec<String>>, DatasetError> {
+    let text = std::fs::read_to_string(dir.join(name)).map_err(io_err)?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue; // header / trailing newline
+        }
+        let fields = split_line(line)?;
+        if fields.len() != columns {
+            return Err(io_err(format!(
+                "{name}:{}: expected {columns} fields, got {}",
+                i + 1,
+                fields.len()
+            )));
+        }
+        rows.push(fields);
+    }
+    Ok(rows)
+}
+
+/// Writes the dataset as CSV files under `dir` (created if missing).
+pub fn export_csv(dataset: &EbsnDataset, dir: impl AsRef<Path>) -> Result<(), DatasetError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+
+    let mut vocab = String::from("id,name\n");
+    for i in 0..dataset.vocabulary.len() {
+        let name = dataset.vocabulary.name(Tag(i as u32)).unwrap_or("");
+        let _ = writeln!(vocab, "{i},{}", quote(name));
+    }
+    write_file(dir, "vocabulary.csv", &vocab)?;
+
+    let mut members = String::from("id,activity_level,tags,groups\n");
+    for m in &dataset.members {
+        let groups = m
+            .groups
+            .iter()
+            .map(|g| g.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            members,
+            "{},{},{},{}",
+            m.id.raw(),
+            m.activity_level,
+            tags_field(&m.tags),
+            groups
+        );
+    }
+    write_file(dir, "members.csv", &members)?;
+
+    let mut groups = String::from("id,tags,members\n");
+    for g in &dataset.groups {
+        let roster = g
+            .members
+            .iter()
+            .map(|m| m.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(groups, "{},{},{}", g.id.raw(), tags_field(&g.tags), roster);
+    }
+    write_file(dir, "groups.csv", &groups)?;
+
+    let mut venues = String::from("id,x,y\n");
+    for v in &dataset.venues {
+        let _ = writeln!(venues, "{},{},{}", v.id.raw(), v.x, v.y);
+    }
+    write_file(dir, "venues.csv", &venues)?;
+
+    let mut events = String::from("id,group,venue,start,duration,tags\n");
+    for e in &dataset.events {
+        let _ = writeln!(
+            events,
+            "{},{},{},{},{},{}",
+            e.id.raw(),
+            e.group.raw(),
+            e.venue.raw(),
+            e.start,
+            e.duration,
+            tags_field(&e.tags)
+        );
+    }
+    write_file(dir, "events.csv", &events)?;
+
+    let mut rsvps = String::from("member,event,attended\n");
+    for r in &dataset.rsvps {
+        let _ = writeln!(
+            rsvps,
+            "{},{},{}",
+            r.member.raw(),
+            r.event.raw(),
+            r.attended
+        );
+    }
+    write_file(dir, "rsvps.csv", &rsvps)?;
+
+    write_file(
+        dir,
+        "meta.csv",
+        &format!("key,value\nhorizon_ticks,{}\n", dataset.horizon_ticks),
+    )
+}
+
+/// Reads a dataset from CSV files under `dir` and validates it.
+pub fn import_csv(dir: impl AsRef<Path>) -> Result<EbsnDataset, DatasetError> {
+    let dir = dir.as_ref();
+
+    let mut vocabulary = TagVocabulary::new();
+    for row in read_rows(dir, "vocabulary.csv", 2)? {
+        vocabulary.intern(&row[1]);
+    }
+
+    let members = read_rows(dir, "members.csv", 4)?
+        .into_iter()
+        .map(|row| {
+            Ok(Member {
+                id: MemberId(row[0].parse().map_err(io_err)?),
+                activity_level: row[1].parse().map_err(io_err)?,
+                tags: parse_tags(&row[2])?,
+                groups: parse_ids(&row[3], GroupId)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DatasetError>>()?;
+
+    let groups = read_rows(dir, "groups.csv", 3)?
+        .into_iter()
+        .map(|row| {
+            Ok(Group {
+                id: GroupId(row[0].parse().map_err(io_err)?),
+                tags: parse_tags(&row[1])?,
+                members: parse_ids(&row[2], MemberId)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DatasetError>>()?;
+
+    let venues = read_rows(dir, "venues.csv", 3)?
+        .into_iter()
+        .map(|row| {
+            Ok(Venue {
+                id: VenueId(row[0].parse().map_err(io_err)?),
+                x: row[1].parse().map_err(io_err)?,
+                y: row[2].parse().map_err(io_err)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DatasetError>>()?;
+
+    let events = read_rows(dir, "events.csv", 6)?
+        .into_iter()
+        .map(|row| {
+            Ok(EbsnEvent {
+                id: EbsnEventId(row[0].parse().map_err(io_err)?),
+                group: GroupId(row[1].parse().map_err(io_err)?),
+                venue: VenueId(row[2].parse().map_err(io_err)?),
+                start: row[3].parse().map_err(io_err)?,
+                duration: row[4].parse().map_err(io_err)?,
+                tags: parse_tags(&row[5])?,
+            })
+        })
+        .collect::<Result<Vec<_>, DatasetError>>()?;
+
+    let rsvps = read_rows(dir, "rsvps.csv", 3)?
+        .into_iter()
+        .map(|row| {
+            Ok(Rsvp {
+                member: MemberId(row[0].parse().map_err(io_err)?),
+                event: EbsnEventId(row[1].parse().map_err(io_err)?),
+                attended: row[2].parse().map_err(io_err)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DatasetError>>()?;
+
+    let mut horizon_ticks = 0u64;
+    for row in read_rows(dir, "meta.csv", 2)? {
+        if row[0] == "horizon_ticks" {
+            horizon_ticks = row[1].parse().map_err(io_err)?;
+        }
+    }
+
+    let dataset = EbsnDataset {
+        vocabulary,
+        members,
+        groups,
+        venues,
+        events,
+        rsvps,
+        horizon_ticks,
+    };
+    dataset.validate()?;
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn quote_and_split_are_inverse() {
+        for field in ["plain", "with,comma", "with\"quote", "with\nnewline", ""] {
+            let line = format!("{},tail", quote(field));
+            let parsed = split_line(&line).unwrap();
+            assert_eq!(parsed, vec![field.to_owned(), "tail".to_owned()]);
+        }
+    }
+
+    #[test]
+    fn split_rejects_unterminated_quote() {
+        assert!(split_line("\"broken").is_err());
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        let tags = TagSet::from_tags(&[Tag(3), Tag(1), Tag(7)]);
+        let parsed = parse_tags(&tags_field(&tags)).unwrap();
+        assert_eq!(parsed, tags);
+        assert_eq!(parse_tags("").unwrap(), TagSet::new());
+        assert!(parse_tags("1;x;3").is_err());
+    }
+
+    #[test]
+    fn full_dataset_roundtrip() {
+        let ds = generate(&GeneratorConfig {
+            num_members: 50,
+            num_groups: 8,
+            num_venues: 5,
+            num_events: 30,
+            ..GeneratorConfig::default()
+        });
+        let dir = std::env::temp_dir().join("ses_csv_roundtrip");
+        export_csv(&ds, &dir).unwrap();
+        let back = import_csv(&dir).unwrap();
+        assert_eq!(back.members, ds.members);
+        assert_eq!(back.groups, ds.groups);
+        assert_eq!(back.venues.len(), ds.venues.len());
+        assert_eq!(back.events, ds.events);
+        assert_eq!(back.rsvps, ds.rsvps);
+        assert_eq!(back.horizon_ticks, ds.horizon_ticks);
+        assert_eq!(back.vocabulary.len(), ds.vocabulary.len());
+        assert_eq!(back.vocabulary.get("hiking"), ds.vocabulary.get("hiking"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_validates_integrity() {
+        let ds = generate(&GeneratorConfig {
+            num_members: 10,
+            num_groups: 3,
+            num_venues: 2,
+            num_events: 5,
+            ..GeneratorConfig::default()
+        });
+        let dir = std::env::temp_dir().join("ses_csv_invalid");
+        export_csv(&ds, &dir).unwrap();
+        // Corrupt events.csv: point the first event's group at id 999.
+        let path = dir.join("events.csv");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let mut fields = split_line(lines[1]).unwrap();
+        fields[1] = "999".to_owned();
+        let rebuilt = fields.join(",");
+        lines[1] = &rebuilt;
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = import_csv(&dir).unwrap_err();
+        assert!(matches!(err, DatasetError::DanglingReference { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_rejects_wrong_column_count() {
+        let dir = std::env::temp_dir().join("ses_csv_columns");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("vocabulary.csv"), "id,name\n0\n").unwrap();
+        let err = import_csv(&dir).unwrap_err();
+        assert!(matches!(err, DatasetError::Io(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,335 @@
+//! The assembled EBSN dataset: container, integrity validation, and JSON
+//! persistence.
+
+use crate::entities::{EbsnEvent, Group, Member, Rsvp, Venue};
+use crate::tags::TagVocabulary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// A complete event-based social network snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EbsnDataset {
+    /// The topic vocabulary.
+    pub vocabulary: TagVocabulary,
+    /// Members (dense ids: `members[i].id == i`).
+    pub members: Vec<Member>,
+    /// Groups (dense ids).
+    pub groups: Vec<Group>,
+    /// Venues (dense ids).
+    pub venues: Vec<Venue>,
+    /// Events (dense ids).
+    pub events: Vec<EbsnEvent>,
+    /// RSVP / check-in history.
+    pub rsvps: Vec<Rsvp>,
+    /// Horizon length in ticks (minutes); all event times fall within it.
+    pub horizon_ticks: u64,
+}
+
+/// Integrity violations detected by [`EbsnDataset::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// `collection[i].id != i`.
+    NonDenseIds {
+        /// Which collection.
+        what: &'static str,
+        /// Offending position.
+        position: usize,
+    },
+    /// A reference points outside its target collection.
+    DanglingReference {
+        /// Which reference kind (e.g. "member.group").
+        what: &'static str,
+        /// The raw referenced id.
+        id: u32,
+    },
+    /// An event lies (partly) outside the horizon.
+    EventOutsideHorizon {
+        /// The raw offending event id.
+        event: u32,
+    },
+    /// An activity level or probability is outside `[0,1]`.
+    ValueOutOfRange {
+        /// Description of the offending field.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// I/O or serialization failure (message only, to keep the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::NonDenseIds { what, position } => {
+                write!(f, "{what}[{position}] has non-dense id")
+            }
+            DatasetError::DanglingReference { what, id } => {
+                write!(f, "dangling {what} reference to {id}")
+            }
+            DatasetError::EventOutsideHorizon { event } => {
+                write!(f, "event ev{event} lies outside the dataset horizon")
+            }
+            DatasetError::ValueOutOfRange { what, value } => {
+                write!(f, "{what} = {value} outside [0,1]")
+            }
+            DatasetError::Io(msg) => write!(f, "dataset I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl EbsnDataset {
+    /// Checks referential integrity, dense ids, horizon containment and
+    /// value ranges.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        for (i, m) in self.members.iter().enumerate() {
+            if m.id.index() != i {
+                return Err(DatasetError::NonDenseIds {
+                    what: "members",
+                    position: i,
+                });
+            }
+            if !(0.0..=1.0).contains(&m.activity_level) {
+                return Err(DatasetError::ValueOutOfRange {
+                    what: "member.activity_level",
+                    value: m.activity_level,
+                });
+            }
+            for g in &m.groups {
+                if g.index() >= self.groups.len() {
+                    return Err(DatasetError::DanglingReference {
+                        what: "member.group",
+                        id: g.raw(),
+                    });
+                }
+            }
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.id.index() != i {
+                return Err(DatasetError::NonDenseIds {
+                    what: "groups",
+                    position: i,
+                });
+            }
+            for m in &g.members {
+                if m.index() >= self.members.len() {
+                    return Err(DatasetError::DanglingReference {
+                        what: "group.member",
+                        id: m.raw(),
+                    });
+                }
+            }
+        }
+        for (i, v) in self.venues.iter().enumerate() {
+            if v.id.index() != i {
+                return Err(DatasetError::NonDenseIds {
+                    what: "venues",
+                    position: i,
+                });
+            }
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if e.id.index() != i {
+                return Err(DatasetError::NonDenseIds {
+                    what: "events",
+                    position: i,
+                });
+            }
+            if e.group.index() >= self.groups.len() {
+                return Err(DatasetError::DanglingReference {
+                    what: "event.group",
+                    id: e.group.raw(),
+                });
+            }
+            if e.venue.index() >= self.venues.len() {
+                return Err(DatasetError::DanglingReference {
+                    what: "event.venue",
+                    id: e.venue.raw(),
+                });
+            }
+            if e.end() > self.horizon_ticks {
+                return Err(DatasetError::EventOutsideHorizon { event: e.id.raw() });
+            }
+        }
+        for r in &self.rsvps {
+            if r.member.index() >= self.members.len() {
+                return Err(DatasetError::DanglingReference {
+                    what: "rsvp.member",
+                    id: r.member.raw(),
+                });
+            }
+            if r.event.index() >= self.events.len() {
+                return Err(DatasetError::DanglingReference {
+                    what: "rsvp.event",
+                    id: r.event.raw(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON at `path`.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), DatasetError> {
+        let file = File::create(path).map_err(|e| DatasetError::Io(e.to_string()))?;
+        let writer = BufWriter::new(file);
+        serde_json::to_writer(writer, self).map_err(|e| DatasetError::Io(e.to_string()))
+    }
+
+    /// Loads from JSON at `path`, rebuilds the vocabulary index, validates.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, DatasetError> {
+        let file = File::open(path).map_err(|e| DatasetError::Io(e.to_string()))?;
+        let reader = BufReader::new(file);
+        let mut ds: EbsnDataset =
+            serde_json::from_reader(reader).map_err(|e| DatasetError::Io(e.to_string()))?;
+        ds.vocabulary.rebuild_index();
+        ds.validate()?;
+        Ok(ds)
+    }
+
+    /// One-line shape summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} members, {} groups, {} venues, {} events, {} rsvps, horizon {} ticks",
+            self.members.len(),
+            self.groups.len(),
+            self.venues.len(),
+            self.events.len(),
+            self.rsvps.len(),
+            self.horizon_ticks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{EbsnEventId, GroupId, MemberId, VenueId};
+    use crate::tags::TagSet;
+
+    fn tiny() -> EbsnDataset {
+        EbsnDataset {
+            vocabulary: TagVocabulary::builtin(),
+            members: vec![Member {
+                id: MemberId(0),
+                tags: TagSet::new(),
+                groups: vec![GroupId(0)],
+                activity_level: 0.5,
+            }],
+            groups: vec![Group {
+                id: GroupId(0),
+                tags: TagSet::new(),
+                members: vec![MemberId(0)],
+            }],
+            venues: vec![Venue {
+                id: VenueId(0),
+                x: 0.0,
+                y: 0.0,
+            }],
+            events: vec![EbsnEvent {
+                id: EbsnEventId(0),
+                group: GroupId(0),
+                venue: VenueId(0),
+                start: 0,
+                duration: 60,
+                tags: TagSet::new(),
+            }],
+            rsvps: vec![Rsvp {
+                member: MemberId(0),
+                event: EbsnEventId(0),
+                attended: true,
+            }],
+            horizon_ticks: 1000,
+        }
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn detects_dangling_group_reference() {
+        let mut ds = tiny();
+        ds.members[0].groups.push(GroupId(9));
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            DatasetError::DanglingReference { what: "member.group", .. }
+        ));
+    }
+
+    #[test]
+    fn detects_event_outside_horizon() {
+        let mut ds = tiny();
+        ds.events[0].start = 990;
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            DatasetError::EventOutsideHorizon { event: 0 }
+        ));
+    }
+
+    #[test]
+    fn detects_bad_activity_level() {
+        let mut ds = tiny();
+        ds.members[0].activity_level = 1.5;
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            DatasetError::ValueOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_non_dense_ids() {
+        let mut ds = tiny();
+        ds.events[0].id = EbsnEventId(5);
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            DatasetError::NonDenseIds { what: "events", .. }
+        ));
+    }
+
+    #[test]
+    fn detects_dangling_rsvp() {
+        let mut ds = tiny();
+        ds.rsvps.push(Rsvp {
+            member: MemberId(4),
+            event: EbsnEventId(0),
+            attended: false,
+        });
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            DatasetError::DanglingReference { what: "rsvp.member", .. }
+        ));
+    }
+
+    #[test]
+    fn json_roundtrip_via_files() {
+        let ds = tiny();
+        let dir = std::env::temp_dir().join("ses_ebsn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        ds.save_json(&path).unwrap();
+        let back = EbsnDataset::load_json(&path).unwrap();
+        assert_eq!(back.members, ds.members);
+        assert_eq!(back.events, ds.events);
+        assert_eq!(back.vocabulary.get("hiking"), ds.vocabulary.get("hiking"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        let err = EbsnDataset::load_json("/no/such/file.json").unwrap_err();
+        assert!(matches!(err, DatasetError::Io(_)));
+    }
+
+    #[test]
+    fn summary_mentions_shape() {
+        let s = tiny().summary();
+        assert!(s.contains("1 members"));
+        assert!(s.contains("1 events"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Synthetic Meetup-like dataset generator.
+//!
+//! The paper evaluates on the Meetup-California dump of Pham et al.\[9\]
+//! (42,444 users, ~16K events after preprocessing), which is not
+//! redistributable here. This generator produces a structurally equivalent
+//! network:
+//!
+//! * topic popularity is Zipf-skewed (a few huge topics, a long tail);
+//! * group memberships follow preferential attachment (Zipf over groups);
+//! * users inherit tags from the groups they join, plus personal picks —
+//!   so user–event Jaccard interest is sparse with a heavy tail, like the
+//!   real dump;
+//! * events are organized by groups (tags inherited), concentrated in the
+//!   evenings, spread over a configurable horizon;
+//! * RSVPs are driven by latent per-user activity × tag similarity, giving
+//!   check-in histories from which `σ(u,t)` can be estimated.
+//!
+//! Calibration targets (checked in `analysis.rs` tests): the mean number of
+//! temporally overlapping events matches the ~8.1 statistic the paper
+//! extracts from the Meetup data.
+
+use crate::checkins::{TICKS_PER_DAY, TICKS_PER_HOUR, TICKS_PER_WEEK};
+use crate::dataset::EbsnDataset;
+use crate::entities::{EbsnEvent, EbsnEventId, Group, GroupId, Member, MemberId, Rsvp, Venue, VenueId};
+use crate::similarity::jaccard;
+use crate::tags::{Tag, TagSet, TagVocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Beta, Distribution, Poisson, Zipf};
+
+/// Knobs of the synthetic network.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of members.
+    pub num_members: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Number of venues.
+    pub num_venues: usize,
+    /// Number of events.
+    pub num_events: usize,
+    /// Horizon length in weeks.
+    pub horizon_weeks: u64,
+    /// Inclusive range of tags per group.
+    pub tags_per_group: (usize, usize),
+    /// Inclusive range of extra personal tags per member.
+    pub personal_tags: (usize, usize),
+    /// Mean number of groups a member joins.
+    pub mean_groups_per_member: f64,
+    /// Zipf exponent for topic popularity (higher = more skew).
+    pub topic_exponent: f64,
+    /// Zipf exponent for group popularity.
+    pub group_exponent: f64,
+    /// Global scale on RSVP probability.
+    pub rsvp_rate: f64,
+    /// RNG seed — everything is deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    /// A small, fast configuration for tests and examples.
+    fn default() -> Self {
+        Self {
+            num_members: 300,
+            num_groups: 40,
+            num_venues: 25,
+            num_events: 200,
+            horizon_weeks: 8,
+            tags_per_group: (2, 5),
+            personal_tags: (1, 2),
+            mean_groups_per_member: 3.0,
+            topic_exponent: 0.7,
+            group_exponent: 1.05,
+            rsvp_rate: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Paper-scale preset mirroring the Meetup-California dump: 42,444 users
+    /// and 16K events over a year.
+    pub fn meetup_california() -> Self {
+        Self {
+            num_members: 42_444,
+            num_groups: 2_000,
+            num_venues: 600,
+            num_events: 16_000,
+            horizon_weeks: 52,
+            ..Self::default()
+        }
+    }
+
+    /// A scaled-down copy keeping the structural ratios of
+    /// [`Self::meetup_california`] but with `num_members` users. Used by the
+    /// figure harness to keep sweep runtimes laptop-friendly (documented in
+    /// EXPERIMENTS.md; GRD cost is linear in `|U|`).
+    pub fn meetup_california_scaled(num_members: usize) -> Self {
+        let full = Self::meetup_california();
+        let ratio = num_members as f64 / full.num_members as f64;
+        Self {
+            num_members,
+            num_groups: ((full.num_groups as f64 * ratio).ceil() as usize).max(20),
+            num_venues: ((full.num_venues as f64 * ratio).ceil() as usize).max(10),
+            num_events: ((full.num_events as f64 * ratio).ceil() as usize).max(100),
+            ..full
+        }
+    }
+}
+
+struct Gen<'a> {
+    cfg: &'a GeneratorConfig,
+    rng: StdRng,
+    vocabulary: TagVocabulary,
+}
+
+impl Gen<'_> {
+    fn sample_tags(&mut self, count: usize) -> TagSet {
+        let vocab_len = self.vocabulary.len() as u64;
+        let zipf = Zipf::new(vocab_len, self.cfg.topic_exponent).expect("valid Zipf");
+        let mut set = TagSet::new();
+        let mut guard = 0;
+        while set.len() < count && guard < count * 20 {
+            let idx = zipf.sample(&mut self.rng) as u64 - 1;
+            set.insert(Tag(idx as u32));
+            guard += 1;
+        }
+        set
+    }
+
+    fn groups(&mut self) -> Vec<Group> {
+        let (lo, hi) = self.cfg.tags_per_group;
+        (0..self.cfg.num_groups)
+            .map(|g| {
+                let count = self.rng.gen_range(lo..=hi);
+                Group {
+                    id: GroupId(g as u32),
+                    tags: self.sample_tags(count),
+                    members: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn members(&mut self, groups: &mut [Group]) -> Vec<Member> {
+        let group_zipf = Zipf::new(groups.len() as u64, self.cfg.group_exponent)
+            .expect("valid Zipf");
+        let poisson = Poisson::new((self.cfg.mean_groups_per_member - 1.0).max(0.1))
+            .expect("valid Poisson");
+        let beta = Beta::new(2.0, 5.0).expect("valid Beta");
+        let (plo, phi) = self.cfg.personal_tags;
+        (0..self.cfg.num_members)
+            .map(|m| {
+                let id = MemberId(m as u32);
+                let count = (1.0 + poisson.sample(&mut self.rng))
+                    .min(groups.len() as f64) as usize;
+                let mut joined: Vec<GroupId> = Vec::with_capacity(count);
+                let mut guard = 0;
+                while joined.len() < count && guard < count * 20 {
+                    let g = GroupId(group_zipf.sample(&mut self.rng) as u32 - 1);
+                    if !joined.contains(&g) {
+                        joined.push(g);
+                    }
+                    guard += 1;
+                }
+                joined.sort_unstable();
+                // Tags: a 40% subsample of each joined group's tags, plus a
+                // few personal picks. Keeping profiles small keeps Jaccard
+                // interest sparse, matching the real Meetup dump.
+                let mut tags = TagSet::new();
+                for g in &joined {
+                    for tag in groups[g.index()].tags.iter() {
+                        if self.rng.gen_bool(0.4) {
+                            tags.insert(tag);
+                        }
+                    }
+                    groups[g.index()].members.push(id);
+                }
+                let personal = self.rng.gen_range(plo..=phi);
+                for tag in self.sample_tags(personal).iter() {
+                    tags.insert(tag);
+                }
+                Member {
+                    id,
+                    tags,
+                    groups: joined,
+                    activity_level: beta.sample(&mut self.rng),
+                }
+            })
+            .collect()
+    }
+
+    fn venues(&mut self) -> Vec<Venue> {
+        (0..self.cfg.num_venues)
+            .map(|v| Venue {
+                id: VenueId(v as u32),
+                x: self.rng.gen_range(0.0..100.0),
+                y: self.rng.gen_range(0.0..100.0),
+            })
+            .collect()
+    }
+
+    fn events(&mut self, groups: &[Group]) -> Vec<EbsnEvent> {
+        let group_zipf = Zipf::new(groups.len() as u64, self.cfg.group_exponent)
+            .expect("valid Zipf");
+        let horizon = self.cfg.horizon_weeks * TICKS_PER_WEEK;
+        (0..self.cfg.num_events)
+            .map(|e| {
+                let group = GroupId(group_zipf.sample(&mut self.rng) as u32 - 1);
+                let venue = VenueId(self.rng.gen_range(0..self.cfg.num_venues) as u32);
+                let week = self.rng.gen_range(0..self.cfg.horizon_weeks);
+                let day = self.rng.gen_range(0..7u64);
+                // Events skew to evenings: 50% evening, 30% afternoon, 20%
+                // morning; minute jitter spreads starts within the hour.
+                let r: f64 = self.rng.gen();
+                let start_hour = if r < 0.50 {
+                    self.rng.gen_range(17..23)
+                } else if r < 0.80 {
+                    self.rng.gen_range(12..17)
+                } else {
+                    self.rng.gen_range(7..12)
+                };
+                let minute = self.rng.gen_range(0..60u64);
+                let duration = self.rng.gen_range(60..=120u64);
+                let start = (week * TICKS_PER_WEEK + day * TICKS_PER_DAY
+                    + start_hour * TICKS_PER_HOUR
+                    + minute)
+                    .min(horizon.saturating_sub(duration));
+                EbsnEvent {
+                    id: EbsnEventId(e as u32),
+                    group,
+                    venue,
+                    start,
+                    duration,
+                    tags: groups[group.index()].tags.clone(),
+                }
+            })
+            .collect()
+    }
+
+    fn rsvps(&mut self, members: &[Member], groups: &[Group], events: &[EbsnEvent]) -> Vec<Rsvp> {
+        let mut rsvps = Vec::new();
+        for event in events {
+            for &m in &groups[event.group.index()].members {
+                let member = &members[m.index()];
+                let sim = jaccard(&member.tags, &event.tags);
+                let p = (member.activity_level * (0.3 + 0.7 * sim) * self.cfg.rsvp_rate)
+                    .clamp(0.0, 1.0);
+                if self.rng.gen_bool(p) {
+                    rsvps.push(Rsvp {
+                        member: m,
+                        event: event.id,
+                        attended: self.rng.gen_bool(0.8),
+                    });
+                }
+            }
+        }
+        rsvps
+    }
+}
+
+/// Generates a dataset from the configuration. Deterministic in
+/// `config.seed`; the output always passes [`EbsnDataset::validate`].
+pub fn generate(config: &GeneratorConfig) -> EbsnDataset {
+    assert!(config.num_groups > 0, "need at least one group");
+    assert!(config.num_venues > 0, "need at least one venue");
+    let mut gen = Gen {
+        cfg: config,
+        rng: StdRng::seed_from_u64(config.seed),
+        vocabulary: TagVocabulary::builtin(),
+    };
+    let mut groups = gen.groups();
+    let members = gen.members(&mut groups);
+    let venues = gen.venues();
+    let events = gen.events(&groups);
+    let rsvps = gen.rsvps(&members, &groups, &events);
+    let dataset = EbsnDataset {
+        vocabulary: gen.vocabulary,
+        members,
+        groups,
+        venues,
+        events,
+        rsvps,
+        horizon_ticks: config.horizon_weeks * TICKS_PER_WEEK,
+    };
+    debug_assert!(dataset.validate().is_ok());
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_valid_dataset() {
+        let ds = generate(&GeneratorConfig::default());
+        ds.validate().unwrap();
+        assert_eq!(ds.members.len(), 300);
+        assert_eq!(ds.events.len(), 200);
+        assert!(!ds.rsvps.is_empty(), "members should RSVP to some events");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&GeneratorConfig::default());
+        let b = generate(&GeneratorConfig::default());
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.rsvps, b.rsvps);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::default());
+        let b = generate(&GeneratorConfig {
+            seed: 1,
+            ..GeneratorConfig::default()
+        });
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn members_inherit_group_tags() {
+        let ds = generate(&GeneratorConfig::default());
+        // A member with at least one group should share tags with it
+        // reasonably often; check that *some* member does.
+        let any_overlap = ds.members.iter().any(|m| {
+            m.groups
+                .iter()
+                .any(|g| ds.groups[g.index()].tags.intersection_size(&m.tags) > 0)
+        });
+        assert!(any_overlap);
+    }
+
+    #[test]
+    fn rosters_are_consistent_with_memberships() {
+        let ds = generate(&GeneratorConfig::default());
+        for g in &ds.groups {
+            for &m in &g.members {
+                assert!(
+                    ds.members[m.index()].groups.contains(&g.id),
+                    "roster of {} lists {} but the member does not list the group",
+                    g.id,
+                    m
+                );
+            }
+        }
+        for m in &ds.members {
+            for &g in &m.groups {
+                assert!(ds.groups[g.index()].members.contains(&m.id));
+            }
+        }
+    }
+
+    #[test]
+    fn events_inherit_group_tags_and_fit_horizon() {
+        let ds = generate(&GeneratorConfig::default());
+        for e in &ds.events {
+            assert_eq!(e.tags, ds.groups[e.group.index()].tags);
+            assert!(e.end() <= ds.horizon_ticks);
+        }
+    }
+
+    #[test]
+    fn group_popularity_is_skewed() {
+        let ds = generate(&GeneratorConfig::default());
+        let mut sizes: Vec<usize> = ds.groups.iter().map(|g| g.members.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let top = sizes.iter().take(4).sum::<usize>() as f64;
+        let total = sizes.iter().sum::<usize>() as f64;
+        assert!(
+            top / total > 0.2,
+            "top-4 of 40 groups should hold well over 10% of memberships (got {:.2})",
+            top / total
+        );
+    }
+
+    #[test]
+    fn activity_levels_are_probabilities() {
+        let ds = generate(&GeneratorConfig::default());
+        assert!(ds
+            .members
+            .iter()
+            .all(|m| (0.0..=1.0).contains(&m.activity_level)));
+    }
+
+    #[test]
+    fn scaled_preset_keeps_ratios() {
+        let scaled = GeneratorConfig::meetup_california_scaled(4000);
+        assert_eq!(scaled.num_members, 4000);
+        // ~ 4000/42444 of 16000 events ≈ 1500
+        assert!(scaled.num_events >= 1000 && scaled.num_events <= 2200);
+        assert!(scaled.num_groups >= 150);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tag-set similarity measures.
+//!
+//! The paper (§IV-A) computes user–event interest as the Jaccard similarity
+//! between the user's tags and the event's (group-inherited) tags — the same
+//! approach as She et al.\[11\]–\[13\]. Weighted Jaccard and Dice are provided
+//! for sensitivity experiments.
+
+use crate::tags::TagSet;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` (0 when both sets are empty).
+pub fn jaccard(a: &TagSet, b: &TagSet) -> f64 {
+    let inter = a.intersection_size(b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)` (0 when both sets are empty).
+pub fn dice(a: &TagSet, b: &TagSet) -> f64 {
+    let inter = a.intersection_size(b);
+    let denom = a.len() + b.len();
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * inter as f64 / denom as f64
+    }
+}
+
+/// Weighted Jaccard: tags contribute `weights[tag]` instead of 1 to both
+/// intersection and union. Tags outside `weights` count as weight 0.
+pub fn weighted_jaccard(a: &TagSet, b: &TagSet, weights: &[f64]) -> f64 {
+    let w = |t: crate::tags::Tag| weights.get(t.raw() as usize).copied().unwrap_or(0.0);
+    let mut inter = 0.0;
+    let mut union = 0.0;
+    let (sa, sb) = (a.as_slice(), b.as_slice());
+    let (mut i, mut j) = (0, 0);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => {
+                union += w(sa[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union += w(sb[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                inter += w(sa[i]);
+                union += w(sa[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &t in &sa[i..] {
+        union += w(t);
+    }
+    for &t in &sb[j..] {
+        union += w(t);
+    }
+    if union == 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::Tag;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_iter(ids.iter().map(|&i| Tag(i)))
+    }
+
+    #[test]
+    fn jaccard_basic_cases() {
+        assert_eq!(jaccard(&ts(&[1, 2]), &ts(&[1, 2])), 1.0);
+        assert_eq!(jaccard(&ts(&[1, 2]), &ts(&[3, 4])), 0.0);
+        assert_eq!(jaccard(&ts(&[1, 2, 3]), &ts(&[2, 3, 4])), 0.5);
+        assert_eq!(jaccard(&ts(&[]), &ts(&[])), 0.0);
+        assert_eq!(jaccard(&ts(&[1]), &ts(&[])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let a = ts(&[1, 5, 9, 12]);
+        let b = ts(&[5, 12, 40]);
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+        let v = jaccard(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+        assert_eq!(v, 2.0 / 5.0);
+    }
+
+    #[test]
+    fn dice_basic_cases() {
+        assert_eq!(dice(&ts(&[1, 2]), &ts(&[1, 2])), 1.0);
+        assert_eq!(dice(&ts(&[]), &ts(&[])), 0.0);
+        assert_eq!(dice(&ts(&[1, 2, 3]), &ts(&[2, 3, 4])), 2.0 * 2.0 / 6.0);
+    }
+
+    #[test]
+    fn dice_upper_bounds_jaccard() {
+        let a = ts(&[1, 2, 3, 7]);
+        let b = ts(&[2, 3, 9]);
+        assert!(dice(&a, &b) >= jaccard(&a, &b));
+    }
+
+    #[test]
+    fn weighted_jaccard_reduces_to_jaccard_with_unit_weights() {
+        let a = ts(&[1, 2, 3]);
+        let b = ts(&[2, 3, 4]);
+        let weights = vec![1.0; 10];
+        assert!((weighted_jaccard(&a, &b, &weights) - jaccard(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_respects_weights() {
+        let a = ts(&[0, 1]);
+        let b = ts(&[1, 2]);
+        // Tag 1 (shared) weighs 3; tags 0 and 2 weigh 1 → 3 / 5.
+        let weights = vec![1.0, 3.0, 1.0];
+        assert!((weighted_jaccard(&a, &b, &weights) - 0.6).abs() < 1e-12);
+        // Out-of-range tags count as zero weight.
+        let c = ts(&[9]);
+        assert_eq!(weighted_jaccard(&a, &c, &weights), 0.0);
+    }
+}

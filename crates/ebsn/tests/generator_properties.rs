@@ -1,0 +1,111 @@
+//! Property tests of the EBSN generator: every configuration in a broad
+//! envelope must produce a dataset that validates and preserves the
+//! structural invariants the pipeline relies on.
+
+use proptest::prelude::*;
+use ses_ebsn::checkins::SLOTS_PER_WEEK;
+use ses_ebsn::{
+    estimate_slot_activity, generate, interest_stats, overlap_stats, GeneratorConfig,
+    SmoothingConfig,
+};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        10usize..200,  // members
+        1usize..15,    // groups
+        1usize..10,    // venues
+        5usize..100,   // events
+        1u64..12,      // weeks
+        any::<u64>(),  // seed
+        1.2f64..4.0,   // mean groups/member
+    )
+        .prop_map(
+            |(num_members, num_groups, num_venues, num_events, horizon_weeks, seed, mean)| {
+                GeneratorConfig {
+                    num_members,
+                    num_groups,
+                    num_venues,
+                    num_events,
+                    horizon_weeks,
+                    seed,
+                    mean_groups_per_member: mean,
+                    ..GeneratorConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_datasets_always_validate(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        prop_assert!(ds.validate().is_ok());
+        prop_assert_eq!(ds.members.len(), cfg.num_members);
+        prop_assert_eq!(ds.groups.len(), cfg.num_groups);
+        prop_assert_eq!(ds.events.len(), cfg.num_events);
+        prop_assert_eq!(ds.horizon_ticks, cfg.horizon_weeks * 7 * 24 * 60);
+    }
+
+    #[test]
+    fn rosters_and_memberships_are_mutually_consistent(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        for m in &ds.members {
+            prop_assert!(!m.groups.is_empty(), "every member joins ≥ 1 group");
+            for &g in &m.groups {
+                prop_assert!(ds.groups[g.index()].members.contains(&m.id));
+            }
+        }
+        let roster_total: usize = ds.groups.iter().map(|g| g.members.len()).sum();
+        let membership_total: usize = ds.members.iter().map(|m| m.groups.len()).sum();
+        prop_assert_eq!(roster_total, membership_total);
+    }
+
+    #[test]
+    fn events_inherit_tags_and_respect_horizon(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        for e in &ds.events {
+            prop_assert_eq!(&e.tags, &ds.groups[e.group.index()].tags);
+            prop_assert!(e.end() <= ds.horizon_ticks);
+            prop_assert!(e.duration >= 60 && e.duration <= 120);
+        }
+    }
+
+    #[test]
+    fn rsvps_reference_group_members_only(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        for r in &ds.rsvps {
+            let event = &ds.events[r.event.index()];
+            let member = &ds.members[r.member.index()];
+            prop_assert!(
+                member.groups.contains(&event.group),
+                "RSVPs come from the organizing group's roster"
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_and_activity_stay_in_range(cfg in config_strategy()) {
+        let ds = generate(&cfg);
+        let o = overlap_stats(&ds);
+        prop_assert!(o.mean_concurrent >= 0.0);
+        prop_assert!(o.temporal_conflict_fraction >= o.spatiotemporal_conflict_fraction);
+        prop_assert!(o.temporal_conflict_fraction <= 1.0);
+        let i = interest_stats(&ds, 500, cfg.seed);
+        prop_assert!((0.0..=1.0).contains(&i.nonzero_fraction));
+        prop_assert!(i.mean_interest <= i.mean_nonzero_interest + 1e-12);
+        let profile = estimate_slot_activity(&ds, SmoothingConfig::default());
+        prop_assert_eq!(profile.len(), ds.members.len() * SLOTS_PER_WEEK);
+        prop_assert!(profile.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.members, b.members);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.rsvps, b.rsvps);
+    }
+}

@@ -1,0 +1,54 @@
+//! How competition erodes attendance — and how scheduling fights back.
+//!
+//! Sweeps the density of competing (third-party) events per interval and
+//! reports the expected attendance GRD and RAND achieve for the same slate.
+//! Two effects compound in the Luce model: competing mass steals probability
+//! directly, and it flattens the score landscape so smart placement matters
+//! more. GRD's *relative* edge over RAND should therefore persist (or grow)
+//! as the market gets more crowded.
+//!
+//! ```text
+//! cargo run --release --example market_competition
+//! ```
+
+use ses::prelude::*;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig {
+        num_members: 1_500,
+        num_events: 600,
+        seed: 7,
+        ..GeneratorConfig::default()
+    });
+    println!("dataset: {}\n", dataset.summary());
+
+    let k = 20;
+    println!(
+        "{:>18} {:>10} {:>10} {:>10} {:>12}",
+        "competing/interval", "GRD Ω", "RAND Ω", "GRD/RAND", "GRD Ω/event"
+    );
+    for &mean in &[0.0, 2.0, 4.0, 8.1, 16.0, 32.0] {
+        let cfg = PaperConfig {
+            k,
+            competing_mean: mean,
+            seed: 7,
+            ..PaperConfig::default()
+        };
+        let built = build_instance(&dataset, &cfg).expect("dataset large enough");
+        let grd = GreedyScheduler::new().run(&built.instance, k).unwrap();
+        let rand = RandomScheduler::new(7).run(&built.instance, k).unwrap();
+        println!(
+            "{:>18.1} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            mean,
+            grd.total_utility,
+            rand.total_utility,
+            grd.total_utility / rand.total_utility.max(1e-9),
+            grd.total_utility / k as f64,
+        );
+    }
+
+    println!(
+        "\nReading: absolute attendance falls as the market crowds (the Luce\n\
+         denominator grows), while GRD's advantage over naive placement holds."
+    );
+}

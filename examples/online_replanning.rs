@@ -1,0 +1,88 @@
+//! Online replanning: keeping a published schedule healthy as the world
+//! changes (extension beyond the paper's offline setting).
+//!
+//! A venue publishes a GRD schedule; then, over the following weeks:
+//! 1. a rival announces a big event on the venue's busiest night,
+//! 2. one of the scheduled acts cancels,
+//! 3. the sponsor funds one extra show.
+//!
+//! Each disruption is absorbed by `OnlineSession`, which repairs the
+//! schedule incrementally and reports the utility swing.
+//!
+//! ```text
+//! cargo run --release --example online_replanning
+//! ```
+
+use ses::prelude::*;
+use ses_core::online::OnlineSession;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig {
+        num_members: 1_000,
+        num_events: 400,
+        seed: 11,
+        ..GeneratorConfig::default()
+    });
+    let cfg = PaperConfig {
+        k: 12,
+        seed: 11,
+        ..PaperConfig::default()
+    };
+    let built = build_instance(&dataset, &cfg).expect("dataset large enough");
+    let inst = &built.instance;
+
+    let initial = GreedyScheduler::new().run(inst, cfg.k).unwrap();
+    println!(
+        "published schedule: {} events, Ω = {:.2}\n",
+        initial.len(),
+        initial.total_utility
+    );
+    let mut session = OnlineSession::new(inst, &initial.schedule).unwrap();
+
+    // --- disruption 1: rival announcement on the busiest night -----------
+    let busiest = session
+        .schedule()
+        .occupied_intervals()
+        .max_by_key(|&t| session.schedule().events_at(t).len())
+        .unwrap();
+    // The rival's act appeals to a third of the population, strongly.
+    let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+        .filter(|u| u % 3 == 0)
+        .map(|u| (UserId::new(u as u32), 0.85))
+        .collect();
+    let r1 = session.announce_competing(busiest, &postings);
+    println!("1) rival announced at {busiest}:");
+    println!("   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
+        r1.utility_before, r1.utility_disrupted, r1.utility_after);
+    if r1.moves.is_empty() {
+        println!("   repair: staying put was optimal");
+    }
+    for (e, t) in &r1.moves {
+        println!("   repair: moved {e} to {t}");
+    }
+
+    // --- disruption 2: an act cancels -------------------------------------
+    let victim = session.schedule().scheduled_events()[0];
+    let r2 = session.cancel_event(victim).unwrap();
+    println!("\n2) act {victim} cancelled:");
+    println!("   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
+        r2.utility_before, r2.utility_disrupted, r2.utility_after);
+    for (e, t) in &r2.moves {
+        println!("   repair: booked {e} into {t}");
+    }
+
+    // --- disruption 3: budget for one more show ---------------------------
+    let r3 = session.extend().expect("candidates remain");
+    println!("\n3) sponsor funds one more show:");
+    for (e, t) in &r3.moves {
+        println!("   added {e} at {t}");
+    }
+    println!("   Ω {:.2} → {:.2}", r3.utility_before, r3.utility_after);
+
+    println!(
+        "\nfinal: {} events, Ω = {:.2} (started at {:.2})",
+        session.schedule().len(),
+        session.utility(),
+        initial.total_utility
+    );
+}

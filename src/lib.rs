@@ -1,0 +1,26 @@
+//! # ses — Social Event Scheduling
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the SES problem, attendance engine and algorithms
+//!   (GRD, GRD-PQ, TOP, RAND, exact B&B, local search, annealing);
+//! * [`ebsn`] — the Meetup-like event-based-social-network
+//!   substrate (datasets, tags, Jaccard interest, check-ins);
+//! * [`datagen`] — the ICDE 2018 experimental parameterization
+//!   and instance pipelines.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harness regenerating every figure of the paper.
+
+pub use ses_core as core;
+pub use ses_datagen as datagen;
+pub use ses_ebsn as ebsn;
+
+/// Convenient flat imports for applications: everything from
+/// `ses_core::prelude` plus the dataset/generator entry points.
+pub mod prelude {
+    pub use ses_core::prelude::*;
+    pub use ses_datagen::paper::PaperConfig;
+    pub use ses_datagen::pipeline::{build_instance, BuiltInstance};
+    pub use ses_ebsn::{generate, EbsnDataset, GeneratorConfig};
+}
