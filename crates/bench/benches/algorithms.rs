@@ -3,9 +3,7 @@
 //! TOP and RAND baselines, across instance scales.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ses_core::{
-    GreedyHeapScheduler, GreedyScheduler, RandomScheduler, Scheduler, TopScheduler,
-};
+use ses_core::{GreedyHeapScheduler, GreedyScheduler, RandomScheduler, Scheduler, TopScheduler};
 use ses_datagen::synthetic;
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -20,7 +18,12 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| GreedyScheduler::new().run(inst, k).unwrap().total_utility)
         });
         group.bench_with_input(BenchmarkId::new("GRD-PQ", &label), &inst, |b, inst| {
-            b.iter(|| GreedyHeapScheduler::new().run(inst, k).unwrap().total_utility)
+            b.iter(|| {
+                GreedyHeapScheduler::new()
+                    .run(inst, k)
+                    .unwrap()
+                    .total_utility
+            })
         });
         group.bench_with_input(BenchmarkId::new("TOP", &label), &inst, |b, inst| {
             b.iter(|| TopScheduler::new().run(inst, k).unwrap().total_utility)

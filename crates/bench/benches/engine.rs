@@ -4,15 +4,15 @@
 //! * assign/unassign round-trip cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_core::interest::{InterestBuilder, SparseInterest};
+use ses_core::model::uniform_grid;
 use ses_core::testkit::{random_instance, TestInstanceConfig};
 use ses_core::{
     AttendanceEngine, CandidateEvent, CompetingEvent, CompetingEventId, ConstantActivity,
     DenseInterest, EventId, IntervalId, LocationId, Organizer, SesInstance, UserId,
 };
-use ses_core::interest::{InterestBuilder, SparseInterest};
-use ses_core::model::uniform_grid;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn build_interest(users: usize, events: usize, density: f64) -> (SparseInterest, DenseInterest) {
     let mut rng = StdRng::seed_from_u64(99);
@@ -37,13 +37,19 @@ fn build_interest(users: usize, events: usize, density: f64) -> (SparseInterest,
     )
 }
 
-fn instance_with(interest: impl ses_core::InterestModel + 'static, users: usize, events: usize) -> SesInstance {
+fn instance_with(
+    interest: impl ses_core::InterestModel + 'static,
+    users: usize,
+    events: usize,
+) -> SesInstance {
     SesInstance::builder()
         .organizer(Organizer::new(1e9))
         .intervals(uniform_grid(8, 100))
         .events(
             (0..events)
-                .map(|e| CandidateEvent::new(EventId::new(e as u32), LocationId::new(e as u32), 1.0))
+                .map(|e| {
+                    CandidateEvent::new(EventId::new(e as u32), LocationId::new(e as u32), 1.0)
+                })
                 .collect(),
         )
         .competing(vec![CompetingEvent::new(
@@ -97,7 +103,9 @@ fn bench_assign_unassign(c: &mut Criterion) {
         let mut engine = AttendanceEngine::new(&inst);
         b.iter(|| {
             for e in 0..10u32 {
-                engine.assign(EventId::new(e), IntervalId::new(e % 10)).unwrap();
+                engine
+                    .assign(EventId::new(e), IntervalId::new(e % 10))
+                    .unwrap();
             }
             for e in 0..10u32 {
                 engine.unassign(EventId::new(e)).unwrap();

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ses_core::testkit::{random_instance, TestInstanceConfig};
-use ses_core::{
-    ExactScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler,
-};
+use ses_core::{ExactScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler};
 use ses_datagen::synthetic;
 
 fn small(seed: u64) -> ses_core::SesInstance {

@@ -1,0 +1,71 @@
+//! Simulator throughput benches: disruptions/second sustained by the online
+//! repair loop under each built-in workload, across two instance scales.
+//!
+//! The interesting comparison is rival-heavy workloads (posting-list mass
+//! injection + relocate passes) against churn-heavy ones (cancel/extend,
+//! which re-score the candidate pool); `EngineCounters` in `ses simulate`
+//! gives the matching hardware-independent view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{GreedyScheduler, OnlineSession, Scheduler, SesInstance};
+use ses_sim::{scenario_by_name, Simulator};
+
+fn instance(users: usize, events: usize, intervals: usize, seed: u64) -> SesInstance {
+    random_instance(&TestInstanceConfig {
+        num_users: users,
+        num_events: events,
+        num_intervals: intervals,
+        num_competing: events / 2,
+        num_locations: (events / 3).max(1),
+        theta: 20.0,
+        xi_max: 3.0,
+        interest_density: 0.2,
+        seed,
+    })
+}
+
+fn bench_scenario_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for &(users, events, intervals, k) in
+        &[(200usize, 30usize, 12usize, 10usize), (800, 80, 32, 25)]
+    {
+        let inst = instance(users, events, intervals, 3);
+        let plan = GreedyScheduler::new().run(&inst, k).unwrap();
+        let label = format!("u{users}_e{events}");
+        for scenario in ["steady", "flash-crowd", "adversarial", "seasonal"] {
+            group.bench_with_input(BenchmarkId::new(scenario, &label), &inst, |b, inst| {
+                b.iter(|| {
+                    let session = OnlineSession::new(inst, &plan.schedule).unwrap();
+                    let mut sim =
+                        Simulator::new(session, vec![scenario_by_name(scenario, 11).unwrap()]);
+                    sim.withhold_fraction(0.3);
+                    sim.run(500).final_utility
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_repair_primitives(c: &mut Criterion) {
+    // The hot path under rival storms: announce + bounded relocate.
+    let inst = instance(1000, 60, 24, 5);
+    let plan = GreedyScheduler::new().run(&inst, 20).unwrap();
+    let postings: Vec<(ses_core::UserId, f64)> = (0..inst.num_users())
+        .step_by(2)
+        .map(|u| (ses_core::UserId::new(u as u32), 0.6))
+        .collect();
+    c.bench_function("announce_competing_with_repair_1000u", |b| {
+        let mut session = OnlineSession::new(&inst, &plan.schedule).unwrap();
+        let busy = session.schedule().occupied_intervals().next().unwrap();
+        b.iter(|| {
+            let report = session.announce_competing(busy, &postings);
+            report.utility_after
+        })
+    });
+}
+
+criterion_group!(benches, bench_scenario_throughput, bench_repair_primitives);
+criterion_main!(benches);

@@ -136,7 +136,11 @@ fn main() -> ExitCode {
 
     let mut all_rows = Vec::new();
     let k_rows = if need_k {
-        eprintln!("[fig1] running k sweep ({} cells × {} algos) …", k_cells.len(), cfg.algos.len());
+        eprintln!(
+            "[fig1] running k sweep ({} cells × {} algos) …",
+            k_cells.len(),
+            cfg.algos.len()
+        );
         let rows = run_sweep(&dataset, &k_cells, &cfg);
         all_rows.extend(rows.clone());
         rows
@@ -144,7 +148,11 @@ fn main() -> ExitCode {
         Vec::new()
     };
     let t_rows = if need_t {
-        eprintln!("[fig1] running |T| sweep ({} cells × {} algos) …", t_cells.len(), cfg.algos.len());
+        eprintln!(
+            "[fig1] running |T| sweep ({} cells × {} algos) …",
+            t_cells.len(),
+            cfg.algos.len()
+        );
         let rows = run_sweep(&dataset, &t_cells, &cfg);
         all_rows.extend(rows.clone());
         rows

@@ -34,7 +34,10 @@ fn main() -> ExitCode {
     let algos: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("GRD", Box::new(GreedyScheduler::new())),
         ("GRD-PQ", Box::new(GreedyHeapScheduler::new())),
-        ("GRD+LS", Box::new(LocalSearchScheduler::new(GreedyScheduler::new()))),
+        (
+            "GRD+LS",
+            Box::new(LocalSearchScheduler::new(GreedyScheduler::new())),
+        ),
         ("TOP", Box::new(TopScheduler::new())),
         ("RAND", Box::new(RandomScheduler::new(0))),
     ];

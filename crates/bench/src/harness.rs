@@ -162,16 +162,15 @@ pub fn run_sweep(
 ) -> Vec<CellResult> {
     let results: Mutex<Vec<(usize, Vec<CellResult>)>> = Mutex::new(Vec::new());
     if cfg.parallel {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, cell) in cells.iter().enumerate() {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let rows = run_cell(dataset, cell, cfg);
                     results.lock().push((i, rows));
                 });
             }
-        })
-        .expect("sweep threads must not panic");
+        });
     } else {
         for (i, cell) in cells.iter().enumerate() {
             let rows = run_cell(dataset, cell, cfg);

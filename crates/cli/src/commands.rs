@@ -2,9 +2,8 @@
 
 use crate::args::ParsedArgs;
 use ses_core::{
-    schedule_metrics, utility_upper_bound, AnnealingScheduler, ExactScheduler,
-    GreedyHeapScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler,
-    TopScheduler,
+    schedule_metrics, utility_upper_bound, AnnealingScheduler, ExactScheduler, GreedyHeapScheduler,
+    GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler, TopScheduler,
 };
 use ses_datagen::paper::{PaperConfig, SigmaMode};
 use ses_datagen::pipeline::build_instance;
@@ -32,6 +31,13 @@ SUBCOMMANDS:
                   --out PATH  (write the schedule as JSON)
     quality     compare heuristics against the exact optimum on small instances
                   --instances N (20)  --k K (4)
+    simulate    replay a disruption workload against the online scheduler
+                  --scenario steady|flash-crowd|adversarial|seasonal (steady)
+                  --steps N (10000)     --seed S (0)
+                  --users N (400)       --events N (60)
+                  --intervals N (24)    --k K (20)
+                  --holdback F (0.3)    (fraction of candidates arriving late)
+                  runs the stream twice and verifies the traces are identical
     help        show this message
 ";
 
@@ -124,7 +130,9 @@ pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
     };
     let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
     let scheduler = scheduler_by_name(algo_name, seed)?;
-    let outcome = scheduler.run(&built.instance, k).map_err(|e| e.to_string())?;
+    let outcome = scheduler
+        .run(&built.instance, k)
+        .map_err(|e| e.to_string())?;
 
     println!(
         "{}: scheduled {}/{} events, utility Ω = {:.3}, {:.1} ms",
@@ -163,8 +171,7 @@ pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
         );
     }
     if let Some(out) = args.options.get("out") {
-        let json =
-            serde_json::to_string_pretty(&outcome.schedule).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&outcome.schedule).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         println!("wrote schedule to {out}");
     } else {
@@ -178,6 +185,114 @@ pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
             println!("  {} → {} (dataset event {src})", a.event, a.interval);
         }
     }
+    Ok(())
+}
+
+/// `ses simulate`
+pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
+    use ses_core::testkit::{random_instance, TestInstanceConfig};
+    use ses_core::OnlineSession;
+    use ses_sim::{scenario_by_name, SimSummary, Simulator, SCENARIO_NAMES};
+
+    let scenario_name = args
+        .options
+        .get("scenario")
+        .map(String::as_str)
+        .unwrap_or("steady");
+    let steps: u64 = args.get_or("steps", 10_000).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let users: usize = args.get_or("users", 400).map_err(|e| e.to_string())?;
+    let events: usize = args.get_or("events", 60).map_err(|e| e.to_string())?;
+    let intervals: usize = args.get_or("intervals", 24).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("k", 20).map_err(|e| e.to_string())?;
+    let holdback: f64 = args.get_or("holdback", 0.3).map_err(|e| e.to_string())?;
+    let Some(probe) = scenario_by_name(scenario_name, seed) else {
+        return Err(format!(
+            "unknown scenario '{scenario_name}' (expected one of: {})",
+            SCENARIO_NAMES.join(", ")
+        ));
+    };
+    // Withholding candidates only makes sense for workloads that release
+    // them again; otherwise they would be dead weight excluded from every
+    // backfill, quietly understating the session's achievable utility.
+    let holdback = if probe.releases_late_arrivals() {
+        holdback
+    } else {
+        if holdback > 0.0 {
+            println!("note: scenario {scenario_name} never emits late arrivals; holdback disabled");
+        }
+        0.0
+    };
+
+    let inst = random_instance(&TestInstanceConfig {
+        num_users: users,
+        num_events: events,
+        num_intervals: intervals,
+        num_competing: events / 2,
+        num_locations: (events / 3).max(1),
+        theta: 20.0,
+        xi_max: 3.0,
+        interest_density: 0.2,
+        seed,
+    });
+    let plan = GreedyScheduler::new()
+        .run(&inst, k.min(events))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "simulate: scenario {scenario_name}, {steps} steps, seed {seed}\n\
+         instance: {users} users, {events} events, {intervals} intervals; \
+         initial schedule |S| = {}, Ω₀ = {:.3}",
+        plan.len(),
+        plan.total_utility
+    );
+
+    type SimRun = (SimSummary, Vec<(ses_sim::DisruptionKind, u64)>, usize);
+    let run_once = || -> Result<SimRun, String> {
+        let session = OnlineSession::new(&inst, &plan.schedule).map_err(|e| format!("{e:?}"))?;
+        let scenario = scenario_by_name(scenario_name, seed).expect("name validated above");
+        let mut sim = Simulator::new(session, vec![scenario]);
+        let withheld = sim.withhold_fraction(holdback);
+        let summary = sim.run(steps);
+        Ok((summary, sim.kind_histogram(), withheld))
+    };
+    let (first, _, _) = run_once()?;
+    let (second, histogram, withheld) = run_once()?;
+
+    if first.digest != second.digest {
+        return Err(format!(
+            "NON-DETERMINISTIC: run 1 digest {:#018x} != run 2 digest {:#018x}",
+            first.digest, second.digest
+        ));
+    }
+    println!(
+        "withheld {withheld} candidates as late arrivals\n\
+         determinism: two runs, identical traces (digest {:#018x}) ✓",
+        first.digest
+    );
+    println!(
+        "final: Ω = {:.3} (from {:.3}), |S| = {}, tick {}",
+        second.final_utility, plan.total_utility, second.final_scheduled, second.final_tick
+    );
+    println!(
+        "repairs: {} disruptions applied ({} inert), {} repair moves, Ω recovered {:.3}",
+        second.applied, second.skipped, second.total_moves, second.total_recovered
+    );
+    let mix: Vec<String> = histogram
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(kind, n)| format!("{} {n}", kind.label()))
+        .collect();
+    println!("mix: {}", mix.join(", "));
+    println!(
+        "throughput: {:.0} events/sec ({:.1} ms total); engine: {} score evals, {} posting \
+         visits, {} assigns, {} unassigns",
+        second.events_per_sec,
+        second.elapsed.as_secs_f64() * 1e3,
+        second.counters.score_evaluations,
+        second.counters.posting_visits,
+        second.counters.assigns,
+        second.counters.unassigns
+    );
     Ok(())
 }
 

@@ -5,6 +5,7 @@
 //! ses analyze  --dataset data.json
 //! ses schedule --dataset data.json --k 100 --algo GRD [--checkins] [--out plan.json]
 //! ses quality  [--instances 20] [--k 4]
+//! ses simulate --scenario flash-crowd --steps 10000 --seed 42
 //! ses help
 //! ```
 
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(&parsed),
         "schedule" => commands::schedule(&parsed),
         "quality" => commands::quality(&parsed),
+        "simulate" => commands::simulate(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

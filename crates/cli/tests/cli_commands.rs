@@ -20,7 +20,15 @@ fn generate_analyze_schedule_pipeline() {
     let out = temp_path("pipeline.json");
     let out_str = out.to_str().unwrap();
     commands::generate(&argv(&[
-        "generate", "--members", "200", "--events", "150", "--weeks", "6", "--out", out_str,
+        "generate",
+        "--members",
+        "200",
+        "--events",
+        "150",
+        "--weeks",
+        "6",
+        "--out",
+        out_str,
     ]))
     .expect("generate succeeds");
     assert!(out.exists());
@@ -55,17 +63,35 @@ fn schedule_supports_every_algorithm_name() {
     let out = temp_path("algos.json");
     let out_str = out.to_str().unwrap();
     commands::generate(&argv(&[
-        "generate", "--members", "120", "--events", "120", "--out", out_str,
+        "generate",
+        "--members",
+        "120",
+        "--events",
+        "120",
+        "--out",
+        out_str,
     ]))
     .unwrap();
     for algo in ["GRD", "GRD-PQ", "TOP", "RAND", "LS", "SA"] {
         commands::schedule(&argv(&[
-            "schedule", "--dataset", out_str, "--k", "5", "--algo", algo,
+            "schedule",
+            "--dataset",
+            out_str,
+            "--k",
+            "5",
+            "--algo",
+            algo,
         ]))
         .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
     }
     let err = commands::schedule(&argv(&[
-        "schedule", "--dataset", out_str, "--k", "5", "--algo", "BOGUS",
+        "schedule",
+        "--dataset",
+        out_str,
+        "--k",
+        "5",
+        "--algo",
+        "BOGUS",
     ]))
     .unwrap_err();
     assert!(err.contains("unknown algorithm"));
@@ -77,11 +103,22 @@ fn schedule_with_checkin_sigma_flag() {
     let out = temp_path("checkins.json");
     let out_str = out.to_str().unwrap();
     commands::generate(&argv(&[
-        "generate", "--members", "150", "--events", "130", "--out", out_str,
+        "generate",
+        "--members",
+        "150",
+        "--events",
+        "130",
+        "--out",
+        out_str,
     ]))
     .unwrap();
     commands::schedule(&argv(&[
-        "schedule", "--dataset", out_str, "--k", "8", "--checkins",
+        "schedule",
+        "--dataset",
+        out_str,
+        "--k",
+        "8",
+        "--checkins",
     ]))
     .expect("checkins sigma mode works");
     std::fs::remove_file(out).ok();
@@ -95,9 +132,46 @@ fn quality_command_runs() {
 
 #[test]
 fn missing_dataset_is_a_clean_error() {
-    let err = commands::analyze(&argv(&["analyze", "--dataset", "/no/such/file.json"]))
-        .unwrap_err();
+    let err =
+        commands::analyze(&argv(&["analyze", "--dataset", "/no/such/file.json"])).unwrap_err();
     assert!(err.contains("I/O") || err.contains("No such file") || !err.is_empty());
     let err = commands::generate(&argv(&["generate"])).unwrap_err();
     assert!(err.contains("--out"));
+}
+
+#[test]
+fn simulate_runs_every_scenario_deterministically() {
+    for scenario in ["steady", "flash-crowd", "adversarial", "seasonal"] {
+        commands::simulate(&argv(&[
+            "simulate",
+            "--scenario",
+            scenario,
+            "--steps",
+            "150",
+            "--seed",
+            "7",
+            "--users",
+            "80",
+            "--events",
+            "20",
+            "--intervals",
+            "8",
+            "--k",
+            "8",
+        ]))
+        .unwrap_or_else(|e| panic!("scenario {scenario}: {e}"));
+    }
+}
+
+#[test]
+fn simulate_rejects_unknown_scenario() {
+    let err = commands::simulate(&argv(&[
+        "simulate",
+        "--scenario",
+        "earthquake",
+        "--steps",
+        "10",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("unknown scenario"));
 }

@@ -1,0 +1,207 @@
+//! Offline drop-in subset of `rand_distr`: the [`Beta`], [`Poisson`] and
+//! [`Zipf`] distributions used by the EBSN generator. Samplers are textbook
+//! algorithms (Jöhnk for Beta, Knuth/normal-approximation for Poisson,
+//! inverse-CDF for Zipf) — deterministic given the shim RNG, statistically
+//! faithful, not bit-compatible with upstream.
+
+#![warn(missing_docs)]
+
+use rand::RngCore;
+
+/// A distribution over `T`, sampleable with any RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The Beta(α, β) distribution on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates `Beta(alpha, beta)`; both parameters must be positive finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, Error> {
+        if alpha > 0.0 && beta > 0.0 && alpha.is_finite() && beta.is_finite() {
+            Ok(Self { alpha, beta })
+        } else {
+            Err(Error("Beta parameters must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Jöhnk's algorithm: accept (U^(1/α), V^(1/β)) with X + Y ≤ 1.
+        // Acceptance probability is fine for the small shape parameters the
+        // generator uses (α, β ≤ ~5); bail out to the mean after many
+        // rejections so adversarial parameters cannot hang a simulation.
+        for _ in 0..10_000 {
+            let x = rng.next_f64().powf(1.0 / self.alpha);
+            let y = rng.next_f64().powf(1.0 / self.beta);
+            let s = x + y;
+            if s > 0.0 && s <= 1.0 {
+                return x / s;
+            }
+        }
+        self.alpha / (self.alpha + self.beta)
+    }
+}
+
+/// The Poisson(λ) distribution (sampled as `f64` counts, like upstream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates `Poisson(lambda)`; `lambda` must be positive finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(Error("Poisson lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction for large λ.
+            let (u1, u2) = (rng.next_f64().max(f64::MIN_POSITIVE), rng.next_f64());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (self.lambda + self.lambda.sqrt() * z + 0.5)
+                .floor()
+                .max(0.0)
+        }
+    }
+}
+
+/// The Zipf distribution over `{1, …, n}` with exponent `s`
+/// (`P(k) ∝ k^-s`), sampled as `f64` ranks like upstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k-1] = P(X ≤ k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf over `{1, …, n}`; requires `n ≥ 1` and `s ≥ 0` finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error("Zipf n must be at least 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(Error("Zipf exponent must be finite and non-negative"));
+        }
+        if n > 16_000_000 {
+            return Err(Error("Zipf n too large for the offline inverse-CDF shim"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_stays_in_unit_interval_with_plausible_mean() {
+        let beta = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = beta.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 2.0 / 7.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda_small_and_large() {
+        for lambda in [0.7, 4.0, 60.0] {
+            let p = Poisson::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let n = 20_000;
+            let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+            let mean = sum / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.1 + 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k));
+            if k == 1.0 {
+                first += 1;
+            }
+        }
+        assert!(first > 1_000, "rank 1 should dominate, got {first}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+}

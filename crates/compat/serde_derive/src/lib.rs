@@ -1,0 +1,502 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-rolled over raw `proc_macro` token trees (the offline build has no
+//! `syn`/`quote`). Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (`#[serde(skip)]` honored via `Default`);
+//! * tuple structs — single-field ones serialize as the inner value
+//!   (newtype convention), `#[serde(transparent)]` accepted;
+//! * enums with unit variants (as strings) and newtype variants
+//!   (as single-entry objects, serde's external tagging).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Returns serde attribute arguments (e.g. `["transparent"]`) if `group` is
+/// the bracket body of a `#[serde(...)]` attribute, else `None`.
+fn serde_attr_args(tokens: &[TokenTree]) -> Option<Vec<String>> {
+    match tokens {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(
+                args.stream()
+                    .into_iter()
+                    .filter_map(|t| match t {
+                        TokenTree::Ident(i) => Some(i.to_string()),
+                        _ => None,
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Container attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(args) = serde_attr_args(&inner) {
+                        if args.iter().any(|a| a == "transparent") {
+                            transparent = true;
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde shim derive: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde shim derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(args) = serde_attr_args(&inner) {
+                            if args.iter().any(|a| a == "skip") {
+                                skip = true;
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        i = skip_type(&tokens, i);
+        fields.push(Field { name, skip });
+        // Consume the separating comma, if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at the first `,` outside angle brackets.
+/// Returns the index of that comma (or the end of the tokens).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        // Parenthesized/bracketed parts of the type are single trees, so
+        // only punctuation needs inspection.
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                '-' => {
+                    // `->` in fn-pointer types: swallow the `>` too.
+                    if let Some(TokenTree::Punct(q)) = tokens.get(i + 1) {
+                        if q.as_char() == '>' {
+                            i += 1;
+                        }
+                    }
+                }
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Visibility on tuple fields.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim derive: variant `{enum_name}::{name}` has {n} fields; \
+                         only unit and newtype variants are supported"
+                    );
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variant `{enum_name}::{name}` is not supported");
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant, then the comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+// ---- generation ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert_eq!(
+                    live.len(),
+                    1,
+                    "serde shim derive: #[serde(transparent)] on `{name}` needs exactly one \
+                     non-skipped field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in live {
+                    s.push_str(&format!(
+                        "fields.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(fields)");
+                s
+            }
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{0}(inner) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(inner))]),\n",
+                        v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{0} => \
+                         ::serde::Value::String(::std::string::String::from(\"{0}\")),\n",
+                        v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert_eq!(
+                    live.len(),
+                    1,
+                    "serde shim derive: #[serde(transparent)] on `{name}` needs exactly one \
+                     non-skipped field"
+                );
+                let mut inits =
+                    format!("{}: ::serde::Deserialize::from_value(v)?,\n", live[0].name);
+                for f in fields.iter().filter(|f| f.skip) {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                }
+                format!("::core::result::Result::Ok({name} {{\n{inits}}})")
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{0}: match v.get_field(\"{0}\") {{\n\
+                             ::core::option::Option::Some(x) => \
+                             ::serde::Deserialize::from_value(x)?,\n\
+                             ::core::option::Option::None => return \
+                             ::core::result::Result::Err(::serde::Error::missing_field(\"{0}\")),\n\
+                             }},\n",
+                            f.name
+                        ));
+                    }
+                }
+                format!("::core::result::Result::Ok({name} {{\n{inits}}})")
+            }
+        }
+        Kind::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong array length for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Unit => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}(\
+                         ::serde::Deserialize::from_value(val)?)),\n",
+                        v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            let val_name = if newtype_arms.is_empty() {
+                "_val"
+            } else {
+                "val"
+            };
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (key, {val_name}) = &fields[0];\n\
+                 match key.as_str() {{\n\
+                 {newtype_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected {name} variant\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

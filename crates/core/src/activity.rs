@@ -52,7 +52,10 @@ impl fmt::Display for ActivityError {
                 write!(f, "activity probability {value} is outside [0,1]")
             }
             ActivityError::ShapeMismatch { expected, actual } => {
-                write!(f, "activity matrix has {actual} entries, expected {expected}")
+                write!(
+                    f,
+                    "activity matrix has {actual} entries, expected {expected}"
+                )
             }
         }
     }
@@ -334,12 +337,7 @@ mod tests {
     #[test]
     fn slot_activity_maps_intervals_to_slots() {
         // 2 users × 3 slots; 4 intervals alternating slots 0,1,2,0.
-        let a = SlotActivity::new(
-            3,
-            vec![0.1, 0.2, 0.3, 0.9, 0.8, 0.7],
-            vec![0, 1, 2, 0],
-        )
-        .unwrap();
+        let a = SlotActivity::new(3, vec![0.1, 0.2, 0.3, 0.9, 0.8, 0.7], vec![0, 1, 2, 0]).unwrap();
         assert_eq!(a.num_users(), 2);
         assert_eq!(a.num_intervals(), 4);
         assert_eq!(a.activity(UserId::new(0), IntervalId::new(3)), 0.1);

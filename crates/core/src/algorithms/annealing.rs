@@ -284,7 +284,10 @@ mod tests {
         let mut sa_sum = 0.0;
         for seed in 0..4u64 {
             let inst = testkit::medium_instance(seed + 100);
-            rand_sum += RandomScheduler::new(seed).run(&inst, 8).unwrap().total_utility;
+            rand_sum += RandomScheduler::new(seed)
+                .run(&inst, 8)
+                .unwrap()
+                .total_utility;
             sa_sum += AnnealingScheduler::new(RandomScheduler::new(seed))
                 .run(&inst, 8)
                 .unwrap()

@@ -175,9 +175,7 @@ impl Scheduler for ExactScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithms::{
-        GreedyHeapScheduler, GreedyScheduler, RandomScheduler, TopScheduler,
-    };
+    use crate::algorithms::{GreedyHeapScheduler, GreedyScheduler, RandomScheduler, TopScheduler};
     use crate::engine::evaluate_schedule;
     use crate::testkit;
     use crate::util::float::{approx_eq, approx_ge};
@@ -251,7 +249,9 @@ mod tests {
     #[test]
     fn node_budget_is_enforced() {
         let inst = testkit::small_instance(0);
-        let err = ExactScheduler::with_node_budget(3).run(&inst, 3).unwrap_err();
+        let err = ExactScheduler::with_node_budget(3)
+            .run(&inst, 3)
+            .unwrap_err();
         assert!(matches!(err, SesError::ExactSearchExhausted { .. }));
     }
 

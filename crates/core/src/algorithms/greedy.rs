@@ -55,8 +55,7 @@ impl Scheduler for GreedyScheduler {
         let mut updates = 0u64;
 
         // Lines 2–4: generate all assignments.
-        let mut list: Vec<ListEntry> =
-            Vec::with_capacity(inst.num_events() * inst.num_intervals());
+        let mut list: Vec<ListEntry> = Vec::with_capacity(inst.num_events() * inst.num_intervals());
         for e in 0..inst.num_events() {
             let event = EventId::new(e as u32);
             for t in 0..inst.num_intervals() {
@@ -105,7 +104,10 @@ impl Scheduler for GreedyScheduler {
                 let mut i = 0;
                 while i < list.len() {
                     let entry = list[i];
-                    if engine.check_assignment(entry.event, entry.interval).is_err() {
+                    if engine
+                        .check_assignment(entry.event, entry.interval)
+                        .is_err()
+                    {
                         list.swap_remove(i);
                         continue;
                     }
@@ -223,8 +225,7 @@ mod tests {
         assert!(out.stats.engine.score_evaluations > 0);
         // Initial scoring alone is |E|·|T| evaluations.
         assert!(
-            out.stats.engine.score_evaluations
-                >= (inst.num_events() * inst.num_intervals()) as u64
+            out.stats.engine.score_evaluations >= (inst.num_events() * inst.num_intervals()) as u64
         );
     }
 }

@@ -100,7 +100,10 @@ impl Scheduler for GreedyHeapScheduler {
                 break;
             };
             pops += 1;
-            if engine.check_assignment(entry.event, entry.interval).is_err() {
+            if engine
+                .check_assignment(entry.event, entry.interval)
+                .is_err()
+            {
                 continue; // invalid entries are dropped, never rescored
             }
             let current_version = versions[entry.interval.index()];

@@ -49,7 +49,10 @@ impl fmt::Display for SesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SesError::InvalidK { k, num_events } => {
-                write!(f, "k = {k} exceeds the number of candidate events ({num_events})")
+                write!(
+                    f,
+                    "k = {k} exceeds the number of candidate events ({num_events})"
+                )
             }
             SesError::ExactSearchExhausted { explored, budget } => write!(
                 f,
@@ -133,7 +136,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SesError::InvalidK { k: 5, num_events: 3 };
+        let e = SesError::InvalidK {
+            k: 5,
+            num_events: 3,
+        };
         assert!(e.to_string().contains("k = 5"));
         let e = SesError::ExactSearchExhausted {
             explored: 10,

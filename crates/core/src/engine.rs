@@ -80,6 +80,9 @@ pub struct AttendanceEngine<'a> {
     used_resources: Vec<f64>,
     /// Per-interval occupied locations (location → occupying event).
     used_locations: Vec<FxHashMap<u32, EventId>>,
+    /// The live per-interval resource budget θ. Starts at the instance's
+    /// budget; the online layer may move it (capacity changes).
+    budget: f64,
     total_utility: f64,
     score_evaluations: Cell<u64>,
     posting_visits: Cell<u64>,
@@ -107,6 +110,7 @@ impl<'a> AttendanceEngine<'a> {
             m: vec![FxHashMap::default(); nt],
             used_resources: vec![0.0; nt],
             used_locations: vec![FxHashMap::default(); nt],
+            budget: inst.budget(),
             total_utility: 0.0,
             score_evaluations: Cell::new(0),
             posting_visits: Cell::new(0),
@@ -188,7 +192,7 @@ impl<'a> AttendanceEngine<'a> {
             });
         }
         let used = self.used_resources[ti];
-        let budget = self.inst.budget();
+        let budget = self.budget;
         if used + ev.required_resources > budget {
             return Err(FeasibilityViolation::ResourcesExceeded {
                 interval,
@@ -237,8 +241,28 @@ impl<'a> AttendanceEngine<'a> {
         interval: IntervalId,
     ) -> Result<f64, FeasibilityViolation> {
         self.check_assignment(event, interval)?;
-        let gain = self.score(event, interval);
+        Ok(self.apply_assign(event, interval))
+    }
 
+    /// Re-applies `event → interval` *without* the resource check, for
+    /// putting an event back into the slot it was just unassigned from.
+    ///
+    /// `(used − ξ) + ξ` can land one ulp above `used`, so a strict re-check
+    /// of a vacated home slot that was exactly at budget may spuriously
+    /// fail; restoring the previous state must never do that. The location
+    /// must still be free and the event unscheduled (debug-asserted).
+    pub(crate) fn assign_restored(&mut self, event: EventId, interval: IntervalId) -> f64 {
+        debug_assert!(!self.schedule.contains(event));
+        debug_assert!(
+            !self.used_locations[interval.index()]
+                .contains_key(&self.inst.event(event).location.raw()),
+            "assign_restored requires a free location"
+        );
+        self.apply_assign(event, interval)
+    }
+
+    fn apply_assign(&mut self, event: EventId, interval: IntervalId) -> f64 {
+        let gain = self.score(event, interval);
         self.schedule
             .assign(event, interval)
             .expect("validated assignment must apply");
@@ -255,7 +279,7 @@ impl<'a> AttendanceEngine<'a> {
         self.used_locations[ti].insert(ev.location.raw(), event);
         self.total_utility += gain;
         self.assigns += 1;
-        Ok(gain)
+        gain
     }
 
     /// Removes `event` from the schedule; returns the utility *loss* (the
@@ -345,6 +369,28 @@ impl<'a> AttendanceEngine<'a> {
         self.used_resources[interval.index()]
     }
 
+    /// The live per-interval resource budget θ (the instance's budget unless
+    /// the online layer has moved it with [`Self::set_budget`]).
+    #[inline]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Overrides the per-interval resource budget θ for all *future*
+    /// feasibility checks — the organizer gained or lost capacity after
+    /// publication (the online setting; see [`crate::online`]).
+    ///
+    /// Existing assignments are left untouched even if the new budget no
+    /// longer covers them; the online layer owns eviction policy (and
+    /// sanitization — a NaN here would disable resource checks entirely).
+    pub fn set_budget(&mut self, budget: f64) {
+        debug_assert!(
+            budget.is_finite() && budget >= 0.0,
+            "engine budget must be finite and non-negative, got {budget}"
+        );
+        self.budget = budget;
+    }
+
     /// Injects additional competing mass at `interval` — a third-party event
     /// announced *after* the instance was built (the online setting; see
     /// [`crate::online`]). `postings` lists the interested users with their
@@ -353,11 +399,7 @@ impl<'a> AttendanceEngine<'a> {
     /// Returns the (non-positive) change in total utility: every scheduled
     /// event at the interval loses attendance to the newcomer. The engine's
     /// aggregates stay authoritative; the underlying instance is unchanged.
-    pub fn add_competing_mass(
-        &mut self,
-        interval: IntervalId,
-        postings: &[(UserId, f64)],
-    ) -> f64 {
+    pub fn add_competing_mass(&mut self, interval: IntervalId, postings: &[(UserId, f64)]) -> f64 {
         let ti = interval.index();
         let activity = self.inst.activity();
         let mut delta = 0.0;

@@ -69,16 +69,31 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::NonDenseIds { what, position } => {
-                write!(f, "{what}[{position}] has a non-dense id (expected id == position)")
+                write!(
+                    f,
+                    "{what}[{position}] has a non-dense id (expected id == position)"
+                )
             }
             ValidationError::OverlappingIntervals { a, b } => {
-                write!(f, "candidate intervals {a} and {b} overlap; T must be disjoint")
+                write!(
+                    f,
+                    "candidate intervals {a} and {b} overlap; T must be disjoint"
+                )
             }
-            ValidationError::CompetingIntervalOutOfBounds { competing, interval } => {
-                write!(f, "competing event {competing} references unknown interval {interval}")
+            ValidationError::CompetingIntervalOutOfBounds {
+                competing,
+                interval,
+            } => {
+                write!(
+                    f,
+                    "competing event {competing} references unknown interval {interval}"
+                )
             }
             ValidationError::InvalidRequiredResources { event, value } => {
-                write!(f, "event {event} has invalid required resources ξ = {value}")
+                write!(
+                    f,
+                    "event {event} has invalid required resources ξ = {value}"
+                )
             }
             ValidationError::InvalidBudget { value } => {
                 write!(f, "organizer budget θ = {value} must be positive")
@@ -436,12 +451,12 @@ impl InstanceBuilder {
         let organizer = self
             .organizer
             .ok_or(ValidationError::Missing { what: "organizer" })?;
-        let interest = self
-            .interest
-            .ok_or(ValidationError::Missing { what: "interest model" })?;
-        let activity = self
-            .activity
-            .ok_or(ValidationError::Missing { what: "activity model" })?;
+        let interest = self.interest.ok_or(ValidationError::Missing {
+            what: "interest model",
+        })?;
+        let activity = self.activity.ok_or(ValidationError::Missing {
+            what: "activity model",
+        })?;
 
         // NaN must fail this check too, hence the negated comparison.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -584,7 +599,10 @@ mod tests {
         assert_eq!(inst.num_events(), 3);
         assert_eq!(inst.num_intervals(), 2);
         assert_eq!(inst.num_competing(), 1);
-        assert_eq!(inst.competing_at(IntervalId::new(0)), &[CompetingEventId::new(0)]);
+        assert_eq!(
+            inst.competing_at(IntervalId::new(0)),
+            &[CompetingEventId::new(0)]
+        );
         assert!(inst.competing_at(IntervalId::new(1)).is_empty());
         assert_eq!(inst.mu(UserId::new(0), EventId::new(0)), 0.8);
         assert_eq!(inst.sigma(UserId::new(1), IntervalId::new(1)), 1.0);
@@ -612,11 +630,14 @@ mod tests {
         let inst = tiny();
         let mut s = inst.empty_schedule();
         s.assign(EventId::new(0), IntervalId::new(0)).unwrap(); // uses 4
-        // e2 requires 8; 4 + 8 > 10.
+                                                                // e2 requires 8; 4 + 8 > 10.
         let err = inst
             .check_assignment(&s, EventId::new(2), IntervalId::new(0))
             .unwrap_err();
-        assert!(matches!(err, FeasibilityViolation::ResourcesExceeded { .. }));
+        assert!(matches!(
+            err,
+            FeasibilityViolation::ResourcesExceeded { .. }
+        ));
     }
 
     #[test]
@@ -627,7 +648,10 @@ mod tests {
         let err = inst
             .check_assignment(&s, EventId::new(0), IntervalId::new(1))
             .unwrap_err();
-        assert!(matches!(err, FeasibilityViolation::EventAlreadyScheduled { .. }));
+        assert!(matches!(
+            err,
+            FeasibilityViolation::EventAlreadyScheduled { .. }
+        ));
     }
 
     #[test]
@@ -685,7 +709,10 @@ mod tests {
         assert!(matches!(err, ValidationError::InvalidBudget { .. }));
 
         let err = SesInstance::builder().build().unwrap_err();
-        assert!(matches!(err, ValidationError::Missing { what: "organizer" }));
+        assert!(matches!(
+            err,
+            ValidationError::Missing { what: "organizer" }
+        ));
     }
 
     #[test]

@@ -163,24 +163,20 @@ impl InterestBuilder {
             });
         }
         let list = match event {
-            EventRef::Candidate(e) => {
-                self.candidate_entries
-                    .get_mut(e.index())
-                    .ok_or(InterestError::EventOutOfBounds {
-                        event,
-                        num_candidates: self.num_candidates,
-                        num_competing: self.num_competing,
-                    })?
-            }
-            EventRef::Competing(c) => {
-                self.competing_entries
-                    .get_mut(c.index())
-                    .ok_or(InterestError::EventOutOfBounds {
-                        event,
-                        num_candidates: self.num_candidates,
-                        num_competing: self.num_competing,
-                    })?
-            }
+            EventRef::Candidate(e) => self.candidate_entries.get_mut(e.index()).ok_or(
+                InterestError::EventOutOfBounds {
+                    event,
+                    num_candidates: self.num_candidates,
+                    num_competing: self.num_competing,
+                },
+            )?,
+            EventRef::Competing(c) => self.competing_entries.get_mut(c.index()).ok_or(
+                InterestError::EventOutOfBounds {
+                    event,
+                    num_candidates: self.num_candidates,
+                    num_competing: self.num_competing,
+                },
+            )?,
         };
         if value > 0.0 {
             list.push((user, value));
@@ -373,7 +369,9 @@ impl InterestModel for DenseInterest {
 
     fn interest(&self, user: UserId, event: EventRef) -> f64 {
         match event {
-            EventRef::Candidate(e) => self.candidate[user.index() * self.num_candidates + e.index()],
+            EventRef::Candidate(e) => {
+                self.candidate[user.index() * self.num_candidates + e.index()]
+            }
             EventRef::Competing(c) => self.competing[user.index() * self.num_competing + c.index()],
         }
     }
@@ -396,7 +394,8 @@ mod tests {
         b.set(UserId::new(0), EventId::new(0), 0.9).unwrap();
         b.set(UserId::new(2), EventId::new(0), 0.3).unwrap();
         b.set(UserId::new(1), EventId::new(1), 0.5).unwrap();
-        b.set(UserId::new(0), CompetingEventId::new(0), 0.2).unwrap();
+        b.set(UserId::new(0), CompetingEventId::new(0), 0.2)
+            .unwrap();
         b.set(UserId::new(1), EventId::new(0), 0.0).unwrap(); // dropped
         b
     }
@@ -464,7 +463,9 @@ mod tests {
         let mut b = InterestBuilder::new(1, 1, 0);
         let err = b.set(UserId::new(0), EventId::new(0), 1.5).unwrap_err();
         assert!(matches!(err, InterestError::ValueOutOfRange { .. }));
-        let err = b.set(UserId::new(0), EventId::new(0), f64::NAN).unwrap_err();
+        let err = b
+            .set(UserId::new(0), EventId::new(0), f64::NAN)
+            .unwrap_err();
         assert!(matches!(err, InterestError::ValueOutOfRange { .. }));
     }
 

@@ -73,18 +73,18 @@ pub mod util;
 pub use activity::{ActivityModel, ConstantActivity, DenseActivity, HashedActivity, SlotActivity};
 pub use algorithms::{
     AnnealingConfig, AnnealingScheduler, ExactScheduler, GreedyHeapScheduler, GreedyScheduler,
-    LocalSearchConfig, LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome,
-    Scheduler, SesError, TopScheduler,
+    LocalSearchConfig, LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome, Scheduler,
+    SesError, TopScheduler,
 };
-pub use metrics::{schedule_metrics, utility_upper_bound, IntervalReport, ScheduleMetrics};
-pub use online::{OnlineSession, RepairReport};
 pub use engine::{evaluate_schedule, AttendanceEngine, EngineCounters, Evaluation};
 pub use ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
 pub use instance::{FeasibilityViolation, InstanceBuilder, SesInstance, ValidationError};
 pub use interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
+pub use metrics::{schedule_metrics, utility_upper_bound, IntervalReport, ScheduleMetrics};
 pub use model::{
     spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
 };
+pub use online::{OnlineSession, RepairReport};
 pub use schedule::{Assignment, Schedule, ScheduleError};
 
 /// One-stop imports for applications.
@@ -98,13 +98,13 @@ pub mod prelude {
         TopScheduler,
     };
     pub use crate::engine::{evaluate_schedule, AttendanceEngine, Evaluation};
-    pub use crate::metrics::{schedule_metrics, utility_upper_bound, ScheduleMetrics};
-    pub use crate::online::{OnlineSession, RepairReport};
     pub use crate::ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
     pub use crate::instance::{FeasibilityViolation, InstanceBuilder, SesInstance};
     pub use crate::interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
+    pub use crate::metrics::{schedule_metrics, utility_upper_bound, ScheduleMetrics};
     pub use crate::model::{
         spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
     };
+    pub use crate::online::{OnlineSession, RepairReport};
     pub use crate::schedule::{Assignment, Schedule};
 }

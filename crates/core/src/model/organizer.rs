@@ -58,9 +58,7 @@ mod tests {
 
     #[test]
     fn unconstrained_is_infinite() {
-        assert!(Organizer::unconstrained()
-            .available_resources
-            .is_infinite());
+        assert!(Organizer::unconstrained().available_resources.is_infinite());
     }
 
     #[test]

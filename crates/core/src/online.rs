@@ -9,13 +9,23 @@
 //!   an interval; affected scheduled events may be worth relocating;
 //! * [`OnlineSession::cancel_event`] — a scheduled event is cancelled; the
 //!   slot is backfilled with the best remaining candidate;
-//! * [`OnlineSession::extend`] — schedule one more event greedily.
+//! * [`OnlineSession::extend`] — schedule one more event greedily;
+//! * [`OnlineSession::arrive`] — a candidate that was not on the table at
+//!   publication time becomes available (late arrival) and is placed at its
+//!   best valid slot, if any;
+//! * [`OnlineSession::change_capacity`] — the per-interval resource budget θ
+//!   moves; on a cut, over-budget intervals evict their cheapest events and
+//!   the repair re-places them elsewhere.
+//!
+//! Candidates carry an *availability* mask ([`OnlineSession::set_available`])
+//! so workload simulators can hold events back and release them over time;
+//! backfills and extensions only ever draw from available candidates.
 //!
 //! Repairs are greedy and local (a bounded relocate pass around the touched
 //! interval), mirroring how GRD itself works; each repair reports the
 //! utility swing so operators can see the cost of each disruption.
 
-use crate::engine::AttendanceEngine;
+use crate::engine::{AttendanceEngine, EngineCounters};
 use crate::ids::{EventId, IntervalId, UserId};
 use crate::instance::SesInstance;
 use crate::schedule::{Schedule, ScheduleError};
@@ -50,16 +60,21 @@ impl RepairReport {
 /// A live schedule bound to an instance.
 pub struct OnlineSession<'a> {
     engine: AttendanceEngine<'a>,
+    /// Which candidates may be drawn by backfills/extensions. Scheduled
+    /// events are unaffected by their own flag until they leave the schedule.
+    available: Vec<bool>,
 }
 
 impl<'a> OnlineSession<'a> {
-    /// Starts a session from an existing feasible schedule.
+    /// Starts a session from an existing feasible schedule, with every
+    /// candidate available.
     pub fn new(
         inst: &'a SesInstance,
         schedule: &Schedule,
     ) -> Result<Self, crate::instance::FeasibilityViolation> {
         Ok(Self {
             engine: AttendanceEngine::with_schedule(inst, schedule)?,
+            available: vec![true; inst.num_events()],
         })
     }
 
@@ -76,6 +91,30 @@ impl<'a> OnlineSession<'a> {
     /// The instance this session runs against.
     pub fn instance(&self) -> &'a SesInstance {
         self.engine.instance()
+    }
+
+    /// The live per-interval resource budget θ.
+    pub fn budget(&self) -> f64 {
+        self.engine.budget()
+    }
+
+    /// Engine operation counters accumulated by this session (score
+    /// evaluations, posting visits, assigns/unassigns) — the simulator's
+    /// hardware-independent throughput measure.
+    pub fn counters(&self) -> EngineCounters {
+        self.engine.counters()
+    }
+
+    /// Whether `event` may be drawn by backfills and extensions.
+    pub fn is_available(&self, event: EventId) -> bool {
+        self.available[event.index()]
+    }
+
+    /// Sets the availability mask of `event`. Masking an event that is
+    /// currently scheduled does not remove it — it only stops the event
+    /// from being re-drawn after it leaves the schedule.
+    pub fn set_available(&mut self, event: EventId, available: bool) {
+        self.available[event.index()] = available;
     }
 
     /// Best valid placement for `event` over all intervals, if any.
@@ -97,15 +136,22 @@ impl<'a> OnlineSession<'a> {
                 .engine
                 .unassign(event)
                 .expect("event was scheduled at the interval");
-            let (target, gain) = self
+            // The vacated home slot may fail a strict resource re-check by a
+            // float ulp (or, after a capacity cut, sit exactly at budget), so
+            // staying put goes through the restore path, not `assign`.
+            let better = self
                 .best_placement(event)
-                .expect("the vacated home slot is always valid");
-            let destination = if gain > loss + 1e-9 { target } else { interval };
-            self.engine
-                .assign(event, destination)
-                .expect("chosen placement was validated");
-            if destination != interval {
-                moves.push((event, destination));
+                .filter(|&(_, gain)| gain > loss + 1e-9);
+            match better {
+                Some((target, _)) if target != interval => {
+                    self.engine
+                        .assign(event, target)
+                        .expect("chosen placement was validated");
+                    moves.push((event, target));
+                }
+                _ => {
+                    self.engine.assign_restored(event, interval);
+                }
             }
         }
     }
@@ -168,13 +214,104 @@ impl<'a> OnlineSession<'a> {
         })
     }
 
+    /// A candidate that missed the initial planning round becomes available
+    /// (late arrival) and is greedily placed at its best valid slot.
+    ///
+    /// Returns `None` — with the event now available for future backfills —
+    /// when it is already scheduled or no valid placement exists.
+    pub fn arrive(&mut self, event: EventId) -> Option<RepairReport> {
+        self.available[event.index()] = true;
+        if self.engine.schedule().contains(event) {
+            return None;
+        }
+        let utility_before = self.engine.total_utility();
+        let (target, _) = self.best_placement(event)?;
+        self.engine
+            .assign(event, target)
+            .expect("placement was validated");
+        Some(RepairReport {
+            utility_before,
+            utility_disrupted: utility_before,
+            utility_after: self.engine.total_utility(),
+            moves: vec![(event, target)],
+        })
+    }
+
+    /// The organizer's per-interval resource budget θ changes (a venue adds
+    /// or closes floors, staffing shifts). On a cut, every over-budget
+    /// interval evicts its lowest-attendance events until it fits — strictly
+    /// within the new budget, so every survivor's slot would re-validate —
+    /// and the repair then re-places evicted *available* events at their
+    /// best valid slots. An evicted event that is unavailable (withheld) or
+    /// fits nowhere under the new budget leaves the schedule, like a
+    /// cancellation without backfill.
+    ///
+    /// Budgets are sanitized: a negative budget acts as `0.0` (evict
+    /// everything), and a non-finite budget is ignored (the current budget
+    /// stays in force) — a NaN flowing into the feasibility comparisons
+    /// would silently disable resource checks.
+    pub fn change_capacity(&mut self, budget: f64) -> RepairReport {
+        let budget = if budget.is_finite() {
+            budget.max(0.0)
+        } else {
+            self.engine.budget()
+        };
+        let utility_before = self.engine.total_utility();
+        let shrinking = budget < self.engine.budget();
+        self.engine.set_budget(budget);
+        let mut evicted: Vec<EventId> = Vec::new();
+        if shrinking {
+            let inst = self.engine.instance();
+            for t in (0..inst.num_intervals()).map(|t| IntervalId::new(t as u32)) {
+                while self.engine.used_resources(t) > budget {
+                    let victim = self
+                        .engine
+                        .schedule()
+                        .events_at(t)
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            total_cmp(
+                                self.engine.expected_attendance(a).unwrap_or(0.0),
+                                self.engine.expected_attendance(b).unwrap_or(0.0),
+                            )
+                        })
+                        .expect("over-budget interval holds at least one event");
+                    self.engine
+                        .unassign(victim)
+                        .expect("victim was scheduled at the interval");
+                    evicted.push(victim);
+                }
+            }
+        }
+        let utility_disrupted = self.engine.total_utility();
+        let mut moves = Vec::new();
+        for event in evicted {
+            if !self.available[event.index()] {
+                continue;
+            }
+            if let Some((target, _)) = self.best_placement(event) {
+                self.engine
+                    .assign(event, target)
+                    .expect("placement was validated");
+                moves.push((event, target));
+            }
+        }
+        RepairReport {
+            utility_before,
+            utility_disrupted,
+            utility_after: self.engine.total_utility(),
+            moves,
+        }
+    }
+
     /// The cancelled event itself can be re-added later (e.g. the act is
-    /// rebooked): it is just another unscheduled candidate.
+    /// rebooked): it is just another unscheduled *available* candidate.
     fn best_unscheduled(&self) -> Option<(EventId, IntervalId, f64)> {
         let inst = self.engine.instance();
         (0..inst.num_events())
             .map(|e| EventId::new(e as u32))
-            .filter(|&e| !self.engine.schedule().contains(e))
+            .filter(|&e| self.available[e.index()] && !self.engine.schedule().contains(e))
             .filter_map(|e| self.best_placement(e).map(|(t, s)| (e, t, s)))
             .max_by(|a, b| total_cmp(a.2, b.2))
     }
@@ -281,6 +418,170 @@ mod tests {
         // Extending until no event remains terminates cleanly.
         while s.extend().is_some() {}
         assert!(s.schedule().len() <= inst.num_events());
+    }
+
+    #[test]
+    fn withheld_events_are_skipped_by_backfill_and_extend() {
+        let (inst, schedule) = session(11, 4);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        // Hold back every unscheduled candidate.
+        let held: Vec<EventId> = (0..inst.num_events() as u32)
+            .map(EventId::new)
+            .filter(|&e| !schedule.contains(e))
+            .collect();
+        assert!(!held.is_empty(), "12 events, 4 scheduled");
+        for &e in &held {
+            s.set_available(e, false);
+            assert!(!s.is_available(e));
+        }
+        assert!(s.extend().is_none(), "extension pool is empty");
+        let victim = s.schedule().scheduled_events()[0];
+        let report = s.cancel_event(victim).unwrap();
+        // The cancelled event itself is still available, so the only legal
+        // backfill is re-seating the victim.
+        for &(e, _) in &report.moves {
+            assert_eq!(e, victim);
+        }
+    }
+
+    #[test]
+    fn arrive_places_a_late_candidate_greedily() {
+        let (inst, schedule) = session(13, 4);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let late = (0..inst.num_events() as u32)
+            .map(EventId::new)
+            .find(|&e| !schedule.contains(e))
+            .unwrap();
+        s.set_available(late, false);
+        let before = s.utility();
+        let report = s.arrive(late).expect("a free slot exists");
+        assert!(s.is_available(late));
+        assert!(s.schedule().contains(late));
+        assert_eq!(report.moves.len(), 1);
+        assert!(report.utility_after >= before - 1e-12, "scores are ≥ 0");
+        inst.check_schedule(s.schedule()).unwrap();
+        // Arriving again is a no-op.
+        assert!(s.arrive(late).is_none());
+    }
+
+    #[test]
+    fn capacity_cut_evicts_until_feasible_and_repairs() {
+        let (inst, schedule) = session(17, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let before = s.utility();
+        // Cut the budget to the largest single event, forcing evictions at
+        // any interval hosting more than one chunky event.
+        let new_budget = inst.budget() / 2.0;
+        let report = s.change_capacity(new_budget);
+        assert_eq!(s.budget(), new_budget);
+        for t in (0..inst.num_intervals()).map(|t| IntervalId::new(t as u32)) {
+            let used: f64 = s
+                .schedule()
+                .events_at(t)
+                .iter()
+                .map(|&e| inst.event(e).required_resources)
+                .sum();
+            assert!(used <= new_budget + 1e-9, "interval {t} still over budget");
+        }
+        assert!(report.utility_before == before);
+        assert!(report.utility_after <= report.utility_before + 1e-9);
+        assert!(report.recovered() >= -1e-9, "repair only re-adds");
+        // Restoring capacity is repair-free and allows re-extension.
+        let restore = s.change_capacity(inst.budget());
+        assert!(restore.moves.is_empty());
+        assert_eq!(restore.utility_disrupted, restore.utility_before);
+        while s.extend().is_some() {}
+        inst.check_schedule(s.schedule()).unwrap();
+    }
+
+    #[test]
+    fn capacity_cut_keeps_utility_consistent_with_reference() {
+        use crate::engine::evaluate_schedule;
+        let (inst, schedule) = session(19, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        s.change_capacity(inst.budget() * 0.4);
+        // No dynamic competing mass was injected, so the from-scratch
+        // reference must agree with the engine's running utility.
+        let eval = evaluate_schedule(&inst, s.schedule());
+        assert!(
+            (eval.total_utility - s.utility()).abs() < 1e-7,
+            "engine {} vs reference {}",
+            s.utility(),
+            eval.total_utility
+        );
+    }
+
+    #[test]
+    fn rival_announce_after_exact_budget_cut_does_not_panic() {
+        // Regression: cut the budget to exactly an interval's usage, then
+        // announce a rival there. The relocate pass unassigns each event and
+        // must be able to put it back even though a strict re-check of the
+        // exactly-at-budget home slot could fail by a float ulp.
+        let (inst, schedule) = session(29, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let busy = s
+            .schedule()
+            .occupied_intervals()
+            .max_by_key(|&t| s.schedule().events_at(t).len())
+            .unwrap();
+        let used: f64 = s
+            .schedule()
+            .events_at(busy)
+            .iter()
+            .map(|&e| inst.event(e).required_resources)
+            .sum();
+        s.change_capacity(used);
+        let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+            .map(|u| (UserId::new(u as u32), 0.9))
+            .collect();
+        // Several rounds; each relocate pass re-seats events at `busy`.
+        for _ in 0..3 {
+            let report = s.announce_competing(busy, &postings);
+            assert!(report.recovered() >= -1e-9);
+        }
+        assert!(!s.schedule().is_empty());
+    }
+
+    #[test]
+    fn capacity_cut_does_not_reseat_withheld_events() {
+        // Regression: an evicted event whose availability mask is off must
+        // not be re-drawn into the schedule by the capacity repair.
+        let (inst, schedule) = session(37, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        for e in s.schedule().scheduled_events() {
+            s.set_available(e, false);
+        }
+        let scheduled_before: Vec<EventId> = s.schedule().scheduled_events();
+        let report = s.change_capacity(inst.budget() * 0.3);
+        // Whatever was evicted stayed out: the surviving schedule is a
+        // subset of the original, and no repair moves happened.
+        assert!(report.moves.is_empty(), "withheld events were re-seated");
+        for e in s.schedule().scheduled_events() {
+            assert!(scheduled_before.contains(&e));
+        }
+    }
+
+    #[test]
+    fn change_capacity_sanitizes_degenerate_budgets() {
+        // Regression: a negative budget used to spin the eviction loop past
+        // an empty interval and panic; NaN used to disable resource checks.
+        let (inst, schedule) = session(43, 6);
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let report = s.change_capacity(-1.0);
+        assert_eq!(s.budget(), 0.0, "negative budget acts as zero");
+        assert_eq!(s.schedule().len(), 0, "zero budget evicts everything");
+        assert!(report.utility_after.abs() < 1e-9);
+
+        let mut s = OnlineSession::new(&inst, &schedule).unwrap();
+        let before = s.budget();
+        let report = s.change_capacity(f64::NAN);
+        assert_eq!(s.budget(), before, "non-finite budget is ignored");
+        assert!(report.moves.is_empty());
+        assert_eq!(report.utility_before, report.utility_after);
+        // Resource checks still bind: extending past the real budget fails
+        // exactly as before the call.
+        while s.extend().is_some() {}
+        inst.check_schedule(s.schedule()).unwrap();
     }
 
     #[test]

@@ -99,13 +99,7 @@ impl MkpiInstance {
     /// `{none, bin 0, …, bin m−1}`. Exponential — only for tiny instances
     /// (≤ ~8 items) used as the reduction oracle.
     pub fn solve_brute_force(&self) -> f64 {
-        fn rec(
-            inst: &MkpiInstance,
-            i: usize,
-            loads: &mut [f64],
-            profit: f64,
-            best: &mut f64,
-        ) {
+        fn rec(inst: &MkpiInstance, i: usize, loads: &mut [f64], profit: f64, best: &mut f64) {
             if i == inst.items.len() {
                 *best = best.max(profit);
                 return;
@@ -179,7 +173,11 @@ pub fn mkpi_to_ses(mkpi: &MkpiInstance) -> Result<ReducedInstance, ReductionErro
         .map(|(i, item)| {
             // Distinct locations: the location constraint never binds
             // (restriction 7 of the proof sketch).
-            CandidateEvent::new(EventId::new(i as u32), LocationId::new(i as u32), item.weight)
+            CandidateEvent::new(
+                EventId::new(i as u32),
+                LocationId::new(i as u32),
+                item.weight,
+            )
         })
         .collect();
     let competing = (0..m)
@@ -243,7 +241,12 @@ mod tests {
         let mkpi = MkpiInstance {
             num_bins: 2,
             capacity: 10.0,
-            items: vec![item(6.0, 30.0), item(5.0, 20.0), item(5.0, 19.0), item(4.0, 10.0)],
+            items: vec![
+                item(6.0, 30.0),
+                item(5.0, 20.0),
+                item(5.0, 19.0),
+                item(4.0, 10.0),
+            ],
         };
         assert!(approx_eq(mkpi.solve_brute_force(), 79.0));
 
@@ -301,7 +304,12 @@ mod tests {
             MkpiInstance {
                 num_bins: 2,
                 capacity: 10.0,
-                items: vec![item(6.0, 30.0), item(5.0, 20.0), item(5.0, 19.0), item(4.0, 10.0)],
+                items: vec![
+                    item(6.0, 30.0),
+                    item(5.0, 20.0),
+                    item(5.0, 19.0),
+                    item(4.0, 10.0),
+                ],
             },
             MkpiInstance {
                 num_bins: 1,
@@ -311,7 +319,12 @@ mod tests {
             MkpiInstance {
                 num_bins: 3,
                 capacity: 5.0,
-                items: vec![item(4.0, 7.0), item(4.0, 8.0), item(4.0, 9.0), item(2.0, 3.0)],
+                items: vec![
+                    item(4.0, 7.0),
+                    item(4.0, 8.0),
+                    item(4.0, 9.0),
+                    item(2.0, 3.0),
+                ],
             },
         ];
         for (i, mkpi) in cases.iter().enumerate() {

@@ -78,7 +78,10 @@ impl fmt::Display for ScheduleError {
             ScheduleError::IntervalOutOfBounds {
                 interval,
                 num_intervals,
-            } => write!(f, "interval {interval} out of bounds (|T| = {num_intervals})"),
+            } => write!(
+                f,
+                "interval {interval} out of bounds (|T| = {num_intervals})"
+            ),
         }
     }
 }

@@ -49,7 +49,10 @@ fn greedy_beats_baselines_in_aggregate() {
         let k = 10;
         grd += GreedyScheduler::new().run(&inst, k).unwrap().total_utility;
         top += TopScheduler::new().run(&inst, k).unwrap().total_utility;
-        rand += RandomScheduler::new(seed).run(&inst, k).unwrap().total_utility;
+        rand += RandomScheduler::new(seed)
+            .run(&inst, k)
+            .unwrap()
+            .total_utility;
     }
     assert!(grd > top, "GRD {grd} must beat TOP {top} in aggregate");
     assert!(grd > rand, "GRD {grd} must beat RAND {rand} in aggregate");
@@ -95,7 +98,10 @@ fn local_search_recovers_most_of_the_gap_from_random() {
         let inst = small_instance(seed);
         let k = 3;
         let opt = ExactScheduler::new().run(&inst, k).unwrap().total_utility;
-        let rand = RandomScheduler::new(seed).run(&inst, k).unwrap().total_utility;
+        let rand = RandomScheduler::new(seed)
+            .run(&inst, k)
+            .unwrap()
+            .total_utility;
         let ls = LocalSearchScheduler::new(RandomScheduler::new(seed))
             .run(&inst, k)
             .unwrap()

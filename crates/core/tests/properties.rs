@@ -23,7 +23,16 @@ fn instance_config() -> impl Strategy<Value = TestInstanceConfig> {
         any::<u64>(), // seed
     )
         .prop_map(
-            |(num_users, num_events, num_intervals, num_competing, num_locations, theta, interest_density, seed)| {
+            |(
+                num_users,
+                num_events,
+                num_intervals,
+                num_competing,
+                num_locations,
+                theta,
+                interest_density,
+                seed,
+            )| {
                 TestInstanceConfig {
                     num_users,
                     num_events,

@@ -9,16 +9,20 @@
 //!   `ses_core::SesInstance` with Jaccard interest over tags;
 //! * [`sweep`] — the Fig. 1 sweeps (vary `k`; vary `|T|`);
 //! * [`synthetic`] — EBSN-free instance families for stress tests and
-//!   ablations (uniform, clustered, TOP-adversarial).
+//!   ablations (uniform, clustered, TOP-adversarial);
+//! * [`streams`] — rival-posting and activity-drift generators feeding the
+//!   `ses-sim` workload simulator.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod paper;
 pub mod pipeline;
+pub mod streams;
 pub mod sweep;
 pub mod synthetic;
 
 pub use paper::{PaperConfig, SigmaMode};
 pub use pipeline::{build_instance, BuildError, BuiltInstance};
+pub use streams::{drift_postings, rival_postings, RivalProfile};
 pub use sweep::{k_sweep, paper_sweeps, t_sweep, SweepCell};

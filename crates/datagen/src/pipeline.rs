@@ -15,11 +15,11 @@ use crate::paper::{PaperConfig, SigmaMode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use ses_core::interest::InterestBuilder;
 use ses_core::{
     CandidateEvent, CompetingEvent, CompetingEventId, EventId, HashedActivity, IntervalId,
     LocationId, Organizer, SesInstance, SlotActivity, TimeInterval, UserId,
 };
-use ses_core::interest::InterestBuilder;
 use ses_ebsn::checkins::{SLOTS_PER_WEEK, TICKS_PER_DAY, TICKS_PER_HOUR};
 use ses_ebsn::{estimate_slot_activity, jaccard, EbsnDataset, EbsnEventId, SmoothingConfig};
 use std::fmt;

@@ -1,0 +1,167 @@
+//! Disruption-stream primitives for the workload simulator (`ses-sim`).
+//!
+//! The simulator's scenarios need a steady supply of *rival posting lists* —
+//! the `(user, µ)` rows a third-party event announcement carries into
+//! [`ses_core::OnlineSession::announce_competing`]. This module generates
+//! them with controlled reach (what fraction of the population notices the
+//! rival) and strength (how interesting it is to those who do), plus a
+//! low-intensity variant modelling *user-activity drift*: a diffuse rise in
+//! outside options that bleeds attendance from an interval without any
+//! single headline rival — the same Luce-denominator mechanics, different
+//! story.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ses_core::UserId;
+
+/// Shape of a rival event's posting list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RivalProfile {
+    /// Probability that any given user appears on the posting list.
+    pub reach: f64,
+    /// Lower bound of the per-user interest `µ(u, c)`.
+    pub strength_lo: f64,
+    /// Upper bound of the per-user interest `µ(u, c)`.
+    pub strength_hi: f64,
+}
+
+impl RivalProfile {
+    /// A small competitor: noticed by few, mildly interesting.
+    pub fn mild() -> Self {
+        Self {
+            reach: 0.15,
+            strength_lo: 0.1,
+            strength_hi: 0.4,
+        }
+    }
+
+    /// A serious competitor: noticed by many, clearly interesting.
+    pub fn strong() -> Self {
+        Self {
+            reach: 0.6,
+            strength_lo: 0.5,
+            strength_hi: 0.9,
+        }
+    }
+
+    /// A headline act: everyone notices, almost everyone cares.
+    pub fn blanket() -> Self {
+        Self {
+            reach: 1.0,
+            strength_lo: 0.8,
+            strength_hi: 1.0,
+        }
+    }
+
+    /// Linear interpolation `mild → blanket` by `intensity ∈ [0, 1]`,
+    /// used by seasonal scenarios to swell and fade competition.
+    pub fn seasonal(intensity: f64) -> Self {
+        let t = intensity.clamp(0.0, 1.0);
+        let mild = Self::mild();
+        let blanket = Self::blanket();
+        Self {
+            reach: mild.reach + t * (blanket.reach - mild.reach),
+            strength_lo: mild.strength_lo + t * (blanket.strength_lo - mild.strength_lo),
+            strength_hi: mild.strength_hi + t * (blanket.strength_hi - mild.strength_hi),
+        }
+    }
+}
+
+/// Draws one rival posting list over a population of `num_users`: each user
+/// independently appears with probability `profile.reach`, carrying an
+/// interest drawn uniformly from `[strength_lo, strength_hi]`.
+///
+/// Deterministic in the RNG state; rows come out in user order (the engine
+/// does not care, but stable order keeps simulation traces reproducible).
+pub fn rival_postings(
+    rng: &mut StdRng,
+    num_users: usize,
+    profile: &RivalProfile,
+) -> Vec<(UserId, f64)> {
+    let mut postings = Vec::new();
+    for u in 0..num_users {
+        if rng.gen_bool(profile.reach.clamp(0.0, 1.0)) {
+            let mu = rng
+                .gen_range(profile.strength_lo..=profile.strength_hi)
+                .clamp(0.0, 1.0);
+            postings.push((UserId::new(u as u32), mu));
+        }
+    }
+    postings
+}
+
+/// Draws an activity-drift mass: a `fraction` of users each gain a small
+/// outside option of interest up to `intensity` (≤ 0.25 by construction).
+/// Injected as competing mass, this models the population drifting towards
+/// other plans — many weak pulls rather than one strong rival.
+pub fn drift_postings(
+    rng: &mut StdRng,
+    num_users: usize,
+    fraction: f64,
+    intensity: f64,
+) -> Vec<(UserId, f64)> {
+    let cap = intensity.clamp(0.0, 0.25);
+    rival_postings(
+        rng,
+        num_users,
+        &RivalProfile {
+            reach: fraction,
+            strength_lo: 0.01,
+            strength_hi: cap.max(0.01),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn postings_respect_profile_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RivalProfile::strong();
+        let rows = rival_postings(&mut rng, 1000, &p);
+        assert!(!rows.is_empty());
+        let frac = rows.len() as f64 / 1000.0;
+        assert!((frac - p.reach).abs() < 0.1, "reach off: {frac}");
+        for &(u, mu) in &rows {
+            assert!(u.index() < 1000);
+            assert!((p.strength_lo..=p.strength_hi).contains(&mu));
+        }
+    }
+
+    #[test]
+    fn blanket_reaches_everyone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows = rival_postings(&mut rng, 500, &RivalProfile::blanket());
+        assert_eq!(rows.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = RivalProfile::mild();
+        let a = rival_postings(&mut StdRng::seed_from_u64(9), 300, &p);
+        let b = rival_postings(&mut StdRng::seed_from_u64(9), 300, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drift_is_weak_by_construction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = drift_postings(&mut rng, 400, 0.5, 0.9);
+        for &(_, mu) in &rows {
+            assert!(mu <= 0.25, "drift must stay weak, got {mu}");
+        }
+    }
+
+    #[test]
+    fn seasonal_interpolates_between_profiles() {
+        let low = RivalProfile::seasonal(0.0);
+        let high = RivalProfile::seasonal(1.0);
+        assert_eq!(low, RivalProfile::mild());
+        assert_eq!(high, RivalProfile::blanket());
+        let mid = RivalProfile::seasonal(0.5);
+        assert!(mid.reach > low.reach && mid.reach < high.reach);
+    }
+}

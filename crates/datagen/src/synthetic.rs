@@ -12,13 +12,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ses_core::interest::InterestBuilder;
+use ses_core::model::uniform_grid;
 use ses_core::testkit::{random_instance, TestInstanceConfig};
 use ses_core::{
     CandidateEvent, CompetingEvent, CompetingEventId, ConstantActivity, EventId, IntervalId,
     LocationId, Organizer, SesInstance, UserId,
 };
-use ses_core::interest::InterestBuilder;
-use ses_core::model::uniform_grid;
 
 /// Unstructured sparse instance (delegates to `ses_core::testkit`).
 pub fn uniform(
@@ -120,7 +120,12 @@ pub fn clustered(
 /// every event scores highest there initially), all users share broad
 /// interest, and the resource budget allows many events per interval. TOP
 /// stacks the popular interval and cannibalizes; GRD spreads out.
-pub fn top_trap(num_users: usize, num_events: usize, num_intervals: usize, seed: u64) -> SesInstance {
+pub fn top_trap(
+    num_users: usize,
+    num_events: usize,
+    num_intervals: usize,
+    seed: u64,
+) -> SesInstance {
     assert!(num_intervals >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     // One competing event in every interval except interval 0, with high

@@ -30,18 +30,20 @@ fn config_strategy() -> impl Strategy<Value = PaperConfig> {
         any::<u64>(),    // seed
         prop::bool::ANY, // sigma mode
     )
-        .prop_map(|(k, t_factor, competing_mean, seed, checkins)| PaperConfig {
-            k,
-            t_factor,
-            competing_mean,
-            seed,
-            sigma: if checkins {
-                SigmaMode::FromCheckins
-            } else {
-                SigmaMode::Uniform
+        .prop_map(
+            |(k, t_factor, competing_mean, seed, checkins)| PaperConfig {
+                k,
+                t_factor,
+                competing_mean,
+                seed,
+                sigma: if checkins {
+                    SigmaMode::FromCheckins
+                } else {
+                    SigmaMode::Uniform
+                },
+                ..PaperConfig::default()
             },
-            ..PaperConfig::default()
-        })
+        )
 }
 
 proptest! {

@@ -159,10 +159,7 @@ mod tests {
         // Same check-ins over 4× the horizon must not raise any estimate.
         let long = estimate_slot_activity(&ds, SmoothingConfig::default());
         assert_eq!(short.len(), long.len());
-        assert!(short
-            .iter()
-            .zip(&long)
-            .all(|(s, l)| l <= s));
+        assert!(short.iter().zip(&long).all(|(s, l)| l <= s));
         let _ = TICKS_PER_WEEK; // silence unused import in cfg(test)
     }
 }

@@ -191,13 +191,7 @@ pub fn export_csv(dataset: &EbsnDataset, dir: impl AsRef<Path>) -> Result<(), Da
 
     let mut rsvps = String::from("member,event,attended\n");
     for r in &dataset.rsvps {
-        let _ = writeln!(
-            rsvps,
-            "{},{},{}",
-            r.member.raw(),
-            r.event.raw(),
-            r.attended
-        );
+        let _ = writeln!(rsvps, "{},{},{}", r.member.raw(), r.event.raw(), r.attended);
     }
     write_file(dir, "rsvps.csv", &rsvps)?;
 

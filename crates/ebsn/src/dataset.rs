@@ -258,7 +258,10 @@ mod tests {
         ds.members[0].groups.push(GroupId(9));
         assert!(matches!(
             ds.validate().unwrap_err(),
-            DatasetError::DanglingReference { what: "member.group", .. }
+            DatasetError::DanglingReference {
+                what: "member.group",
+                ..
+            }
         ));
     }
 
@@ -302,7 +305,10 @@ mod tests {
         });
         assert!(matches!(
             ds.validate().unwrap_err(),
-            DatasetError::DanglingReference { what: "rsvp.member", .. }
+            DatasetError::DanglingReference {
+                what: "rsvp.member",
+                ..
+            }
         ));
     }
 

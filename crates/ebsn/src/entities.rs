@@ -174,8 +174,16 @@ mod tests {
 
     #[test]
     fn venue_distance() {
-        let a = Venue { id: VenueId(0), x: 0.0, y: 0.0 };
-        let b = Venue { id: VenueId(1), x: 3.0, y: 4.0 };
+        let a = Venue {
+            id: VenueId(0),
+            x: 0.0,
+            y: 0.0,
+        };
+        let b = Venue {
+            id: VenueId(1),
+            x: 3.0,
+            y: 4.0,
+        };
         assert_eq!(a.distance(&b), 5.0);
         assert_eq!(a.distance(&a), 0.0);
     }

@@ -21,7 +21,9 @@
 
 use crate::checkins::{TICKS_PER_DAY, TICKS_PER_HOUR, TICKS_PER_WEEK};
 use crate::dataset::EbsnDataset;
-use crate::entities::{EbsnEvent, EbsnEventId, Group, GroupId, Member, MemberId, Rsvp, Venue, VenueId};
+use crate::entities::{
+    EbsnEvent, EbsnEventId, Group, GroupId, Member, MemberId, Rsvp, Venue, VenueId,
+};
 use crate::similarity::jaccard;
 use crate::tags::{Tag, TagSet, TagVocabulary};
 use rand::rngs::StdRng;
@@ -143,17 +145,16 @@ impl Gen<'_> {
     }
 
     fn members(&mut self, groups: &mut [Group]) -> Vec<Member> {
-        let group_zipf = Zipf::new(groups.len() as u64, self.cfg.group_exponent)
-            .expect("valid Zipf");
-        let poisson = Poisson::new((self.cfg.mean_groups_per_member - 1.0).max(0.1))
-            .expect("valid Poisson");
+        let group_zipf =
+            Zipf::new(groups.len() as u64, self.cfg.group_exponent).expect("valid Zipf");
+        let poisson =
+            Poisson::new((self.cfg.mean_groups_per_member - 1.0).max(0.1)).expect("valid Poisson");
         let beta = Beta::new(2.0, 5.0).expect("valid Beta");
         let (plo, phi) = self.cfg.personal_tags;
         (0..self.cfg.num_members)
             .map(|m| {
                 let id = MemberId(m as u32);
-                let count = (1.0 + poisson.sample(&mut self.rng))
-                    .min(groups.len() as f64) as usize;
+                let count = (1.0 + poisson.sample(&mut self.rng)).min(groups.len() as f64) as usize;
                 let mut joined: Vec<GroupId> = Vec::with_capacity(count);
                 let mut guard = 0;
                 while joined.len() < count && guard < count * 20 {
@@ -201,8 +202,8 @@ impl Gen<'_> {
     }
 
     fn events(&mut self, groups: &[Group]) -> Vec<EbsnEvent> {
-        let group_zipf = Zipf::new(groups.len() as u64, self.cfg.group_exponent)
-            .expect("valid Zipf");
+        let group_zipf =
+            Zipf::new(groups.len() as u64, self.cfg.group_exponent).expect("valid Zipf");
         let horizon = self.cfg.horizon_weeks * TICKS_PER_WEEK;
         (0..self.cfg.num_events)
             .map(|e| {
@@ -213,7 +214,7 @@ impl Gen<'_> {
                 // Events skew to evenings: 50% evening, 30% afternoon, 20%
                 // morning; minute jitter spreads starts within the hour.
                 let r: f64 = self.rng.gen();
-                let start_hour = if r < 0.50 {
+                let start_hour: u64 = if r < 0.50 {
                     self.rng.gen_range(17..23)
                 } else if r < 0.80 {
                     self.rng.gen_range(12..17)
@@ -222,7 +223,8 @@ impl Gen<'_> {
                 };
                 let minute = self.rng.gen_range(0..60u64);
                 let duration = self.rng.gen_range(60..=120u64);
-                let start = (week * TICKS_PER_WEEK + day * TICKS_PER_DAY
+                let start = (week * TICKS_PER_WEEK
+                    + day * TICKS_PER_DAY
                     + start_hour * TICKS_PER_HOUR
                     + minute)
                     .min(horizon.saturating_sub(duration));

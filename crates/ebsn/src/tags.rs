@@ -33,38 +33,210 @@ impl fmt::Display for Tag {
 /// Ordered roughly by popularity so Zipf-distributed draws over indices give
 /// popular-topic skew for free.
 const BUILTIN_TOPICS: &[&str] = &[
-    "social", "networking", "hiking", "technology", "fitness", "live-music", "photography",
-    "food", "travel", "startups", "book-club", "yoga", "running", "board-games", "wine",
-    "career", "meditation", "dancing", "cycling", "entrepreneurship", "coffee", "art",
-    "language-exchange", "singles", "outdoors", "happy-hour", "web-development", "investing",
-    "film", "writing", "craft-beer", "volunteering", "rock-music", "salsa", "camping",
-    "machine-learning", "marketing", "self-improvement", "jazz", "painting", "theater",
-    "basketball", "soccer", "software-engineering", "small-business", "pop-music", "karaoke",
-    "cooking", "veggie-food", "data-science", "blockchain", "real-estate", "poker",
-    "spirituality", "parenting", "dogs", "comedy", "open-mic", "gaming", "anime",
-    "backpacking", "kayaking", "climbing", "surfing", "tennis", "golf", "pilates",
-    "crossfit", "martial-arts", "swing-dance", "tango", "ballet", "hip-hop", "edm",
-    "classical-music", "opera", "sculpture", "museums", "history", "philosophy",
-    "psychology", "astronomy", "physics", "biotech", "chemistry", "robotics", "drones",
-    "3d-printing", "arduino", "linux", "python", "rust-lang", "javascript", "cloud",
-    "devops", "security", "ux-design", "graphic-design", "fashion", "beauty", "makeup",
-    "knitting", "quilting", "woodworking", "gardening", "bird-watching", "fishing",
-    "sailing", "scuba", "skiing", "snowboarding", "skating", "motorcycles", "classic-cars",
-    "aviation", "trains", "chess", "bridge", "mahjong", "trivia", "escape-rooms",
-    "improv", "stand-up", "acting", "screenwriting", "poetry", "fiction", "non-fiction",
-    "journalism", "blogging", "podcasting", "video-production", "animation",
-    "street-photography", "portrait-photography", "landscape-photography", "videography",
-    "drawing", "watercolor", "calligraphy", "ceramics", "jewelry-making", "diy",
-    "home-brewing", "whiskey", "cocktails", "tea", "baking", "bbq", "sushi", "ramen",
-    "vegan", "paleo", "nutrition", "weight-loss", "mental-health", "mindfulness",
-    "life-coaching", "public-speaking", "toastmasters", "leadership", "product-management",
-    "agile", "consulting", "freelancing", "remote-work", "digital-nomads", "crypto",
-    "stocks", "options-trading", "financial-independence", "frugal-living", "minimalism",
-    "tiny-houses", "sustainability", "climate", "recycling", "urban-farming", "beekeeping",
-    "astronomy-club", "stargazing", "genealogy", "local-history", "walking-tours",
-    "pub-crawl", "brunch", "dining-out", "supper-club", "picnics", "beach", "road-trips",
-    "international-travel", "solo-travel", "expats", "newcomers", "over-40", "over-50",
-    "20s-30s", "lgbtq", "women-in-tech", "moms", "dads", "pet-lovers", "cat-lovers",
+    "social",
+    "networking",
+    "hiking",
+    "technology",
+    "fitness",
+    "live-music",
+    "photography",
+    "food",
+    "travel",
+    "startups",
+    "book-club",
+    "yoga",
+    "running",
+    "board-games",
+    "wine",
+    "career",
+    "meditation",
+    "dancing",
+    "cycling",
+    "entrepreneurship",
+    "coffee",
+    "art",
+    "language-exchange",
+    "singles",
+    "outdoors",
+    "happy-hour",
+    "web-development",
+    "investing",
+    "film",
+    "writing",
+    "craft-beer",
+    "volunteering",
+    "rock-music",
+    "salsa",
+    "camping",
+    "machine-learning",
+    "marketing",
+    "self-improvement",
+    "jazz",
+    "painting",
+    "theater",
+    "basketball",
+    "soccer",
+    "software-engineering",
+    "small-business",
+    "pop-music",
+    "karaoke",
+    "cooking",
+    "veggie-food",
+    "data-science",
+    "blockchain",
+    "real-estate",
+    "poker",
+    "spirituality",
+    "parenting",
+    "dogs",
+    "comedy",
+    "open-mic",
+    "gaming",
+    "anime",
+    "backpacking",
+    "kayaking",
+    "climbing",
+    "surfing",
+    "tennis",
+    "golf",
+    "pilates",
+    "crossfit",
+    "martial-arts",
+    "swing-dance",
+    "tango",
+    "ballet",
+    "hip-hop",
+    "edm",
+    "classical-music",
+    "opera",
+    "sculpture",
+    "museums",
+    "history",
+    "philosophy",
+    "psychology",
+    "astronomy",
+    "physics",
+    "biotech",
+    "chemistry",
+    "robotics",
+    "drones",
+    "3d-printing",
+    "arduino",
+    "linux",
+    "python",
+    "rust-lang",
+    "javascript",
+    "cloud",
+    "devops",
+    "security",
+    "ux-design",
+    "graphic-design",
+    "fashion",
+    "beauty",
+    "makeup",
+    "knitting",
+    "quilting",
+    "woodworking",
+    "gardening",
+    "bird-watching",
+    "fishing",
+    "sailing",
+    "scuba",
+    "skiing",
+    "snowboarding",
+    "skating",
+    "motorcycles",
+    "classic-cars",
+    "aviation",
+    "trains",
+    "chess",
+    "bridge",
+    "mahjong",
+    "trivia",
+    "escape-rooms",
+    "improv",
+    "stand-up",
+    "acting",
+    "screenwriting",
+    "poetry",
+    "fiction",
+    "non-fiction",
+    "journalism",
+    "blogging",
+    "podcasting",
+    "video-production",
+    "animation",
+    "street-photography",
+    "portrait-photography",
+    "landscape-photography",
+    "videography",
+    "drawing",
+    "watercolor",
+    "calligraphy",
+    "ceramics",
+    "jewelry-making",
+    "diy",
+    "home-brewing",
+    "whiskey",
+    "cocktails",
+    "tea",
+    "baking",
+    "bbq",
+    "sushi",
+    "ramen",
+    "vegan",
+    "paleo",
+    "nutrition",
+    "weight-loss",
+    "mental-health",
+    "mindfulness",
+    "life-coaching",
+    "public-speaking",
+    "toastmasters",
+    "leadership",
+    "product-management",
+    "agile",
+    "consulting",
+    "freelancing",
+    "remote-work",
+    "digital-nomads",
+    "crypto",
+    "stocks",
+    "options-trading",
+    "financial-independence",
+    "frugal-living",
+    "minimalism",
+    "tiny-houses",
+    "sustainability",
+    "climate",
+    "recycling",
+    "urban-farming",
+    "beekeeping",
+    "astronomy-club",
+    "stargazing",
+    "genealogy",
+    "local-history",
+    "walking-tours",
+    "pub-crawl",
+    "brunch",
+    "dining-out",
+    "supper-club",
+    "picnics",
+    "beach",
+    "road-trips",
+    "international-travel",
+    "solo-travel",
+    "expats",
+    "newcomers",
+    "over-40",
+    "over-50",
+    "20s-30s",
+    "lgbtq",
+    "women-in-tech",
+    "moms",
+    "dads",
+    "pet-lovers",
+    "cat-lovers",
 ];
 
 /// An interned, indexable topic vocabulary.
@@ -233,7 +405,11 @@ mod tests {
     #[test]
     fn builtin_vocabulary_is_deduplicated() {
         let v = TagVocabulary::builtin();
-        assert!(v.len() >= 180, "expected a rich vocabulary, got {}", v.len());
+        assert!(
+            v.len() >= 180,
+            "expected a rich vocabulary, got {}",
+            v.len()
+        );
         // Interning an existing name returns the same tag.
         let mut v2 = TagVocabulary::builtin();
         let before = v2.len();

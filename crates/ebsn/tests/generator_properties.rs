@@ -11,13 +11,13 @@ use ses_ebsn::{
 
 fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
     (
-        10usize..200,  // members
-        1usize..15,    // groups
-        1usize..10,    // venues
-        5usize..100,   // events
-        1u64..12,      // weeks
-        any::<u64>(),  // seed
-        1.2f64..4.0,   // mean groups/member
+        10usize..200, // members
+        1usize..15,   // groups
+        1usize..10,   // venues
+        5usize..100,  // events
+        1u64..12,     // weeks
+        any::<u64>(), // seed
+        1.2f64..4.0,  // mean groups/member
     )
         .prop_map(
             |(num_members, num_groups, num_venues, num_events, horizon_weeks, seed, mean)| {

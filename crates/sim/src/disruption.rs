@@ -1,0 +1,110 @@
+//! The disruption vocabulary: everything the outside world can do to a
+//! published schedule, as data.
+
+use ses_core::{EventId, IntervalId, UserId};
+
+/// One thing that happens to the live schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disruption {
+    /// A third-party event is announced at `interval`; `postings` lists the
+    /// users who notice it with their interest `µ(u, c)`.
+    RivalAnnounce {
+        /// Where the rival lands.
+        interval: IntervalId,
+        /// Its posting list.
+        postings: Vec<(UserId, f64)>,
+    },
+    /// Population-level activity drift at `interval`: many users gain a weak
+    /// outside option (injected as diffuse competing mass — see
+    /// `ses_datagen::streams::drift_postings`).
+    ActivityDrift {
+        /// Where attention drifts away from.
+        interval: IntervalId,
+        /// The per-user outside-option mass.
+        postings: Vec<(UserId, f64)>,
+    },
+    /// A scheduled event is cancelled (act pulls out); the session backfills.
+    Cancel {
+        /// The cancelled event.
+        event: EventId,
+    },
+    /// A candidate that missed initial planning becomes available and is
+    /// placed greedily if a valid slot exists.
+    LateArrival {
+        /// The arriving candidate.
+        event: EventId,
+    },
+    /// The organizer frees budget for one more event (`k → k+1` upgrade).
+    Extend,
+    /// The per-interval resource budget θ moves to `budget`.
+    CapacityChange {
+        /// The new budget.
+        budget: f64,
+    },
+}
+
+/// A [`Disruption`] stamped with its simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedDisruption {
+    /// The tick at which the disruption fires.
+    pub at: u64,
+    /// What happens.
+    pub disruption: Disruption,
+}
+
+/// The kind tag of a [`Disruption`], for traces and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DisruptionKind {
+    /// [`Disruption::RivalAnnounce`].
+    RivalAnnounce,
+    /// [`Disruption::ActivityDrift`].
+    ActivityDrift,
+    /// [`Disruption::Cancel`].
+    Cancel,
+    /// [`Disruption::LateArrival`].
+    LateArrival,
+    /// [`Disruption::Extend`].
+    Extend,
+    /// [`Disruption::CapacityChange`].
+    CapacityChange,
+}
+
+impl Disruption {
+    /// The kind tag of this disruption.
+    pub fn kind(&self) -> DisruptionKind {
+        match self {
+            Disruption::RivalAnnounce { .. } => DisruptionKind::RivalAnnounce,
+            Disruption::ActivityDrift { .. } => DisruptionKind::ActivityDrift,
+            Disruption::Cancel { .. } => DisruptionKind::Cancel,
+            Disruption::LateArrival { .. } => DisruptionKind::LateArrival,
+            Disruption::Extend => DisruptionKind::Extend,
+            Disruption::CapacityChange { .. } => DisruptionKind::CapacityChange,
+        }
+    }
+}
+
+impl DisruptionKind {
+    /// Stable short label (used in traces and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            DisruptionKind::RivalAnnounce => "rival",
+            DisruptionKind::ActivityDrift => "drift",
+            DisruptionKind::Cancel => "cancel",
+            DisruptionKind::LateArrival => "arrival",
+            DisruptionKind::Extend => "extend",
+            DisruptionKind::CapacityChange => "capacity",
+        }
+    }
+
+    /// Stable byte tag for trace digests.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DisruptionKind::RivalAnnounce => 1,
+            DisruptionKind::ActivityDrift => 2,
+            DisruptionKind::Cancel => 3,
+            DisruptionKind::LateArrival => 4,
+            DisruptionKind::Extend => 5,
+            DisruptionKind::CapacityChange => 6,
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Pluggable workload scenarios.
+//!
+//! A [`Scenario`] is a deterministic generator of timestamped disruptions:
+//! the simulator repeatedly asks it for the *next* event at or after the
+//! current tick, merges all sources on its event queue, and applies them in
+//! time order. Scenarios may inspect the live schedule through [`SimView`]
+//! (e.g. to target the busiest interval) but never mutate it — all state
+//! changes flow through the simulator so they land in the trace.
+//!
+//! # Writing a new workload
+//!
+//! One impl away, as promised:
+//!
+//! ```
+//! use ses_sim::{Disruption, Scenario, SimView, TimedDisruption};
+//!
+//! /// Cancels one scheduled event every `period` ticks, forever.
+//! struct Grinder { period: u64 }
+//!
+//! impl Scenario for Grinder {
+//!     fn name(&self) -> &'static str { "grinder" }
+//!
+//!     fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+//!         let event = view.scheduled_events().first().copied()?;
+//!         Some(TimedDisruption {
+//!             at: now + self.period,
+//!             disruption: Disruption::Cancel { event },
+//!         })
+//!     }
+//! }
+//! ```
+//!
+//! Determinism contract: draw all randomness from an RNG you seed yourself
+//! (e.g. `StdRng::seed_from_u64`), and derive decisions only from `now`,
+//! your own state, and the `SimView`. The simulator guarantees it calls
+//! `next` in a reproducible order.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ses_core::{EventId, IntervalId, OnlineSession};
+use ses_datagen::streams::{drift_postings, rival_postings, RivalProfile};
+
+use crate::disruption::{Disruption, TimedDisruption};
+
+/// A read-only window onto the live session, handed to scenarios.
+pub struct SimView<'s, 'a> {
+    session: &'s OnlineSession<'a>,
+}
+
+impl<'s, 'a> SimView<'s, 'a> {
+    /// Wraps a session.
+    pub(crate) fn new(session: &'s OnlineSession<'a>) -> Self {
+        Self { session }
+    }
+
+    /// Current total utility Ω.
+    pub fn utility(&self) -> f64 {
+        self.session.utility()
+    }
+
+    /// Number of users in the population.
+    pub fn num_users(&self) -> usize {
+        self.session.instance().num_users()
+    }
+
+    /// Number of candidate events.
+    pub fn num_events(&self) -> usize {
+        self.session.instance().num_events()
+    }
+
+    /// Number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.session.instance().num_intervals()
+    }
+
+    /// The instance's original resource budget θ.
+    pub fn base_budget(&self) -> f64 {
+        self.session.instance().budget()
+    }
+
+    /// The session's live budget (after any capacity changes).
+    pub fn budget(&self) -> f64 {
+        self.session.budget()
+    }
+
+    /// Currently scheduled events, in event-id order.
+    pub fn scheduled_events(&self) -> Vec<EventId> {
+        self.session.schedule().scheduled_events()
+    }
+
+    /// Number of scheduled events.
+    pub fn scheduled_len(&self) -> usize {
+        self.session.schedule().len()
+    }
+
+    /// Whether `event` is currently scheduled.
+    pub fn is_scheduled(&self, event: EventId) -> bool {
+        self.session.schedule().contains(event)
+    }
+
+    /// Whether `event` is available to backfills/extensions.
+    pub fn is_available(&self, event: EventId) -> bool {
+        self.session.is_available(event)
+    }
+
+    /// Candidates that are neither scheduled nor available — the late
+    /// arrivals a scenario can release.
+    pub fn withheld_events(&self) -> Vec<EventId> {
+        (0..self.num_events() as u32)
+            .map(EventId::new)
+            .filter(|&e| !self.is_scheduled(e) && !self.is_available(e))
+            .collect()
+    }
+
+    /// The interval currently hosting the most scheduled events, if any.
+    pub fn busiest_interval(&self) -> Option<IntervalId> {
+        self.session
+            .schedule()
+            .occupied_intervals()
+            .max_by_key(|&t| self.session.schedule().events_at(t).len())
+    }
+}
+
+/// A deterministic source of timestamped disruptions.
+pub trait Scenario {
+    /// Stable scenario name (recorded in summaries).
+    fn name(&self) -> &'static str;
+
+    /// The next disruption at a tick ≥ `now`, or `None` when the source is
+    /// exhausted. Called once up front and then once after each of this
+    /// scenario's events is applied.
+    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption>;
+
+    /// Whether this workload ever emits [`Disruption::LateArrival`].
+    /// Drivers use this to decide if withholding candidates makes sense —
+    /// withheld events in a scenario that never releases them are simply
+    /// dead weight excluded from every backfill.
+    fn releases_late_arrivals(&self) -> bool {
+        true
+    }
+}
+
+fn random_interval(rng: &mut StdRng, view: &SimView<'_, '_>) -> IntervalId {
+    IntervalId::new(rng.gen_range(0..view.num_intervals().max(1)) as u32)
+}
+
+/// Background traffic: a mixed, memoryless stream of mild rivals,
+/// cancellations, extensions, late arrivals and drift, at a constant rate.
+///
+/// The long-run mix (55% mild rivals, 15% cancels, 15% extends, 10%
+/// arrivals, 5% drift) keeps the schedule size roughly stationary, so the
+/// session neither starves nor saturates — the steady state its name
+/// promises.
+pub struct SteadyState {
+    rng: StdRng,
+}
+
+impl SteadyState {
+    /// A steady-state source with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x5710_57a7),
+        }
+    }
+}
+
+impl Scenario for SteadyState {
+    fn name(&self) -> &'static str {
+        "steady"
+    }
+
+    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+        let at = now + self.rng.gen_range(1..=4u64);
+        let roll: f64 = self.rng.gen();
+        let disruption = if roll < 0.55 {
+            Disruption::RivalAnnounce {
+                interval: random_interval(&mut self.rng, view),
+                postings: rival_postings(&mut self.rng, view.num_users(), &RivalProfile::mild()),
+            }
+        } else if roll < 0.70 {
+            match view.scheduled_events().choose(&mut self.rng) {
+                Some(&event) => Disruption::Cancel { event },
+                None => Disruption::Extend,
+            }
+        } else if roll < 0.85 {
+            Disruption::Extend
+        } else if roll < 0.95 {
+            match view.withheld_events().choose(&mut self.rng) {
+                Some(&event) => Disruption::LateArrival { event },
+                None => Disruption::Extend,
+            }
+        } else {
+            Disruption::ActivityDrift {
+                interval: random_interval(&mut self.rng, view),
+                postings: drift_postings(&mut self.rng, view.num_users(), 0.3, 0.1),
+            }
+        };
+        Some(TimedDisruption { at, disruption })
+    }
+}
+
+/// Flash crowds: long quiet stretches of mild background noise, then a
+/// burst — a strong rival lands on the busiest interval every tick for
+/// `BURST` ticks, with cancellations at the burst front — followed by a
+/// recovery phase of extensions.
+pub struct FlashCrowd {
+    rng: StdRng,
+    period: u64,
+    burst: u64,
+}
+
+impl FlashCrowd {
+    /// A flash-crowd source with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0xf1a5_c07d),
+            period: 50,
+            burst: 10,
+        }
+    }
+}
+
+impl Scenario for FlashCrowd {
+    fn name(&self) -> &'static str {
+        "flash-crowd"
+    }
+
+    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+        let at = now + 1;
+        let phase = at % self.period;
+        let disruption = if phase < self.burst {
+            // Burst: hammer the busiest interval; open with a cancellation.
+            if phase == 0 {
+                match view.scheduled_events().choose(&mut self.rng) {
+                    Some(&event) => Disruption::Cancel { event },
+                    None => Disruption::Extend,
+                }
+            } else {
+                let interval = view
+                    .busiest_interval()
+                    .unwrap_or_else(|| random_interval(&mut self.rng, view));
+                Disruption::RivalAnnounce {
+                    interval,
+                    postings: rival_postings(
+                        &mut self.rng,
+                        view.num_users(),
+                        &RivalProfile::strong(),
+                    ),
+                }
+            }
+        } else if phase < self.burst + 5 {
+            // Recovery: re-grow the schedule — fresh acts arrive in the
+            // crowd's wake, alternating with plain extensions.
+            if self.rng.gen_bool(0.5) {
+                match view.withheld_events().choose(&mut self.rng) {
+                    Some(&event) => Disruption::LateArrival { event },
+                    None => Disruption::Extend,
+                }
+            } else {
+                Disruption::Extend
+            }
+        } else {
+            // Quiet: sparse mild rivals at random intervals.
+            Disruption::RivalAnnounce {
+                interval: random_interval(&mut self.rng, view),
+                postings: rival_postings(&mut self.rng, view.num_users(), &RivalProfile::mild()),
+            }
+        };
+        Some(TimedDisruption { at, disruption })
+    }
+}
+
+/// A worst-case adversary: every other tick it drops a blanket rival
+/// (full reach, near-maximal interest) exactly on the busiest interval —
+/// the tightest sustained pressure the repair loop can face.
+pub struct AdversarialRival {
+    rng: StdRng,
+}
+
+impl AdversarialRival {
+    /// An adversarial source with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0xadae_05a1),
+        }
+    }
+}
+
+impl Scenario for AdversarialRival {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+
+    /// Pure rival pressure — no arrivals, ever.
+    fn releases_late_arrivals(&self) -> bool {
+        false
+    }
+
+    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+        let interval = view
+            .busiest_interval()
+            .unwrap_or_else(|| random_interval(&mut self.rng, view));
+        Some(TimedDisruption {
+            at: now + 2,
+            disruption: Disruption::RivalAnnounce {
+                interval,
+                postings: rival_postings(&mut self.rng, view.num_users(), &RivalProfile::blanket()),
+            },
+        })
+    }
+}
+
+/// Seasonality: competition intensity follows a sinusoid with period
+/// `SEASON` ticks. High season brings strong rivals and a capacity squeeze
+/// (θ drops to 70%); low season restores capacity and back-fills with
+/// extensions and late arrivals.
+pub struct Seasonal {
+    rng: StdRng,
+    season: u64,
+    /// Next half-season tick at which capacity must track the season.
+    /// Ticks advance by 1–3, so boundaries are detected by *crossing*
+    /// (`at ≥ next_boundary`), never by landing on an exact multiple.
+    next_boundary: u64,
+}
+
+impl Seasonal {
+    /// A seasonal source with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        let season = 120;
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x5ea5_00a1),
+            season,
+            next_boundary: season / 2,
+        }
+    }
+
+    /// Season intensity in `[0, 1]` at tick `at`.
+    fn intensity(&self, at: u64) -> f64 {
+        let phase = (at % self.season) as f64 / self.season as f64;
+        0.5 - 0.5 * (phase * std::f64::consts::TAU).cos()
+    }
+}
+
+impl Scenario for Seasonal {
+    fn name(&self) -> &'static str {
+        "seasonal"
+    }
+
+    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+        let at = now + self.rng.gen_range(1..=3u64);
+        let intensity = self.intensity(at);
+        // Capacity tracks the season at the boundary of each half-phase;
+        // fire exactly once per crossing, at the crossing tick.
+        let disruption = if at >= self.next_boundary {
+            let boundary = self.next_boundary;
+            self.next_boundary += self.season / 2;
+            // High season (odd half-phases) squeezes θ; low season restores.
+            let squeeze = if (boundary / (self.season / 2)) % 2 == 1 {
+                0.7
+            } else {
+                1.0
+            };
+            return Some(TimedDisruption {
+                at: boundary.max(now),
+                disruption: Disruption::CapacityChange {
+                    budget: view.base_budget() * squeeze,
+                },
+            });
+        } else if self.rng.gen_bool(intensity.clamp(0.05, 0.95)) {
+            Disruption::RivalAnnounce {
+                interval: random_interval(&mut self.rng, view),
+                postings: rival_postings(
+                    &mut self.rng,
+                    view.num_users(),
+                    &RivalProfile::seasonal(intensity),
+                ),
+            }
+        } else if self.rng.gen_bool(0.5) {
+            Disruption::Extend
+        } else {
+            match view.withheld_events().choose(&mut self.rng) {
+                Some(&event) => Disruption::LateArrival { event },
+                None => Disruption::Extend,
+            }
+        };
+        Some(TimedDisruption { at, disruption })
+    }
+}
+
+/// Instantiates a built-in scenario by CLI name.
+///
+/// Accepted names: `steady`, `flash-crowd`, `adversarial`, `seasonal`.
+pub fn scenario_by_name(name: &str, seed: u64) -> Option<Box<dyn Scenario>> {
+    match name {
+        "steady" | "steady-state" => Some(Box::new(SteadyState::new(seed))),
+        "flash-crowd" | "flashcrowd" | "flash" => Some(Box::new(FlashCrowd::new(seed))),
+        "adversarial" | "adversarial-rival" | "rival" => {
+            Some(Box::new(AdversarialRival::new(seed)))
+        }
+        "seasonal" | "season" => Some(Box::new(Seasonal::new(seed))),
+        _ => None,
+    }
+}
+
+/// The names [`scenario_by_name`] accepts, canonical forms first.
+pub const SCENARIO_NAMES: &[&str] = &["steady", "flash-crowd", "adversarial", "seasonal"];

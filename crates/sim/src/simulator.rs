@@ -1,0 +1,276 @@
+//! The discrete-event simulator: merges scenario streams on a time-ordered
+//! event queue and drives an [`OnlineSession`] through them, recording a
+//! trace and throughput counters.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use ses_core::{EngineCounters, EventId, OnlineSession, RepairReport};
+
+use crate::disruption::{Disruption, DisruptionKind};
+use crate::scenario::{Scenario, SimView};
+use crate::trace::{Trace, TraceRecord};
+
+/// One queued disruption. Ordered by `(at, seq)`; `seq` is a global
+/// admission counter, so simultaneous events apply in admission order and
+/// the whole run is deterministic.
+struct Pending {
+    at: u64,
+    seq: u64,
+    source: usize,
+    disruption: Disruption,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// End-of-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// Disruptions taken off the queue.
+    pub steps: u64,
+    /// Disruptions that changed session state.
+    pub applied: u64,
+    /// Disruptions that were inert (cancel of an unscheduled event, …).
+    pub skipped: u64,
+    /// Simulation tick of the last disruption.
+    pub final_tick: u64,
+    /// Utility Ω when the run ended.
+    pub final_utility: f64,
+    /// Schedule size when the run ended.
+    pub final_scheduled: usize,
+    /// Total events moved or added by repairs.
+    pub total_moves: u64,
+    /// Σ `recovered()` over all repairs — utility the repair loop clawed back.
+    pub total_recovered: f64,
+    /// Engine operation counters accumulated during the run (deltas).
+    pub counters: EngineCounters,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Disruptions processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Determinism digest of the trace (see [`Trace::digest`]).
+    pub digest: u64,
+}
+
+/// A discrete-event simulation binding scenario streams to a live session.
+pub struct Simulator<'a> {
+    session: OnlineSession<'a>,
+    sources: Vec<Box<dyn Scenario>>,
+    primed: Vec<bool>,
+    queue: BinaryHeap<Pending>,
+    clock: u64,
+    seq: u64,
+    steps_done: u64,
+    trace: Trace,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator over `session` driven by `sources`.
+    pub fn new(session: OnlineSession<'a>, sources: Vec<Box<dyn Scenario>>) -> Self {
+        let n = sources.len();
+        Self {
+            session,
+            sources,
+            primed: vec![false; n],
+            queue: BinaryHeap::new(),
+            clock: 0,
+            seq: 0,
+            steps_done: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Withholds every `1/fraction`-ish unscheduled candidate (taking each
+    /// with index hash below `fraction`) so scenarios have late arrivals to
+    /// release. Deterministic — no RNG involved.
+    pub fn withhold_fraction(&mut self, fraction: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let n = self.session.instance().num_events();
+        let take =
+            |e: usize| (((e.wrapping_mul(2654435761) >> 16) % 1000) as f64) < fraction * 1000.0;
+        let mut withheld = 0;
+        for e in (0..n).map(|e| EventId::new(e as u32)) {
+            if !self.session.schedule().contains(e) && take(e.index()) {
+                self.session.set_available(e, false);
+                withheld += 1;
+            }
+        }
+        withheld
+    }
+
+    /// The live session (read access).
+    pub fn session(&self) -> &OnlineSession<'a> {
+        &self.session
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning the session for post-inspection.
+    pub fn into_session(self) -> OnlineSession<'a> {
+        self.session
+    }
+
+    /// Asks source `i` for its next event and queues it.
+    fn refill(&mut self, i: usize) {
+        let view = SimView::new(&self.session);
+        if let Some(timed) = self.sources[i].next(self.clock, &view) {
+            let at = timed.at.max(self.clock);
+            self.queue.push(Pending {
+                at,
+                seq: self.seq,
+                source: i,
+                disruption: timed.disruption,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Applies one disruption to the session. Returns the repair report if
+    /// the session changed.
+    fn apply(&mut self, disruption: &Disruption) -> Option<RepairReport> {
+        match disruption {
+            Disruption::RivalAnnounce { interval, postings }
+            | Disruption::ActivityDrift { interval, postings } => {
+                Some(self.session.announce_competing(*interval, postings))
+            }
+            Disruption::Cancel { event } => self.session.cancel_event(*event).ok(),
+            Disruption::LateArrival { event } => self.session.arrive(*event),
+            Disruption::Extend => self.session.extend(),
+            Disruption::CapacityChange { budget } => Some(self.session.change_capacity(*budget)),
+        }
+    }
+
+    /// Runs up to `steps` further disruptions (fewer if all sources dry up).
+    /// Can be called repeatedly; the clock, trace and counters carry over.
+    pub fn run(&mut self, steps: u64) -> SimSummary {
+        let counters_start = self.session.counters();
+        let start = Instant::now();
+        let mut applied = 0u64;
+        let mut skipped = 0u64;
+        let mut total_moves = 0u64;
+        let mut total_recovered = 0.0f64;
+
+        for i in 0..self.sources.len() {
+            if !self.primed[i] {
+                self.primed[i] = true;
+                self.refill(i);
+            }
+        }
+
+        let mut taken = 0u64;
+        while taken < steps {
+            let Some(pending) = self.queue.pop() else {
+                break;
+            };
+            taken += 1;
+            self.clock = pending.at;
+            let utility_before = self.session.utility();
+            let report = self.apply(&pending.disruption);
+            let record = match &report {
+                Some(r) => {
+                    applied += 1;
+                    total_moves += r.moves.len() as u64;
+                    total_recovered += r.recovered();
+                    TraceRecord {
+                        step: self.steps_done,
+                        tick: pending.at,
+                        kind: pending.disruption.kind(),
+                        applied: true,
+                        utility_before: r.utility_before,
+                        utility_disrupted: r.utility_disrupted,
+                        utility_after: r.utility_after,
+                        moves: r.moves.len() as u32,
+                    }
+                }
+                None => {
+                    skipped += 1;
+                    TraceRecord {
+                        step: self.steps_done,
+                        tick: pending.at,
+                        kind: pending.disruption.kind(),
+                        applied: false,
+                        utility_before,
+                        utility_disrupted: utility_before,
+                        utility_after: utility_before,
+                        moves: 0,
+                    }
+                }
+            };
+            self.trace.push(record);
+            self.steps_done += 1;
+            self.refill(pending.source);
+        }
+
+        let elapsed = start.elapsed();
+        let counters_end = self.session.counters();
+        let events_per_sec = if elapsed.as_secs_f64() > 0.0 {
+            taken as f64 / elapsed.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        SimSummary {
+            steps: taken,
+            applied,
+            skipped,
+            final_tick: self.clock,
+            final_utility: self.session.utility(),
+            final_scheduled: self.session.schedule().len(),
+            total_moves,
+            total_recovered,
+            counters: EngineCounters {
+                score_evaluations: counters_end.score_evaluations
+                    - counters_start.score_evaluations,
+                posting_visits: counters_end.posting_visits - counters_start.posting_visits,
+                assigns: counters_end.assigns - counters_start.assigns,
+                unassigns: counters_end.unassigns - counters_start.unassigns,
+            },
+            elapsed,
+            events_per_sec,
+            digest: self.trace.digest(),
+        }
+    }
+
+    /// A per-kind histogram of the trace, for reports.
+    pub fn kind_histogram(&self) -> Vec<(DisruptionKind, u64)> {
+        let kinds = [
+            DisruptionKind::RivalAnnounce,
+            DisruptionKind::ActivityDrift,
+            DisruptionKind::Cancel,
+            DisruptionKind::LateArrival,
+            DisruptionKind::Extend,
+            DisruptionKind::CapacityChange,
+        ];
+        kinds
+            .iter()
+            .map(|&k| {
+                (
+                    k,
+                    self.trace.records().iter().filter(|r| r.kind == k).count() as u64,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,89 @@
+//! A festival season under fire: the discrete-event simulator drives the
+//! online scheduler through every built-in workload and reports how much of
+//! each storm the repair loop claws back.
+//!
+//! ```text
+//! cargo run --release --example disruption_storm
+//! ```
+
+use ses::prelude::*;
+use ses::sim::{DisruptionKind, Simulator, TraceRecord, SCENARIO_NAMES};
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+
+const STEPS: u64 = 2_000;
+const SEED: u64 = 2024;
+
+fn worst_hit(records: &[TraceRecord]) -> Option<&TraceRecord> {
+    records.iter().max_by(|a, b| {
+        let da = a.utility_before - a.utility_disrupted;
+        let db = b.utility_before - b.utility_disrupted;
+        da.partial_cmp(&db).unwrap()
+    })
+}
+
+fn main() {
+    // A mid-sized venue network: 600 users, 48 candidate acts, a 16-slot
+    // season calendar, plenty of pre-existing competition.
+    let inst = random_instance(&TestInstanceConfig {
+        num_users: 600,
+        num_events: 48,
+        num_intervals: 16,
+        num_competing: 24,
+        num_locations: 12,
+        theta: 16.0,
+        xi_max: 3.0,
+        interest_density: 0.25,
+        seed: SEED,
+    });
+    let plan = GreedyScheduler::new().run(&inst, 16).expect("plan");
+    println!(
+        "season plan: {} events scheduled, Ω₀ = {:.2}\n",
+        plan.len(),
+        plan.total_utility
+    );
+
+    for &name in SCENARIO_NAMES {
+        let session = OnlineSession::new(&inst, &plan.schedule).expect("feasible plan");
+        let scenario = scenario_by_name(name, SEED).expect("builtin scenario");
+        let mut sim = Simulator::new(session, vec![scenario]);
+        let withheld = sim.withhold_fraction(0.25);
+        let summary = sim.run(STEPS);
+
+        println!("── {name} ({STEPS} disruptions, {withheld} late arrivals in reserve)");
+        println!(
+            "   Ω {:.2} → {:.2}   |S| {} → {}   repairs recovered {:.2}",
+            plan.total_utility,
+            summary.final_utility,
+            plan.len(),
+            summary.final_scheduled,
+            summary.total_recovered,
+        );
+        let cancels = sim
+            .kind_histogram()
+            .into_iter()
+            .find(|(k, _)| *k == DisruptionKind::Cancel)
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        if let Some(hit) = worst_hit(sim.trace().records()) {
+            println!(
+                "   worst single hit: step {} ({}), Ω {:.2} → {:.2}, repair brought back {:.2}",
+                hit.step,
+                hit.kind.label(),
+                hit.utility_before,
+                hit.utility_disrupted,
+                hit.recovered(),
+            );
+        }
+        println!(
+            "   {} moves across {} applied disruptions ({} cancellations); \
+             {:.0} disruptions/sec\n",
+            summary.total_moves, summary.applied, cancels, summary.events_per_sec,
+        );
+    }
+
+    println!(
+        "(competing mass only accumulates in the Luce denominator — the paper's \n\
+         model has no rival expiry — so sustained storms trend Ω down; what the \n\
+         repair loop buys is the recovered share reported above.)"
+    );
+}

@@ -52,8 +52,10 @@ fn main() {
         .collect();
     let r1 = session.announce_competing(busiest, &postings);
     println!("1) rival announced at {busiest}:");
-    println!("   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
-        r1.utility_before, r1.utility_disrupted, r1.utility_after);
+    println!(
+        "   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
+        r1.utility_before, r1.utility_disrupted, r1.utility_after
+    );
     if r1.moves.is_empty() {
         println!("   repair: staying put was optimal");
     }
@@ -65,8 +67,10 @@ fn main() {
     let victim = session.schedule().scheduled_events()[0];
     let r2 = session.cancel_event(victim).unwrap();
     println!("\n2) act {victim} cancelled:");
-    println!("   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
-        r2.utility_before, r2.utility_disrupted, r2.utility_after);
+    println!(
+        "   Ω {:.2} → {:.2} (disruption), repaired to {:.2}",
+        r2.utility_before, r2.utility_disrupted, r2.utility_after
+    );
     for (e, t) in &r2.moves {
         println!("   repair: booked {e} into {t}");
     }

@@ -66,7 +66,10 @@ fn main() {
         .expect("k within bounds");
 
     println!("schedule   : {}", outcome.schedule);
-    println!("utility Ω  : {:.3} expected attendees", outcome.total_utility);
+    println!(
+        "utility Ω  : {:.3} expected attendees",
+        outcome.total_utility
+    );
     println!("complete   : {}", outcome.complete);
     println!();
 

@@ -135,7 +135,10 @@ fn main() {
         if events_today.is_empty() {
             continue;
         }
-        println!("day {d:>2} ({} rival shows):", instance.competing_at(t).len());
+        println!(
+            "day {d:>2} ({} rival shows):",
+            instance.competing_at(t).len()
+        );
         for &e in events_today {
             println!(
                 "   {:<16} stage {:<2} expected {:>7.1}",

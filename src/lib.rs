@@ -6,8 +6,10 @@
 //!   (GRD, GRD-PQ, TOP, RAND, exact B&B, local search, annealing);
 //! * [`ebsn`] — the Meetup-like event-based-social-network
 //!   substrate (datasets, tags, Jaccard interest, check-ins);
-//! * [`datagen`] — the ICDE 2018 experimental parameterization
-//!   and instance pipelines.
+//! * [`datagen`] — the ICDE 2018 experimental parameterization,
+//!   instance pipelines and disruption streams;
+//! * [`sim`] — the discrete-event workload simulator stress-driving
+//!   the online scheduler.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper.
@@ -15,12 +17,14 @@
 pub use ses_core as core;
 pub use ses_datagen as datagen;
 pub use ses_ebsn as ebsn;
+pub use ses_sim as sim;
 
 /// Convenient flat imports for applications: everything from
-/// `ses_core::prelude` plus the dataset/generator entry points.
+/// `ses_core::prelude` plus the dataset/generator/simulator entry points.
 pub mod prelude {
     pub use ses_core::prelude::*;
     pub use ses_datagen::paper::PaperConfig;
     pub use ses_datagen::pipeline::{build_instance, BuiltInstance};
     pub use ses_ebsn::{generate, EbsnDataset, GeneratorConfig};
+    pub use ses_sim::{scenario_by_name, Scenario, SimSummary, Simulator};
 }

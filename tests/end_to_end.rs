@@ -60,8 +60,14 @@ fn utility_increases_with_more_intervals() {
     let ds = dataset();
     let few = build_instance(&ds, &PaperConfig::with_k_and_t_factor(15, 0.2)).unwrap();
     let many = build_instance(&ds, &PaperConfig::with_k_and_t_factor(15, 3.0)).unwrap();
-    let u_few = GreedyScheduler::new().run(&few.instance, 15).unwrap().total_utility;
-    let u_many = GreedyScheduler::new().run(&many.instance, 15).unwrap().total_utility;
+    let u_few = GreedyScheduler::new()
+        .run(&few.instance, 15)
+        .unwrap()
+        .total_utility;
+    let u_many = GreedyScheduler::new()
+        .run(&many.instance, 15)
+        .unwrap()
+        .total_utility;
     assert!(
         u_many > u_few,
         "utility at |T|=45 ({u_many}) should exceed |T|=3 ({u_few})"
@@ -122,7 +128,10 @@ fn checkin_sigma_changes_results_but_stays_valid() {
 #[test]
 fn sweeps_build_at_every_cell() {
     let ds = dataset();
-    for cell in k_sweep(&[5, 10], 1).iter().chain(t_sweep(10, &[0.2, 1.0, 3.0], 1).iter()) {
+    for cell in k_sweep(&[5, 10], 1)
+        .iter()
+        .chain(t_sweep(10, &[0.2, 1.0, 3.0], 1).iter())
+    {
         let built = build_instance(&ds, &cell.config).unwrap();
         let out = GreedyScheduler::new()
             .run(&built.instance, cell.config.k)

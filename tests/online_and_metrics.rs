@@ -60,11 +60,8 @@ fn online_session_survives_a_disruption_storm() {
                     .occupied_intervals()
                     .next()
                     .expect("non-empty");
-                let postings: Vec<(UserId, f64)> = population
-                    .iter()
-                    .step_by(2)
-                    .map(|&u| (u, 0.7))
-                    .collect();
+                let postings: Vec<(UserId, f64)> =
+                    population.iter().step_by(2).map(|&u| (u, 0.7)).collect();
                 let report = session.announce_competing(t, &postings);
                 assert!(report.utility_after <= report.utility_before + 1e-9);
             }
