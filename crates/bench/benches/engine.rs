@@ -41,7 +41,7 @@ fn instance_with(
     interest: impl ses_core::InterestModel + 'static,
     users: usize,
     events: usize,
-) -> SesInstance {
+) -> std::sync::Arc<SesInstance> {
     SesInstance::builder()
         .organizer(Organizer::new(1e9))
         .intervals(uniform_grid(8, 100))
@@ -58,7 +58,7 @@ fn instance_with(
         )])
         .interest(interest)
         .activity(ConstantActivity::new(users, 8, 0.7).unwrap())
-        .build()
+        .build_shared()
         .unwrap()
 }
 

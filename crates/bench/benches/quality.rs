@@ -6,7 +6,7 @@ use ses_core::testkit::{random_instance, TestInstanceConfig};
 use ses_core::{ExactScheduler, GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler};
 use ses_datagen::synthetic;
 
-fn small(seed: u64) -> ses_core::SesInstance {
+fn small(seed: u64) -> std::sync::Arc<ses_core::SesInstance> {
     random_instance(&TestInstanceConfig {
         num_users: 12,
         num_events: 8,

@@ -11,7 +11,12 @@ use ses_core::testkit::{random_instance, TestInstanceConfig};
 use ses_core::{GreedyScheduler, OnlineSession, Scheduler, SesInstance};
 use ses_sim::{scenario_by_name, Simulator};
 
-fn instance(users: usize, events: usize, intervals: usize, seed: u64) -> SesInstance {
+fn instance(
+    users: usize,
+    events: usize,
+    intervals: usize,
+    seed: u64,
+) -> std::sync::Arc<SesInstance> {
     random_instance(&TestInstanceConfig {
         num_users: users,
         num_events: events,

@@ -15,8 +15,9 @@
 //! the paper's 42,444 — slow). GRD cost is linear in `|U|`, so subsampling
 //! rescales both axes uniformly without changing orderings (EXPERIMENTS.md).
 
-use ses_bench::harness::{run_sweep, AlgoKind, HarnessConfig};
+use ses_bench::harness::{run_sweep, HarnessConfig};
 use ses_bench::report::{panel_table, write_json, PanelMetric};
+use ses_core::SchedulerSpec;
 use ses_datagen::sweep::paper_sweeps;
 use ses_ebsn::{generate, interest_stats, overlap_stats, GeneratorConfig};
 use std::process::ExitCode;
@@ -117,12 +118,12 @@ fn main() -> ExitCode {
     );
 
     // --- sweeps ----------------------------------------------------------
-    let mut algos = AlgoKind::paper_set();
+    let mut algos = SchedulerSpec::paper_set();
     if args.ablation {
-        algos.push(AlgoKind::GrdPq);
+        algos.push(SchedulerSpec::GreedyHeap);
     }
     if args.localsearch {
-        algos.push(AlgoKind::GrdLs);
+        algos.push(SchedulerSpec::GreedyLocalSearch);
     }
     let cfg = HarnessConfig {
         algos,

@@ -1,85 +1,22 @@
 //! Sweep execution: dataset → instances → scheduler runs → result rows.
+//!
+//! Algorithm selection goes through the core registry
+//! ([`ses_core::registry`]): sweeps are configured with
+//! [`SchedulerSpec`] values (parsed from CLI strings by the registry, never
+//! string-matched here) and instantiated per cell with [`registry::build`].
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use ses_core::{
-    AnnealingScheduler, GreedyHeapScheduler, GreedyScheduler, LocalSearchScheduler,
-    RandomScheduler, ScheduleOutcome, Scheduler, TopScheduler,
-};
+use ses_core::{registry, ScheduleOutcome, SchedulerSpec};
 use ses_datagen::pipeline::build_instance;
 use ses_datagen::sweep::SweepCell;
 use ses_ebsn::EbsnDataset;
-use std::str::FromStr;
-
-/// Which algorithm to run in a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum AlgoKind {
-    /// The paper's greedy (Algorithm 1, list-based).
-    Grd,
-    /// Priority-queue greedy with lazy rescoring (ablation A1).
-    GrdPq,
-    /// The TOP baseline.
-    Top,
-    /// The RAND baseline.
-    Rand,
-    /// GRD followed by local search (ablation A4).
-    GrdLs,
-    /// GRD followed by simulated annealing (ablation A6).
-    GrdSa,
-}
-
-impl AlgoKind {
-    /// The paper's method set: GRD, TOP, RAND.
-    pub fn paper_set() -> Vec<AlgoKind> {
-        vec![AlgoKind::Grd, AlgoKind::Top, AlgoKind::Rand]
-    }
-
-    /// Instantiates the scheduler (RAND/LS seeded by `seed`).
-    pub fn scheduler(&self, seed: u64) -> Box<dyn Scheduler + Send + Sync> {
-        match self {
-            AlgoKind::Grd => Box::new(GreedyScheduler::new()),
-            AlgoKind::GrdPq => Box::new(GreedyHeapScheduler::new()),
-            AlgoKind::Top => Box::new(TopScheduler::new()),
-            AlgoKind::Rand => Box::new(RandomScheduler::new(seed)),
-            AlgoKind::GrdLs => Box::new(LocalSearchScheduler::new(GreedyScheduler::new())),
-            AlgoKind::GrdSa => Box::new(AnnealingScheduler::new(GreedyScheduler::new())),
-        }
-    }
-
-    /// Stable display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AlgoKind::Grd => "GRD",
-            AlgoKind::GrdPq => "GRD-PQ",
-            AlgoKind::Top => "TOP",
-            AlgoKind::Rand => "RAND",
-            AlgoKind::GrdLs => "GRD+LS",
-            AlgoKind::GrdSa => "GRD+SA",
-        }
-    }
-}
-
-impl FromStr for AlgoKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_uppercase().as_str() {
-            "GRD" => Ok(AlgoKind::Grd),
-            "GRD-PQ" | "GRDPQ" | "PQ" => Ok(AlgoKind::GrdPq),
-            "TOP" => Ok(AlgoKind::Top),
-            "RAND" | "RANDOM" => Ok(AlgoKind::Rand),
-            "GRD+LS" | "LS" | "GRDLS" => Ok(AlgoKind::GrdLs),
-            "GRD+SA" | "SA" | "GRDSA" => Ok(AlgoKind::GrdSa),
-            other => Err(format!("unknown algorithm '{other}'")),
-        }
-    }
-}
 
 /// Harness settings shared by all cells of a sweep.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Algorithms to run per cell.
-    pub algos: Vec<AlgoKind>,
+    pub algos: Vec<SchedulerSpec>,
     /// Run cells on scoped threads (one per cell).
     pub parallel: bool,
     /// Seed for the stochastic schedulers.
@@ -89,7 +26,7 @@ pub struct HarnessConfig {
 impl Default for HarnessConfig {
     fn default() -> Self {
         Self {
-            algos: AlgoKind::paper_set(),
+            algos: SchedulerSpec::paper_set(),
             parallel: true,
             seed: 0,
         }
@@ -122,11 +59,11 @@ pub struct CellResult {
 }
 
 impl CellResult {
-    fn from_outcome(cell: &SweepCell, algo: AlgoKind, outcome: &ScheduleOutcome) -> Self {
+    fn from_outcome(cell: &SweepCell, spec: SchedulerSpec, outcome: &ScheduleOutcome) -> Self {
         Self {
             axis: cell.axis.clone(),
             value: cell.value,
-            algorithm: algo.name().to_owned(),
+            algorithm: spec.name().to_owned(),
             utility: outcome.total_utility,
             millis: outcome.stats.elapsed.as_secs_f64() * 1e3,
             scheduled: outcome.len(),
@@ -143,12 +80,12 @@ fn run_cell(dataset: &EbsnDataset, cell: &SweepCell, cfg: &HarnessConfig) -> Vec
         .expect("dataset sized for the sweep (harness checks up front)");
     cfg.algos
         .iter()
-        .map(|&algo| {
-            let scheduler = algo.scheduler(cfg.seed);
+        .map(|&spec| {
+            let scheduler = registry::build(spec.with_seed(cfg.seed));
             let outcome = scheduler
                 .run(&built.instance, cell.config.k)
                 .expect("k ≤ |E| by construction");
-            CellResult::from_outcome(cell, algo, &outcome)
+            CellResult::from_outcome(cell, spec, &outcome)
         })
         .collect()
 }
@@ -193,11 +130,20 @@ mod tests {
     }
 
     #[test]
-    fn algo_kind_parsing() {
-        assert_eq!("grd".parse::<AlgoKind>().unwrap(), AlgoKind::Grd);
-        assert_eq!("GRD-PQ".parse::<AlgoKind>().unwrap(), AlgoKind::GrdPq);
-        assert_eq!("rand".parse::<AlgoKind>().unwrap(), AlgoKind::Rand);
-        assert!("nope".parse::<AlgoKind>().is_err());
+    fn specs_parse_through_the_registry() {
+        assert_eq!(
+            "grd".parse::<SchedulerSpec>().unwrap(),
+            SchedulerSpec::Greedy
+        );
+        assert_eq!(
+            "GRD-PQ".parse::<SchedulerSpec>().unwrap(),
+            SchedulerSpec::GreedyHeap
+        );
+        assert_eq!(
+            "rand".parse::<SchedulerSpec>().unwrap(),
+            SchedulerSpec::Random(0)
+        );
+        assert!("nope".parse::<SchedulerSpec>().is_err());
     }
 
     #[test]
@@ -205,7 +151,7 @@ mod tests {
         let ds = small_dataset();
         let cells = k_sweep(&[10, 20], 0);
         let cfg = HarnessConfig {
-            algos: vec![AlgoKind::Grd, AlgoKind::Rand],
+            algos: vec![SchedulerSpec::Greedy, SchedulerSpec::Random(0)],
             parallel: false,
             seed: 0,
         };

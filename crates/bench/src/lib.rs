@@ -11,5 +11,6 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{run_sweep, AlgoKind, CellResult, HarnessConfig};
+pub use harness::{run_sweep, CellResult, HarnessConfig};
 pub use report::{panel_table, write_json};
+pub use ses_core::SchedulerSpec;

@@ -1,15 +1,19 @@
 //! Subcommand implementations for the `ses` binary.
+//!
+//! Scheduling and simulation run through the [`ses_service::SchedulerService`]
+//! facade — the same request/response path a server front end would use —
+//! and algorithm names are resolved by the core registry
+//! ([`ses_core::SchedulerSpec`]), never string-matched here.
 
 use crate::args::ParsedArgs;
-use ses_core::{
-    schedule_metrics, utility_upper_bound, AnnealingScheduler, ExactScheduler, GreedyHeapScheduler,
-    GreedyScheduler, LocalSearchScheduler, RandomScheduler, Scheduler, TopScheduler,
-};
+use serde::Serialize;
+use ses_core::{schedule_metrics, utility_upper_bound, SchedulerSpec};
 use ses_datagen::paper::{PaperConfig, SigmaMode};
 use ses_datagen::pipeline::build_instance;
 use ses_ebsn::{
     generate as generate_dataset, interest_stats, overlap_stats, EbsnDataset, GeneratorConfig,
 };
+use ses_service::{SchedulerService, SessionOpen, SessionReport, SolveRequest, SolveResponse};
 
 /// Help text for `ses help`.
 pub const HELP: &str = "\
@@ -24,11 +28,11 @@ SUBCOMMANDS:
                   --weeks W (52)      --seed S (0)       --out PATH (required)
     analyze     print dataset statistics (overlap, sparsity, group sizes)
                   --dataset PATH (required)
-    schedule    build the paper's instance from a dataset and schedule it
-                  --dataset PATH (required)   --k K (100)
-                  --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS (GRD)
+    solve       build the paper's instance from a dataset and schedule it
+      (alias:     --dataset PATH (required)   --k K (100)
+      schedule)   --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS|SA|EXACT (GRD)
                   --seed S (0)                --checkins  (σ from check-ins)
-                  --out PATH  (write the schedule as JSON)
+                  --format text|json (text)   --out PATH  (write the schedule as JSON)
     quality     compare heuristics against the exact optimum on small instances
                   --instances N (20)  --k K (4)
     simulate    replay a disruption workload against the online scheduler
@@ -36,22 +40,46 @@ SUBCOMMANDS:
                   --steps N (10000)     --seed S (0)
                   --users N (400)       --events N (60)
                   --intervals N (24)    --k K (20)
+                  --algo SPEC (GRD)     --format text|json (text)
                   --holdback F (0.3)    (fraction of candidates arriving late)
                   runs the stream twice and verifies the traces are identical
     help        show this message
 ";
 
-fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn Scheduler>, String> {
-    match name.to_ascii_uppercase().as_str() {
-        "GRD" => Ok(Box::new(GreedyScheduler::new())),
-        "GRD-PQ" | "GRDPQ" | "PQ" => Ok(Box::new(GreedyHeapScheduler::new())),
-        "TOP" => Ok(Box::new(TopScheduler::new())),
-        "RAND" | "RANDOM" => Ok(Box::new(RandomScheduler::new(seed))),
-        "LS" | "GRD+LS" => Ok(Box::new(LocalSearchScheduler::new(GreedyScheduler::new()))),
-        "SA" | "GRD+SA" => Ok(Box::new(AnnealingScheduler::new(GreedyScheduler::new()))),
-        "EXACT" => Ok(Box::new(ExactScheduler::new())),
-        other => Err(format!("unknown algorithm '{other}'")),
+/// The output format of a subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn format_of(args: &ParsedArgs) -> Result<Format, String> {
+    match args.options.get("format").map(String::as_str) {
+        None | Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some(other) => Err(format!(
+            "unknown format '{other}' (expected 'text' or 'json')"
+        )),
     }
+}
+
+/// Parses `--algo` (+ global `--seed`) into a spec via the core registry;
+/// unknown names surface the registry's typed listing of valid specs.
+///
+/// A seed pinned in the spec string (`RAND:123`) wins over the global
+/// `--seed`; only suffix-less specs pick up the global seed.
+fn spec_of(args: &ParsedArgs, default: &str, seed: u64) -> Result<SchedulerSpec, String> {
+    let name = args
+        .options
+        .get("algo")
+        .map(String::as_str)
+        .unwrap_or(default);
+    let spec = SchedulerSpec::parse(name).map_err(|e| e.to_string())?;
+    Ok(if name.contains(':') {
+        spec
+    } else {
+        spec.with_seed(seed)
+    })
 }
 
 /// `ses generate`
@@ -106,17 +134,14 @@ pub fn analyze(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// `ses schedule`
-pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
+/// `ses solve` (alias: `ses schedule`)
+pub fn solve(args: &ParsedArgs) -> Result<(), String> {
     let dataset = load(args)?;
     let k: usize = args.get_or("k", 100).map_err(|e| e.to_string())?;
     let t_factor: f64 = args.get_or("t-factor", 1.5).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
-    let algo_name = args
-        .options
-        .get("algo")
-        .map(String::as_str)
-        .unwrap_or("GRD");
+    let format = format_of(args)?;
+    let spec = spec_of(args, "GRD", seed)?;
     let cfg = PaperConfig {
         k,
         t_factor,
@@ -129,56 +154,76 @@ pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
         ..PaperConfig::default()
     };
     let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
-    let scheduler = scheduler_by_name(algo_name, seed)?;
-    let outcome = scheduler
-        .run(&built.instance, k)
+    let service = SchedulerService::new();
+    let response = service
+        .solve(&built.instance, &SolveRequest { spec, k })
         .map_err(|e| e.to_string())?;
 
-    println!(
-        "{}: scheduled {}/{} events, utility Ω = {:.3}, {:.1} ms",
-        outcome.algorithm,
-        outcome.len(),
-        k,
-        outcome.total_utility,
-        outcome.stats.elapsed.as_secs_f64() * 1e3
-    );
-    println!(
-        "ops: {} score evaluations, {} posting visits, {} updates",
-        outcome.stats.engine.score_evaluations,
-        outcome.stats.engine.posting_visits,
-        outcome.stats.updates
-    );
-    let metrics = schedule_metrics(&built.instance, &outcome.schedule);
-    println!(
-        "metrics: reach {:.1} users, attendance/event {:.2} (min {:.2} / max {:.2}, gini {:.3}), \
-         {} intervals occupied (max {} events), {:.0}% resource use",
-        metrics.expected_reach,
-        metrics.mean_event_attendance,
-        metrics.min_event_attendance,
-        metrics.max_event_attendance,
-        metrics.attendance_gini,
-        metrics.occupied_intervals,
-        metrics.max_events_per_interval,
-        metrics.mean_resource_utilization * 100.0
-    );
-    let ub = utility_upper_bound(&built.instance, k);
-    if ub > 0.0 {
+    if format == Format::Json {
         println!(
-            "certified quality: Ω is ≥ {:.1}% of any feasible schedule's utility \
-             (admissible upper bound {:.3})",
-            100.0 * outcome.total_utility / ub,
-            ub
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{}: scheduled {}/{} events, utility Ω = {:.3}, {:.1} ms",
+            response.algorithm,
+            response.scheduled(),
+            k,
+            response.total_utility,
+            response.millis
+        );
+        println!(
+            "ops: {} score evaluations, {} posting visits, {} assigns",
+            response.counters.score_evaluations,
+            response.counters.posting_visits,
+            response.counters.assigns
         );
     }
+
+    // Rehydrate the schedule from the response for metrics and export —
+    // everything downstream consumes only what went over the wire.
+    let mut schedule = built.instance.empty_schedule();
+    for a in &response.assignments {
+        schedule
+            .assign(a.event, a.interval)
+            .map_err(|e| e.to_string())?;
+    }
+    if format == Format::Text {
+        let metrics = schedule_metrics(&built.instance, &schedule);
+        println!(
+            "metrics: reach {:.1} users, attendance/event {:.2} (min {:.2} / max {:.2}, gini {:.3}), \
+             {} intervals occupied (max {} events), {:.0}% resource use",
+            metrics.expected_reach,
+            metrics.mean_event_attendance,
+            metrics.min_event_attendance,
+            metrics.max_event_attendance,
+            metrics.attendance_gini,
+            metrics.occupied_intervals,
+            metrics.max_events_per_interval,
+            metrics.mean_resource_utilization * 100.0
+        );
+        let ub = utility_upper_bound(&built.instance, k);
+        if ub > 0.0 {
+            println!(
+                "certified quality: Ω is ≥ {:.1}% of any feasible schedule's utility \
+                 (admissible upper bound {:.3})",
+                100.0 * response.total_utility / ub,
+                ub
+            );
+        }
+    }
     if let Some(out) = args.options.get("out") {
-        let json = serde_json::to_string_pretty(&outcome.schedule).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| e.to_string())?;
-        println!("wrote schedule to {out}");
-    } else {
+        if format == Format::Text {
+            println!("wrote schedule to {out}");
+        }
+    } else if format == Format::Text {
         // Print the first few assignments as a preview.
-        for (i, a) in outcome.schedule.iter().enumerate() {
+        for (i, a) in schedule.iter().enumerate() {
             if i >= 10 {
-                println!("  … ({} more)", outcome.len() - 10);
+                println!("  … ({} more)", schedule.len() - 10);
                 break;
             }
             let src = built.candidate_source[a.event.index()];
@@ -188,10 +233,22 @@ pub fn schedule(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// The JSON body `ses simulate --format json` emits: the service-level
+/// session report plus the simulator's summary and workload mix.
+#[derive(Debug, Clone, Serialize)]
+struct SimulateResponse {
+    scenario: String,
+    seed: u64,
+    withheld: usize,
+    initial: SolveResponse,
+    summary: ses_sim::SimSummary,
+    session: SessionReport,
+    mix: Vec<(String, u64)>,
+}
+
 /// `ses simulate`
 pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     use ses_core::testkit::{random_instance, TestInstanceConfig};
-    use ses_core::OnlineSession;
     use ses_sim::{scenario_by_name, SimSummary, Simulator, SCENARIO_NAMES};
 
     let scenario_name = args
@@ -206,6 +263,8 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     let intervals: usize = args.get_or("intervals", 24).map_err(|e| e.to_string())?;
     let k: usize = args.get_or("k", 20).map_err(|e| e.to_string())?;
     let holdback: f64 = args.get_or("holdback", 0.3).map_err(|e| e.to_string())?;
+    let format = format_of(args)?;
+    let spec = spec_of(args, "GRD", seed)?;
     let Some(probe) = scenario_by_name(scenario_name, seed) else {
         return Err(format!(
             "unknown scenario '{scenario_name}' (expected one of: {})",
@@ -218,7 +277,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     let holdback = if probe.releases_late_arrivals() {
         holdback
     } else {
-        if holdback > 0.0 {
+        if holdback > 0.0 && format == Format::Text {
             println!("note: scenario {scenario_name} never emits late arrivals; holdback disabled");
         }
         0.0
@@ -235,28 +294,41 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         interest_density: 0.2,
         seed,
     });
-    let plan = GreedyScheduler::new()
-        .run(&inst, k.min(events))
-        .map_err(|e| e.to_string())?;
-    println!(
-        "simulate: scenario {scenario_name}, {steps} steps, seed {seed}\n\
-         instance: {users} users, {events} events, {intervals} intervals; \
-         initial schedule |S| = {}, Ω₀ = {:.3}",
-        plan.len(),
-        plan.total_utility
-    );
 
-    type SimRun = (SimSummary, Vec<(ses_sim::DisruptionKind, u64)>, usize);
+    type SimRun = (
+        SolveResponse,
+        SimSummary,
+        SessionReport,
+        Vec<(ses_sim::DisruptionKind, u64)>,
+        usize,
+    );
     let run_once = || -> Result<SimRun, String> {
-        let session = OnlineSession::new(&inst, &plan.schedule).map_err(|e| format!("{e:?}"))?;
+        // One code path: open the session through the service, then let the
+        // simulator drive that same service.
+        let mut service = SchedulerService::new();
+        let initial = service
+            .open_session(
+                &inst,
+                &SessionOpen {
+                    name: "simulate".to_owned(),
+                    spec,
+                    k: k.min(events),
+                },
+            )
+            .map_err(|e| e.to_string())?;
         let scenario = scenario_by_name(scenario_name, seed).expect("name validated above");
-        let mut sim = Simulator::new(session, vec![scenario]);
+        let mut sim = Simulator::over_service(service, "simulate", vec![scenario])
+            .map_err(|e| e.to_string())?;
         let withheld = sim.withhold_fraction(holdback);
         let summary = sim.run(steps);
-        Ok((summary, sim.kind_histogram(), withheld))
+        let report = sim
+            .service()
+            .report(sim.session_name())
+            .map_err(|e| e.to_string())?;
+        Ok((initial, summary, report, sim.kind_histogram(), withheld))
     };
-    let (first, _, _) = run_once()?;
-    let (second, histogram, withheld) = run_once()?;
+    let (initial, first, _, _, _) = run_once()?;
+    let (_, second, report, histogram, withheld) = run_once()?;
 
     if first.digest != second.digest {
         return Err(format!(
@@ -264,6 +336,35 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
             first.digest, second.digest
         ));
     }
+
+    if format == Format::Json {
+        let body = SimulateResponse {
+            scenario: scenario_name.to_owned(),
+            seed,
+            withheld,
+            initial,
+            summary: second,
+            session: report,
+            mix: histogram
+                .iter()
+                .map(|&(kind, n)| (kind.label().to_owned(), n))
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "simulate: scenario {scenario_name}, {steps} steps, seed {seed}\n\
+         instance: {users} users, {events} events, {intervals} intervals; \
+         initial schedule |S| = {} ({}), Ω₀ = {:.3}",
+        initial.scheduled(),
+        initial.algorithm,
+        initial.total_utility
+    );
     println!(
         "withheld {withheld} candidates as late arrivals\n\
          determinism: two runs, identical traces (digest {:#018x}) ✓",
@@ -271,12 +372,18 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     );
     println!(
         "final: Ω = {:.3} (from {:.3}), |S| = {}, tick {}",
-        second.final_utility, plan.total_utility, second.final_scheduled, second.final_tick
+        second.final_utility, initial.total_utility, second.final_scheduled, second.final_tick
     );
     println!(
         "repairs: {} disruptions applied ({} inert), {} repair moves, Ω recovered {:.3}",
         second.applied, second.skipped, second.total_moves, second.total_recovered
     );
+    if second.rejected > 0 {
+        println!(
+            "WARNING: {} events rejected by the service (scenario bug?)",
+            second.rejected
+        );
+    }
     let mix: Vec<String> = histogram
         .iter()
         .filter(|(_, n)| *n > 0)
@@ -293,11 +400,16 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         second.counters.assigns,
         second.counters.unassigns
     );
+    println!(
+        "service: session '{}' absorbed {} events",
+        report.name, report.events_applied
+    );
     Ok(())
 }
 
 /// `ses quality`
 pub fn quality(args: &ParsedArgs) -> Result<(), String> {
+    use ses_core::registry;
     use ses_core::testkit::{random_instance, TestInstanceConfig};
     let instances: usize = args.get_or("instances", 20).map_err(|e| e.to_string())?;
     let k: usize = args.get_or("k", 4).map_err(|e| e.to_string())?;
@@ -316,7 +428,7 @@ pub fn quality(args: &ParsedArgs) -> Result<(), String> {
             interest_density: 0.45,
             seed,
         });
-        let Ok(opt) = ExactScheduler::new().run(&inst, k) else {
+        let Ok(opt) = registry::build(SchedulerSpec::Exact).run(&inst, k) else {
             continue;
         };
         if opt.total_utility <= 0.0 {
@@ -324,7 +436,10 @@ pub fn quality(args: &ParsedArgs) -> Result<(), String> {
         }
         solved += 1;
         for (i, name) in names.iter().enumerate() {
-            let out = scheduler_by_name(name, seed)?
+            let spec = SchedulerSpec::parse(name)
+                .map_err(|e| e.to_string())?
+                .with_seed(seed);
+            let out = registry::build(spec)
                 .run(&inst, k)
                 .map_err(|e| e.to_string())?;
             sums[i] += out.total_utility / opt.total_utility;

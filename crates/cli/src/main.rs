@@ -3,9 +3,9 @@
 //! ```text
 //! ses generate --members 3000 --events 1500 --weeks 52 --seed 0 --out data.json
 //! ses analyze  --dataset data.json
-//! ses schedule --dataset data.json --k 100 --algo GRD [--checkins] [--out plan.json]
+//! ses solve    --dataset data.json --k 100 --algo GRD [--checkins] [--format json]
 //! ses quality  [--instances 20] [--k 4]
-//! ses simulate --scenario flash-crowd --steps 10000 --seed 42
+//! ses simulate --scenario flash-crowd --steps 10000 --seed 42 [--format json]
 //! ses help
 //! ```
 
@@ -24,7 +24,7 @@ fn main() -> ExitCode {
     let result = match parsed.command.as_str() {
         "generate" => commands::generate(&parsed),
         "analyze" => commands::analyze(&parsed),
-        "schedule" => commands::schedule(&parsed),
+        "solve" | "schedule" => commands::solve(&parsed),
         "quality" => commands::quality(&parsed),
         "simulate" => commands::simulate(&parsed),
         "help" | "--help" | "-h" => {

@@ -36,7 +36,7 @@ fn generate_analyze_schedule_pipeline() {
     commands::analyze(&argv(&["analyze", "--dataset", out_str])).expect("analyze succeeds");
 
     let plan = temp_path("plan.json");
-    commands::schedule(&argv(&[
+    commands::solve(&argv(&[
         "schedule",
         "--dataset",
         out_str,
@@ -72,8 +72,8 @@ fn schedule_supports_every_algorithm_name() {
         out_str,
     ]))
     .unwrap();
-    for algo in ["GRD", "GRD-PQ", "TOP", "RAND", "LS", "SA"] {
-        commands::schedule(&argv(&[
+    for algo in ["GRD", "GRD-PQ", "TOP", "RAND", "RAND:123", "LS", "SA"] {
+        commands::solve(&argv(&[
             "schedule",
             "--dataset",
             out_str,
@@ -84,7 +84,7 @@ fn schedule_supports_every_algorithm_name() {
         ]))
         .unwrap_or_else(|e| panic!("algo {algo}: {e}"));
     }
-    let err = commands::schedule(&argv(&[
+    let err = commands::solve(&argv(&[
         "schedule",
         "--dataset",
         out_str,
@@ -94,7 +94,10 @@ fn schedule_supports_every_algorithm_name() {
         "BOGUS",
     ]))
     .unwrap_err();
-    assert!(err.contains("unknown algorithm"));
+    assert!(
+        err.contains("unknown scheduler") && err.contains("GRD"),
+        "registry error must list valid specs: {err}"
+    );
     std::fs::remove_file(out).ok();
 }
 
@@ -112,7 +115,7 @@ fn schedule_with_checkin_sigma_flag() {
         out_str,
     ]))
     .unwrap();
-    commands::schedule(&argv(&[
+    commands::solve(&argv(&[
         "schedule",
         "--dataset",
         out_str,
@@ -122,6 +125,70 @@ fn schedule_with_checkin_sigma_flag() {
     ]))
     .expect("checkins sigma mode works");
     std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn solve_format_json_and_schedule_alias() {
+    let out = temp_path("format.json");
+    let out_str = out.to_str().unwrap();
+    commands::generate(&argv(&[
+        "generate",
+        "--members",
+        "120",
+        "--events",
+        "120",
+        "--out",
+        out_str,
+    ]))
+    .unwrap();
+    // `--format json` succeeds and rejects unknown formats; the old
+    // `schedule` spelling still reaches the same implementation.
+    commands::solve(&argv(&[
+        "solve",
+        "--dataset",
+        out_str,
+        "--k",
+        "5",
+        "--format",
+        "json",
+    ]))
+    .expect("solve --format json succeeds");
+    let err = commands::solve(&argv(&[
+        "solve",
+        "--dataset",
+        out_str,
+        "--k",
+        "5",
+        "--format",
+        "yaml",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("unknown format"));
+    std::fs::remove_file(out).ok();
+}
+
+#[test]
+fn simulate_format_json_runs() {
+    commands::simulate(&argv(&[
+        "simulate",
+        "--scenario",
+        "steady",
+        "--steps",
+        "120",
+        "--seed",
+        "3",
+        "--users",
+        "60",
+        "--events",
+        "18",
+        "--intervals",
+        "6",
+        "--k",
+        "6",
+        "--format",
+        "json",
+    ]))
+    .expect("simulate --format json succeeds");
 }
 
 #[test]

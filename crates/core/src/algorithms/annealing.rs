@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use super::{RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Annealing parameters.
@@ -86,7 +87,7 @@ impl<S: Scheduler> Scheduler for AnnealingScheduler<S> {
         "SA"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         let base_outcome = self.base.run(inst, k)?;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.config.seed);

@@ -21,6 +21,7 @@ use crate::instance::SesInstance;
 use crate::schedule::Schedule;
 
 use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Exact branch-and-bound scheduler (testing oracle).
@@ -50,8 +51,8 @@ impl Default for ExactScheduler {
     }
 }
 
-struct Search<'e, 'i> {
-    engine: &'e mut AttendanceEngine<'i>,
+struct Search<'e> {
+    engine: &'e mut AttendanceEngine,
     /// Events in descending solo-bound order.
     order: Vec<EventId>,
     /// `cum[i]` = sum of the first `i` solo bounds in `order`.
@@ -63,7 +64,7 @@ struct Search<'e, 'i> {
     max_nodes: u64,
 }
 
-impl Search<'_, '_> {
+impl Search<'_> {
     /// Admissible bound on gain obtainable from `order[i..]` with `r` slots.
     fn upper_bound(&self, i: usize, r: usize) -> f64 {
         let end = (i + r).min(self.order.len());
@@ -114,7 +115,7 @@ impl Scheduler for ExactScheduler {
         "EXACT"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         validate_k(inst, k)?;
         let start = Instant::now();
         let mut engine = AttendanceEngine::new(inst);

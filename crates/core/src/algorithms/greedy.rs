@@ -12,6 +12,7 @@ use crate::instance::SesInstance;
 use crate::util::float::total_cmp;
 
 use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One entry of the assignment list `L`.
@@ -47,7 +48,7 @@ impl Scheduler for GreedyScheduler {
         "GRD"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         validate_k(inst, k)?;
         let start = Instant::now();
         let mut engine = AttendanceEngine::new(inst);

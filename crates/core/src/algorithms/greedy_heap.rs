@@ -23,6 +23,7 @@ use crate::instance::SesInstance;
 use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +74,7 @@ impl Scheduler for GreedyHeapScheduler {
         "GRD-PQ"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         validate_k(inst, k)?;
         let start = Instant::now();
         let mut engine = AttendanceEngine::new(inst);

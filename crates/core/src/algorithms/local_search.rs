@@ -17,6 +17,7 @@ use crate::ids::{EventId, IntervalId};
 use crate::instance::SesInstance;
 
 use super::{RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning knobs for [`LocalSearchScheduler`].
@@ -65,7 +66,7 @@ impl<S: Scheduler> LocalSearchScheduler<S> {
     }
 
     /// One relocate pass; returns whether any move was accepted.
-    fn relocate_pass(&self, engine: &mut AttendanceEngine<'_>, moves: &mut u64) -> bool {
+    fn relocate_pass(&self, engine: &mut AttendanceEngine, moves: &mut u64) -> bool {
         let mut improved = false;
         let scheduled = engine.schedule().scheduled_events();
         let num_intervals = engine.instance().num_intervals();
@@ -104,7 +105,7 @@ impl<S: Scheduler> LocalSearchScheduler<S> {
     }
 
     /// One swap pass; returns whether any move was accepted.
-    fn swap_pass(&self, engine: &mut AttendanceEngine<'_>, moves: &mut u64) -> bool {
+    fn swap_pass(&self, engine: &mut AttendanceEngine, moves: &mut u64) -> bool {
         let mut improved = false;
         let num_events = engine.instance().num_events();
         let num_intervals = engine.instance().num_intervals();
@@ -155,7 +156,7 @@ impl<S: Scheduler> Scheduler for LocalSearchScheduler<S> {
         "LS"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         let base_outcome = self.base.run(inst, k)?;
         let start = Instant::now();
         let mut engine = AttendanceEngine::with_schedule(inst, &base_outcome.schedule)

@@ -22,6 +22,7 @@ use crate::engine::EngineCounters;
 use crate::instance::SesInstance;
 use crate::schedule::Schedule;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Errors returned by schedulers.
@@ -111,12 +112,17 @@ impl ScheduleOutcome {
 
 /// A SES scheduling algorithm: given an instance and `k`, produce a feasible
 /// schedule with (up to) `k` assignments.
+///
+/// Instances are passed as shared handles so an algorithm can build owned
+/// [`AttendanceEngine`](crate::engine::AttendanceEngine)s; see the engine
+/// docs for the ownership model. Prefer instantiating schedulers through
+/// [`crate::registry`] rather than matching on name strings.
 pub trait Scheduler {
     /// Short stable name used in reports and figures (e.g. `"GRD"`).
     fn name(&self) -> &'static str;
 
     /// Runs the algorithm.
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError>;
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError>;
 }
 
 pub(crate) fn validate_k(inst: &SesInstance, k: usize) -> Result<(), SesError> {

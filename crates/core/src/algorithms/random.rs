@@ -9,6 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The RAND baseline. Deterministic for a given seed.
@@ -35,7 +36,7 @@ impl Scheduler for RandomScheduler {
         "RAND"
     }
 
-    fn run(&self, inst: &SesInstance, k: usize) -> Result<ScheduleOutcome, SesError> {
+    fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         validate_k(inst, k)?;
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.seed);

@@ -32,7 +32,9 @@ use crate::instance::{FeasibilityViolation, SesInstance};
 use crate::schedule::{Schedule, ScheduleError};
 use crate::util::float::luce_ratio;
 use crate::util::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// One user's scheduled mass at one interval, together with the number of
 /// scheduled events contributing to it.
@@ -53,7 +55,7 @@ struct MassEntry {
 ///
 /// These are hardware-independent companions to wall-clock numbers: Fig. 1b/1d
 /// shapes can be checked against operation counts directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineCounters {
     /// Number of assignment-score evaluations (Eq. 4 computations).
     pub score_evaluations: u64,
@@ -67,10 +69,17 @@ pub struct EngineCounters {
 
 /// Incremental attendance/utility engine bound to one instance.
 ///
-/// Owns the evolving [`Schedule`]. All mutating operations keep the cached
-/// aggregates, the feasibility trackers and the running utility consistent.
-pub struct AttendanceEngine<'a> {
-    inst: &'a SesInstance,
+/// Owns the evolving [`Schedule`] and a shared handle to its
+/// [`SesInstance`], so engines are `Send + 'static`: they can live in maps,
+/// move across threads, and outlive the scope that built the instance.
+/// (Borrowed `&SesInstance` constructors are gone — wrap the instance in an
+/// [`Arc`] once and hand out clones; `SesInstance::builder().build_shared()`
+/// does this for you.)
+///
+/// All mutating operations keep the cached aggregates, the feasibility
+/// trackers and the running utility consistent.
+pub struct AttendanceEngine {
+    inst: Arc<SesInstance>,
     schedule: Schedule,
     /// Per-interval competing mass `B_t` (static after construction).
     b: Vec<FxHashMap<UserId, f64>>,
@@ -90,10 +99,13 @@ pub struct AttendanceEngine<'a> {
     unassigns: u64,
 }
 
-impl<'a> AttendanceEngine<'a> {
+impl AttendanceEngine {
     /// Creates an engine with an empty schedule; builds the competing masses
     /// `B_t` from the instance's competing events (`O(Σ_c |postings(c)|)`).
-    pub fn new(inst: &'a SesInstance) -> Self {
+    ///
+    /// Takes `&Arc` and clones the handle internally — callers keep their
+    /// own handle and pay one refcount bump, never a deep copy.
+    pub fn new(inst: &Arc<SesInstance>) -> Self {
         let nt = inst.num_intervals();
         let mut b: Vec<FxHashMap<UserId, f64>> = vec![FxHashMap::default(); nt];
         for c in inst.competing() {
@@ -104,7 +116,7 @@ impl<'a> AttendanceEngine<'a> {
             }
         }
         Self {
-            inst,
+            inst: Arc::clone(inst),
             schedule: inst.empty_schedule(),
             b,
             m: vec![FxHashMap::default(); nt],
@@ -121,7 +133,7 @@ impl<'a> AttendanceEngine<'a> {
 
     /// Creates an engine pre-loaded with an existing (feasible) schedule.
     pub fn with_schedule(
-        inst: &'a SesInstance,
+        inst: &Arc<SesInstance>,
         schedule: &Schedule,
     ) -> Result<Self, FeasibilityViolation> {
         let mut engine = Self::new(inst);
@@ -133,8 +145,15 @@ impl<'a> AttendanceEngine<'a> {
 
     /// The instance this engine is bound to.
     #[inline]
-    pub fn instance(&self) -> &'a SesInstance {
-        self.inst
+    pub fn instance(&self) -> &SesInstance {
+        &self.inst
+    }
+
+    /// The shared handle to the instance (clone it to hand the instance to
+    /// another engine, session or thread).
+    #[inline]
+    pub fn instance_arc(&self) -> &Arc<SesInstance> {
+        &self.inst
     }
 
     /// The current schedule.
@@ -469,39 +488,15 @@ pub fn evaluate_schedule(inst: &SesInstance, schedule: &Schedule) -> Evaluation 
 mod tests {
     use super::*;
     use crate::activity::ConstantActivity;
-    use crate::ids::{CompetingEventId, LocationId};
+    use crate::ids::LocationId;
     use crate::interest::InterestBuilder;
-    use crate::model::{uniform_grid, CandidateEvent, CompetingEvent, Organizer};
+    use crate::model::{uniform_grid, CandidateEvent, Organizer};
     use crate::util::float::{approx_eq, approx_ge};
 
-    /// 2 users, 3 events, 2 intervals, 1 competing event at t0.
-    /// µ(u0,e0)=0.8, µ(u0,e1)=0.4, µ(u1,e1)=0.5, µ(u1,e2)=0.6, µ(u0,c0)=0.5.
-    /// σ ≡ 1, θ = 10, all events at distinct locations with ξ = 1.
-    fn inst() -> SesInstance {
-        let mut interest = InterestBuilder::new(2, 3, 1);
-        interest.set(UserId::new(0), EventId::new(0), 0.8).unwrap();
-        interest.set(UserId::new(0), EventId::new(1), 0.4).unwrap();
-        interest.set(UserId::new(1), EventId::new(1), 0.5).unwrap();
-        interest.set(UserId::new(1), EventId::new(2), 0.6).unwrap();
-        interest
-            .set(UserId::new(0), CompetingEventId::new(0), 0.5)
-            .unwrap();
-        SesInstance::builder()
-            .organizer(Organizer::new(10.0))
-            .intervals(uniform_grid(2, 100))
-            .events(vec![
-                CandidateEvent::new(EventId::new(0), LocationId::new(0), 1.0),
-                CandidateEvent::new(EventId::new(1), LocationId::new(1), 1.0),
-                CandidateEvent::new(EventId::new(2), LocationId::new(2), 1.0),
-            ])
-            .competing(vec![CompetingEvent::new(
-                CompetingEventId::new(0),
-                IntervalId::new(0),
-            )])
-            .interest(interest.build_sparse().unwrap())
-            .activity(ConstantActivity::new(2, 2, 1.0).unwrap())
-            .build()
-            .unwrap()
+    /// The hand-verifiable instance shared with the rest of the test suite
+    /// (see [`crate::testkit::hand_instance`] for the exact µ/σ/θ values).
+    fn inst() -> Arc<SesInstance> {
+        crate::testkit::hand_instance()
     }
 
     fn e(i: u32) -> EventId {
@@ -685,7 +680,7 @@ mod tests {
             ])
             .interest(interest.build_sparse().unwrap())
             .activity(ConstantActivity::new(1, 1, 1.0).unwrap())
-            .build()
+            .build_shared()
             .unwrap();
         let mut engine = AttendanceEngine::new(&inst);
         engine.assign(e(0), t(0)).unwrap();

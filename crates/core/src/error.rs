@@ -1,0 +1,146 @@
+//! The unified `ses-core` error hierarchy.
+//!
+//! Each subsystem keeps its own precise error type — [`ValidationError`]
+//! for instance construction, [`FeasibilityViolation`] for constraint
+//! checks, [`ScheduleError`] for schedule bookkeeping, [`SesError`] for
+//! solver runs and [`UnknownScheduler`] for registry lookups — and this
+//! module folds them all into one [`Error`] enum with `From` conversions,
+//! so service layers and applications can use a single `Result<_, Error>`
+//! signature (and `?`) across every core entry point.
+
+use crate::algorithms::SesError;
+use crate::instance::{FeasibilityViolation, ValidationError};
+use crate::registry::UnknownScheduler;
+use crate::schedule::ScheduleError;
+use std::fmt;
+
+/// Any error the core library can produce, unified for facade layers.
+///
+/// Every variant wraps the precise subsystem error; [`std::error::Error::source`]
+/// exposes the inner value, and `From` impls exist for each, so `?` converts
+/// seamlessly:
+///
+/// ```
+/// use ses_core::{Error, EventId, ScheduleError};
+///
+/// fn demo() -> Result<(), Error> {
+///     let inner: Result<(), ScheduleError> =
+///         Err(ScheduleError::NotAssigned { event: EventId::new(3) });
+///     inner?; // From<ScheduleError> for Error
+///     Ok(())
+/// }
+/// assert!(matches!(demo(), Err(Error::Schedule(_))));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Instance construction failed ([`ValidationError`]).
+    Validation(ValidationError),
+    /// An assignment or schedule violates feasibility ([`FeasibilityViolation`]).
+    Feasibility(FeasibilityViolation),
+    /// Schedule bookkeeping rejected an operation ([`ScheduleError`]).
+    Schedule(ScheduleError),
+    /// A scheduler run failed ([`SesError`]).
+    Solver(SesError),
+    /// A scheduler spec string did not match any registered algorithm
+    /// ([`UnknownScheduler`]).
+    UnknownScheduler(UnknownScheduler),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Validation(e) => write!(f, "invalid instance: {e}"),
+            Error::Feasibility(e) => write!(f, "infeasible: {e}"),
+            Error::Schedule(e) => write!(f, "schedule error: {e}"),
+            Error::Solver(e) => write!(f, "solver error: {e}"),
+            Error::UnknownScheduler(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Validation(e) => Some(e),
+            Error::Feasibility(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            Error::Solver(e) => Some(e),
+            Error::UnknownScheduler(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Self {
+        Error::Validation(e)
+    }
+}
+
+impl From<FeasibilityViolation> for Error {
+    fn from(e: FeasibilityViolation) -> Self {
+        Error::Feasibility(e)
+    }
+}
+
+impl From<ScheduleError> for Error {
+    fn from(e: ScheduleError) -> Self {
+        Error::Schedule(e)
+    }
+}
+
+impl From<SesError> for Error {
+    fn from(e: SesError) -> Self {
+        Error::Solver(e)
+    }
+}
+
+impl From<UnknownScheduler> for Error {
+    fn from(e: UnknownScheduler) -> Self {
+        Error::UnknownScheduler(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EventId;
+    use std::error::Error as StdError;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: Error = ScheduleError::NotAssigned {
+            event: EventId::new(7),
+        }
+        .into();
+        assert!(matches!(e, Error::Schedule(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("e7"));
+
+        let e: Error = SesError::InvalidK {
+            k: 9,
+            num_events: 3,
+        }
+        .into();
+        assert!(matches!(e, Error::Solver(_)));
+        assert!(e.to_string().contains("k = 9"));
+
+        let e: Error = FeasibilityViolation::EventAlreadyScheduled {
+            event: EventId::new(1),
+        }
+        .into();
+        assert!(e.to_string().contains("infeasible"));
+
+        let e: Error = ValidationError::Missing { what: "organizer" }.into();
+        assert!(e.to_string().contains("organizer"));
+    }
+
+    #[test]
+    fn unknown_scheduler_lists_valid_specs() {
+        let err = crate::registry::SchedulerSpec::parse("NOPE").unwrap_err();
+        let e: Error = err.into();
+        let msg = e.to_string();
+        assert!(msg.contains("NOPE"));
+        assert!(msg.contains("GRD"), "message must list valid specs: {msg}");
+    }
+}

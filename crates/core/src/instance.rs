@@ -446,6 +446,13 @@ impl InstanceBuilder {
         self
     }
 
+    /// Validates and builds the instance behind a shared handle — the form
+    /// every engine, session and service consumes. Equivalent to
+    /// `build().map(Arc::new)`.
+    pub fn build_shared(self) -> Result<Arc<SesInstance>, ValidationError> {
+        self.build().map(Arc::new)
+    }
+
     /// Validates and builds the instance.
     pub fn build(self) -> Result<SesInstance, ValidationError> {
         let organizer = self

@@ -21,8 +21,26 @@
 //! * [`algorithms`] — the paper's greedy **GRD** (Algorithm 1), the **TOP**
 //!   and **RAND** baselines, a priority-queue greedy (**GRD-PQ**), an exact
 //!   branch-and-bound oracle and a local-search post-optimizer;
+//! * [`registry`] — the algorithm registry: [`SchedulerSpec`] parsing and
+//!   [`registry::build`], the single mapping from spec strings to runnable
+//!   schedulers (front ends must not string-match algorithm names);
+//! * [`online`] — live schedule maintenance under disruptions
+//!   ([`OnlineSession`]);
+//! * [`error`] — the unified [`Error`] hierarchy folding every subsystem
+//!   error into one type with `From` conversions;
 //! * [`reduction`] — the Theorem 1 MKPI → SES reduction, executable;
 //! * [`testkit`] — deterministic instance factories for tests and benches.
+//!
+//! ## Ownership model
+//!
+//! [`SesInstance`] is immutable after construction and always handled as an
+//! `Arc<SesInstance>` (`InstanceBuilder::build_shared` returns one).
+//! [`AttendanceEngine`] and [`OnlineSession`] *own* a shared handle rather
+//! than borrowing, so both are `Send + 'static`: a long-lived server can
+//! keep sessions for many tenants in a map, move them across threads, and
+//! drop instances only when the last engine is done. The higher-level
+//! `ses-service` crate builds its request/response facade on exactly this
+//! property.
 //!
 //! ## Quick example
 //!
@@ -45,7 +63,7 @@
 //!     .competing(vec![CompetingEvent::new(CompetingEventId::new(0), IntervalId::new(0))])
 //!     .interest(interest.build_sparse().unwrap())
 //!     .activity(ConstantActivity::new(2, 2, 0.8).unwrap())
-//!     .build()
+//!     .build_shared() // Arc<SesInstance> — the handle engines consume
 //!     .unwrap();
 //!
 //! let outcome = GreedyScheduler::new().run(&instance, 2).unwrap();
@@ -59,6 +77,7 @@
 pub mod activity;
 pub mod algorithms;
 pub mod engine;
+pub mod error;
 pub mod ids;
 pub mod instance;
 pub mod interest;
@@ -66,6 +85,7 @@ pub mod metrics;
 pub mod model;
 pub mod online;
 pub mod reduction;
+pub mod registry;
 pub mod schedule;
 pub mod testkit;
 pub mod util;
@@ -77,6 +97,7 @@ pub use algorithms::{
     SesError, TopScheduler,
 };
 pub use engine::{evaluate_schedule, AttendanceEngine, EngineCounters, Evaluation};
+pub use error::Error;
 pub use ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
 pub use instance::{FeasibilityViolation, InstanceBuilder, SesInstance, ValidationError};
 pub use interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
@@ -85,6 +106,7 @@ pub use model::{
     spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
 };
 pub use online::{OnlineSession, RepairReport};
+pub use registry::{SchedulerSpec, UnknownScheduler, SPEC_NAMES};
 pub use schedule::{Assignment, Schedule, ScheduleError};
 
 /// One-stop imports for applications.
@@ -98,6 +120,7 @@ pub mod prelude {
         TopScheduler,
     };
     pub use crate::engine::{evaluate_schedule, AttendanceEngine, Evaluation};
+    pub use crate::error::Error;
     pub use crate::ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
     pub use crate::instance::{FeasibilityViolation, InstanceBuilder, SesInstance};
     pub use crate::interest::{DenseInterest, InterestBuilder, InterestModel, SparseInterest};
@@ -106,5 +129,6 @@ pub mod prelude {
         spaced_grid, uniform_grid, CandidateEvent, CompetingEvent, Organizer, TimeInterval,
     };
     pub use crate::online::{OnlineSession, RepairReport};
+    pub use crate::registry::{self, SchedulerSpec};
     pub use crate::schedule::{Assignment, Schedule};
 }

@@ -9,6 +9,7 @@ use crate::engine::{evaluate_schedule, AttendanceEngine};
 use crate::ids::IntervalId;
 use crate::instance::SesInstance;
 use crate::schedule::Schedule;
+use std::sync::Arc;
 
 /// Per-interval usage line.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +65,7 @@ pub struct ScheduleMetrics {
 /// loose but cheap (`O(|E||T|·postings)`) — usable at full experiment scale
 /// where the exact solver is hopeless. `GRD utility / upper bound` is then
 /// a *certified* quality floor.
-pub fn utility_upper_bound(inst: &SesInstance, k: usize) -> f64 {
+pub fn utility_upper_bound(inst: &Arc<SesInstance>, k: usize) -> f64 {
     let engine = AttendanceEngine::new(inst);
     let mut solos: Vec<f64> = (0..inst.num_events())
         .map(|e| {
@@ -100,7 +101,7 @@ fn gini(values: &[f64]) -> f64 {
 }
 
 /// Computes the full metrics report for a feasible schedule.
-pub fn schedule_metrics(inst: &SesInstance, schedule: &Schedule) -> ScheduleMetrics {
+pub fn schedule_metrics(inst: &Arc<SesInstance>, schedule: &Schedule) -> ScheduleMetrics {
     let eval = evaluate_schedule(inst, schedule);
     let engine = AttendanceEngine::with_schedule(inst, schedule)
         .expect("metrics requires a feasible schedule");

@@ -30,9 +30,11 @@ use crate::ids::{EventId, IntervalId, UserId};
 use crate::instance::SesInstance;
 use crate::schedule::{Schedule, ScheduleError};
 use crate::util::float::total_cmp;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What a repair changed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RepairReport {
     /// Utility before the disruption.
     pub utility_before: f64,
@@ -58,18 +60,23 @@ impl RepairReport {
 }
 
 /// A live schedule bound to an instance.
-pub struct OnlineSession<'a> {
-    engine: AttendanceEngine<'a>,
+///
+/// Sessions own a shared handle to their instance (via the engine), so they
+/// are `Send + 'static`: a server can keep many named sessions in a map and
+/// move them across threads. See [`crate::engine::AttendanceEngine`] for the
+/// ownership model.
+pub struct OnlineSession {
+    engine: AttendanceEngine,
     /// Which candidates may be drawn by backfills/extensions. Scheduled
     /// events are unaffected by their own flag until they leave the schedule.
     available: Vec<bool>,
 }
 
-impl<'a> OnlineSession<'a> {
+impl OnlineSession {
     /// Starts a session from an existing feasible schedule, with every
     /// candidate available.
     pub fn new(
-        inst: &'a SesInstance,
+        inst: &Arc<SesInstance>,
         schedule: &Schedule,
     ) -> Result<Self, crate::instance::FeasibilityViolation> {
         Ok(Self {
@@ -89,8 +96,13 @@ impl<'a> OnlineSession<'a> {
     }
 
     /// The instance this session runs against.
-    pub fn instance(&self) -> &'a SesInstance {
+    pub fn instance(&self) -> &SesInstance {
         self.engine.instance()
+    }
+
+    /// The shared handle to the instance.
+    pub fn instance_arc(&self) -> &Arc<SesInstance> {
+        self.engine.instance_arc()
     }
 
     /// The live per-interval resource budget θ.
@@ -261,8 +273,8 @@ impl<'a> OnlineSession<'a> {
         self.engine.set_budget(budget);
         let mut evicted: Vec<EventId> = Vec::new();
         if shrinking {
-            let inst = self.engine.instance();
-            for t in (0..inst.num_intervals()).map(|t| IntervalId::new(t as u32)) {
+            let num_intervals = self.engine.instance().num_intervals();
+            for t in (0..num_intervals).map(|t| IntervalId::new(t as u32)) {
                 while self.engine.used_resources(t) > budget {
                     let victim = self
                         .engine
@@ -323,7 +335,7 @@ mod tests {
     use crate::algorithms::{GreedyScheduler, Scheduler};
     use crate::testkit;
 
-    fn session(seed: u64, k: usize) -> (crate::instance::SesInstance, Schedule) {
+    fn session(seed: u64, k: usize) -> (Arc<crate::instance::SesInstance>, Schedule) {
         let inst = testkit::medium_instance(seed);
         let out = GreedyScheduler::new().run(&inst, k).unwrap();
         (inst, out.schedule)

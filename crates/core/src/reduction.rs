@@ -24,6 +24,7 @@ use crate::interest::InterestBuilder;
 use crate::model::{uniform_grid, CandidateEvent, CompetingEvent, Organizer};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One MKPI item.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,8 +128,8 @@ impl MkpiInstance {
 /// The SES instance produced by the Theorem 1 reduction, together with the
 /// factor converting SES utility back to MKPI profit.
 pub struct ReducedInstance {
-    /// The restricted SES instance.
-    pub instance: SesInstance,
+    /// The restricted SES instance (shared, ready for engines and sessions).
+    pub instance: Arc<SesInstance>,
     /// `MKPI profit = SES utility × profit_scale`.
     pub profit_scale: f64,
 }
@@ -191,7 +192,7 @@ pub fn mkpi_to_ses(mkpi: &MkpiInstance) -> Result<ReducedInstance, ReductionErro
         .competing(competing)
         .interest(interest.build_sparse().expect("valid by construction"))
         .activity(ConstantActivity::new(n, m, 1.0).expect("σ = 1 is valid"))
-        .build()
+        .build_shared()
         .expect("reduction output must validate");
 
     Ok(ReducedInstance {

@@ -13,6 +13,7 @@ use crate::interest::InterestBuilder;
 use crate::model::{uniform_grid, CandidateEvent, CompetingEvent, Organizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Shape of a random test instance.
 #[derive(Debug, Clone)]
@@ -54,7 +55,7 @@ impl Default for TestInstanceConfig {
 }
 
 /// Builds a random sparse instance from a config. Deterministic in the seed.
-pub fn random_instance(cfg: &TestInstanceConfig) -> SesInstance {
+pub fn random_instance(cfg: &TestInstanceConfig) -> Arc<SesInstance> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut interest = InterestBuilder::new(cfg.num_users, cfg.num_events, cfg.num_competing);
     for u in 0..cfg.num_users {
@@ -113,12 +114,12 @@ pub fn random_instance(cfg: &TestInstanceConfig) -> SesInstance {
             cfg.num_intervals,
             cfg.seed ^ 0x5eed,
         ))
-        .build()
+        .build_shared()
         .expect("generated instance must validate")
 }
 
 /// A medium instance: 30 users, 12 events, 6 intervals, 10 competing events.
-pub fn medium_instance(seed: u64) -> SesInstance {
+pub fn medium_instance(seed: u64) -> Arc<SesInstance> {
     random_instance(&TestInstanceConfig {
         seed,
         ..TestInstanceConfig::default()
@@ -127,7 +128,7 @@ pub fn medium_instance(seed: u64) -> SesInstance {
 
 /// A small instance suitable for the exact solver: 8 users, 6 events,
 /// 3 intervals, 4 competing events.
-pub fn small_instance(seed: u64) -> SesInstance {
+pub fn small_instance(seed: u64) -> Arc<SesInstance> {
     random_instance(&TestInstanceConfig {
         num_users: 8,
         num_events: 6,
@@ -143,7 +144,7 @@ pub fn small_instance(seed: u64) -> SesInstance {
 
 /// One interval, every event at the same location: at most one event can
 /// ever be scheduled. Exercises the `complete = false` paths.
-pub fn single_slot_shared_location(num_events: usize) -> SesInstance {
+pub fn single_slot_shared_location(num_events: usize) -> Arc<SesInstance> {
     let num_users = 5;
     let mut interest = InterestBuilder::new(num_users, num_events, 0);
     for u in 0..num_users {
@@ -166,7 +167,7 @@ pub fn single_slot_shared_location(num_events: usize) -> SesInstance {
         .events(events)
         .interest(interest.build_sparse().unwrap())
         .activity(ConstantActivity::new(num_users, 1, 1.0).unwrap())
-        .build()
+        .build_shared()
         .unwrap()
 }
 
@@ -175,7 +176,7 @@ pub fn single_slot_shared_location(num_events: usize) -> SesInstance {
 ///
 /// * `µ(u0,e0)=0.8, µ(u0,e1)=0.4, µ(u1,e1)=0.5, µ(u1,e2)=0.6, µ(u0,c0)=0.5`
 /// * `c0` sits at `t0`; `σ ≡ 1`; `θ = 10`; distinct locations; `ξ = 1`.
-pub fn hand_instance() -> SesInstance {
+pub fn hand_instance() -> Arc<SesInstance> {
     let mut interest = InterestBuilder::new(2, 3, 1);
     interest.set(UserId::new(0), EventId::new(0), 0.8).unwrap();
     interest.set(UserId::new(0), EventId::new(1), 0.4).unwrap();
@@ -198,7 +199,7 @@ pub fn hand_instance() -> SesInstance {
         )])
         .interest(interest.build_sparse().unwrap())
         .activity(ConstantActivity::new(2, 2, 1.0).unwrap())
-        .build()
+        .build_shared()
         .unwrap()
 }
 

@@ -1,0 +1,118 @@
+//! The owned-handle contract of the redesigned core API: engines and
+//! sessions are `Send + 'static` (compile-time asserted), outlive the scope
+//! that built their instance, and behave identically when moved to another
+//! thread — the property the service layer's multi-tenant session map
+//! relies on.
+
+use ses_core::testkit;
+use ses_core::{
+    AttendanceEngine, EventId, GreedyScheduler, OnlineSession, Schedule, Scheduler, SesInstance,
+    UserId,
+};
+use std::sync::Arc;
+
+/// Compile-time: the acceptance criterion of the API redesign.
+#[test]
+fn engine_and_session_are_send_and_static() {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<AttendanceEngine>();
+    assert_send::<OnlineSession>();
+    // The instance handle itself is shareable across threads.
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<Arc<SesInstance>>();
+}
+
+#[test]
+fn engine_outlives_the_scope_that_built_the_instance() {
+    // Build the instance in an inner scope and drop every other handle; the
+    // engine's own Arc keeps it alive — impossible with the old borrowed API.
+    let mut engine = {
+        let inst = testkit::medium_instance(3);
+        AttendanceEngine::new(&inst)
+    };
+    let e = EventId::new(0);
+    let t = ses_core::IntervalId::new(0);
+    if engine.is_valid(e, t) {
+        engine.assign(e, t).unwrap();
+    }
+    assert!(engine.total_utility() >= 0.0);
+    assert_eq!(engine.instance().num_events(), 12);
+}
+
+/// The disruption script both sessions replay.
+fn replay(session: &mut OnlineSession, postings: &[(UserId, f64)]) -> (f64, Schedule) {
+    let busy = session
+        .schedule()
+        .occupied_intervals()
+        .next()
+        .expect("non-empty plan");
+    session.announce_competing(busy, postings);
+    let victim = session.schedule().scheduled_events()[0];
+    session.cancel_event(victim).unwrap();
+    session.extend();
+    session.change_capacity(session.instance().budget() * 0.6);
+    session.announce_competing(busy, postings);
+    (session.utility(), session.schedule().clone())
+}
+
+#[test]
+fn session_moved_to_another_thread_repairs_identically() {
+    let inst = testkit::medium_instance(21);
+    let plan = GreedyScheduler::new().run(&inst, 6).unwrap();
+    let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+        .map(|u| (UserId::new(u as u32), 0.7))
+        .collect();
+
+    // Seed behaviour: the session stays on this thread.
+    let mut local = OnlineSession::new(&inst, &plan.schedule).unwrap();
+    let (local_utility, local_schedule) = replay(&mut local, &postings);
+
+    // Same starting state, but the session (owning its instance handle)
+    // crosses a thread boundary before replaying the same script.
+    let mut moved = OnlineSession::new(&inst, &plan.schedule).unwrap();
+    let postings_clone = postings.clone();
+    let (moved_utility, moved_schedule) = std::thread::spawn(move || {
+        let out = replay(&mut moved, &postings_clone);
+        drop(moved); // session (and its instance handle) dies off-thread
+        out
+    })
+    .join()
+    .expect("worker thread must not panic");
+
+    assert_eq!(
+        local_utility.to_bits(),
+        moved_utility.to_bits(),
+        "thread move must not change repair arithmetic: {local_utility} vs {moved_utility}"
+    );
+    assert_eq!(local_schedule, moved_schedule);
+}
+
+#[test]
+fn many_sessions_share_one_instance_across_threads() {
+    // The multi-tenant shape: one instance, many owned sessions, each on
+    // its own thread, all repairing concurrently.
+    let inst = testkit::medium_instance(9);
+    let plan = GreedyScheduler::new().run(&inst, 5).unwrap();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let session = OnlineSession::new(&inst, &plan.schedule).unwrap();
+            std::thread::spawn(move || {
+                let mut session = session;
+                let postings: Vec<(UserId, f64)> = (0..session.instance().num_users())
+                    .map(|u| (UserId::new(u as u32), 0.1 + 0.2 * (i as f64 % 3.0)))
+                    .collect();
+                let busy = session.schedule().occupied_intervals().next().unwrap();
+                let report = session.announce_competing(busy, &postings);
+                assert!(report.recovered() >= -1e-9);
+                session.utility()
+            })
+        })
+        .collect();
+    for h in handles {
+        let utility = h.join().expect("no panics");
+        assert!(utility.is_finite() && utility >= 0.0);
+    }
+    // The shared instance is still alive and usable afterwards.
+    assert!(Arc::strong_count(&inst) >= 1);
+    assert_eq!(inst.num_events(), 12);
+}

@@ -23,6 +23,7 @@ use ses_core::{
 use ses_ebsn::checkins::{SLOTS_PER_WEEK, TICKS_PER_DAY, TICKS_PER_HOUR};
 use ses_ebsn::{estimate_slot_activity, jaccard, EbsnDataset, EbsnEventId, SmoothingConfig};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from instance construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,8 +56,9 @@ impl std::error::Error for BuildError {}
 /// A built instance plus provenance back into the dataset.
 #[derive(Debug)]
 pub struct BuiltInstance {
-    /// The ready-to-schedule instance.
-    pub instance: SesInstance,
+    /// The ready-to-schedule instance, behind the shared handle engines,
+    /// sessions and services consume.
+    pub instance: Arc<SesInstance>,
     /// For each candidate event id `e`, the dataset event it came from.
     pub candidate_source: Vec<EbsnEventId>,
     /// For each competing event id `c`, the dataset event it came from.
@@ -216,12 +218,12 @@ pub fn build_instance(
                 num_intervals,
                 cfg.seed ^ 0x00ac_7171,
             ))
-            .build(),
+            .build_shared(),
         SigmaMode::FromCheckins => {
             let profile = estimate_slot_activity(dataset, SmoothingConfig::default());
             let activity = SlotActivity::new(SLOTS_PER_WEEK, profile, slot_of)
                 .expect("profile shape is consistent by construction");
-            builder.activity(activity).build()
+            builder.activity(activity).build_shared()
         }
     }
     .expect("pipeline instance must validate");

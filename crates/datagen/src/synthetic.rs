@@ -19,6 +19,7 @@ use ses_core::{
     CandidateEvent, CompetingEvent, CompetingEventId, ConstantActivity, EventId, IntervalId,
     LocationId, Organizer, SesInstance, UserId,
 };
+use std::sync::Arc;
 
 /// Unstructured sparse instance (delegates to `ses_core::testkit`).
 pub fn uniform(
@@ -26,7 +27,7 @@ pub fn uniform(
     num_events: usize,
     num_intervals: usize,
     seed: u64,
-) -> SesInstance {
+) -> Arc<SesInstance> {
     random_instance(&TestInstanceConfig {
         num_users,
         num_events,
@@ -49,7 +50,7 @@ pub fn clustered(
     num_intervals: usize,
     clusters: usize,
     seed: u64,
-) -> SesInstance {
+) -> Arc<SesInstance> {
     assert!(clusters > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let num_competing = num_intervals;
@@ -112,7 +113,7 @@ pub fn clustered(
             num_intervals,
             seed ^ 0xC1D5_72ED,
         ))
-        .build()
+        .build_shared()
         .expect("clustered instance validates")
 }
 
@@ -125,7 +126,7 @@ pub fn top_trap(
     num_events: usize,
     num_intervals: usize,
     seed: u64,
-) -> SesInstance {
+) -> Arc<SesInstance> {
     assert!(num_intervals >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     // One competing event in every interval except interval 0, with high
@@ -170,7 +171,7 @@ pub fn top_trap(
         .competing(competing)
         .interest(interest.build_sparse().expect("valid"))
         .activity(ConstantActivity::new(num_users, num_intervals, 1.0).expect("valid"))
-        .build()
+        .build_shared()
         .expect("top_trap instance validates")
 }
 

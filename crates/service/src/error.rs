@@ -1,0 +1,88 @@
+//! Service-level errors, layered over [`ses_core::Error`].
+
+use std::fmt;
+
+/// Anything the service facade can reject.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// No session with that name is open.
+    UnknownSession(String),
+    /// A session with that name is already open.
+    SessionExists(String),
+    /// A request referenced an entity outside the instance, or carried an
+    /// out-of-range value.
+    InvalidRequest(String),
+    /// A core operation failed (solver, schedule, feasibility, registry…).
+    Core(ses_core::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSession(name) => write!(f, "no open session named '{name}'"),
+            ServiceError::SessionExists(name) => {
+                write!(f, "a session named '{name}' is already open")
+            }
+            ServiceError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ses_core::Error> for ServiceError {
+    fn from(e: ses_core::Error) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Every specific core error converts through [`ses_core::Error`], so `?`
+/// works directly on core results inside service code.
+macro_rules! impl_from_core {
+    ($($t:ty),*) => {$(
+        impl From<$t> for ServiceError {
+            fn from(e: $t) -> Self {
+                ServiceError::Core(e.into())
+            }
+        }
+    )*};
+}
+
+impl_from_core!(
+    ses_core::ScheduleError,
+    ses_core::FeasibilityViolation,
+    ses_core::ValidationError,
+    ses_core::algorithms::SesError,
+    ses_core::UnknownScheduler
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::{EventId, ScheduleError};
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ServiceError::UnknownSession("main".into());
+        assert!(e.to_string().contains("main"));
+
+        let e: ServiceError = ScheduleError::NotAssigned {
+            event: EventId::new(2),
+        }
+        .into();
+        assert!(matches!(
+            e,
+            ServiceError::Core(ses_core::Error::Schedule(_))
+        ));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

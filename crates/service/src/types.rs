@@ -1,0 +1,187 @@
+//! The service wire vocabulary: serde-serializable request and response
+//! types shared by every front end (CLI, simulator, future servers).
+//!
+//! Everything here is plain data — typed ids from `ses-core`, numbers and
+//! vectors — so requests can arrive as JSON, be logged, replayed, and
+//! round-tripped losslessly (see the crate's serde property tests).
+
+use serde::{Deserialize, Serialize};
+use ses_core::{
+    Assignment, EngineCounters, EventId, IntervalId, RepairReport, ScheduleOutcome, SchedulerSpec,
+    UserId,
+};
+
+/// A request to solve an instance offline: which algorithm, how many events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// The algorithm to run (see [`ses_core::registry`]).
+    pub spec: SchedulerSpec,
+    /// Number of events to schedule.
+    pub k: usize,
+}
+
+/// The result of a solve: the schedule plus quality and cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveResponse {
+    /// Display name of the algorithm that ran (e.g. `"GRD+LS"`).
+    pub algorithm: String,
+    /// Total utility Ω of the produced schedule (Eq. 3).
+    pub total_utility: f64,
+    /// Whether all `k` requested assignments were placed.
+    pub complete: bool,
+    /// Wall-clock milliseconds of the run.
+    pub millis: f64,
+    /// Engine operation counters (hardware-independent cost).
+    pub counters: EngineCounters,
+    /// The assignments, in event order.
+    pub assignments: Vec<Assignment>,
+}
+
+impl SolveResponse {
+    /// Builds a response from a scheduler outcome, stamping the spec's
+    /// display name.
+    pub fn from_outcome(spec: SchedulerSpec, outcome: &ScheduleOutcome) -> Self {
+        Self {
+            algorithm: spec.name().to_owned(),
+            total_utility: outcome.total_utility,
+            complete: outcome.complete,
+            millis: outcome.stats.elapsed.as_secs_f64() * 1e3,
+            counters: outcome.stats.engine,
+            assignments: outcome.schedule.iter().collect(),
+        }
+    }
+
+    /// Number of assignments placed.
+    pub fn scheduled(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// A request to evaluate an explicit schedule against an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRequest {
+    /// The assignments to evaluate.
+    pub assignments: Vec<Assignment>,
+}
+
+/// Per-event attendance line of an [`EvalResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventAttendance {
+    /// The scheduled event.
+    pub event: EventId,
+    /// Where it is scheduled.
+    pub interval: IntervalId,
+    /// Its expected attendance ω(e, t) (Eq. 2).
+    pub expected_attendance: f64,
+}
+
+/// The result of an evaluation: Ω plus the per-event breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResponse {
+    /// Total utility Ω (Eq. 3).
+    pub total_utility: f64,
+    /// Per-event expected attendance, in event order.
+    pub per_event: Vec<EventAttendance>,
+}
+
+/// A request to open a named online session: solve an initial schedule and
+/// keep it live for [`SessionEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionOpen {
+    /// The session name (unique within the service).
+    pub name: String,
+    /// The algorithm producing the initial schedule.
+    pub spec: SchedulerSpec,
+    /// Initial schedule size.
+    pub k: usize,
+}
+
+/// A rival event announced at an interval (or diffuse activity drift —
+/// both inject competing mass).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// Where the rival lands.
+    pub interval: IntervalId,
+    /// Users who notice it, with their interest `µ(u, c) ∈ [0, 1]`.
+    pub postings: Vec<(UserId, f64)>,
+}
+
+/// A scheduled event is cancelled; the session backfills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cancellation {
+    /// The cancelled event.
+    pub event: EventId,
+}
+
+/// A late candidate becomes available and is placed greedily if possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// The arriving candidate.
+    pub event: EventId,
+}
+
+/// The per-interval resource budget θ moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityChange {
+    /// The new budget.
+    pub budget: f64,
+}
+
+/// Toggles whether a candidate may be drawn by backfills/extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Availability {
+    /// The candidate.
+    pub event: EventId,
+    /// Whether it is available.
+    pub available: bool,
+}
+
+/// One thing that happens to a live session — the request vocabulary of
+/// [`SchedulerService::apply`](crate::SchedulerService::apply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// A rival event (or drift) injects competing mass at an interval.
+    Announce(Announcement),
+    /// A scheduled event is cancelled.
+    Cancel(Cancellation),
+    /// A late candidate arrives.
+    Arrive(Arrival),
+    /// The resource budget changes.
+    Capacity(CapacityChange),
+    /// A candidate's availability mask is toggled.
+    SetAvailable(Availability),
+    /// Greedily schedule one more event (`k → k+1`).
+    Extend,
+}
+
+/// The outcome of applying one [`SessionEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventReport {
+    /// Whether the event changed session state. Inert events — cancelling
+    /// an event that is not scheduled, an arrival with no valid slot, an
+    /// extension with nothing left to add — report `false`.
+    pub applied: bool,
+    /// The repair accounting, when the session ran a repair.
+    pub report: Option<RepairReport>,
+    /// Utility Ω after the event.
+    pub utility: f64,
+    /// Schedule size after the event.
+    pub scheduled: usize,
+}
+
+/// A point-in-time summary of a live session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// The session name.
+    pub name: String,
+    /// Current utility Ω.
+    pub utility: f64,
+    /// Current schedule size.
+    pub scheduled: usize,
+    /// The live resource budget θ.
+    pub budget: f64,
+    /// Session events applied so far (inert ones included).
+    pub events_applied: u64,
+    /// Engine operation counters accumulated by the session.
+    pub counters: EngineCounters,
+}

@@ -1,0 +1,130 @@
+//! Serde round-trip property tests for the service wire types: whatever a
+//! front end serializes — requests, session events, repair reports — must
+//! deserialize back to an equal value, across the whole generated space.
+
+use proptest::prelude::*;
+use ses_core::{Assignment, EventId, IntervalId, RepairReport, SchedulerSpec, UserId};
+use ses_service::{
+    Announcement, Arrival, Availability, Cancellation, CapacityChange, SessionEvent, SessionOpen,
+    SolveRequest,
+};
+
+fn roundtrip_json<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+fn spec_strategy() -> impl Strategy<Value = SchedulerSpec> {
+    (0usize..7, any::<u64>()).prop_map(|(i, seed)| match i {
+        0 => SchedulerSpec::Greedy,
+        1 => SchedulerSpec::GreedyHeap,
+        2 => SchedulerSpec::Top,
+        3 => SchedulerSpec::Random(seed),
+        4 => SchedulerSpec::GreedyLocalSearch,
+        5 => SchedulerSpec::GreedyAnnealing,
+        _ => SchedulerSpec::Exact,
+    })
+}
+
+fn postings_strategy() -> impl Strategy<Value = Vec<(UserId, f64)>> {
+    prop::collection::vec((0u32..10_000, 0.0f64..1.0), 0..40)
+        .prop_map(|v| v.into_iter().map(|(u, mu)| (UserId::new(u), mu)).collect())
+}
+
+fn event_strategy() -> impl Strategy<Value = SessionEvent> {
+    (
+        0usize..6,
+        0u32..50_000,
+        0u32..5_000,
+        postings_strategy(),
+        0.0f64..1e6,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(i, event, interval, postings, budget, available)| match i {
+                0 => SessionEvent::Announce(Announcement {
+                    interval: IntervalId::new(interval),
+                    postings,
+                }),
+                1 => SessionEvent::Cancel(Cancellation {
+                    event: EventId::new(event),
+                }),
+                2 => SessionEvent::Arrive(Arrival {
+                    event: EventId::new(event),
+                }),
+                3 => SessionEvent::Capacity(CapacityChange { budget }),
+                4 => SessionEvent::SetAvailable(Availability {
+                    event: EventId::new(event),
+                    available,
+                }),
+                _ => SessionEvent::Extend,
+            },
+        )
+}
+
+fn repair_report_strategy() -> impl Strategy<Value = RepairReport> {
+    (
+        0.0f64..1e4,
+        0.0f64..1e4,
+        0.0f64..1e4,
+        prop::collection::vec((0u32..50_000, 0u32..5_000), 0..20),
+    )
+        .prop_map(
+            |(utility_before, utility_disrupted, utility_after, moves)| RepairReport {
+                utility_before,
+                utility_disrupted,
+                utility_after,
+                moves: moves
+                    .into_iter()
+                    .map(|(e, t)| (EventId::new(e), IntervalId::new(t)))
+                    .collect(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_request_round_trips(spec in spec_strategy(), k in 0usize..100_000) {
+        let req = SolveRequest { spec, k };
+        prop_assert_eq!(roundtrip_json(&req), req);
+    }
+
+    #[test]
+    fn session_open_round_trips(spec in spec_strategy(), k in 0usize..10_000) {
+        let open = SessionOpen { name: format!("tenant-{k}"), spec, k };
+        prop_assert_eq!(roundtrip_json(&open), open);
+    }
+
+    #[test]
+    fn session_event_round_trips(event in event_strategy()) {
+        prop_assert_eq!(roundtrip_json(&event), event);
+    }
+
+    #[test]
+    fn repair_report_round_trips(report in repair_report_strategy()) {
+        // Floats must survive exactly (shortest-round-trip formatting), not
+        // just approximately — bit-for-bit equality.
+        let back = roundtrip_json(&report);
+        prop_assert_eq!(back.utility_before.to_bits(), report.utility_before.to_bits());
+        prop_assert_eq!(back.utility_disrupted.to_bits(), report.utility_disrupted.to_bits());
+        prop_assert_eq!(back.utility_after.to_bits(), report.utility_after.to_bits());
+        prop_assert_eq!(back.moves, report.moves);
+    }
+
+    #[test]
+    fn event_report_round_trips_through_assignments(
+        pairs in prop::collection::vec((0u32..1_000, 0u32..100), 0..30)
+    ) {
+        let assignments: Vec<Assignment> = pairs
+            .into_iter()
+            .map(|(e, t)| Assignment::new(EventId::new(e), IntervalId::new(t)))
+            .collect();
+        let req = ses_service::EvalRequest { assignments };
+        prop_assert_eq!(roundtrip_json(&req), req);
+    }
+}

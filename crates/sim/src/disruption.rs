@@ -2,6 +2,7 @@
 //! published schedule, as data.
 
 use ses_core::{EventId, IntervalId, UserId};
+use ses_service::{Announcement, Arrival, Cancellation, CapacityChange, SessionEvent};
 
 /// One thing that happens to the live schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,32 @@ pub enum DisruptionKind {
 }
 
 impl Disruption {
+    /// The service request this disruption maps to — the simulator drives
+    /// sessions exclusively through
+    /// [`SchedulerService::apply`](ses_service::SchedulerService::apply),
+    /// the same code path the CLI and any server front end use.
+    ///
+    /// Rival announcements and activity drift both inject competing mass,
+    /// so both map to [`SessionEvent::Announce`]; the trace keeps them
+    /// apart via [`Disruption::kind`].
+    pub fn to_session_event(&self) -> SessionEvent {
+        match self {
+            Disruption::RivalAnnounce { interval, postings }
+            | Disruption::ActivityDrift { interval, postings } => {
+                SessionEvent::Announce(Announcement {
+                    interval: *interval,
+                    postings: postings.clone(),
+                })
+            }
+            Disruption::Cancel { event } => SessionEvent::Cancel(Cancellation { event: *event }),
+            Disruption::LateArrival { event } => SessionEvent::Arrive(Arrival { event: *event }),
+            Disruption::Extend => SessionEvent::Extend,
+            Disruption::CapacityChange { budget } => {
+                SessionEvent::Capacity(CapacityChange { budget: *budget })
+            }
+        }
+    }
+
     /// The kind tag of this disruption.
     pub fn kind(&self) -> DisruptionKind {
         match self {

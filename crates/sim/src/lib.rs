@@ -17,8 +17,10 @@
 //!   [`SteadyState`], [`FlashCrowd`], [`AdversarialRival`] and [`Seasonal`];
 //!   new workloads are one trait impl away (see the `scenario` module docs);
 //! * [`Simulator`] — the discrete-event core: merges all scenario streams on
-//!   a time-ordered queue, applies each disruption through the online
-//!   session's repair entry points, and records a [`Trace`];
+//!   a time-ordered queue, converts each disruption to a
+//!   [`ses_service::SessionEvent`] and applies it through
+//!   [`ses_service::SchedulerService::apply`] (the same request path the
+//!   CLI and any server front end use), and records a [`Trace`];
 //! * [`Trace`] / [`SimSummary`] — per-step utility/repair records with a
 //!   64-bit determinism digest, plus throughput counters (disruptions/sec
 //!   and the engine's hardware-independent
@@ -75,7 +77,10 @@ mod tests {
     use ses_core::testkit;
     use ses_core::OnlineSession;
 
-    fn simulator(scenario: &str, seed: u64) -> (ses_core::SesInstance, Box<dyn Scenario>) {
+    fn simulator(
+        scenario: &str,
+        seed: u64,
+    ) -> (std::sync::Arc<ses_core::SesInstance>, Box<dyn Scenario>) {
         let inst = testkit::medium_instance(seed);
         let scn = scenario_by_name(scenario, seed).unwrap();
         (inst, scn)
@@ -166,7 +171,7 @@ mod tests {
             fn name(&self) -> &'static str {
                 "churn"
             }
-            fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+            fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
                 self.n += 1;
                 let disruption = match self.n % 3 {
                     0 => match view.scheduled_events().first().copied() {
@@ -292,6 +297,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn service_rejections_are_counted_not_hidden() {
+        // A buggy scenario that references events outside the instance's
+        // universe: the service rejects each one, the run stays
+        // deterministic, and the summary reports the rejections separately
+        // from ordinary inert steps.
+        struct OffByOne {
+            n: u64,
+        }
+        impl Scenario for OffByOne {
+            fn name(&self) -> &'static str {
+                "off-by-one"
+            }
+            fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
+                self.n += 1;
+                let disruption = if self.n.is_multiple_of(2) {
+                    // Out of universe — a classic off-by-one.
+                    Disruption::Cancel {
+                        event: ses_core::EventId::new(view.num_events() as u32),
+                    }
+                } else {
+                    Disruption::Extend
+                };
+                Some(TimedDisruption {
+                    at: now + 1,
+                    disruption,
+                })
+            }
+        }
+
+        let inst = testkit::medium_instance(13);
+        let plan = GreedyScheduler::new().run(&inst, 4).unwrap();
+        let session = OnlineSession::new(&inst, &plan.schedule).unwrap();
+        let mut sim = Simulator::new(session, vec![Box::new(OffByOne { n: 0 })]);
+        let summary = sim.run(40);
+        assert_eq!(summary.steps, 40);
+        assert_eq!(summary.rejected, 20, "every bad cancel must be counted");
+        assert!(summary.skipped >= summary.rejected);
+        // Well-formed scenarios never trip the counter.
+        let (inst, scn) = simulator("steady", 3);
+        let plan = GreedyScheduler::new().run(&inst, 6).unwrap();
+        let session = OnlineSession::new(&inst, &plan.schedule).unwrap();
+        let mut sim = Simulator::new(session, vec![scn]);
+        assert_eq!(sim.run(200).rejected, 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! impl Scenario for Grinder {
 //!     fn name(&self) -> &'static str { "grinder" }
 //!
-//!     fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+//!     fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
 //!         let event = view.scheduled_events().first().copied()?;
 //!         Some(TimedDisruption {
 //!             at: now + self.period,
@@ -44,13 +44,13 @@ use ses_datagen::streams::{drift_postings, rival_postings, RivalProfile};
 use crate::disruption::{Disruption, TimedDisruption};
 
 /// A read-only window onto the live session, handed to scenarios.
-pub struct SimView<'s, 'a> {
-    session: &'s OnlineSession<'a>,
+pub struct SimView<'s> {
+    session: &'s OnlineSession,
 }
 
-impl<'s, 'a> SimView<'s, 'a> {
+impl<'s> SimView<'s> {
     /// Wraps a session.
-    pub(crate) fn new(session: &'s OnlineSession<'a>) -> Self {
+    pub(crate) fn new(session: &'s OnlineSession) -> Self {
         Self { session }
     }
 
@@ -130,7 +130,7 @@ pub trait Scenario {
     /// The next disruption at a tick ≥ `now`, or `None` when the source is
     /// exhausted. Called once up front and then once after each of this
     /// scenario's events is applied.
-    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption>;
+    fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption>;
 
     /// Whether this workload ever emits [`Disruption::LateArrival`].
     /// Drivers use this to decide if withholding candidates makes sense —
@@ -141,7 +141,7 @@ pub trait Scenario {
     }
 }
 
-fn random_interval(rng: &mut StdRng, view: &SimView<'_, '_>) -> IntervalId {
+fn random_interval(rng: &mut StdRng, view: &SimView<'_>) -> IntervalId {
     IntervalId::new(rng.gen_range(0..view.num_intervals().max(1)) as u32)
 }
 
@@ -170,7 +170,7 @@ impl Scenario for SteadyState {
         "steady"
     }
 
-    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+    fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
         let at = now + self.rng.gen_range(1..=4u64);
         let roll: f64 = self.rng.gen();
         let disruption = if roll < 0.55 {
@@ -226,7 +226,7 @@ impl Scenario for FlashCrowd {
         "flash-crowd"
     }
 
-    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+    fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
         let at = now + 1;
         let phase = at % self.period;
         let disruption = if phase < self.burst {
@@ -297,7 +297,7 @@ impl Scenario for AdversarialRival {
         false
     }
 
-    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+    fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
         let interval = view
             .busiest_interval()
             .unwrap_or_else(|| random_interval(&mut self.rng, view));
@@ -347,7 +347,7 @@ impl Scenario for Seasonal {
         "seasonal"
     }
 
-    fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+    fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
         let at = now + self.rng.gen_range(1..=3u64);
         let intensity = self.intensity(at);
         // Capacity tracks the season at the boundary of each half-phase;

@@ -1,12 +1,20 @@
 //! The discrete-event simulator: merges scenario streams on a time-ordered
-//! event queue and drives an [`OnlineSession`] through them, recording a
-//! trace and throughput counters.
+//! event queue and replays them against a named session of a
+//! [`SchedulerService`], recording a trace and throughput counters.
+//!
+//! The simulator never touches an [`OnlineSession`] mutably — every
+//! disruption is converted to a [`ses_service::SessionEvent`] and applied
+//! through [`SchedulerService::apply`], the same request path the CLI and
+//! any server front end use. What the simulator measures is therefore the
+//! serving stack, not a private shortcut around it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use serde::Serialize;
 use ses_core::{EngineCounters, EventId, OnlineSession, RepairReport};
+use ses_service::{Availability, SchedulerService, ServiceError, SessionEvent};
 
 use crate::disruption::{Disruption, DisruptionKind};
 use crate::scenario::{Scenario, SimView};
@@ -44,7 +52,11 @@ impl Ord for Pending {
 }
 
 /// End-of-run report.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes for `--format json` front ends; the wall-clock [`Duration`]
+/// is skipped (report `events_per_sec` / recompute milliseconds from it
+/// before serializing if needed).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimSummary {
     /// Disruptions taken off the queue.
     pub steps: u64,
@@ -52,6 +64,11 @@ pub struct SimSummary {
     pub applied: u64,
     /// Disruptions that were inert (cancel of an unscheduled event, …).
     pub skipped: u64,
+    /// Disruptions the service *rejected* (out-of-universe references, bad
+    /// values) — always 0 for well-formed scenarios. Counted inside
+    /// `skipped`, but broken out so a buggy scenario cannot hide behind
+    /// ordinary inert steps.
+    pub rejected: u64,
     /// Simulation tick of the last disruption.
     pub final_tick: u64,
     /// Utility Ω when the run ended.
@@ -65,6 +82,7 @@ pub struct SimSummary {
     /// Engine operation counters accumulated during the run (deltas).
     pub counters: EngineCounters,
     /// Wall-clock duration of the run.
+    #[serde(skip)]
     pub elapsed: Duration,
     /// Disruptions processed per wall-clock second.
     pub events_per_sec: f64,
@@ -72,46 +90,85 @@ pub struct SimSummary {
     pub digest: u64,
 }
 
-/// A discrete-event simulation binding scenario streams to a live session.
-pub struct Simulator<'a> {
-    session: OnlineSession<'a>,
+/// The session name [`Simulator::new`] opens in its internal service.
+pub const DEFAULT_SESSION: &str = "sim";
+
+/// A discrete-event simulation binding scenario streams to a named service
+/// session.
+pub struct Simulator {
+    service: SchedulerService,
+    name: String,
     sources: Vec<Box<dyn Scenario>>,
     primed: Vec<bool>,
     queue: BinaryHeap<Pending>,
     clock: u64,
     seq: u64,
     steps_done: u64,
+    rejected: u64,
     trace: Trace,
 }
 
-impl<'a> Simulator<'a> {
-    /// Builds a simulator over `session` driven by `sources`.
-    pub fn new(session: OnlineSession<'a>, sources: Vec<Box<dyn Scenario>>) -> Self {
+impl Simulator {
+    /// Builds a simulator over `session` driven by `sources`, adopting the
+    /// session into a fresh internal service as [`DEFAULT_SESSION`].
+    pub fn new(session: OnlineSession, sources: Vec<Box<dyn Scenario>>) -> Self {
+        let mut service = SchedulerService::new();
+        service
+            .adopt_session(DEFAULT_SESSION, session)
+            .expect("fresh service has no sessions");
+        Self::over_service(service, DEFAULT_SESSION, sources)
+            .expect("session was just adopted under this name")
+    }
+
+    /// Builds a simulator over an already open session of an existing
+    /// service — the path drivers take when the session was opened through
+    /// the service API ([`ses_service::SessionOpen`]). Fails if no session
+    /// with that name is open.
+    pub fn over_service(
+        service: SchedulerService,
+        name: impl Into<String>,
+        sources: Vec<Box<dyn Scenario>>,
+    ) -> Result<Self, ServiceError> {
+        let name = name.into();
+        if service.session(&name).is_none() {
+            return Err(ServiceError::UnknownSession(name));
+        }
         let n = sources.len();
-        Self {
-            session,
+        Ok(Self {
+            service,
+            name,
             sources,
             primed: vec![false; n],
             queue: BinaryHeap::new(),
             clock: 0,
             seq: 0,
             steps_done: 0,
+            rejected: 0,
             trace: Trace::new(),
-        }
+        })
     }
 
     /// Withholds every `1/fraction`-ish unscheduled candidate (taking each
     /// with index hash below `fraction`) so scenarios have late arrivals to
-    /// release. Deterministic — no RNG involved.
+    /// release. Deterministic — no RNG involved. Goes through the service's
+    /// availability events like every other state change.
     pub fn withhold_fraction(&mut self, fraction: f64) -> usize {
         let fraction = fraction.clamp(0.0, 1.0);
-        let n = self.session.instance().num_events();
+        let n = self.session().instance().num_events();
         let take =
             |e: usize| (((e.wrapping_mul(2654435761) >> 16) % 1000) as f64) < fraction * 1000.0;
         let mut withheld = 0;
         for e in (0..n).map(|e| EventId::new(e as u32)) {
-            if !self.session.schedule().contains(e) && take(e.index()) {
-                self.session.set_available(e, false);
+            if !self.session().schedule().contains(e) && take(e.index()) {
+                self.service
+                    .apply(
+                        &self.name,
+                        &SessionEvent::SetAvailable(Availability {
+                            event: e,
+                            available: false,
+                        }),
+                    )
+                    .expect("event id is in bounds");
                 withheld += 1;
             }
         }
@@ -119,8 +176,21 @@ impl<'a> Simulator<'a> {
     }
 
     /// The live session (read access).
-    pub fn session(&self) -> &OnlineSession<'a> {
-        &self.session
+    pub fn session(&self) -> &OnlineSession {
+        self.service
+            .session(&self.name)
+            .expect("simulator session stays open for its lifetime")
+    }
+
+    /// The service the simulator drives (read access — e.g. for
+    /// [`ses_service::SchedulerService::report`]).
+    pub fn service(&self) -> &SchedulerService {
+        &self.service
+    }
+
+    /// The name of the session this simulator drives.
+    pub fn session_name(&self) -> &str {
+        &self.name
     }
 
     /// The trace accumulated so far.
@@ -129,13 +199,25 @@ impl<'a> Simulator<'a> {
     }
 
     /// Consumes the simulator, returning the session for post-inspection.
-    pub fn into_session(self) -> OnlineSession<'a> {
-        self.session
+    pub fn into_session(mut self) -> OnlineSession {
+        self.service
+            .take_session(&self.name)
+            .expect("simulator session stays open for its lifetime")
+    }
+
+    /// Consumes the simulator, returning the service (with the session
+    /// still open under [`Self::session_name`]).
+    pub fn into_service(self) -> SchedulerService {
+        self.service
     }
 
     /// Asks source `i` for its next event and queues it.
     fn refill(&mut self, i: usize) {
-        let view = SimView::new(&self.session);
+        let session = self
+            .service
+            .session(&self.name)
+            .expect("simulator session stays open for its lifetime");
+        let view = SimView::new(session);
         if let Some(timed) = self.sources[i].next(self.clock, &view) {
             let at = timed.at.max(self.clock);
             self.queue.push(Pending {
@@ -148,25 +230,32 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Applies one disruption to the session. Returns the repair report if
-    /// the session changed.
+    /// Applies one disruption through the service. Returns the repair
+    /// report if the session changed.
+    ///
+    /// Well-formed scenarios only emit in-universe events, so a
+    /// service-level rejection marks a scenario bug. The step is recorded
+    /// as inert (nothing changed, so the trace stays honest and the run
+    /// deterministic), but it also bumps [`SimSummary::rejected`] so the
+    /// bug cannot hide among ordinary inert steps.
     fn apply(&mut self, disruption: &Disruption) -> Option<RepairReport> {
-        match disruption {
-            Disruption::RivalAnnounce { interval, postings }
-            | Disruption::ActivityDrift { interval, postings } => {
-                Some(self.session.announce_competing(*interval, postings))
+        match self
+            .service
+            .apply(&self.name, &disruption.to_session_event())
+        {
+            Ok(report) => report.report,
+            Err(_) => {
+                self.rejected += 1;
+                None
             }
-            Disruption::Cancel { event } => self.session.cancel_event(*event).ok(),
-            Disruption::LateArrival { event } => self.session.arrive(*event),
-            Disruption::Extend => self.session.extend(),
-            Disruption::CapacityChange { budget } => Some(self.session.change_capacity(*budget)),
         }
     }
 
     /// Runs up to `steps` further disruptions (fewer if all sources dry up).
     /// Can be called repeatedly; the clock, trace and counters carry over.
     pub fn run(&mut self, steps: u64) -> SimSummary {
-        let counters_start = self.session.counters();
+        let counters_start = self.session().counters();
+        let rejected_start = self.rejected;
         let start = Instant::now();
         let mut applied = 0u64;
         let mut skipped = 0u64;
@@ -187,7 +276,7 @@ impl<'a> Simulator<'a> {
             };
             taken += 1;
             self.clock = pending.at;
-            let utility_before = self.session.utility();
+            let utility_before = self.session().utility();
             let report = self.apply(&pending.disruption);
             let record = match &report {
                 Some(r) => {
@@ -225,7 +314,7 @@ impl<'a> Simulator<'a> {
         }
 
         let elapsed = start.elapsed();
-        let counters_end = self.session.counters();
+        let counters_end = self.session().counters();
         let events_per_sec = if elapsed.as_secs_f64() > 0.0 {
             taken as f64 / elapsed.as_secs_f64()
         } else {
@@ -235,9 +324,10 @@ impl<'a> Simulator<'a> {
             steps: taken,
             applied,
             skipped,
+            rejected: self.rejected - rejected_start,
             final_tick: self.clock,
-            final_utility: self.session.utility(),
-            final_scheduled: self.session.schedule().len(),
+            final_utility: self.session().utility(),
+            final_scheduled: self.session().schedule().len(),
             total_moves,
             total_recovered,
             counters: EngineCounters {

@@ -56,7 +56,7 @@ fn instance_config() -> impl Strategy<Value = TestInstanceConfig> {
         )
 }
 
-fn check_feasible(inst: &ses_core::SesInstance, session: &OnlineSession<'_>) {
+fn check_feasible(inst: &ses_core::SesInstance, session: &OnlineSession) {
     for t in (0..inst.num_intervals()).map(|t| IntervalId::new(t as u32)) {
         let events = session.schedule().events_at(t);
         let mut locations: Vec<u32> = events
@@ -122,7 +122,7 @@ proptest! {
         }
         impl Scenario for StaticChurn {
             fn name(&self) -> &'static str { "static-churn" }
-            fn next(&mut self, now: u64, view: &SimView<'_, '_>) -> Option<TimedDisruption> {
+            fn next(&mut self, now: u64, view: &SimView<'_>) -> Option<TimedDisruption> {
                 self.n += 1;
                 let roll = (self.n.wrapping_mul(self.seed | 1).wrapping_mul(0x9E3779B97F4A7C15) >> 56) % 5;
                 let disruption = match roll {

@@ -57,7 +57,7 @@ fn main() {
         .interest(interest.build_sparse().unwrap())
         // Everyone is free tonight with probability 0.8.
         .activity(ConstantActivity::new(4, 2, 0.8).unwrap())
-        .build()
+        .build_shared()
         .expect("valid instance");
 
     // Schedule two of the three candidates.

@@ -113,7 +113,7 @@ fn main() {
         .competing(competing)
         .interest(interest.build_sparse().unwrap())
         .activity(DenseActivity::from_rows(sigma).unwrap())
-        .build()
+        .build_shared()
         .expect("valid festival instance");
 
     // Schedule 22 events (two per evening on average).

@@ -8,8 +8,11 @@
 //!   substrate (datasets, tags, Jaccard interest, check-ins);
 //! * [`datagen`] — the ICDE 2018 experimental parameterization,
 //!   instance pipelines and disruption streams;
+//! * [`service`] — the owned, handle-based service facade: typed
+//!   requests/responses and named online sessions over
+//!   `Arc<SesInstance>` handles (what a server front end speaks);
 //! * [`sim`] — the discrete-event workload simulator stress-driving
-//!   the online scheduler.
+//!   the online scheduler through the service facade.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper.
@@ -17,14 +20,19 @@
 pub use ses_core as core;
 pub use ses_datagen as datagen;
 pub use ses_ebsn as ebsn;
+pub use ses_service as service;
 pub use ses_sim as sim;
 
 /// Convenient flat imports for applications: everything from
-/// `ses_core::prelude` plus the dataset/generator/simulator entry points.
+/// `ses_core::prelude` plus the dataset/generator/service/simulator entry
+/// points.
 pub mod prelude {
     pub use ses_core::prelude::*;
     pub use ses_datagen::paper::PaperConfig;
     pub use ses_datagen::pipeline::{build_instance, BuiltInstance};
     pub use ses_ebsn::{generate, EbsnDataset, GeneratorConfig};
+    pub use ses_service::{
+        SchedulerService, ServiceError, SessionEvent, SessionOpen, SolveRequest, SolveResponse,
+    };
     pub use ses_sim::{scenario_by_name, Scenario, SimSummary, Simulator};
 }
