@@ -74,7 +74,7 @@ fn bench_score_backends(c: &mut Criterion) {
     group.sample_size(20);
     for (name, inst) in [("sparse", &sparse_inst), ("dense", &dense_inst)] {
         group.bench_with_input(BenchmarkId::new(name, "64ev"), inst, |b, inst| {
-            let engine = AttendanceEngine::new(inst);
+            let mut engine = AttendanceEngine::new(inst);
             b.iter(|| {
                 let mut acc = 0.0;
                 for e in 0..inst.num_events() {
@@ -130,13 +130,25 @@ fn bench_initial_scoring(c: &mut Criterion) {
         seed: 9,
     });
     c.bench_function("initial_scoring_60x45", |b| {
-        let engine = AttendanceEngine::new(&inst);
+        let mut engine = AttendanceEngine::new(&inst);
         b.iter(|| {
             let mut acc = 0.0;
             for e in 0..inst.num_events() {
                 for t in 0..inst.num_intervals() {
                     acc += engine.score(EventId::new(e as u32), IntervalId::new(t as u32));
                 }
+            }
+            acc
+        })
+    });
+    // The same sweep through the batch API (one `score_all` per event) —
+    // quantifies what per-call overhead and interval-major slicing save.
+    c.bench_function("initial_scoring_60x45_batched", |b| {
+        let mut engine = AttendanceEngine::new(&inst);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in 0..inst.num_events() {
+                acc += engine.score_all(EventId::new(e as u32)).iter().sum::<f64>();
             }
             acc
         })

@@ -1,0 +1,233 @@
+//! Records the engine perf trajectory: release-mode GRD solves over the
+//! Fig. 1 `k` sweep, columnar engine vs the frozen hash-map baseline
+//! (`ses_bench::baseline`), written as `BENCH_engine.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p ses-bench --bin bench_engine -- \
+//!     [--users N] [--seed S] [--threads N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Per cell the report carries utility, wall-clock millis, the
+//! hardware-independent `score_evaluations` / `posting_visits` counters, the
+//! baseline's millis and the resulting speedup; the columnar Ω is checked
+//! against the from-scratch `evaluate_schedule` oracle before a cell is
+//! accepted. `--smoke` shrinks the sweep for CI (it proves the pipeline
+//! runs, not the speedup) and, without an explicit `--out`, writes to a
+//! temp path so it cannot clobber the committed `BENCH_engine.json`.
+
+use serde::Serialize;
+use ses_bench::baseline::greedy_hashmap;
+use ses_core::{evaluate_schedule, registry, SchedulerSpec};
+use ses_datagen::pipeline::build_instance;
+use ses_datagen::sweep::k_sweep;
+use ses_ebsn::{generate, GeneratorConfig};
+use std::process::ExitCode;
+
+/// One (cell × layout) comparison row.
+#[derive(Debug, Clone, Serialize)]
+struct EngineCell {
+    axis: String,
+    value: f64,
+    algorithm: String,
+    /// Columnar Ω (equals the oracle's within float accumulation noise).
+    utility: f64,
+    /// Ω recomputed from scratch by the `evaluate_schedule` oracle.
+    oracle_utility: f64,
+    millis: f64,
+    score_evaluations: u64,
+    posting_visits: u64,
+    scheduled: usize,
+    /// Wall-clock millis of the frozen hash-map baseline on the same cell.
+    baseline_millis: f64,
+    /// `baseline_millis / millis`.
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct EngineReport {
+    generator: String,
+    users: usize,
+    seed: u64,
+    threads: usize,
+    smoke: bool,
+    cells: Vec<EngineCell>,
+    /// Speedup at the largest sweep cell (the acceptance headline).
+    largest_cell_speedup: f64,
+}
+
+struct Args {
+    users: usize,
+    seed: u64,
+    threads: usize,
+    smoke: bool,
+    out: Option<String>,
+}
+
+impl Args {
+    /// `--out` if given; otherwise the committed trajectory file for full
+    /// runs, and a temp path for `--smoke` — so the documented smoke
+    /// invocation can never clobber the committed `BENCH_engine.json`
+    /// with throwaway numbers.
+    fn out_path(&self) -> String {
+        match (&self.out, self.smoke) {
+            (Some(path), _) => path.clone(),
+            (None, false) => "BENCH_engine.json".to_owned(),
+            (None, true) => std::env::temp_dir()
+                .join("BENCH_engine_smoke.json")
+                .to_string_lossy()
+                .into_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        users: 3000,
+        seed: 0,
+        threads: 1,
+        smoke: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--users" => {
+                args.users = it
+                    .next()
+                    .ok_or("--users needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--users: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => {
+                println!(
+                    "bench_engine — record the engine perf trajectory (BENCH_engine.json)\n\
+                     options: --users N | --seed S | --threads N | --smoke | --out PATH"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.smoke {
+        args.users = args.users.min(400);
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let k_values: &[usize] = if args.smoke {
+        &[20, 40]
+    } else {
+        &[100, 300, 500]
+    };
+    let max_k = *k_values.last().expect("sweep is non-empty");
+
+    let mut gen_cfg = GeneratorConfig::meetup_california_scaled(args.users);
+    gen_cfg.seed = args.seed;
+    // Each cell samples |E| = 2k candidates plus a competing pool.
+    gen_cfg.num_events = gen_cfg.num_events.max(2 * max_k + max_k / 2 + 10);
+    eprintln!(
+        "[bench_engine] dataset: {} members, {} events (seed {})",
+        gen_cfg.num_members, gen_cfg.num_events, args.seed
+    );
+    let dataset = generate(&gen_cfg);
+
+    let mut cells = Vec::new();
+    for cell in k_sweep(k_values, args.seed) {
+        let built = match build_instance(&dataset, &cell.config) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_engine: cell k={} failed to build: {e}", cell.value);
+                return ExitCode::FAILURE;
+            }
+        };
+        let scheduler = registry::build_threaded(SchedulerSpec::Greedy, args.threads);
+        let columnar = scheduler
+            .run(&built.instance, cell.config.k)
+            .expect("k ≤ |E| by construction");
+        let oracle = evaluate_schedule(&built.instance, &columnar.schedule);
+        let drift = (columnar.total_utility - oracle.total_utility).abs()
+            / oracle.total_utility.abs().max(1.0);
+        if drift > 1e-9 {
+            eprintln!(
+                "bench_engine: columnar Ω {} drifted from oracle {} (rel {drift:.2e})",
+                columnar.total_utility, oracle.total_utility
+            );
+            return ExitCode::FAILURE;
+        }
+        let baseline = greedy_hashmap(&built.instance, cell.config.k);
+        let millis = columnar.stats.elapsed.as_secs_f64() * 1e3;
+        let row = EngineCell {
+            axis: cell.axis.clone(),
+            value: cell.value,
+            algorithm: "GRD".to_owned(),
+            utility: columnar.total_utility,
+            oracle_utility: oracle.total_utility,
+            millis,
+            score_evaluations: columnar.stats.engine.score_evaluations,
+            posting_visits: columnar.stats.engine.posting_visits,
+            scheduled: columnar.len(),
+            baseline_millis: baseline.millis,
+            speedup: baseline.millis / millis.max(1e-9),
+        };
+        eprintln!(
+            "[bench_engine] k={:>3}: columnar {:>9.2} ms, hashmap {:>9.2} ms ({:.2}x), \
+             Ω = {:.3}, {} score evals, {} posting visits",
+            cell.value,
+            row.millis,
+            row.baseline_millis,
+            row.speedup,
+            row.utility,
+            row.score_evaluations,
+            row.posting_visits
+        );
+        cells.push(row);
+    }
+
+    let largest_cell_speedup = cells.last().map(|c| c.speedup).unwrap_or(0.0);
+    let report = EngineReport {
+        generator: "ses-bench bench_engine (GRD, Fig. 1 k sweep)".to_owned(),
+        users: args.users,
+        seed: args.seed,
+        threads: args.threads,
+        smoke: args.smoke,
+        cells,
+        largest_cell_speedup,
+    };
+    let out = args.out_path();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("bench_engine: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[bench_engine] wrote {out} ({} cells, largest-cell speedup {:.2}x)",
+        report.cells.len(),
+        largest_cell_speedup
+    );
+    ExitCode::SUCCESS
+}

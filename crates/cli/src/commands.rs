@@ -33,6 +33,7 @@ SUBCOMMANDS:
       schedule)   --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS|SA|EXACT (GRD)
                   --seed S (0)                --checkins  (σ from check-ins)
                   --format text|json (text)   --out PATH  (write the schedule as JSON)
+                  --threads N (1)             (shard greedy scoring sweeps; same schedule)
     quality     compare heuristics against the exact optimum on small instances
                   --instances N (20)  --k K (4)
     simulate    replay a disruption workload against the online scheduler
@@ -41,6 +42,7 @@ SUBCOMMANDS:
                   --users N (400)       --events N (60)
                   --intervals N (24)    --k K (20)
                   --algo SPEC (GRD)     --format text|json (text)
+                  --threads N (1)       (shard the initial solve's scoring)
                   --holdback F (0.3)    (fraction of candidates arriving late)
                   runs the stream twice and verifies the traces are identical
     help        show this message
@@ -140,6 +142,7 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
     let k: usize = args.get_or("k", 100).map_err(|e| e.to_string())?;
     let t_factor: f64 = args.get_or("t-factor", 1.5).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let threads: usize = args.get_or("threads", 1).map_err(|e| e.to_string())?;
     let format = format_of(args)?;
     let spec = spec_of(args, "GRD", seed)?;
     let cfg = PaperConfig {
@@ -156,7 +159,7 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
     let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
     let service = SchedulerService::new();
     let response = service
-        .solve(&built.instance, &SolveRequest { spec, k })
+        .solve(&built.instance, &SolveRequest { spec, k, threads })
         .map_err(|e| e.to_string())?;
 
     if format == Format::Json {
@@ -262,6 +265,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     let events: usize = args.get_or("events", 60).map_err(|e| e.to_string())?;
     let intervals: usize = args.get_or("intervals", 24).map_err(|e| e.to_string())?;
     let k: usize = args.get_or("k", 20).map_err(|e| e.to_string())?;
+    let threads: usize = args.get_or("threads", 1).map_err(|e| e.to_string())?;
     let holdback: f64 = args.get_or("holdback", 0.3).map_err(|e| e.to_string())?;
     let format = format_of(args)?;
     let spec = spec_of(args, "GRD", seed)?;
@@ -313,6 +317,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
                     name: "simulate".to_owned(),
                     spec,
                     k: k.min(events),
+                    threads,
                 },
             )
             .map_err(|e| e.to_string())?;

@@ -54,8 +54,29 @@ fn generate_analyze_schedule_pipeline() {
     let schedule: ses_core::Schedule = serde_json::from_str(&json).unwrap();
     assert_eq!(schedule.len(), 10);
 
+    // `--threads` shards the scoring sweeps without changing the result.
+    let plan_threaded = temp_path("plan_threaded.json");
+    commands::solve(&argv(&[
+        "solve",
+        "--dataset",
+        out_str,
+        "--k",
+        "10",
+        "--algo",
+        "GRD",
+        "--threads",
+        "4",
+        "--out",
+        plan_threaded.to_str().unwrap(),
+    ]))
+    .expect("solve --threads succeeds");
+    let threaded_json = std::fs::read_to_string(&plan_threaded).unwrap();
+    let threaded: ses_core::Schedule = serde_json::from_str(&threaded_json).unwrap();
+    assert_eq!(threaded, schedule, "--threads must not change the schedule");
+
     std::fs::remove_file(out).ok();
     std::fs::remove_file(plan).ok();
+    std::fs::remove_file(plan_threaded).ok();
 }
 
 #[test]

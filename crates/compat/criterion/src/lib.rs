@@ -6,6 +6,11 @@
 //! per-sample wall-clock timing, reporting min/median/mean per iteration.
 //! It has none of criterion's statistics, but the numbers are honest and the
 //! API is source-compatible, so benches run unmodified with `cargo bench`.
+//!
+//! Passing `--test` (e.g. `cargo bench --bench engine -- --test`) mirrors
+//! real criterion's smoke mode: every benchmark body runs exactly once,
+//! untimed, and reports `ok` — CI uses this so bench code cannot silently
+//! rot without paying for full sampling.
 
 #![warn(missing_docs)]
 
@@ -51,11 +56,18 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly, timing each invocation.
+    /// Runs `f` repeatedly, timing each invocation. In `--test` mode the
+    /// body runs exactly once, untimed (a smoke check, not a measurement).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.samples.clear();
+            return;
+        }
         // Warm-up (untimed).
         std::hint::black_box(f());
         self.samples.clear();
@@ -67,7 +79,11 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &mut [Duration]) {
+fn report(name: &str, samples: &mut [Duration], test_mode: bool) {
+    if test_mode {
+        println!("bench {name:<50} ok (--test smoke mode, 1 iteration)");
+        return;
+    }
     if samples.is_empty() {
         return;
     }
@@ -88,21 +104,27 @@ fn report(name: &str, samples: &mut [Duration]) {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 10,
+            test_mode,
         }
     }
 
@@ -115,9 +137,10 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        report(&id.id, &mut b.samples);
+        report(&id.id, &mut b.samples, self.test_mode);
         self
     }
 }
@@ -128,6 +151,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -151,9 +175,14 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), &mut b.samples);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &mut b.samples,
+            self.test_mode,
+        );
         self
     }
 
@@ -166,9 +195,14 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), &mut b.samples);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &mut b.samples,
+            self.test_mode,
+        );
         self
     }
 

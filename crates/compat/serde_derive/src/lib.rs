@@ -3,7 +3,9 @@
 //! Hand-rolled over raw `proc_macro` token trees (the offline build has no
 //! `syn`/`quote`). Supports exactly the shapes this workspace serializes:
 //!
-//! * structs with named fields (`#[serde(skip)]` honored via `Default`);
+//! * structs with named fields (`#[serde(skip)]` honored via `Default`,
+//!   `#[serde(default)]` fills missing fields from `Default` on
+//!   deserialization);
 //! * tuple structs — single-field ones serialize as the inner value
 //!   (newtype convention), `#[serde(transparent)]` accepted;
 //! * enums with unit variants (as strings) and newtype variants
@@ -17,6 +19,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -164,6 +167,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut default = false;
         // Field attributes and visibility.
         loop {
             match tokens.get(i) {
@@ -173,6 +177,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                         if let Some(args) = serde_attr_args(&inner) {
                             if args.iter().any(|a| a == "skip") {
                                 skip = true;
+                            }
+                            if args.iter().any(|a| a == "default") {
+                                default = true;
                             }
                         }
                     }
@@ -201,7 +208,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
         }
         i = skip_type(&tokens, i);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
         // Consume the separating comma, if present.
         if let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() == ',' {
@@ -420,12 +431,20 @@ fn gen_deserialize(item: &Item) -> String {
                             f.name
                         ));
                     } else {
+                        let on_missing = if f.default {
+                            "::core::default::Default::default()".to_owned()
+                        } else {
+                            format!(
+                                "return ::core::result::Result::Err(\
+                                 ::serde::Error::missing_field(\"{}\"))",
+                                f.name
+                            )
+                        };
                         inits.push_str(&format!(
                             "{0}: match v.get_field(\"{0}\") {{\n\
                              ::core::option::Option::Some(x) => \
                              ::serde::Deserialize::from_value(x)?,\n\
-                             ::core::option::Option::None => return \
-                             ::core::result::Result::Err(::serde::Error::missing_field(\"{0}\")),\n\
+                             ::core::option::Option::None => {on_missing},\n\
                              }},\n",
                             f.name
                         ));

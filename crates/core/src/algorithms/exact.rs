@@ -123,14 +123,11 @@ impl Scheduler for ExactScheduler {
         let intervals: Vec<IntervalId> = (0..inst.num_intervals())
             .map(|t| IntervalId::new(t as u32))
             .collect();
-        // Solo bounds against the empty schedule.
+        // Solo bounds against the empty schedule (batch-scored per event).
         let mut solo: Vec<(EventId, f64)> = (0..inst.num_events())
             .map(|e| {
                 let event = EventId::new(e as u32);
-                let bound = intervals
-                    .iter()
-                    .map(|&t| engine.score(event, t))
-                    .fold(0.0f64, f64::max);
+                let bound = engine.score_all(event).into_iter().fold(0.0f64, f64::max);
                 (event, bound)
             })
             .collect();

@@ -11,7 +11,8 @@ use crate::ids::{EventId, IntervalId};
 use crate::instance::SesInstance;
 use crate::util::float::total_cmp;
 
-use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use super::{frontier_scores, initial_scores, validate_k};
+use super::{RunStats, ScheduleOutcome, Scheduler, SesError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,13 +34,40 @@ struct ListEntry {
 ///
 /// Worst-case cost `O(|E||T||U| + k|E||T| + k|E||U|)` exactly as analysed in
 /// §III; space `O(|E||T|)`.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyScheduler;
+///
+/// Both scoring sweeps — the initial fill and the per-commit interval
+/// rescoring — go through the engine's batch API and can be sharded across
+/// scoped threads with [`Self::with_threads`]. Scores are computed against
+/// frozen engine state either way, so parallel runs pick the exact same
+/// schedule as serial ones.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyScheduler {
+    threads: usize,
+}
+
+impl Default for GreedyScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GreedyScheduler {
-    /// Creates the scheduler.
+    /// Creates the scheduler (serial scoring).
     pub fn new() -> Self {
-        Self
+        Self { threads: 1 }
+    }
+
+    /// Creates the scheduler with scoring sweeps sharded across up to
+    /// `threads` scoped threads (`0` is treated as `1`).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured scoring-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -55,19 +83,15 @@ impl Scheduler for GreedyScheduler {
         let mut pops = 0u64;
         let mut updates = 0u64;
 
-        // Lines 2–4: generate all assignments.
-        let mut list: Vec<ListEntry> = Vec::with_capacity(inst.num_events() * inst.num_intervals());
-        for e in 0..inst.num_events() {
-            let event = EventId::new(e as u32);
-            for t in 0..inst.num_intervals() {
-                let interval = IntervalId::new(t as u32);
-                list.push(ListEntry {
-                    event,
-                    interval,
-                    score: engine.score(event, interval),
-                });
-            }
-        }
+        // Lines 2–4: generate all assignments (batch-scored, sharded).
+        let mut list: Vec<ListEntry> = initial_scores(&mut engine, self.threads)
+            .into_iter()
+            .map(|(event, interval, score)| ListEntry {
+                event,
+                interval,
+                score,
+            })
+            .collect();
 
         // Lines 5–13: select k assignments.
         while engine.schedule().len() < k {
@@ -99,8 +123,9 @@ impl Scheduler for GreedyScheduler {
                 .expect("checked assignment must apply");
 
             if engine.schedule().len() < k {
-                // Lines 10–13: update entries of the selected interval and
-                // drop entries that became invalid anywhere.
+                // Lines 10–13: drop entries that became invalid anywhere
+                // (cheap, no scoring), then rescore the selected interval's
+                // surviving frontier in one sharded batch.
                 let selected_interval = top.interval;
                 let mut i = 0;
                 while i < list.len() {
@@ -110,14 +135,19 @@ impl Scheduler for GreedyScheduler {
                         .is_err()
                     {
                         list.swap_remove(i);
-                        continue;
+                    } else {
+                        i += 1;
                     }
-                    if entry.interval == selected_interval {
-                        list[i].score = engine.score(entry.event, entry.interval);
-                        updates += 1;
-                    }
-                    i += 1;
                 }
+                let idxs: Vec<usize> = (0..list.len())
+                    .filter(|&i| list[i].interval == selected_interval)
+                    .collect();
+                let events: Vec<EventId> = idxs.iter().map(|&i| list[i].event).collect();
+                let scores = frontier_scores(&mut engine, &events, selected_interval, self.threads);
+                for (&i, score) in idxs.iter().zip(scores) {
+                    list[i].score = score;
+                }
+                updates += idxs.len() as u64;
             }
         }
 
@@ -188,7 +218,7 @@ mod tests {
         // By construction the first greedy pick must have the maximum
         // initial score among all valid (event, interval) pairs.
         let inst = testkit::medium_instance(11);
-        let engine = AttendanceEngine::new(&inst);
+        let mut engine = AttendanceEngine::new(&inst);
         let mut best = f64::NEG_INFINITY;
         for e in 0..inst.num_events() {
             for t in 0..inst.num_intervals() {
@@ -216,6 +246,43 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(!out.complete);
         inst.check_schedule(&out.schedule).unwrap();
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_schedules_exactly() {
+        // Sharded scoring reads frozen engine state, so the parallel run
+        // must reproduce the serial schedule, utility bits and counters.
+        for seed in 0..6u64 {
+            let inst = testkit::medium_instance(seed);
+            let serial = GreedyScheduler::new().run(&inst, 6).unwrap();
+            for threads in [2usize, 4] {
+                let par = GreedyScheduler::with_threads(threads)
+                    .run(&inst, 6)
+                    .unwrap();
+                assert_eq!(
+                    par.schedule, serial.schedule,
+                    "seed {seed}, {threads} threads"
+                );
+                assert_eq!(par.total_utility.to_bits(), serial.total_utility.to_bits());
+                assert_eq!(par.stats.engine, serial.stats.engine, "counters merge");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped_not_spawned() {
+        // A hostile `threads` value (e.g. from a wire request) must clamp to
+        // a sane shard count, not attempt a million `scope.spawn`s.
+        let inst = testkit::medium_instance(2);
+        let serial = GreedyScheduler::new().run(&inst, 5).unwrap();
+        let absurd = GreedyScheduler::with_threads(1_000_000)
+            .run(&inst, 5)
+            .unwrap();
+        assert_eq!(absurd.schedule, serial.schedule);
+        assert_eq!(
+            absurd.total_utility.to_bits(),
+            serial.total_utility.to_bits()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::engine::AttendanceEngine;
 use crate::ids::{EventId, IntervalId};
 use crate::instance::SesInstance;
 
-use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use super::{initial_scores, validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -59,13 +59,33 @@ impl Ord for HeapEntry {
 }
 
 /// Priority-queue greedy with lazy rescoring (same selections as GRD).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyHeapScheduler;
+///
+/// The `O(|E||T|·postings)` initial fill is batch-scored and can be sharded
+/// across scoped threads ([`Self::with_threads`]); the selection loop itself
+/// stays serial because lazy rescoring is inherently sequential.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyHeapScheduler {
+    threads: usize,
+}
+
+impl Default for GreedyHeapScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl GreedyHeapScheduler {
-    /// Creates the scheduler.
+    /// Creates the scheduler (serial scoring).
     pub fn new() -> Self {
-        Self
+        Self { threads: 1 }
+    }
+
+    /// Creates the scheduler with the initial fill sharded across up to
+    /// `threads` scoped threads (`0` is treated as `1`).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -82,19 +102,15 @@ impl Scheduler for GreedyHeapScheduler {
         let mut updates = 0u64;
 
         let mut versions = vec![0u64; inst.num_intervals()];
-        let mut heap = BinaryHeap::with_capacity(inst.num_events() * inst.num_intervals());
-        for e in 0..inst.num_events() {
-            let event = EventId::new(e as u32);
-            for t in 0..inst.num_intervals() {
-                let interval = IntervalId::new(t as u32);
-                heap.push(HeapEntry {
-                    score: engine.score(event, interval),
-                    event,
-                    interval,
-                    version: 0,
-                });
-            }
-        }
+        let mut heap: BinaryHeap<HeapEntry> = initial_scores(&mut engine, self.threads)
+            .into_iter()
+            .map(|(event, interval, score)| HeapEntry {
+                score,
+                event,
+                interval,
+                version: 0,
+            })
+            .collect();
 
         while engine.schedule().len() < k {
             let Some(entry) = heap.pop() else {

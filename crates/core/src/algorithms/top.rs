@@ -11,18 +11,37 @@ use crate::ids::{EventId, IntervalId};
 use crate::instance::SesInstance;
 use crate::util::float::total_cmp;
 
-use super::{validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
+use super::{initial_scores, validate_k, RunStats, ScheduleOutcome, Scheduler, SesError};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The TOP baseline.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TopScheduler;
+///
+/// Its single scoring sweep is batch-scored and can be sharded across scoped
+/// threads ([`Self::with_threads`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TopScheduler {
+    threads: usize,
+}
+
+impl Default for TopScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl TopScheduler {
-    /// Creates the scheduler.
+    /// Creates the scheduler (serial scoring).
     pub fn new() -> Self {
-        Self
+        Self { threads: 1 }
+    }
+
+    /// Creates the scheduler with the scoring sweep sharded across up to
+    /// `threads` scoped threads (`0` is treated as `1`).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -38,15 +57,10 @@ impl Scheduler for TopScheduler {
         let mut pops = 0u64;
 
         // Score every pair once, against the empty schedule.
-        let mut scored: Vec<(f64, EventId, IntervalId)> =
-            Vec::with_capacity(inst.num_events() * inst.num_intervals());
-        for e in 0..inst.num_events() {
-            let event = EventId::new(e as u32);
-            for t in 0..inst.num_intervals() {
-                let interval = IntervalId::new(t as u32);
-                scored.push((engine.score(event, interval), event, interval));
-            }
-        }
+        let mut scored: Vec<(f64, EventId, IntervalId)> = initial_scores(&mut engine, self.threads)
+            .into_iter()
+            .map(|(event, interval, score)| (score, event, interval))
+            .collect();
         // Descending by initial score; ids tie-break for determinism.
         scored.sort_unstable_by(|a, b| {
             total_cmp(b.0, a.0)

@@ -2,7 +2,7 @@
 //! expected attendance (Eq. 2), total utility (Eq. 3) and incremental
 //! assignment scores (Eq. 4).
 //!
-//! # Data layout
+//! # Data layout — the columnar mass table
 //!
 //! For every interval `t` the engine maintains two per-user aggregates:
 //!
@@ -22,10 +22,30 @@
 //! interval's total expected attendance (it *does* cannibalize co-scheduled
 //! events — Eq. 4 accounts for that).
 //!
+//! The aggregates are **not** hash maps. At construction the engine builds a
+//! *slot index* over the union of the candidate posting lists: each indexed
+//! user gets a dense rank `r ∈ [0, stride)`, and the aggregates live in
+//! flat columns indexed by `slot = t·stride + r` — `B`, `M`, a
+//! contributing-event count, and a snapshot of `σ(u,t)`. Each candidate
+//! event's posting list is pre-resolved once into `(rank, µ)` pairs, so
+//! scoring is a branch-light linear scan over four contiguous arrays with
+//! no hashing and no virtual `σ` lookups (the layout and its ablation are
+//! documented in `DESIGN.md` §2). Users outside the union — including
+//! users interested only in competing events — can never accrue scheduled
+//! mass, so their aggregates are never consulted and need no slots.
+//!
+//! On top of the per-pair [`AttendanceEngine::score`], the engine exposes a
+//! batch API — [`AttendanceEngine::score_all`] (one event against every
+//! interval) and [`AttendanceEngine::score_frontier`] (many events against
+//! one interval) — plus `_with` variants that take `&self` and an external
+//! [`EngineCounters`], which is what lets the greedy sweeps shard scoring
+//! across `std::thread::scope` threads and merge the per-shard counters
+//! afterwards (see `algorithms`).
+//!
 //! The engine keeps the running total utility in sync with every
 //! `assign`/`unassign`, so `ΔΩ` equals the assignment score by construction;
-//! [`evaluate_schedule`] recomputes Ω from scratch and is the testing oracle
-//! for that invariant.
+//! [`evaluate_schedule`] recomputes Ω from scratch over hash maps and is the
+//! testing oracle for both the bookkeeping and the columnar layout.
 
 use crate::ids::{EventId, IntervalId, UserId};
 use crate::instance::{FeasibilityViolation, SesInstance};
@@ -33,28 +53,47 @@ use crate::schedule::{Schedule, ScheduleError};
 use crate::util::float::luce_ratio;
 use crate::util::fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
 use std::sync::Arc;
 
-/// One user's scheduled mass at one interval, together with the number of
-/// scheduled events contributing to it.
+/// Rank sentinel for users outside the slot index (no posting anywhere).
+const NO_RANK: u32 = u32::MAX;
+
+/// One posting's Eq. 4 contribution, algebraically reduced.
 ///
-/// The count exists for numerical robustness, not bookkeeping convenience:
-/// the Luce ratio `M/(B+M)` is scale-invariant, so when `B = 0` a
-/// floating-point residue of `1e-16` left in `M` after an unassign would
-/// evaluate to `1.0` — a whole phantom user of utility. Snapping the mass to
-/// exactly zero when the last contributing event leaves makes unassign an
-/// exact inverse of assign.
-#[derive(Debug, Clone, Copy, Default)]
-struct MassEntry {
-    mass: f64,
-    count: u32,
+/// With `D = B + M`, the telescoped difference
+/// `(M+µ)/(D+µ) − M/D` simplifies to `µ·B / (D·(D+µ))` — one division
+/// instead of two, and *zero* divisions when `B = 0` (then the ratio is `1`
+/// before and after if the user already has mass, and jumps `0 → 1` if `µ`
+/// is the first mass at the interval). The 0/0 := 0 Luce convention is what
+/// the `d > 0` branch encodes.
+#[inline(always)]
+fn posting_gain(b: f64, m: f64, mu: f64) -> f64 {
+    let d = b + m;
+    let denom = d * (d + mu);
+    // `denom > 0` whenever the user has any mass; the fallback covers the
+    // first-mass case `D = 0` (ratio jumps 0 → µ/µ = 1) and is rare enough
+    // for the branch to predict perfectly. The `µ > 0` guard there keeps a
+    // contract-violating zero-weight posting (built-in backends drop them,
+    // third-party `InterestModel`s might not) at the 0/0 := 0 convention
+    // instead of inventing a phantom unit of gain.
+    if denom > 0.0 {
+        mu * b / denom
+    } else if mu > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
 }
 
 /// Operation counters, for the paper's complexity claims and the benches.
 ///
 /// These are hardware-independent companions to wall-clock numbers: Fig. 1b/1d
 /// shapes can be checked against operation counts directly.
+///
+/// Counters are plain data. The engine accumulates its own set, and the
+/// `_with` scoring methods write into a caller-provided set instead, so
+/// parallel sweeps keep one `EngineCounters` per shard and
+/// [`merge`](EngineCounters::merge) them when the threads join.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineCounters {
     /// Number of assignment-score evaluations (Eq. 4 computations).
@@ -67,11 +106,22 @@ pub struct EngineCounters {
     pub unassigns: u64,
 }
 
+impl EngineCounters {
+    /// Adds another counter set into this one (shard merge).
+    pub fn merge(&mut self, other: EngineCounters) {
+        self.score_evaluations += other.score_evaluations;
+        self.posting_visits += other.posting_visits;
+        self.assigns += other.assigns;
+        self.unassigns += other.unassigns;
+    }
+}
+
 /// Incremental attendance/utility engine bound to one instance.
 ///
 /// Owns the evolving [`Schedule`] and a shared handle to its
-/// [`SesInstance`], so engines are `Send + 'static`: they can live in maps,
-/// move across threads, and outlive the scope that built the instance.
+/// [`SesInstance`], so engines are `Send + Sync + 'static`: they can live in
+/// maps, move across threads, and be *shared* immutably by scoped worker
+/// threads (all scoring state is plain data — no cells, no locks).
 /// (Borrowed `&SesInstance` constructors are gone — wrap the instance in an
 /// [`Arc`] once and hand out clones; `SesInstance::builder().build_shared()`
 /// does this for you.)
@@ -81,10 +131,30 @@ pub struct EngineCounters {
 pub struct AttendanceEngine {
     inst: Arc<SesInstance>,
     schedule: Schedule,
-    /// Per-interval competing mass `B_t` (static after construction).
-    b: Vec<FxHashMap<UserId, f64>>,
-    /// Per-interval scheduled mass `M_t` with contributing-event counts.
-    m: Vec<FxHashMap<UserId, MassEntry>>,
+    /// `rank_of[u]` — the user's dense rank in every interval block, or
+    /// [`NO_RANK`] for users outside the slot index.
+    rank_of: Vec<u32>,
+    /// Slots per interval block (number of indexed users).
+    stride: usize,
+    /// `resolved[e]` — event `e`'s posting list as `(rank, µ)` pairs.
+    resolved: Vec<Box<[(u32, f64)]>>,
+    /// Competing mass column, `b[t·stride + r]` (static after construction
+    /// unless [`Self::add_competing_mass`] injects more).
+    b: Vec<f64>,
+    /// Scheduled mass column, `m[t·stride + r]`.
+    m: Vec<f64>,
+    /// Contributing-event count per slot. Exists for numerical robustness,
+    /// not bookkeeping convenience: the Luce ratio `M/(B+M)` is
+    /// scale-invariant, so when `B = 0` a floating-point residue of `1e-16`
+    /// left in `M` after an unassign would evaluate to `1.0` — a whole
+    /// phantom user of utility. Snapping the mass to exactly zero when the
+    /// last contributing event leaves makes unassign an exact inverse of
+    /// assign.
+    mcount: Vec<u32>,
+    /// `σ(u,t)` snapshot column, `sigma[t·stride + r]`. Activity models are
+    /// immutable, so snapshotting at construction is exact; it removes the
+    /// virtual `ActivityModel::activity` call from the hot loop.
+    sigma: Vec<f64>,
     /// Per-interval resources in use.
     used_resources: Vec<f64>,
     /// Per-interval occupied locations (location → occupying event).
@@ -93,41 +163,93 @@ pub struct AttendanceEngine {
     /// budget; the online layer may move it (capacity changes).
     budget: f64,
     total_utility: f64,
-    score_evaluations: Cell<u64>,
-    posting_visits: Cell<u64>,
-    assigns: u64,
-    unassigns: u64,
+    counters: EngineCounters,
 }
 
 impl AttendanceEngine {
-    /// Creates an engine with an empty schedule; builds the competing masses
-    /// `B_t` from the instance's competing events (`O(Σ_c |postings(c)|)`).
+    /// Creates an engine with an empty schedule. Builds the slot index from
+    /// the union of the candidate posting lists, pre-resolves every
+    /// candidate event's postings to `(rank, µ)` pairs, snapshots `σ`, and
+    /// accumulates the competing masses `B_t` — `O(nnz + |T|·stride)` total.
     ///
     /// Takes `&Arc` and clones the handle internally — callers keep their
     /// own handle and pay one refcount bump, never a deep copy.
     pub fn new(inst: &Arc<SesInstance>) -> Self {
         let nt = inst.num_intervals();
-        let mut b: Vec<FxHashMap<UserId, f64>> = vec![FxHashMap::default(); nt];
-        for c in inst.competing() {
-            let postings = inst.interest().interested_users(c.id.into());
-            let map = &mut b[c.interval.index()];
-            for &(u, mu) in postings {
-                *map.entry(u).or_insert(0.0) += mu;
+        let nu = inst.num_users();
+        let interest = inst.interest();
+
+        // Union of *candidate* posting lists → dense ranks, in user-id
+        // order. Users appearing only in competing posting lists get no
+        // slot: they can never accrue scheduled mass, so every read path
+        // (scores, attendances, interval utilities) provably never consults
+        // their aggregates — indexing them would only inflate the columns.
+        let mut in_index = vec![false; nu];
+        for e in 0..inst.num_events() {
+            for &(u, _) in interest.interested_users(EventId::new(e as u32).into()) {
+                in_index[u.index()] = true;
             }
         }
+        let mut rank_of = vec![NO_RANK; nu];
+        let mut users: Vec<UserId> = Vec::new();
+        for (u, &active) in in_index.iter().enumerate() {
+            if active {
+                rank_of[u] = users.len() as u32;
+                users.push(UserId::new(u as u32));
+            }
+        }
+        let stride = users.len();
+
+        // Pre-resolve candidate posting lists to (rank, µ).
+        let resolved: Vec<Box<[(u32, f64)]>> = (0..inst.num_events())
+            .map(|e| {
+                interest
+                    .interested_users(EventId::new(e as u32).into())
+                    .iter()
+                    .map(|&(u, mu)| (rank_of[u.index()], mu))
+                    .collect()
+            })
+            .collect();
+
+        // σ snapshot per slot.
+        let activity = inst.activity();
+        let mut sigma = vec![0.0; nt * stride];
+        for t in 0..nt {
+            let interval = IntervalId::new(t as u32);
+            let block = &mut sigma[t * stride..(t + 1) * stride];
+            for (r, &u) in users.iter().enumerate() {
+                block[r] = activity.activity(u, interval);
+            }
+        }
+
+        // Competing mass column. Competing-only users have no slot and are
+        // skipped — their B is never read (see the index comment above).
+        let mut b = vec![0.0; nt * stride];
+        for c in inst.competing() {
+            let base = c.interval.index() * stride;
+            for &(u, mu) in interest.interested_users(c.id.into()) {
+                let r = rank_of[u.index()];
+                if r != NO_RANK {
+                    b[base + r as usize] += mu;
+                }
+            }
+        }
+
         Self {
             inst: Arc::clone(inst),
             schedule: inst.empty_schedule(),
+            rank_of,
+            stride,
+            resolved,
             b,
-            m: vec![FxHashMap::default(); nt],
+            m: vec![0.0; nt * stride],
+            mcount: vec![0; nt * stride],
+            sigma,
             used_resources: vec![0.0; nt],
             used_locations: vec![FxHashMap::default(); nt],
             budget: inst.budget(),
             total_utility: 0.0,
-            score_evaluations: Cell::new(0),
-            posting_visits: Cell::new(0),
-            assigns: 0,
-            unassigns: 0,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -175,20 +297,18 @@ impl AttendanceEngine {
 
     /// Operation counters accumulated so far.
     pub fn counters(&self) -> EngineCounters {
-        EngineCounters {
-            score_evaluations: self.score_evaluations.get(),
-            posting_visits: self.posting_visits.get(),
-            assigns: self.assigns,
-            unassigns: self.unassigns,
-        }
+        self.counters
     }
 
     /// Resets the operation counters (the aggregates are untouched).
     pub fn reset_counters(&mut self) {
-        self.score_evaluations.set(0);
-        self.posting_visits.set(0);
-        self.assigns = 0;
-        self.unassigns = 0;
+        self.counters = EngineCounters::default();
+    }
+
+    /// Folds a shard's counters into the engine's own set — the merge step
+    /// after parallel scoring with the `_with` methods.
+    pub fn merge_counters(&mut self, shard: EngineCounters) {
+        self.counters.merge(shard);
     }
 
     /// Fast feasibility/validity check for `event → interval` against the
@@ -232,24 +352,78 @@ impl AttendanceEngine {
     /// The assignment score of `event → interval` w.r.t. the current
     /// schedule (Eq. 4): the gain in total expected attendance from adding
     /// the assignment. Does **not** check feasibility.
-    pub fn score(&self, event: EventId, interval: IntervalId) -> f64 {
-        self.score_evaluations.set(self.score_evaluations.get() + 1);
-        let postings = self.inst.interest().interested_users(event.into());
-        self.posting_visits
-            .set(self.posting_visits.get() + postings.len() as u64);
-        let ti = interval.index();
-        let bt = &self.b[ti];
-        let mt = &self.m[ti];
-        let activity = self.inst.activity();
+    ///
+    /// Counts into the engine's own counters; use [`Self::score_with`] from
+    /// shared references (parallel shards) with an external counter set.
+    pub fn score(&mut self, event: EventId, interval: IntervalId) -> f64 {
+        let mut counters = self.counters;
+        let s = self.score_with(event, interval, &mut counters);
+        self.counters = counters;
+        s
+    }
+
+    /// [`Self::score`] against `&self`, counting into `counters`. This is
+    /// the shard-safe entry point: the engine is `Sync`, so scoped threads
+    /// can score concurrently, each with its own counter set.
+    pub fn score_with(
+        &self,
+        event: EventId,
+        interval: IntervalId,
+        counters: &mut EngineCounters,
+    ) -> f64 {
+        counters.score_evaluations += 1;
+        let postings = &self.resolved[event.index()];
+        counters.posting_visits += postings.len() as u64;
+        let base = interval.index() * self.stride;
+        let b = &self.b[base..base + self.stride];
+        let m = &self.m[base..base + self.stride];
+        let sigma = &self.sigma[base..base + self.stride];
         let mut sum = 0.0;
-        for &(u, mu) in postings {
-            let b = bt.get(&u).copied().unwrap_or(0.0);
-            let m = mt.get(&u).map_or(0.0, |e| e.mass);
-            let before = luce_ratio(m, b + m);
-            let after = luce_ratio(m + mu, b + m + mu);
-            sum += activity.activity(u, interval) * (after - before);
+        for &(r, mu) in postings.iter() {
+            let r = r as usize;
+            sum += sigma[r] * posting_gain(b[r], m[r], mu);
         }
         sum
+    }
+
+    /// Batch Eq. 4: scores `event` against **every** interval in one call
+    /// (index `t` of the result is interval `t`). Equivalent to, and counted
+    /// like, `|T|` calls to [`Self::score`].
+    pub fn score_all(&mut self, event: EventId) -> Vec<f64> {
+        let mut counters = self.counters;
+        let out = self.score_all_with(event, &mut counters);
+        self.counters = counters;
+        out
+    }
+
+    /// [`Self::score_all`] against `&self` with an external counter set.
+    pub fn score_all_with(&self, event: EventId, counters: &mut EngineCounters) -> Vec<f64> {
+        (0..self.inst.num_intervals())
+            .map(|t| self.score_with(event, IntervalId::new(t as u32), counters))
+            .collect()
+    }
+
+    /// Batch Eq. 4: scores many candidate events against **one** interval
+    /// (result is parallel to `events`). The greedy update pass uses this to
+    /// rescore an interval's frontier after a commit.
+    pub fn score_frontier(&mut self, events: &[EventId], interval: IntervalId) -> Vec<f64> {
+        let mut counters = self.counters;
+        let out = self.score_frontier_with(events, interval, &mut counters);
+        self.counters = counters;
+        out
+    }
+
+    /// [`Self::score_frontier`] against `&self` with an external counter set.
+    pub fn score_frontier_with(
+        &self,
+        events: &[EventId],
+        interval: IntervalId,
+        counters: &mut EngineCounters,
+    ) -> Vec<f64> {
+        events
+            .iter()
+            .map(|&e| self.score_with(e, interval, counters))
+            .collect()
     }
 
     /// Applies `event → interval` if it is a *valid* assignment; returns the
@@ -285,19 +459,18 @@ impl AttendanceEngine {
         self.schedule
             .assign(event, interval)
             .expect("validated assignment must apply");
-        let ti = interval.index();
-        let postings = self.inst.interest().interested_users(event.into());
-        let mt = &mut self.m[ti];
-        for &(u, mu) in postings {
-            let entry = mt.entry(u).or_default();
-            entry.mass += mu;
-            entry.count += 1;
+        let base = interval.index() * self.stride;
+        for &(r, mu) in self.resolved[event.index()].iter() {
+            let i = base + r as usize;
+            self.m[i] += mu;
+            self.mcount[i] += 1;
         }
         let ev = self.inst.event(event);
+        let ti = interval.index();
         self.used_resources[ti] += ev.required_resources;
         self.used_locations[ti].insert(ev.location.raw(), event);
         self.total_utility += gain;
-        self.assigns += 1;
+        self.counters.assigns += 1;
         gain
     }
 
@@ -305,40 +478,34 @@ impl AttendanceEngine {
     /// positive amount by which Ω decreased). Used by local search.
     pub fn unassign(&mut self, event: EventId) -> Result<f64, ScheduleError> {
         let interval = self.schedule.unassign(event)?;
-        let ti = interval.index();
-        let postings = self.inst.interest().interested_users(event.into());
-        let activity = self.inst.activity();
-        let bt = &self.b[ti];
-        let mt = &mut self.m[ti];
+        let base = interval.index() * self.stride;
         let mut loss = 0.0;
-        for &(u, mu) in postings {
-            let b = bt.get(&u).copied().unwrap_or(0.0);
-            let entry = mt
-                .get_mut(&u)
-                .expect("posting user must have a mass entry while assigned");
-            let m = entry.mass;
-            entry.count -= 1;
-            // Snap to exactly zero when the last contributor leaves; see
-            // `MassEntry` for why a residue here would corrupt Ω.
-            let m_new = if entry.count == 0 {
+        for &(r, mu) in self.resolved[event.index()].iter() {
+            let i = base + r as usize;
+            let (b, m) = (self.b[i], self.m[i]);
+            debug_assert!(
+                self.mcount[i] > 0,
+                "posting user must have a mass entry while assigned"
+            );
+            self.mcount[i] -= 1;
+            // Snap to exactly zero when the last contributor leaves; see the
+            // `mcount` column docs for why a residue here would corrupt Ω.
+            let m_new = if self.mcount[i] == 0 {
                 0.0
             } else {
                 (m - mu).max(0.0)
             };
-            entry.mass = m_new;
-            let remove = entry.count == 0;
+            self.m[i] = m_new;
             let before = luce_ratio(m, b + m);
             let after = luce_ratio(m_new, b + m_new);
-            loss += activity.activity(u, interval) * (before - after);
-            if remove {
-                mt.remove(&u);
-            }
+            loss += self.sigma[i] * (before - after);
         }
         let ev = self.inst.event(event);
+        let ti = interval.index();
         self.used_resources[ti] = (self.used_resources[ti] - ev.required_resources).max(0.0);
         self.used_locations[ti].remove(&ev.location.raw());
         self.total_utility -= loss;
-        self.unassigns += 1;
+        self.counters.unassigns += 1;
         Ok(loss)
     }
 
@@ -346,10 +513,14 @@ impl AttendanceEngine {
     /// event; `None` if `e` is not scheduled.
     pub fn attendance_probability(&self, user: UserId, event: EventId) -> Option<f64> {
         let interval = self.schedule.interval_of(event)?;
-        let ti = interval.index();
         let mu = self.inst.mu(user, event);
-        let b = self.b[ti].get(&user).copied().unwrap_or(0.0);
-        let m = self.m[ti].get(&user).map_or(0.0, |e| e.mass);
+        let (b, m) = match self.rank_of.get(user.index()) {
+            Some(&r) if r != NO_RANK => {
+                let i = interval.index() * self.stride + r as usize;
+                (self.b[i], self.m[i])
+            }
+            _ => (0.0, 0.0),
+        };
         Some(self.inst.sigma(user, interval) * luce_ratio(mu, b + m))
     }
 
@@ -357,29 +528,28 @@ impl AttendanceEngine {
     /// `None` if `e` is not scheduled.
     pub fn expected_attendance(&self, event: EventId) -> Option<f64> {
         let interval = self.schedule.interval_of(event)?;
-        let ti = interval.index();
-        let postings = self.inst.interest().interested_users(event.into());
-        let activity = self.inst.activity();
+        let base = interval.index() * self.stride;
         let mut sum = 0.0;
-        for &(u, mu) in postings {
-            let b = self.b[ti].get(&u).copied().unwrap_or(0.0);
-            let m = self.m[ti].get(&u).map_or(0.0, |e| e.mass);
-            sum += activity.activity(u, interval) * luce_ratio(mu, b + m);
+        for &(r, mu) in self.resolved[event.index()].iter() {
+            let i = base + r as usize;
+            sum += self.sigma[i] * luce_ratio(mu, self.b[i] + self.m[i]);
         }
         Some(sum)
     }
 
     /// Total expected attendance of one interval: `Σ_{e ∈ E_t(S)} ω(e,t)`.
     pub fn interval_utility(&self, interval: IntervalId) -> f64 {
-        let ti = interval.index();
-        let activity = self.inst.activity();
-        self.m[ti]
-            .iter()
-            .map(|(&u, entry)| {
-                let b = self.b[ti].get(&u).copied().unwrap_or(0.0);
-                activity.activity(u, interval) * luce_ratio(entry.mass, b + entry.mass)
-            })
-            .sum()
+        let base = interval.index() * self.stride;
+        let b = &self.b[base..base + self.stride];
+        let m = &self.m[base..base + self.stride];
+        let sigma = &self.sigma[base..base + self.stride];
+        let mut sum = 0.0;
+        for r in 0..self.stride {
+            if m[r] > 0.0 {
+                sum += sigma[r] * luce_ratio(m[r], b[r] + m[r]);
+            }
+        }
+        sum
     }
 
     /// Resources currently used at `interval`.
@@ -418,20 +588,29 @@ impl AttendanceEngine {
     /// Returns the (non-positive) change in total utility: every scheduled
     /// event at the interval loses attendance to the newcomer. The engine's
     /// aggregates stay authoritative; the underlying instance is unchanged.
+    ///
+    /// Users outside the slot index are skipped: they have no interest in
+    /// any candidate, so their scheduled mass is permanently zero and extra
+    /// competing mass cannot change any score or probability.
     pub fn add_competing_mass(&mut self, interval: IntervalId, postings: &[(UserId, f64)]) -> f64 {
-        let ti = interval.index();
-        let activity = self.inst.activity();
+        let base = interval.index() * self.stride;
         let mut delta = 0.0;
         for &(u, mu_c) in postings {
             debug_assert!((0.0..=1.0).contains(&mu_c), "competing µ out of range");
-            let b_entry = self.b[ti].entry(u).or_insert(0.0);
-            let b_old = *b_entry;
-            *b_entry += mu_c;
-            if let Some(m_entry) = self.m[ti].get(&u) {
-                let m = m_entry.mass;
+            let Some(&r) = self.rank_of.get(u.index()) else {
+                continue;
+            };
+            if r == NO_RANK {
+                continue;
+            }
+            let i = base + r as usize;
+            let b_old = self.b[i];
+            self.b[i] = b_old + mu_c;
+            let m = self.m[i];
+            if m > 0.0 {
                 let before = luce_ratio(m, b_old + m);
                 let after = luce_ratio(m, b_old + mu_c + m);
-                delta += activity.activity(u, interval) * (after - before);
+                delta += self.sigma[i] * (after - before);
             }
         }
         self.total_utility += delta;
@@ -449,7 +628,9 @@ pub struct Evaluation {
 }
 
 /// From-scratch reference evaluation of a schedule (independent of the
-/// incremental engine; the testing oracle for Ω bookkeeping).
+/// incremental engine *and* of its columnar layout — this path deliberately
+/// keeps the original per-interval hash-map aggregation, so it doubles as
+/// the oracle for the slot index).
 ///
 /// Cost: `O(Σ_{h ∈ C ∪ E(S)} |postings(h)|)`.
 pub fn evaluate_schedule(inst: &SesInstance, schedule: &Schedule) -> Evaluation {
@@ -510,6 +691,21 @@ mod tests {
     }
 
     #[test]
+    fn posting_gain_matches_the_two_division_form_and_keeps_conventions() {
+        // b > 0: the algebraic reduction equals (M+µ)/(D+µ) − M/D.
+        let (b, m, mu) = (0.5, 0.8, 0.4);
+        let direct = (m + mu) / (b + m + mu) - m / (b + m);
+        assert!((posting_gain(b, m, mu) - direct).abs() < 1e-15);
+        // First mass at the interval: ratio jumps 0 → µ/µ = 1.
+        assert_eq!(posting_gain(0.0, 0.0, 0.5), 1.0);
+        // b = 0 with existing mass: ratio is 1 before and after.
+        assert_eq!(posting_gain(0.0, 0.3, 0.4), 0.0);
+        // A contract-violating zero-weight posting must stay at the
+        // 0/0 := 0 convention, not invent a phantom unit of gain.
+        assert_eq!(posting_gain(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
     fn empty_schedule_has_zero_utility() {
         let inst = inst();
         let engine = AttendanceEngine::new(&inst);
@@ -520,7 +716,7 @@ mod tests {
     #[test]
     fn score_on_empty_interval_matches_hand_computation() {
         let inst = inst();
-        let engine = AttendanceEngine::new(&inst);
+        let mut engine = AttendanceEngine::new(&inst);
         // e0 → t0: user0 only; B = 0.5 (c0), M = 0.
         // score = 1 * (0.8 / (0.5 + 0.8)) = 0.8/1.3.
         let s = engine.score(e(0), t(0));
@@ -528,6 +724,50 @@ mod tests {
         // e0 → t1: no competing events, so ρ = µ/µ = 1 → score = 1.
         let s = engine.score(e(0), t(1));
         assert!(approx_eq(s, 1.0), "got {s}");
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_pair_scoring() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        for ev in [e(1), e(2)] {
+            let all = engine.score_all(ev);
+            assert_eq!(all.len(), inst.num_intervals());
+            for (ti, &s) in all.iter().enumerate() {
+                assert_eq!(s, engine.score(ev, t(ti as u32)), "event {ev} t{ti}");
+            }
+        }
+        let frontier = engine.score_frontier(&[e(1), e(2)], t(0));
+        assert_eq!(frontier[0], engine.score(e(1), t(0)));
+        assert_eq!(frontier[1], engine.score(e(2), t(0)));
+    }
+
+    #[test]
+    fn batch_scoring_counts_like_per_pair_scoring() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.score_all(e(1));
+        let batch = engine.counters();
+        engine.reset_counters();
+        for ti in 0..inst.num_intervals() {
+            engine.score(e(1), t(ti as u32));
+        }
+        assert_eq!(engine.counters(), batch);
+    }
+
+    #[test]
+    fn shard_counters_merge_into_engine() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        let mut shard = EngineCounters::default();
+        engine.score_with(e(0), t(0), &mut shard);
+        engine.score_all_with(e(1), &mut shard);
+        assert_eq!(engine.counters(), EngineCounters::default());
+        engine.merge_counters(shard);
+        let c = engine.counters();
+        assert_eq!(c.score_evaluations, 1 + inst.num_intervals() as u64);
+        assert!(c.posting_visits > 0);
     }
 
     #[test]
@@ -613,7 +853,7 @@ mod tests {
             "empty schedule must have exactly zero utility, no residue"
         );
         // And a fresh assignment still scores exactly as on a fresh engine.
-        let fresh = AttendanceEngine::new(&inst);
+        let mut fresh = AttendanceEngine::new(&inst);
         assert_eq!(engine.score(e(1), t(0)), fresh.score(e(1), t(0)));
     }
 
@@ -753,6 +993,40 @@ mod tests {
         let delta = engine.add_competing_mass(t(0), &[(u(1), 0.9)]);
         assert_eq!(delta, 0.0);
         assert_eq!(engine.total_utility(), before);
+    }
+
+    #[test]
+    fn add_competing_mass_skips_users_outside_the_slot_index() {
+        // Users without a candidate posting get no slot — u1 is interested
+        // only in a competing event (its static B must be silently dropped
+        // at construction), u2 posts nothing at all. Mass aimed at either
+        // (or at an out-of-universe id) must be a no-op, not a panic.
+        use crate::ids::CompetingEventId;
+        use crate::model::CompetingEvent;
+        let mut interest = InterestBuilder::new(3, 1, 1);
+        interest.set(u(0), e(0), 0.5).unwrap();
+        interest.set(u(1), CompetingEventId::new(0), 0.9).unwrap();
+        let inst = SesInstance::builder()
+            .organizer(Organizer::new(5.0))
+            .intervals(uniform_grid(1, 10))
+            .events(vec![CandidateEvent::new(e(0), LocationId::new(0), 1.0)])
+            .competing(vec![CompetingEvent::new(
+                CompetingEventId::new(0),
+                IntervalId::new(0),
+            )])
+            .interest(interest.build_sparse().unwrap())
+            .activity(ConstantActivity::new(3, 1, 1.0).unwrap())
+            .build_shared()
+            .unwrap();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        let before = engine.total_utility();
+        let delta = engine.add_competing_mass(t(0), &[(u(1), 0.7), (u(2), 0.3)]);
+        assert_eq!(delta, 0.0);
+        assert_eq!(engine.total_utility(), before);
+        // Mixed postings still apply the indexed user's share.
+        let delta = engine.add_competing_mass(t(0), &[(u(1), 0.7), (u(0), 0.5)]);
+        assert!(delta < 0.0);
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub trait InterestModel: Send + Sync {
     fn interested_users(&self, event: EventRef) -> &[Posting];
 
     /// Total number of non-zero entries (for diagnostics and benchmarks).
+    ///
+    /// The default walks every posting list — `O(|E| + |C|)` — and exists
+    /// for third-party implementations. The built-in backends
+    /// ([`SparseInterest`], [`DenseInterest`]) cache the count at
+    /// construction and answer in `O(1)`.
     fn nnz(&self) -> usize {
         let cand = (0..self.num_candidates())
             .map(|e| self.interested_users(EventId::new(e as u32).into()).len())
@@ -219,12 +224,14 @@ impl InterestBuilder {
         let (num_users, num_candidates, num_competing) =
             (self.num_users, self.num_candidates, self.num_competing);
         let (candidate_postings, competing_postings) = self.finish_postings()?;
+        let nnz = count_nnz(&candidate_postings, &competing_postings);
         Ok(SparseInterest {
             num_users,
             num_candidates,
             num_competing,
             candidate_postings,
             competing_postings,
+            nnz,
         })
     }
 
@@ -243,6 +250,14 @@ pub struct SparseInterest {
     num_competing: usize,
     candidate_postings: Vec<Box<[Posting]>>,
     competing_postings: Vec<Box<[Posting]>>,
+    /// Cached non-zero count (Σ posting lengths), fixed at construction.
+    nnz: usize,
+}
+
+/// Σ posting lengths over both event families.
+fn count_nnz(candidate: &[Box<[Posting]>], competing: &[Box<[Posting]>]) -> usize {
+    candidate.iter().map(|p| p.len()).sum::<usize>()
+        + competing.iter().map(|p| p.len()).sum::<usize>()
 }
 
 impl SparseInterest {
@@ -278,6 +293,10 @@ impl InterestModel for SparseInterest {
     fn interested_users(&self, event: EventRef) -> &[Posting] {
         self.postings(event)
     }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
 }
 
 /// Flat row-major matrix backend with materialized posting lists.
@@ -295,6 +314,8 @@ pub struct DenseInterest {
     competing: Vec<f64>,
     candidate_postings: Vec<Box<[Posting]>>,
     competing_postings: Vec<Box<[Posting]>>,
+    /// Cached non-zero count (Σ posting lengths), fixed at construction.
+    nnz: usize,
 }
 
 impl DenseInterest {
@@ -350,6 +371,7 @@ impl DenseInterest {
             competing,
             candidate_postings: sparse.candidate_postings.clone(),
             competing_postings: sparse.competing_postings.clone(),
+            nnz: sparse.nnz,
         }
     }
 }
@@ -381,6 +403,10 @@ impl InterestModel for DenseInterest {
             EventRef::Candidate(e) => &self.candidate_postings[e.index()],
             EventRef::Competing(c) => &self.competing_postings[c.index()],
         }
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
     }
 }
 
@@ -504,6 +530,38 @@ mod tests {
             value: 2.0,
         };
         assert!(e.to_string().contains("µ(u1,e2)"));
+    }
+
+    #[test]
+    fn cached_nnz_matches_the_trait_default_recount() {
+        // Built-in backends answer nnz from the cache; a third-party impl
+        // that only supplies the required methods still gets the default
+        // posting-list recount, and the two must agree.
+        struct Wrapper(SparseInterest);
+        impl InterestModel for Wrapper {
+            fn num_users(&self) -> usize {
+                self.0.num_users()
+            }
+            fn num_candidates(&self) -> usize {
+                self.0.num_candidates()
+            }
+            fn num_competing(&self) -> usize {
+                self.0.num_competing()
+            }
+            fn interest(&self, user: UserId, event: EventRef) -> f64 {
+                self.0.interest(user, event)
+            }
+            fn interested_users(&self, event: EventRef) -> &[Posting] {
+                self.0.interested_users(event)
+            }
+            // No nnz override: exercises the default recount.
+        }
+        let sparse = small_builder().build_sparse().unwrap();
+        let dense = small_builder().build_dense().unwrap();
+        let recount = Wrapper(sparse.clone()).nnz();
+        assert_eq!(sparse.nnz(), recount);
+        assert_eq!(dense.nnz(), recount);
+        assert_eq!(recount, 4);
     }
 
     #[test]

@@ -66,13 +66,11 @@ pub struct ScheduleMetrics {
 /// where the exact solver is hopeless. `GRD utility / upper bound` is then
 /// a *certified* quality floor.
 pub fn utility_upper_bound(inst: &Arc<SesInstance>, k: usize) -> f64 {
-    let engine = AttendanceEngine::new(inst);
+    let mut engine = AttendanceEngine::new(inst);
     let mut solos: Vec<f64> = (0..inst.num_events())
         .map(|e| {
             let event = crate::ids::EventId::new(e as u32);
-            (0..inst.num_intervals())
-                .map(|t| engine.score(event, IntervalId::new(t as u32)))
-                .fold(0.0f64, f64::max)
+            engine.score_all(event).into_iter().fold(0.0f64, f64::max)
         })
         .collect();
     solos.sort_unstable_by(|a, b| b.total_cmp(a));

@@ -130,12 +130,16 @@ impl OnlineSession {
     }
 
     /// Best valid placement for `event` over all intervals, if any.
-    fn best_placement(&self, event: EventId) -> Option<(IntervalId, f64)> {
-        let inst = self.engine.instance();
-        (0..inst.num_intervals())
-            .map(|t| IntervalId::new(t as u32))
-            .filter(|&t| self.engine.is_valid(event, t))
-            .map(|t| (t, self.engine.score(event, t)))
+    ///
+    /// Uses the engine's batch scoring (`score_all`) — one linear pass over
+    /// the columnar mass table — and filters to valid intervals afterwards.
+    fn best_placement(&mut self, event: EventId) -> Option<(IntervalId, f64)> {
+        let scores = self.engine.score_all(event);
+        scores
+            .into_iter()
+            .enumerate()
+            .map(|(t, score)| (IntervalId::new(t as u32), score))
+            .filter(|&(t, _)| self.engine.is_valid(event, t))
             .max_by(|a, b| total_cmp(a.1, b.1))
     }
 
@@ -319,13 +323,23 @@ impl OnlineSession {
 
     /// The cancelled event itself can be re-added later (e.g. the act is
     /// rebooked): it is just another unscheduled *available* candidate.
-    fn best_unscheduled(&self) -> Option<(EventId, IntervalId, f64)> {
-        let inst = self.engine.instance();
-        (0..inst.num_events())
-            .map(|e| EventId::new(e as u32))
-            .filter(|&e| self.available[e.index()] && !self.engine.schedule().contains(e))
-            .filter_map(|e| self.best_placement(e).map(|(t, s)| (e, t, s)))
-            .max_by(|a, b| total_cmp(a.2, b.2))
+    fn best_unscheduled(&mut self) -> Option<(EventId, IntervalId, f64)> {
+        let num_events = self.engine.instance().num_events();
+        let mut best: Option<(EventId, IntervalId, f64)> = None;
+        for e in (0..num_events).map(|e| EventId::new(e as u32)) {
+            if !self.available[e.index()] || self.engine.schedule().contains(e) {
+                continue;
+            }
+            let Some((t, s)) = self.best_placement(e) else {
+                continue;
+            };
+            // `is_ge` keeps the last of equally-scored candidates, matching
+            // the `Iterator::max_by` semantics this loop replaced.
+            if best.is_none_or(|(_, _, bs)| total_cmp(s, bs).is_ge()) {
+                best = Some((e, t, s));
+            }
+        }
+        best
     }
 }
 

@@ -165,7 +165,7 @@ proptest! {
         prop_assert!(engine.total_utility().abs() < 1e-9,
             "rolled-back utility {} not ~0", engine.total_utility());
         // And the *next* score is computed from pristine state.
-        let fresh = AttendanceEngine::new(&inst);
+        let mut fresh = AttendanceEngine::new(&inst);
         let e0 = EventId::new(0);
         let t0 = IntervalId::new(0);
         prop_assert_eq!(engine.score(e0, t0), fresh.score(e0, t0));

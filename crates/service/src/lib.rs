@@ -35,7 +35,7 @@
 //! let solved = service
 //!     .open_session(
 //!         &inst,
-//!         &SessionOpen { name: "main".into(), spec: SchedulerSpec::Greedy, k: 6 },
+//!         &SessionOpen { name: "main".into(), spec: SchedulerSpec::Greedy, k: 6, threads: 1 },
 //!     )
 //!     .unwrap();
 //! assert_eq!(solved.scheduled(), 6);

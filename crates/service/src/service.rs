@@ -46,7 +46,7 @@ impl SchedulerService {
         inst: &Arc<SesInstance>,
         req: &SolveRequest,
     ) -> Result<SolveResponse, ServiceError> {
-        let outcome = registry::build(req.spec).run(inst, req.k)?;
+        let outcome = registry::build_threaded(req.spec, req.threads).run(inst, req.k)?;
         Ok(SolveResponse::from_outcome(req.spec, &outcome))
     }
 
@@ -87,7 +87,7 @@ impl SchedulerService {
         if self.sessions.contains_key(&open.name) {
             return Err(ServiceError::SessionExists(open.name.clone()));
         }
-        let outcome = registry::build(open.spec).run(inst, open.k)?;
+        let outcome = registry::build_threaded(open.spec, open.threads).run(inst, open.k)?;
         let session = OnlineSession::new(inst, &outcome.schedule)?;
         let response = SolveResponse::from_outcome(open.spec, &outcome);
         self.sessions.insert(
@@ -283,6 +283,7 @@ mod tests {
                     name: name.to_owned(),
                     spec: SchedulerSpec::Greedy,
                     k,
+                    threads: 1,
                 },
             )
             .unwrap()
@@ -298,6 +299,7 @@ mod tests {
                 &SolveRequest {
                     spec: SchedulerSpec::Greedy,
                     k: 6,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -320,6 +322,7 @@ mod tests {
                 &SolveRequest {
                     spec: SchedulerSpec::Greedy,
                     k: 10_000,
+                    threads: 1,
                 },
             )
             .unwrap_err();
@@ -339,6 +342,7 @@ mod tests {
                 &SolveRequest {
                     spec: SchedulerSpec::Greedy,
                     k: 5,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -394,6 +398,7 @@ mod tests {
                     name: "a".into(),
                     spec: SchedulerSpec::Greedy,
                     k: 2,
+                    threads: 1,
                 },
             )
             .unwrap_err();

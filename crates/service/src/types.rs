@@ -18,6 +18,12 @@ pub struct SolveRequest {
     pub spec: SchedulerSpec,
     /// Number of events to schedule.
     pub k: usize,
+    /// Scoring threads for the greedy-family sweeps (`0`/`1` = serial;
+    /// parallel runs pick identical schedules — see
+    /// [`ses_core::registry::build_threaded`]). Defaults to `0` when absent
+    /// from the wire, so pre-`threads` request JSON still deserializes.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 /// The result of a solve: the schedule plus quality and cost accounting.
@@ -94,6 +100,10 @@ pub struct SessionOpen {
     pub spec: SchedulerSpec,
     /// Initial schedule size.
     pub k: usize,
+    /// Scoring threads for the initial solve (`0`/`1` = serial). Defaults
+    /// to `0` when absent from the wire (pre-`threads` JSON compatibility).
+    #[serde(default)]
+    pub threads: usize,
 }
 
 /// A rival event announced at an interval (or diffuse activity drift —

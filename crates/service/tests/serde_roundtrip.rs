@@ -17,6 +17,20 @@ where
     serde_json::from_str(&json).expect("deserializes")
 }
 
+/// Requests recorded before the `threads` field existed must still
+/// deserialize (the field is `#[serde(default)]`, landing on 0 = serial).
+#[test]
+fn pre_threads_request_json_still_deserializes() {
+    let req: SolveRequest =
+        serde_json::from_str(r#"{"spec":"Greedy","k":6}"#).expect("legacy SolveRequest parses");
+    assert_eq!(req.k, 6);
+    assert_eq!(req.threads, 0, "missing threads defaults to serial");
+    let open: SessionOpen = serde_json::from_str(r#"{"name":"main","spec":"Top","k":3}"#)
+        .expect("legacy SessionOpen parses");
+    assert_eq!(open.name, "main");
+    assert_eq!(open.threads, 0);
+}
+
 fn spec_strategy() -> impl Strategy<Value = SchedulerSpec> {
     (0usize..7, any::<u64>()).prop_map(|(i, seed)| match i {
         0 => SchedulerSpec::Greedy,
@@ -90,13 +104,13 @@ proptest! {
 
     #[test]
     fn solve_request_round_trips(spec in spec_strategy(), k in 0usize..100_000) {
-        let req = SolveRequest { spec, k };
+        let req = SolveRequest { spec, k, threads: k % 5 };
         prop_assert_eq!(roundtrip_json(&req), req);
     }
 
     #[test]
     fn session_open_round_trips(spec in spec_strategy(), k in 0usize..10_000) {
-        let open = SessionOpen { name: format!("tenant-{k}"), spec, k };
+        let open = SessionOpen { name: format!("tenant-{k}"), spec, k, threads: k % 3 };
         prop_assert_eq!(roundtrip_json(&open), open);
     }
 
