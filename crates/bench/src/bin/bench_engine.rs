@@ -1,21 +1,32 @@
-//! Records the engine perf trajectory: release-mode GRD solves over the
-//! Fig. 1 `k` sweep, columnar engine vs the frozen hash-map baseline
-//! (`ses_bench::baseline`), written as `BENCH_engine.json` at the repo root.
+//! Records the engine perf trajectory and gates it in CI: release-mode GRD
+//! and GRD-PQ (CELF lazy) solves over the Fig. 1 `k` sweep, columnar engine
+//! vs the frozen hash-map baseline (`ses_bench::baseline`), written as
+//! `BENCH_engine.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p ses-bench --bin bench_engine -- \
-//!     [--users N] [--seed S] [--threads N] [--smoke] [--out PATH]
+//!     [--users N] [--seed S] [--threads N] [--smoke] [--check] \
+//!     [--committed PATH] [--out PATH]
 //! ```
 //!
 //! Per cell the report carries utility, wall-clock millis, the
-//! hardware-independent `score_evaluations` / `posting_visits` counters, the
-//! baseline's millis and the resulting speedup; the columnar Ω is checked
-//! against the from-scratch `evaluate_schedule` oracle before a cell is
-//! accepted. `--smoke` shrinks the sweep for CI (it proves the pipeline
-//! runs, not the speedup) and, without an explicit `--out`, writes to a
-//! temp path so it cannot clobber the committed `BENCH_engine.json`.
+//! hardware-independent `score_evaluations` / `posting_visits` counters and
+//! a speedup: GRD cells compare against the frozen hash-map baseline,
+//! GRD-PQ cells against the *same cell's* eager columnar GRD — so the lazy
+//! saving is legible separately from the layout saving. Every cell's Ω is
+//! checked against the from-scratch `evaluate_schedule` oracle before it is
+//! accepted.
+//!
+//! Full runs additionally embed a `smoke_reference` section: the operation
+//! counters of the small CI sweep (`--smoke` sizing), which are
+//! deterministic and hardware-independent. `--check` is the CI
+//! perf-regression gate: it re-runs the smoke sweep and exits non-zero if
+//! any cell's `score_evaluations`/`posting_visits` exceed the committed
+//! reference by more than 10%, or its utility drifts. `--smoke` alone (and
+//! `--check`, without an explicit `--out`) writes to a temp path so neither
+//! can clobber the committed `BENCH_engine.json` with throwaway numbers.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use ses_bench::baseline::greedy_hashmap;
 use ses_core::{evaluate_schedule, registry, SchedulerSpec};
 use ses_datagen::pipeline::build_instance;
@@ -23,8 +34,23 @@ use ses_datagen::sweep::k_sweep;
 use ses_ebsn::{generate, GeneratorConfig};
 use std::process::ExitCode;
 
-/// One (cell × layout) comparison row.
-#[derive(Debug, Clone, Serialize)]
+/// Headroom the `--check` gate grants over the committed counters before it
+/// fails: counters are deterministic, so the slack only absorbs *intended*
+/// small regressions between reference regenerations, never noise.
+const CHECK_HEADROOM: f64 = 1.10;
+
+/// Relative utility drift `--check` tolerates against the committed
+/// reference (the in-run oracle check is tighter still).
+const CHECK_UTILITY_TOL: f64 = 1e-6;
+
+/// User-universe size of the smoke/CI sweep.
+const SMOKE_USERS: usize = 400;
+
+/// `k` values of the smoke/CI sweep (the full sweep is Fig. 1's).
+const SMOKE_KS: &[usize] = &[20, 40];
+
+/// One (cell × algorithm) comparison row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineCell {
     axis: String,
     value: f64,
@@ -37,13 +63,24 @@ struct EngineCell {
     score_evaluations: u64,
     posting_visits: u64,
     scheduled: usize,
-    /// Wall-clock millis of the frozen hash-map baseline on the same cell.
+    /// Wall-clock millis of this cell's baseline: the frozen hash-map
+    /// engine for GRD rows, the same cell's eager columnar GRD for GRD-PQ
+    /// rows.
     baseline_millis: f64,
     /// `baseline_millis / millis`.
     speedup: f64,
 }
 
-#[derive(Debug, Clone, Serialize)]
+/// The deterministic small-sweep counters the CI `--check` gate compares
+/// against (hardware-independent, so committed numbers hold on any runner).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SmokeReference {
+    users: usize,
+    seed: u64,
+    cells: Vec<EngineCell>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineReport {
     generator: String,
     users: usize,
@@ -51,8 +88,13 @@ struct EngineReport {
     threads: usize,
     smoke: bool,
     cells: Vec<EngineCell>,
-    /// Speedup at the largest sweep cell (the acceptance headline).
+    /// GRD-vs-hashmap speedup at the largest sweep cell (PR 3's headline).
     largest_cell_speedup: f64,
+    /// Lazy GRD-PQ score evaluations at the largest sweep cell vs eager
+    /// GRD's (this PR's headline: strictly fewer with identical utility).
+    lazy_eval_ratio_at_max_k: f64,
+    #[serde(default)]
+    smoke_reference: Option<SmokeReference>,
 }
 
 struct Args {
@@ -60,16 +102,18 @@ struct Args {
     seed: u64,
     threads: usize,
     smoke: bool,
+    check: bool,
+    committed: String,
     out: Option<String>,
 }
 
 impl Args {
     /// `--out` if given; otherwise the committed trajectory file for full
-    /// runs, and a temp path for `--smoke` — so the documented smoke
-    /// invocation can never clobber the committed `BENCH_engine.json`
+    /// runs, and a temp path for `--smoke`/`--check` — so the documented CI
+    /// invocations can never clobber the committed `BENCH_engine.json`
     /// with throwaway numbers.
     fn out_path(&self) -> String {
-        match (&self.out, self.smoke) {
+        match (&self.out, self.smoke || self.check) {
             (Some(path), _) => path.clone(),
             (None, false) => "BENCH_engine.json".to_owned(),
             (None, true) => std::env::temp_dir()
@@ -86,6 +130,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         threads: 1,
         smoke: false,
+        check: false,
+        committed: "BENCH_engine.json".to_owned(),
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -113,21 +159,176 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
+            "--committed" => args.committed = it.next().ok_or("--committed needs a path")?,
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 println!(
-                    "bench_engine — record the engine perf trajectory (BENCH_engine.json)\n\
-                     options: --users N | --seed S | --threads N | --smoke | --out PATH"
+                    "bench_engine — record/gate the engine perf trajectory (BENCH_engine.json)\n\
+                     options: --users N | --seed S | --threads N | --smoke | --check \
+                     | --committed PATH | --out PATH\n\
+                     --check re-runs the smoke sweep and fails if counters regress >10% \
+                     against the committed BENCH_engine.json"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if args.smoke {
-        args.users = args.users.min(400);
+    if args.smoke || args.check {
+        args.users = args.users.min(SMOKE_USERS);
     }
     Ok(args)
+}
+
+/// Runs the GRD + GRD-PQ sweep over `k_values` on a fresh dataset of
+/// `users` members; every cell's Ω is verified against the
+/// `evaluate_schedule` oracle.
+fn build_cells(
+    users: usize,
+    seed: u64,
+    threads: usize,
+    k_values: &[usize],
+) -> Result<Vec<EngineCell>, String> {
+    let max_k = *k_values.last().expect("sweep is non-empty");
+    let mut gen_cfg = GeneratorConfig::meetup_california_scaled(users);
+    gen_cfg.seed = seed;
+    // Each cell samples |E| = 2k candidates plus a competing pool.
+    gen_cfg.num_events = gen_cfg.num_events.max(2 * max_k + max_k / 2 + 10);
+    eprintln!(
+        "[bench_engine] dataset: {} members, {} events (seed {seed})",
+        gen_cfg.num_members, gen_cfg.num_events
+    );
+    let dataset = generate(&gen_cfg);
+
+    let mut cells = Vec::new();
+    for cell in k_sweep(k_values, seed) {
+        let built = build_instance(&dataset, &cell.config)
+            .map_err(|e| format!("cell k={} failed to build: {e}", cell.value))?;
+        let mut cell_rows: Vec<EngineCell> = Vec::new();
+        for spec in [SchedulerSpec::Greedy, SchedulerSpec::GreedyHeap] {
+            let scheduler = registry::build_threaded(spec, threads);
+            let outcome = scheduler
+                .run(&built.instance, cell.config.k)
+                .expect("k ≤ |E| by construction");
+            let oracle = evaluate_schedule(&built.instance, &outcome.schedule);
+            let drift = (outcome.total_utility - oracle.total_utility).abs()
+                / oracle.total_utility.abs().max(1.0);
+            if drift > 1e-9 {
+                return Err(format!(
+                    "{} Ω {} drifted from oracle {} at k={} (rel {drift:.2e})",
+                    spec.name(),
+                    outcome.total_utility,
+                    oracle.total_utility,
+                    cell.value
+                ));
+            }
+            let millis = outcome.stats.elapsed.as_secs_f64() * 1e3;
+            // GRD rows: the frozen hash-map engine is the baseline.
+            // GRD-PQ rows: this cell's eager columnar GRD is the baseline,
+            // isolating the lazy saving from the layout saving.
+            let baseline_millis = match spec {
+                SchedulerSpec::Greedy => greedy_hashmap(&built.instance, cell.config.k).millis,
+                _ => cell_rows
+                    .first()
+                    .map(|grd: &EngineCell| grd.millis)
+                    .unwrap_or(0.0),
+            };
+            let row = EngineCell {
+                axis: cell.axis.clone(),
+                value: cell.value,
+                algorithm: spec.name().to_owned(),
+                utility: outcome.total_utility,
+                oracle_utility: oracle.total_utility,
+                millis,
+                score_evaluations: outcome.stats.engine.score_evaluations,
+                posting_visits: outcome.stats.engine.posting_visits,
+                scheduled: outcome.len(),
+                baseline_millis,
+                speedup: baseline_millis / millis.max(1e-9),
+            };
+            eprintln!(
+                "[bench_engine] k={:>3} {:>6}: {:>9.2} ms vs baseline {:>9.2} ms ({:.2}x), \
+                 Ω = {:.3}, {} score evals, {} posting visits",
+                cell.value,
+                row.algorithm,
+                row.millis,
+                row.baseline_millis,
+                row.speedup,
+                row.utility,
+                row.score_evaluations,
+                row.posting_visits
+            );
+            cell_rows.push(row);
+        }
+        cells.extend(cell_rows);
+    }
+    Ok(cells)
+}
+
+/// The `--check` gate: every fresh smoke cell must stay within
+/// [`CHECK_HEADROOM`] of the committed reference counters and within
+/// [`CHECK_UTILITY_TOL`] of the committed utility — and every *committed*
+/// cell must have been re-measured, so a sweep that silently stops
+/// producing rows (an algorithm dropped from the loop) cannot pass
+/// vacuously. Returns the violations.
+fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> Vec<String> {
+    let mut violations = Vec::new();
+    for committed in &reference.cells {
+        if !fresh.iter().any(|c| {
+            c.algorithm == committed.algorithm
+                && c.axis == committed.axis
+                && c.value == committed.value
+        }) {
+            violations.push(format!(
+                "committed reference cell {} k={} was not re-measured by this sweep",
+                committed.algorithm, committed.value
+            ));
+        }
+    }
+    for cell in fresh {
+        let Some(committed) = reference.cells.iter().find(|c| {
+            c.algorithm == cell.algorithm && c.axis == cell.axis && c.value == cell.value
+        }) else {
+            violations.push(format!(
+                "{} k={} has no committed reference cell — regenerate BENCH_engine.json",
+                cell.algorithm, cell.value
+            ));
+            continue;
+        };
+        let eval_limit = (committed.score_evaluations as f64 * CHECK_HEADROOM) as u64;
+        if cell.score_evaluations > eval_limit {
+            violations.push(format!(
+                "{} k={}: score_evaluations {} exceed committed {} by >{:.0}% (limit {})",
+                cell.algorithm,
+                cell.value,
+                cell.score_evaluations,
+                committed.score_evaluations,
+                (CHECK_HEADROOM - 1.0) * 100.0,
+                eval_limit
+            ));
+        }
+        let visit_limit = (committed.posting_visits as f64 * CHECK_HEADROOM) as u64;
+        if cell.posting_visits > visit_limit {
+            violations.push(format!(
+                "{} k={}: posting_visits {} exceed committed {} by >{:.0}% (limit {})",
+                cell.algorithm,
+                cell.value,
+                cell.posting_visits,
+                committed.posting_visits,
+                (CHECK_HEADROOM - 1.0) * 100.0,
+                visit_limit
+            ));
+        }
+        let drift = (cell.utility - committed.utility).abs() / committed.utility.abs().max(1.0);
+        if drift > CHECK_UTILITY_TOL {
+            violations.push(format!(
+                "{} k={}: utility {} drifted from committed {} (rel {drift:.2e})",
+                cell.algorithm, cell.value, cell.utility, committed.utility
+            ));
+        }
+    }
+    violations
 }
 
 fn main() -> ExitCode {
@@ -139,84 +340,60 @@ fn main() -> ExitCode {
         }
     };
 
-    let k_values: &[usize] = if args.smoke {
-        &[20, 40]
+    let k_values: &[usize] = if args.smoke || args.check {
+        SMOKE_KS
     } else {
         &[100, 300, 500]
     };
-    let max_k = *k_values.last().expect("sweep is non-empty");
 
-    let mut gen_cfg = GeneratorConfig::meetup_california_scaled(args.users);
-    gen_cfg.seed = args.seed;
-    // Each cell samples |E| = 2k candidates plus a competing pool.
-    gen_cfg.num_events = gen_cfg.num_events.max(2 * max_k + max_k / 2 + 10);
-    eprintln!(
-        "[bench_engine] dataset: {} members, {} events (seed {})",
-        gen_cfg.num_members, gen_cfg.num_events, args.seed
-    );
-    let dataset = generate(&gen_cfg);
-
-    let mut cells = Vec::new();
-    for cell in k_sweep(k_values, args.seed) {
-        let built = match build_instance(&dataset, &cell.config) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("bench_engine: cell k={} failed to build: {e}", cell.value);
-                return ExitCode::FAILURE;
-            }
-        };
-        let scheduler = registry::build_threaded(SchedulerSpec::Greedy, args.threads);
-        let columnar = scheduler
-            .run(&built.instance, cell.config.k)
-            .expect("k ≤ |E| by construction");
-        let oracle = evaluate_schedule(&built.instance, &columnar.schedule);
-        let drift = (columnar.total_utility - oracle.total_utility).abs()
-            / oracle.total_utility.abs().max(1.0);
-        if drift > 1e-9 {
-            eprintln!(
-                "bench_engine: columnar Ω {} drifted from oracle {} (rel {drift:.2e})",
-                columnar.total_utility, oracle.total_utility
-            );
+    let cells = match build_cells(args.users, args.seed, args.threads, k_values) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("bench_engine: {e}");
             return ExitCode::FAILURE;
         }
-        let baseline = greedy_hashmap(&built.instance, cell.config.k);
-        let millis = columnar.stats.elapsed.as_secs_f64() * 1e3;
-        let row = EngineCell {
-            axis: cell.axis.clone(),
-            value: cell.value,
-            algorithm: "GRD".to_owned(),
-            utility: columnar.total_utility,
-            oracle_utility: oracle.total_utility,
-            millis,
-            score_evaluations: columnar.stats.engine.score_evaluations,
-            posting_visits: columnar.stats.engine.posting_visits,
-            scheduled: columnar.len(),
-            baseline_millis: baseline.millis,
-            speedup: baseline.millis / millis.max(1e-9),
-        };
-        eprintln!(
-            "[bench_engine] k={:>3}: columnar {:>9.2} ms, hashmap {:>9.2} ms ({:.2}x), \
-             Ω = {:.3}, {} score evals, {} posting visits",
-            cell.value,
-            row.millis,
-            row.baseline_millis,
-            row.speedup,
-            row.utility,
-            row.score_evaluations,
-            row.posting_visits
-        );
-        cells.push(row);
-    }
+    };
 
-    let largest_cell_speedup = cells.last().map(|c| c.speedup).unwrap_or(0.0);
+    // Full runs re-measure the CI smoke sweep too, so the committed file
+    // always carries the reference counters `--check` gates against.
+    let smoke_reference = if args.smoke || args.check {
+        None
+    } else {
+        eprintln!("[bench_engine] recording the smoke-sweep reference counters");
+        match build_cells(args.users.min(SMOKE_USERS), args.seed, 1, SMOKE_KS) {
+            Ok(cells) => Some(SmokeReference {
+                users: args.users.min(SMOKE_USERS),
+                seed: args.seed,
+                cells,
+            }),
+            Err(e) => {
+                eprintln!("bench_engine: smoke reference failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let grd_cells: Vec<&EngineCell> = cells.iter().filter(|c| c.algorithm == "GRD").collect();
+    let largest_cell_speedup = grd_cells.last().map(|c| c.speedup).unwrap_or(0.0);
+    let lazy_eval_ratio_at_max_k = match (
+        grd_cells.last(),
+        cells.iter().rfind(|c| c.algorithm == "GRD-PQ"),
+    ) {
+        (Some(grd), Some(lazy)) => {
+            lazy.score_evaluations as f64 / grd.score_evaluations.max(1) as f64
+        }
+        _ => 0.0,
+    };
     let report = EngineReport {
-        generator: "ses-bench bench_engine (GRD, Fig. 1 k sweep)".to_owned(),
+        generator: "ses-bench bench_engine (GRD + GRD-PQ lazy, Fig. 1 k sweep)".to_owned(),
         users: args.users,
         seed: args.seed,
         threads: args.threads,
-        smoke: args.smoke,
+        smoke: args.smoke || args.check,
         cells,
         largest_cell_speedup,
+        lazy_eval_ratio_at_max_k,
+        smoke_reference,
     };
     let out = args.out_path();
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -225,9 +402,55 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "[bench_engine] wrote {out} ({} cells, largest-cell speedup {:.2}x)",
+        "[bench_engine] wrote {out} ({} cells, largest-cell speedup {:.2}x, \
+         lazy/eager evals at max k {:.3})",
         report.cells.len(),
-        largest_cell_speedup
+        largest_cell_speedup,
+        lazy_eval_ratio_at_max_k
     );
+
+    if args.check {
+        let committed: EngineReport = match std::fs::read_to_string(&args.committed)
+            .map_err(|e| format!("cannot read {}: {e}", args.committed))
+            .and_then(|text| {
+                serde_json::from_str(&text)
+                    .map_err(|e| format!("cannot parse {}: {e}", args.committed))
+            }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_engine --check: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(reference) = committed.smoke_reference.as_ref() else {
+            eprintln!(
+                "bench_engine --check: {} has no smoke_reference section — \
+                 regenerate it with a full run",
+                args.committed
+            );
+            return ExitCode::FAILURE;
+        };
+        if reference.users != args.users || reference.seed != args.seed {
+            eprintln!(
+                "bench_engine --check: reference was recorded at users={} seed={}, \
+                 this run used users={} seed={}",
+                reference.users, reference.seed, args.users, args.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        let violations = check_against_reference(&report.cells, reference);
+        if !violations.is_empty() {
+            eprintln!("bench_engine --check: perf regression gate FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[bench_engine] --check passed: {} cells within {:.0}% of committed counters",
+            report.cells.len(),
+            (CHECK_HEADROOM - 1.0) * 100.0
+        );
+    }
     ExitCode::SUCCESS
 }

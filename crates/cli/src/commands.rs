@@ -31,6 +31,7 @@ SUBCOMMANDS:
     solve       build the paper's instance from a dataset and schedule it
       (alias:     --dataset PATH (required)   --k K (100)
       schedule)   --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS|SA|EXACT (GRD)
+                  (GRD-PQ is the CELF lazy greedy; aliases LAZY, CELF)
                   --seed S (0)                --checkins  (σ from check-ins)
                   --format text|json (text)   --out PATH  (write the schedule as JSON)
                   --threads N (1)             (shard greedy scoring sweeps; same schedule)

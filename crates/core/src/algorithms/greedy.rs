@@ -29,8 +29,11 @@ struct ListEntry {
 /// * Line 2–4: score every `(e, t) ∈ E × T` pair and insert into `L`.
 /// * Line 5–8: repeatedly pop the top-score assignment; if it is *valid*
 ///   (feasible and the event not yet scheduled) commit it.
-/// * Line 9–13: after a commit, rescore every remaining entry of the selected
-///   interval and drop entries that became invalid.
+/// * Line 9–13: after a commit, rescore the surviving entries of every
+///   *dirty* interval — the engine's generation counters name exactly the
+///   intervals whose mass columns moved (offline: the selected interval) —
+///   and drop entries that became invalid. Entries at clean intervals keep
+///   their bit-exact scores untouched.
 ///
 /// Worst-case cost `O(|E||T||U| + k|E||T| + k|E||U|)` exactly as analysed in
 /// §III; space `O(|E||T|)`.
@@ -92,6 +95,9 @@ impl Scheduler for GreedyScheduler {
                 score,
             })
             .collect();
+        // Every list entry is fresh as of this clock snapshot; after each
+        // commit the engine tells us exactly which intervals' columns moved.
+        let mut last_clock = engine.clock();
 
         // Lines 5–13: select k assignments.
         while engine.schedule().len() < k {
@@ -124,9 +130,12 @@ impl Scheduler for GreedyScheduler {
 
             if engine.schedule().len() < k {
                 // Lines 10–13: drop entries that became invalid anywhere
-                // (cheap, no scoring), then rescore the selected interval's
-                // surviving frontier in one sharded batch.
-                let selected_interval = top.interval;
+                // (cheap, no scoring), then rescore only the *dirty*
+                // intervals' surviving frontiers — the engine's generation
+                // counters name exactly the intervals whose columns moved
+                // since the last rescan (offline that is the selected
+                // interval, or nothing at all when the committed event moved
+                // no mass), so every other entry's score is still bit-exact.
                 let mut i = 0;
                 while i < list.len() {
                     let entry = list[i];
@@ -139,15 +148,18 @@ impl Scheduler for GreedyScheduler {
                         i += 1;
                     }
                 }
-                let idxs: Vec<usize> = (0..list.len())
-                    .filter(|&i| list[i].interval == selected_interval)
-                    .collect();
-                let events: Vec<EventId> = idxs.iter().map(|&i| list[i].event).collect();
-                let scores = frontier_scores(&mut engine, &events, selected_interval, self.threads);
-                for (&i, score) in idxs.iter().zip(scores) {
-                    list[i].score = score;
+                for dirty in engine.dirty_intervals(last_clock) {
+                    let idxs: Vec<usize> = (0..list.len())
+                        .filter(|&i| list[i].interval == dirty)
+                        .collect();
+                    let events: Vec<EventId> = idxs.iter().map(|&i| list[i].event).collect();
+                    let scores = frontier_scores(&mut engine, &events, dirty, self.threads);
+                    for (&i, score) in idxs.iter().zip(scores) {
+                        list[i].score = score;
+                    }
+                    updates += idxs.len() as u64;
                 }
-                updates += idxs.len() as u64;
+                last_clock = engine.clock();
             }
         }
 

@@ -1,20 +1,32 @@
-//! GRD-PQ — a priority-queue variant of the paper's greedy.
+//! GRD-PQ — CELF-style lazy greedy over the engine's dirty-interval
+//! generations (spec aliases: `LAZY`, `CELF`).
 //!
 //! Algorithm 1 keeps `L` as a flat list: each selection scans all of `L`
 //! (`O(|E||T|)`) and eagerly rescores every same-interval entry. GRD-PQ
-//! replaces the list with a binary heap plus *lazy* rescoring:
+//! replaces the list with a stale-tagged max-heap of
+//! `(gain, event, interval, generation)` entries and rescoring that is both
+//! *lazy* and *delta-driven*:
 //!
-//! * every interval carries a version counter, bumped on each commit;
-//! * heap entries remember the interval version they were scored at;
-//! * on pop, a stale entry (entry version < interval version) is rescored
-//!   against the current state and pushed back; a fresh entry is committed.
+//! * the engine stamps every interval with a generation counter, advanced
+//!   only when that interval's mass columns actually mutate
+//!   ([`AttendanceEngine::interval_generation`]);
+//! * heap entries remember the generation they were scored at;
+//! * on pop, an entry is re-validated **only if its interval generation
+//!   moved**: a fresh entry commits immediately, a stale one is rescored
+//!   through the [`AttendanceEngine::rescore_event_at`] delta API;
+//! * CELF shortcut: if the rescored entry *still* dominates the heap top
+//!   (same total order, ids included), it commits directly instead of being
+//!   pushed and immediately re-popped.
 //!
 //! A fresh entry at the top of the heap dominates every other entry's
 //! *current* score (stale scores can only be over-estimates, because
 //! per-interval marginal gains diminish as intervals fill — see
-//! `engine.rs`), so GRD-PQ selects the same assignment as GRD at every step
-//! up to floating-point ties. The ablation bench (DESIGN.md A1) quantifies
-//! how much work lazy rescoring saves.
+//! `engine.rs`), so GRD-PQ selects the same assignment as GRD at every
+//! step, including float ties (both variants break ties toward smaller
+//! `(event, interval)` ids). The equivalence is property-tested bit-for-bit
+//! in `crates/core/tests/incremental_equivalence.rs`; the invariants are
+//! written up in DESIGN.md §7 and the saved work is quantified by the A1
+//! ablation and the `BENCH_engine.json` trajectory.
 
 use crate::engine::AttendanceEngine;
 use crate::ids::{EventId, IntervalId};
@@ -31,8 +43,9 @@ struct HeapEntry {
     score: f64,
     event: EventId,
     interval: IntervalId,
-    /// Version of `interval` at scoring time.
-    version: u64,
+    /// Generation of `interval` at scoring time
+    /// ([`AttendanceEngine::interval_generation`]).
+    generation: u64,
 }
 
 impl PartialEq for HeapEntry {
@@ -50,7 +63,8 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by score; tie-break on ids for determinism.
+        // Max-heap by score; tie-break on ids for determinism (and for
+        // step-for-step agreement with GRD's linear-scan pop).
         self.score
             .total_cmp(&other.score)
             .then_with(|| other.event.cmp(&self.event))
@@ -58,7 +72,7 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Priority-queue greedy with lazy rescoring (same selections as GRD).
+/// CELF-style lazy greedy (same selections as GRD, bit for bit).
 ///
 /// The `O(|E||T|·postings)` initial fill is batch-scored and can be sharded
 /// across scoped threads ([`Self::with_threads`]); the selection loop itself
@@ -101,19 +115,22 @@ impl Scheduler for GreedyHeapScheduler {
         let mut pops = 0u64;
         let mut updates = 0u64;
 
-        let mut versions = vec![0u64; inst.num_intervals()];
+        // The initial fill reads frozen engine state, so every entry is
+        // valid at its interval's *current* generation (all zero on a fresh
+        // engine, but tagging through the engine keeps this correct even if
+        // construction semantics ever change).
         let mut heap: BinaryHeap<HeapEntry> = initial_scores(&mut engine, self.threads)
             .into_iter()
             .map(|(event, interval, score)| HeapEntry {
                 score,
                 event,
                 interval,
-                version: 0,
+                generation: engine.interval_generation(interval),
             })
             .collect();
 
         while engine.schedule().len() < k {
-            let Some(entry) = heap.pop() else {
+            let Some(mut entry) = heap.pop() else {
                 break;
             };
             pops += 1;
@@ -123,21 +140,23 @@ impl Scheduler for GreedyHeapScheduler {
             {
                 continue; // invalid entries are dropped, never rescored
             }
-            let current_version = versions[entry.interval.index()];
-            if entry.version < current_version {
-                // Stale: rescore lazily against the current interval state.
+            if entry.generation < engine.interval_generation(entry.interval) {
+                // Stale: one delta rescore against the current columns.
                 updates += 1;
-                heap.push(HeapEntry {
-                    score: engine.score(entry.event, entry.interval),
-                    version: current_version,
-                    ..entry
-                });
-                continue;
+                let (score, generation) = engine.rescore_event_at(entry.event, entry.interval);
+                entry.score = score;
+                entry.generation = generation;
+                // CELF shortcut: if the fresh value still dominates the heap
+                // top (total order, ids included), pushing it back would
+                // only have it popped right again — commit directly.
+                if heap.peek().is_some_and(|top| entry < *top) {
+                    heap.push(entry);
+                    continue;
+                }
             }
             engine
                 .assign(entry.event, entry.interval)
                 .expect("checked assignment must apply");
-            versions[entry.interval.index()] += 1;
         }
 
         let placed = engine.schedule().len();
@@ -180,6 +199,20 @@ mod tests {
     }
 
     #[test]
+    fn matches_list_greedy_schedule_bit_for_bit() {
+        // The CELF conversion must not perturb selections: same schedule,
+        // same Ω bits as the eager list greedy (the property suite widens
+        // this across random instances).
+        for seed in 0..10u64 {
+            let inst = testkit::medium_instance(seed);
+            let a = GreedyScheduler::new().run(&inst, 8).unwrap();
+            let b = GreedyHeapScheduler::new().run(&inst, 8).unwrap();
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert_eq!(a.total_utility.to_bits(), b.total_utility.to_bits());
+        }
+    }
+
+    #[test]
     fn produces_feasible_schedules() {
         let inst = testkit::medium_instance(123);
         let out = GreedyHeapScheduler::new().run(&inst, 8).unwrap();
@@ -199,6 +232,12 @@ mod tests {
             "lazy updates {} > eager updates {}",
             b.stats.updates,
             a.stats.updates
+        );
+        assert!(
+            b.stats.engine.score_evaluations <= a.stats.engine.score_evaluations,
+            "lazy evals {} > eager evals {}",
+            b.stats.engine.score_evaluations,
+            a.stats.engine.score_evaluations
         );
     }
 

@@ -18,7 +18,10 @@ use std::time::Instant;
 /// The TOP baseline.
 ///
 /// Its single scoring sweep is batch-scored and can be sharded across scoped
-/// threads ([`Self::with_threads`]).
+/// threads ([`Self::with_threads`]). TOP deliberately stays on the batch
+/// path and ignores the engine's dirty-interval generations: never rescoring
+/// is the whole point of the baseline, so there is nothing for the delta
+/// APIs to save.
 #[derive(Debug, Clone, Copy)]
 pub struct TopScheduler {
     threads: usize,

@@ -46,6 +46,22 @@
 //! `assign`/`unassign`, so `ΔΩ` equals the assignment score by construction;
 //! [`evaluate_schedule`] recomputes Ω from scratch over hash maps and is the
 //! testing oracle for both the bookkeeping and the columnar layout.
+//!
+//! # Dirty-interval generations
+//!
+//! An Eq. 4 score is a pure function of one interval's column block
+//! (`B`/`M`/`σ` slices at `t·stride + rank`), so a score computed for
+//! `(e, t)` stays *bit-exact* until something mutates interval `t`'s
+//! columns. The engine tracks this with a monotone **mutation clock**: every
+//! column mutation (`assign`, `unassign`, and any
+//! [`AttendanceEngine::add_competing_mass`] that lands on an indexed slot)
+//! advances the clock and stamps the touched interval's **generation** with
+//! it. Consumers snapshot the clock, cache scores, and later ask
+//! [`AttendanceEngine::dirty_intervals`] which intervals moved — everything
+//! else may be reused verbatim. [`AttendanceEngine::rescore_event_at`] is the
+//! paired delta API: one fresh Eq. 4 evaluation plus the generation tag it
+//! is valid at, which is what the CELF-style lazy greedy stores in its heap
+//! entries (see `algorithms::greedy_heap` and DESIGN.md §7).
 
 use crate::ids::{EventId, IntervalId, UserId};
 use crate::instance::{FeasibilityViolation, SesInstance};
@@ -162,6 +178,14 @@ pub struct AttendanceEngine {
     /// The live per-interval resource budget θ. Starts at the instance's
     /// budget; the online layer may move it (capacity changes).
     budget: f64,
+    /// Monotone mutation clock: advanced once per column mutation. `0`
+    /// means "nothing has ever mutated", so a consumer snapshot taken at
+    /// clock `c` is stale for exactly the intervals with `gen[t] > c`.
+    clock: u64,
+    /// `gen[t]` — the clock value at interval `t`'s most recent column
+    /// mutation (its *generation*). Scores tagged with an older generation
+    /// are stale; scores tagged with the current one are bit-exact.
+    gen: Vec<u64>,
     total_utility: f64,
     counters: EngineCounters,
 }
@@ -248,6 +272,8 @@ impl AttendanceEngine {
             used_resources: vec![0.0; nt],
             used_locations: vec![FxHashMap::default(); nt],
             budget: inst.budget(),
+            clock: 0,
+            gen: vec![0; nt],
             total_utility: 0.0,
             counters: EngineCounters::default(),
         }
@@ -309,6 +335,68 @@ impl AttendanceEngine {
     /// after parallel scoring with the `_with` methods.
     pub fn merge_counters(&mut self, shard: EngineCounters) {
         self.counters.merge(shard);
+    }
+
+    /// The current mutation clock. Snapshot it before caching scores; feed
+    /// the snapshot to [`Self::dirty_intervals`] later to learn which
+    /// intervals (and only which) invalidated their cached scores.
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The generation of one interval: the clock value at its most recent
+    /// column mutation (`0` if never mutated). A score tagged with an older
+    /// generation is stale; one tagged with the current generation is
+    /// bit-exact — this is the staleness test of the CELF lazy greedy.
+    #[inline]
+    pub fn interval_generation(&self, interval: IntervalId) -> u64 {
+        self.gen[interval.index()]
+    }
+
+    /// Advances the clock and stamps `interval`'s generation — every column
+    /// mutation funnels through here.
+    #[inline]
+    fn touch(&mut self, interval: IntervalId) {
+        self.clock += 1;
+        self.gen[interval.index()] = self.clock;
+    }
+
+    /// The intervals whose columns mutated *after* the clock snapshot
+    /// `since`, in ascending interval order. Scores cached at or before
+    /// `since` remain bit-exact for every interval **not** returned — the
+    /// contract the dirty-filtered GRD rescan and the online repair's score
+    /// cache rely on (DESIGN.md §7). Cost: one `O(|T|)` scan, no
+    /// per-mutation allocation.
+    pub fn dirty_intervals(&self, since: u64) -> Vec<IntervalId> {
+        self.gen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g > since)
+            .map(|(t, _)| IntervalId::new(t as u32))
+            .collect()
+    }
+
+    /// Delta API: one fresh Eq. 4 evaluation of `event → interval`,
+    /// returning the score together with the interval generation it is
+    /// valid at. Counts like [`Self::score`]. The returned tag is what a
+    /// lazy consumer stores next to the score: the pair stays bit-exact
+    /// until [`Self::interval_generation`] moves past it.
+    pub fn rescore_event_at(&mut self, event: EventId, interval: IntervalId) -> (f64, u64) {
+        let score = self.score(event, interval);
+        (score, self.gen[interval.index()])
+    }
+
+    /// [`Self::rescore_event_at`] against `&self`, counting into `counters`
+    /// (shard-safe, like the other `_with` scoring methods).
+    pub fn rescore_event_at_with(
+        &self,
+        event: EventId,
+        interval: IntervalId,
+        counters: &mut EngineCounters,
+    ) -> (f64, u64) {
+        let score = self.score_with(event, interval, counters);
+        (score, self.gen[interval.index()])
     }
 
     /// Fast feasibility/validity check for `event → interval` against the
@@ -460,6 +548,12 @@ impl AttendanceEngine {
             .assign(event, interval)
             .expect("validated assignment must apply");
         let base = interval.index() * self.stride;
+        // An event with an empty posting list moves no mass: validity state
+        // changes but no score can, so the generation stays put (validity is
+        // always re-checked fresh by consumers — only scores are cached).
+        if !self.resolved[event.index()].is_empty() {
+            self.touch(interval);
+        }
         for &(r, mu) in self.resolved[event.index()].iter() {
             let i = base + r as usize;
             self.m[i] += mu;
@@ -479,6 +573,9 @@ impl AttendanceEngine {
     pub fn unassign(&mut self, event: EventId) -> Result<f64, ScheduleError> {
         let interval = self.schedule.unassign(event)?;
         let base = interval.index() * self.stride;
+        if !self.resolved[event.index()].is_empty() {
+            self.touch(interval);
+        }
         let mut loss = 0.0;
         for &(r, mu) in self.resolved[event.index()].iter() {
             let i = base + r as usize;
@@ -595,23 +692,31 @@ impl AttendanceEngine {
     pub fn add_competing_mass(&mut self, interval: IntervalId, postings: &[(UserId, f64)]) -> f64 {
         let base = interval.index() * self.stride;
         let mut delta = 0.0;
+        let mut touched = false;
         for &(u, mu_c) in postings {
             debug_assert!((0.0..=1.0).contains(&mu_c), "competing µ out of range");
             let Some(&r) = self.rank_of.get(u.index()) else {
                 continue;
             };
-            if r == NO_RANK {
+            if r == NO_RANK || mu_c <= 0.0 {
                 continue;
             }
             let i = base + r as usize;
             let b_old = self.b[i];
             self.b[i] = b_old + mu_c;
+            touched = true;
             let m = self.m[i];
             if m > 0.0 {
                 let before = luce_ratio(m, b_old + m);
                 let after = luce_ratio(m, b_old + mu_c + m);
                 delta += self.sigma[i] * (after - before);
             }
+        }
+        // Only a landed posting dirties the interval: mass aimed entirely at
+        // users outside the slot index leaves every `t·stride + rank` column
+        // bit-identical, so cached scores for the interval stay valid.
+        if touched {
+            self.touch(interval);
         }
         self.total_utility += delta;
         delta
@@ -1027,6 +1132,74 @@ mod tests {
         // Mixed postings still apply the indexed user's share.
         let delta = engine.add_competing_mass(t(0), &[(u(1), 0.7), (u(0), 0.5)]);
         assert!(delta < 0.0);
+    }
+
+    #[test]
+    fn generations_track_column_mutations_only() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        assert_eq!(engine.clock(), 0);
+        assert_eq!(engine.interval_generation(t(0)), 0);
+        assert!(engine.dirty_intervals(0).is_empty());
+
+        // assign bumps the assigned interval, nothing else.
+        engine.assign(e(0), t(0)).unwrap();
+        let c1 = engine.clock();
+        assert!(c1 > 0);
+        assert_eq!(engine.interval_generation(t(0)), c1);
+        assert_eq!(engine.interval_generation(t(1)), 0);
+        assert_eq!(engine.dirty_intervals(0), vec![t(0)]);
+
+        // Scores and snapshots after the bump see a clean world again.
+        let snap = engine.clock();
+        assert!(engine.dirty_intervals(snap).is_empty());
+
+        // unassign bumps the vacated interval.
+        engine.unassign(e(0)).unwrap();
+        assert_eq!(engine.dirty_intervals(snap), vec![t(0)]);
+        assert!(engine.clock() > snap);
+
+        // Two intervals mutate → both report dirty, ascending order.
+        let snap = engine.clock();
+        engine.assign(e(2), t(1)).unwrap();
+        engine.assign(e(0), t(0)).unwrap();
+        assert_eq!(engine.dirty_intervals(snap), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn competing_mass_dirties_only_on_landed_postings() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        let snap = engine.clock();
+        // u0 is indexed: the injection lands and dirties t1.
+        engine.add_competing_mass(t(1), &[(u(0), 0.4)]);
+        assert_eq!(engine.dirty_intervals(snap), vec![t(1)]);
+
+        // An injection entirely outside the slot index leaves every column
+        // bit-identical, so the interval must stay clean.
+        let snap = engine.clock();
+        engine.add_competing_mass(t(0), &[(UserId::new(999), 0.7)]);
+        assert!(engine.dirty_intervals(snap).is_empty());
+        assert_eq!(engine.clock(), snap);
+    }
+
+    #[test]
+    fn rescore_event_at_returns_score_and_valid_generation() {
+        let inst = inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        let (score, generation) = engine.rescore_event_at(e(1), t(0));
+        assert_eq!(score.to_bits(), engine.score(e(1), t(0)).to_bits());
+        assert_eq!(generation, engine.interval_generation(t(0)));
+        // The shard-safe variant agrees bit for bit and counts externally.
+        let mut shard = EngineCounters::default();
+        let (s2, g2) = engine.rescore_event_at_with(e(1), t(0), &mut shard);
+        assert_eq!(s2.to_bits(), score.to_bits());
+        assert_eq!(g2, generation);
+        assert_eq!(shard.score_evaluations, 1);
+        // A later mutation of the interval invalidates the tag.
+        engine.assign(e(1), t(0)).unwrap();
+        assert!(engine.interval_generation(t(0)) > generation);
     }
 
     #[test]

@@ -24,6 +24,17 @@
 //! Repairs are greedy and local (a bounded relocate pass around the touched
 //! interval), mirroring how GRD itself works; each repair reports the
 //! utility swing so operators can see the cost of each disruption.
+//!
+//! Placement searches are **delta-maintained**: the session caches one
+//! score row per candidate (its Eq. 4 score at every interval), tagged with
+//! the engine's mutation clock. After a disruption only the *dirty*
+//! intervals ([`AttendanceEngine::dirty_intervals`]) are rescored through
+//! the [`AttendanceEngine::rescore_event_at`] delta API; every clean
+//! interval's cached score is still bit-exact, so repair decisions are
+//! bit-identical to a full `score_all` rescan (property-tested in
+//! `crates/core/tests/incremental_equivalence.rs`) at a fraction of the
+//! posting visits. [`OnlineSession::set_exhaustive_rescan`] switches back
+//! to the full-rescan reference path.
 
 use crate::engine::{AttendanceEngine, EngineCounters};
 use crate::ids::{EventId, IntervalId, UserId};
@@ -59,6 +70,16 @@ impl RepairReport {
     }
 }
 
+/// One candidate's cached placement scores: `scores[t]` is the Eq. 4 score
+/// of `event → t`, bit-exact as of the engine clock `clock`. Intervals that
+/// mutated after `clock` are refreshed through the delta API on next use;
+/// the rest are reused verbatim.
+#[derive(Debug, Clone)]
+struct ScoreRow {
+    scores: Vec<f64>,
+    clock: u64,
+}
+
 /// A live schedule bound to an instance.
 ///
 /// Sessions own a shared handle to their instance (via the engine), so they
@@ -70,6 +91,12 @@ pub struct OnlineSession {
     /// Which candidates may be drawn by backfills/extensions. Scheduled
     /// events are unaffected by their own flag until they leave the schedule.
     available: Vec<bool>,
+    /// Per-candidate cached score rows (built lazily on first placement
+    /// search), each tagged with the engine clock it was fresh at.
+    score_rows: Vec<Option<ScoreRow>>,
+    /// `false` = the dirty-interval cache above; `true` = full `score_all`
+    /// rescans (the reference path the equivalence tests compare against).
+    exhaustive_rescan: bool,
 }
 
 impl OnlineSession {
@@ -82,7 +109,19 @@ impl OnlineSession {
         Ok(Self {
             engine: AttendanceEngine::with_schedule(inst, schedule)?,
             available: vec![true; inst.num_events()],
+            score_rows: vec![None; inst.num_events()],
+            exhaustive_rescan: false,
         })
+    }
+
+    /// Disables (or re-enables) the dirty-interval score cache: with
+    /// `exhaustive = true` every placement search recomputes every interval
+    /// from scratch (the pre-delta batch path). Repair decisions are
+    /// bit-identical either way — the cache only skips recomputing scores
+    /// that provably did not change — so this knob exists as the reference
+    /// arm of the incremental ≡ full property tests and for ablation.
+    pub fn set_exhaustive_rescan(&mut self, exhaustive: bool) {
+        self.exhaustive_rescan = exhaustive;
     }
 
     /// Current schedule.
@@ -129,17 +168,54 @@ impl OnlineSession {
         self.available[event.index()] = available;
     }
 
+    /// Brings `event`'s cached score row up to date: a full `score_all` on
+    /// first use, then only the intervals the engine marks dirty — each one
+    /// a single [`AttendanceEngine::rescore_event_at`] delta evaluation.
+    /// Clean intervals keep their cached bits, which recomputation would
+    /// reproduce exactly (Eq. 4 is a pure function of the interval's
+    /// columns), so consumers cannot observe the difference.
+    fn refresh_row(&mut self, event: EventId) {
+        let now = self.engine.clock();
+        match &mut self.score_rows[event.index()] {
+            Some(row) => {
+                for t in self.engine.dirty_intervals(row.clock) {
+                    let (score, _) = self.engine.rescore_event_at(event, t);
+                    row.scores[t.index()] = score;
+                }
+                row.clock = now;
+            }
+            slot => {
+                *slot = Some(ScoreRow {
+                    scores: self.engine.score_all(event),
+                    clock: now,
+                });
+            }
+        }
+    }
+
     /// Best valid placement for `event` over all intervals, if any.
     ///
-    /// Uses the engine's batch scoring (`score_all`) — one linear pass over
-    /// the columnar mass table — and filters to valid intervals afterwards.
+    /// Consults the dirty-interval score cache (or, under
+    /// [`Self::set_exhaustive_rescan`], the engine's batch `score_all`) and
+    /// filters to valid intervals afterwards.
     fn best_placement(&mut self, event: EventId) -> Option<(IntervalId, f64)> {
-        let scores = self.engine.score_all(event);
+        let exhaustive; // keeps the reference path's owned scores alive
+        let scores: &[f64] = if self.exhaustive_rescan {
+            exhaustive = self.engine.score_all(event);
+            &exhaustive
+        } else {
+            self.refresh_row(event);
+            &self.score_rows[event.index()]
+                .as_ref()
+                .expect("row was just refreshed")
+                .scores
+        };
+        let engine = &self.engine;
         scores
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(t, score)| (IntervalId::new(t as u32), score))
-            .filter(|&(t, _)| self.engine.is_valid(event, t))
+            .map(|(t, &score)| (IntervalId::new(t as u32), score))
+            .filter(|&(t, _)| engine.is_valid(event, t))
             .max_by(|a, b| total_cmp(a.1, b.1))
     }
 
@@ -608,6 +684,47 @@ mod tests {
         // exactly as before the call.
         while s.extend().is_some() {}
         inst.check_schedule(s.schedule()).unwrap();
+    }
+
+    #[test]
+    fn cached_and_exhaustive_repairs_agree_bit_for_bit() {
+        // The dirty-interval score cache must be invisible in every output:
+        // same repair reports (float bits included), same schedules, same
+        // Ω — while doing strictly less scoring work on a long stream.
+        let (inst, schedule) = session(23, 6);
+        let mut cached = OnlineSession::new(&inst, &schedule).unwrap();
+        let mut full = OnlineSession::new(&inst, &schedule).unwrap();
+        full.set_exhaustive_rescan(true);
+        let postings: Vec<(UserId, f64)> = (0..inst.num_users())
+            .step_by(2)
+            .map(|u| (UserId::new(u as u32), 0.6))
+            .collect();
+        let busy = schedule.occupied_intervals().next().unwrap();
+        for round in 0..4 {
+            let a = cached.announce_competing(busy, &postings);
+            let b = full.announce_competing(busy, &postings);
+            assert_eq!(a, b, "announce round {round}");
+            let victim = cached.schedule().scheduled_events()[0];
+            assert_eq!(victim, full.schedule().scheduled_events()[0]);
+            let a = cached.cancel_event(victim).unwrap();
+            let b = full.cancel_event(victim).unwrap();
+            assert_eq!(a, b, "cancel round {round}");
+            assert_eq!(cached.extend(), full.extend(), "extend round {round}");
+            assert_eq!(cached.schedule(), full.schedule(), "round {round}");
+            assert_eq!(
+                cached.utility().to_bits(),
+                full.utility().to_bits(),
+                "round {round}"
+            );
+        }
+        let (c, f) = (cached.counters(), full.counters());
+        assert!(
+            c.score_evaluations < f.score_evaluations,
+            "cache saved nothing: {} vs {}",
+            c.score_evaluations,
+            f.score_evaluations
+        );
+        assert!(c.posting_visits < f.posting_visits);
     }
 
     #[test]

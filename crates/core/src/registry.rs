@@ -38,9 +38,12 @@ use std::str::FromStr;
 /// into the live algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulerSpec {
-    /// The paper's greedy, list-based (Algorithm 1). Name: `GRD`.
+    /// The paper's greedy, list-based (Algorithm 1), with a dirty-interval
+    /// filtered rescan after each commit. Name: `GRD`.
     Greedy,
-    /// Priority-queue greedy with lazy rescoring. Name: `GRD-PQ`.
+    /// CELF-style lazy greedy: stale-tagged max-heap over the engine's
+    /// dirty-interval generations. Name: `GRD-PQ` (aliases `LAZY`, `CELF`,
+    /// `GRD-PQ-LAZY`).
     GreedyHeap,
     /// The TOP baseline. Name: `TOP`.
     Top,
@@ -55,9 +58,27 @@ pub enum SchedulerSpec {
 }
 
 /// The canonical spec names [`SchedulerSpec::parse`] accepts, in display
-/// order. Aliases (`PQ`, `LS`, `RANDOM`, …) and a `:seed` suffix on `RAND`
-/// are accepted too.
+/// order. Aliases (`PQ`, `LAZY`, `CELF`, `LS`, `RANDOM`, …) and a `:seed`
+/// suffix on `RAND` are accepted too.
 pub const SPEC_NAMES: &[&str] = &["GRD", "GRD-PQ", "TOP", "RAND", "GRD+LS", "GRD+SA", "EXACT"];
+
+/// Accepted alias spellings, shown alongside [`SPEC_NAMES`] in the
+/// [`UnknownScheduler`] message so a near-miss (`lazy-grd`, `celf2`, …)
+/// surfaces every spelling that *would* have worked. Keep in lockstep with
+/// the `match` in [`SchedulerSpec::parse`] (pinned by a test).
+pub const SPEC_ALIASES: &[&str] = &[
+    "LAZY",
+    "CELF",
+    "GRD-PQ-LAZY",
+    "PQ",
+    "GRDPQ",
+    "LS",
+    "GRDLS",
+    "SA",
+    "GRDSA",
+    "RANDOM",
+    "GREEDY",
+];
 
 impl SchedulerSpec {
     /// The paper's method set (Fig. 1): GRD, TOP, RAND (seed 0).
@@ -71,10 +92,10 @@ impl SchedulerSpec {
 
     /// Parses a spec from its CLI/config spelling (case-insensitive).
     ///
-    /// Accepted: `GRD`; `GRD-PQ`/`GRDPQ`/`PQ`; `TOP`; `RAND`/`RANDOM`
-    /// (optionally `RAND:seed`); `GRD+LS`/`GRDLS`/`LS`; `GRD+SA`/`GRDSA`/`SA`;
-    /// `EXACT`. Anything else is an [`UnknownScheduler`] listing the valid
-    /// spellings.
+    /// Accepted: `GRD`; `GRD-PQ`/`GRDPQ`/`PQ`/`LAZY`/`CELF`/`GRD-PQ-LAZY`;
+    /// `TOP`; `RAND`/`RANDOM` (optionally `RAND:seed`);
+    /// `GRD+LS`/`GRDLS`/`LS`; `GRD+SA`/`GRDSA`/`SA`; `EXACT`. Anything else
+    /// is an [`UnknownScheduler`] listing the valid spellings.
     pub fn parse(s: &str) -> Result<Self, UnknownScheduler> {
         let upper = s.trim().to_ascii_uppercase();
         let (name, seed) = match upper.split_once(':') {
@@ -88,7 +109,9 @@ impl SchedulerSpec {
         };
         let spec = match name {
             "GRD" | "GREEDY" => SchedulerSpec::Greedy,
-            "GRD-PQ" | "GRDPQ" | "PQ" => SchedulerSpec::GreedyHeap,
+            "GRD-PQ" | "GRDPQ" | "PQ" | "LAZY" | "CELF" | "GRD-PQ-LAZY" => {
+                SchedulerSpec::GreedyHeap
+            }
             "TOP" => SchedulerSpec::Top,
             "RAND" | "RANDOM" => SchedulerSpec::Random(seed.unwrap_or(0)),
             "GRD+LS" | "GRDLS" | "LS" => SchedulerSpec::GreedyLocalSearch,
@@ -166,9 +189,10 @@ impl fmt::Display for UnknownScheduler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scheduler '{}' (valid specs: {})",
+            "unknown scheduler '{}' (valid specs: {}; aliases: {})",
             self.name,
-            SPEC_NAMES.join(", ")
+            SPEC_NAMES.join(", "),
+            SPEC_ALIASES.join(", ")
         )
     }
 }
@@ -221,6 +245,13 @@ mod tests {
             SchedulerSpec::parse("grd-pq"),
             Ok(SchedulerSpec::GreedyHeap)
         );
+        // The CELF lazy greedy's alias family all lands on GRD-PQ.
+        assert_eq!(SchedulerSpec::parse("LAZY"), Ok(SchedulerSpec::GreedyHeap));
+        assert_eq!(SchedulerSpec::parse("celf"), Ok(SchedulerSpec::GreedyHeap));
+        assert_eq!(
+            SchedulerSpec::parse("grd-pq-lazy"),
+            Ok(SchedulerSpec::GreedyHeap)
+        );
         assert_eq!(SchedulerSpec::parse("TOP"), Ok(SchedulerSpec::Top));
         assert_eq!(SchedulerSpec::parse("random"), Ok(SchedulerSpec::Random(0)));
         assert_eq!(
@@ -246,9 +277,29 @@ mod tests {
         for name in SPEC_NAMES {
             assert!(msg.contains(name), "message must list {name}: {msg}");
         }
+        for alias in SPEC_ALIASES {
+            assert!(
+                msg.contains(alias),
+                "message must list alias {alias}: {msg}"
+            );
+        }
         // Seed suffixes only apply to RAND; a bad seed is rejected too.
         assert!(SchedulerSpec::parse("GRD:4").is_err());
+        assert!(SchedulerSpec::parse("LAZY:4").is_err());
         assert!(SchedulerSpec::parse("RAND:notanumber").is_err());
+    }
+
+    #[test]
+    fn every_listed_alias_parses() {
+        // SPEC_ALIASES documents working spellings; a listed alias that
+        // fails to parse (or a canonical name missing from SPEC_NAMES)
+        // would make the UnknownScheduler message lie.
+        for spelling in SPEC_NAMES.iter().chain(SPEC_ALIASES) {
+            assert!(
+                SchedulerSpec::parse(spelling).is_ok(),
+                "listed spelling '{spelling}' does not parse"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,26 @@ fn pre_threads_request_json_still_deserializes() {
     assert_eq!(open.threads, 0);
 }
 
+/// A spec entered through the CELF lazy-greedy alias family must behave
+/// exactly like the canonical `GRD-PQ` spelling on the wire: same serde
+/// form, same `Display → parse` round-trip, same serde round-trip.
+#[test]
+fn lazy_alias_specs_round_trip_like_grd_pq() {
+    for alias in ["LAZY", "CELF", "GRD-PQ-LAZY", "lazy"] {
+        let spec: SchedulerSpec = alias.parse().expect("lazy alias parses");
+        assert_eq!(spec, SchedulerSpec::GreedyHeap, "alias {alias}");
+        assert_eq!(spec.to_string(), "GRD-PQ");
+        assert_eq!(spec.to_string().parse::<SchedulerSpec>(), Ok(spec));
+        assert_eq!(roundtrip_json(&spec), spec, "alias {alias}");
+        let req = SolveRequest {
+            spec,
+            k: 7,
+            threads: 2,
+        };
+        assert_eq!(roundtrip_json(&req), req, "alias {alias}");
+    }
+}
+
 fn spec_strategy() -> impl Strategy<Value = SchedulerSpec> {
     (0usize..7, any::<u64>()).prop_map(|(i, seed)| match i {
         0 => SchedulerSpec::Greedy,
