@@ -1,0 +1,141 @@
+//! Records the serving-stack perf trajectory: starts an in-process
+//! `ses-server`, drives it with the built-in closed-loop load generator,
+//! runs the server-vs-simulator replay determinism check, and writes the
+//! whole picture — client-side req/s + p50/p95/p99, the server's own
+//! `/metrics` histograms, and the digest verdict — as `BENCH_server.json`
+//! at the repo root.
+//!
+//! ```text
+//! cargo run --release -p ses-bench --bin bench_server -- \
+//!     [--clients N] [--requests N] [--shards N] [--seed S] \
+//!     [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI (and, like `bench_engine --smoke`,
+//! defaults its output to a temp path so throwaway numbers cannot clobber
+//! the committed report). Exit status is non-zero when any request
+//! answered non-2xx or the replay digests diverge, so CI can gate on it.
+
+use ses_server::{
+    serve, verify_replay, HttpClient, LoadgenConfig, ReplayConfig, ServerBenchReport, ServerConfig,
+};
+use std::process::ExitCode;
+
+/// Where full runs land (the committed report).
+const DEFAULT_OUT: &str = "BENCH_server.json";
+/// Where smoke runs land unless `--out` says otherwise.
+const SMOKE_OUT: &str = "/tmp/BENCH_server_smoke.json";
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match arg_value(args, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let clients: usize = parse_or(&args, "--clients", if smoke { 4 } else { 8 })?;
+    let requests: u64 = parse_or(&args, "--requests", if smoke { 300 } else { 2000 })?;
+    let shards: usize = parse_or(&args, "--shards", 4)?;
+    let seed: u64 = parse_or(&args, "--seed", 0)?;
+    let out = arg_value(&args, "--out")
+        .unwrap_or_else(|| (if smoke { SMOKE_OUT } else { DEFAULT_OUT }).to_owned());
+
+    // The default serving instance (`ses serve`'s defaults), ephemeral port.
+    let server_cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards,
+        seed,
+        ..ServerConfig::default()
+    };
+    let handle = serve(&server_cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr().to_string();
+    println!(
+        "bench_server: {} shards on {addr}, {clients} clients × {requests} requests",
+        shards
+    );
+
+    let loadgen_cfg = LoadgenConfig {
+        addr: addr.clone(),
+        clients,
+        requests,
+        seed,
+        ..LoadgenConfig::default()
+    };
+    let summary = ses_server::loadgen::run(&loadgen_cfg)?;
+    println!(
+        "  {:>8.0} req/s — p50 {} µs, p95 {} µs, p99 {} µs, max {} µs ({} ok, {} errors)",
+        summary.req_per_sec,
+        summary.p50_micros,
+        summary.p95_micros,
+        summary.p99_micros,
+        summary.max_micros,
+        summary.ok,
+        summary.errors
+    );
+
+    let mut client = HttpClient::new(addr);
+    let digest = verify_replay(
+        &mut client,
+        &ReplayConfig {
+            steps: if smoke { 150 } else { 400 },
+            seed,
+            ..ReplayConfig::default()
+        },
+    )?;
+    println!(
+        "  replay: {} disruptions, server digest {:#018x}, sim digest {:#018x} — {}",
+        digest.steps,
+        digest.server_digest,
+        digest.sim_digest,
+        if digest.matches {
+            "match ✓"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let (status, body) = client
+        .get("/metrics")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics answered {status}: {body}"));
+    }
+    let server: ses_server::MetricsReport =
+        serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))?;
+
+    let healthy = summary.errors == 0 && digest.matches && digest.utility_bits_match;
+    let report = ServerBenchReport {
+        loadgen: summary,
+        server,
+        digest: Some(digest),
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("  wrote {out}");
+
+    handle.shutdown();
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench_server: FAILED (non-2xx responses or digest mismatch)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

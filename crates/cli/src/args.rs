@@ -48,7 +48,7 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Option names that are flags (take no value).
-const FLAG_NAMES: &[&str] = &["full", "quiet", "checkins"];
+const FLAG_NAMES: &[&str] = &["full", "quiet", "checkins", "strict"];
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {

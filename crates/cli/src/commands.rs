@@ -46,6 +46,22 @@ SUBCOMMANDS:
                   --threads N (1)       (shard the initial solve's scoring)
                   --holdback F (0.3)    (fraction of candidates arriving late)
                   runs the stream twice and verifies the traces are identical
+    serve       serve the scheduler over HTTP (see DESIGN.md §8)
+                  --addr A (127.0.0.1:7878)  --shards N (4)
+                  --io-threads N (8)         --max-body BYTES (1048576)
+                  --users N (400)   --events N (60)
+                  --intervals N (24) --seed S (0)
+                  endpoints: POST /solve /eval /sessions/{name}/open|event|report|close
+                             GET /healthz /metrics; stop with SIGTERM/ctrl-c
+    loadgen     drive a running server with concurrent closed-loop clients
+                  --addr A (127.0.0.1:7878)  --clients N (8)
+                  --requests N (2000 per client)
+                  --solve-fraction F (0.02)  --solve-k K (8)
+                  --k K (12)        --algo SPEC (GRD)   --seed S (0)
+                  --verify-steps N (200; 0 skips the sim-digest replay check)
+                  --scenario NAME (flash-crowd)  --holdback F (0.3)
+                  --format text|json (text)      --out PATH (write the report)
+                  --strict  (exit non-zero on any non-2xx or digest mismatch)
     help        show this message
 ";
 
@@ -252,7 +268,7 @@ struct SimulateResponse {
 
 /// `ses simulate`
 pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
-    use ses_core::testkit::{random_instance, TestInstanceConfig};
+    use ses_core::testkit::workload_instance;
     use ses_sim::{scenario_by_name, SimSummary, Simulator, SCENARIO_NAMES};
 
     let scenario_name = args
@@ -288,17 +304,9 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         0.0
     };
 
-    let inst = random_instance(&TestInstanceConfig {
-        num_users: users,
-        num_events: events,
-        num_intervals: intervals,
-        num_competing: events / 2,
-        num_locations: (events / 3).max(1),
-        theta: 20.0,
-        xi_max: 3.0,
-        interest_density: 0.2,
-        seed,
-    });
+    // The same sizing `ses serve` uses — keeping the construction shared is
+    // what makes server-replay digests comparable to in-process runs.
+    let inst = workload_instance(users, events, intervals, seed);
 
     type SimRun = (
         SolveResponse,
@@ -325,7 +333,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         let scenario = scenario_by_name(scenario_name, seed).expect("name validated above");
         let mut sim = Simulator::over_service(service, "simulate", vec![scenario])
             .map_err(|e| e.to_string())?;
-        let withheld = sim.withhold_fraction(holdback);
+        let withheld = sim.withhold_fraction(holdback).len();
         let summary = sim.run(steps);
         let report = sim
             .service()
@@ -410,6 +418,171 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         "service: session '{}' absorbed {} events",
         report.name, report.events_applied
     );
+    Ok(())
+}
+
+/// `ses serve`
+pub fn serve(args: &ParsedArgs) -> Result<(), String> {
+    let cfg = ses_server::ServerConfig {
+        addr: args
+            .options
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+        shards: args.get_or("shards", 4).map_err(|e| e.to_string())?,
+        io_threads: args.get_or("io-threads", 8).map_err(|e| e.to_string())?,
+        max_body_bytes: args
+            .get_or("max-body", 1 << 20)
+            .map_err(|e| e.to_string())?,
+        users: args.get_or("users", 400).map_err(|e| e.to_string())?,
+        events: args.get_or("events", 60).map_err(|e| e.to_string())?,
+        intervals: args.get_or("intervals", 24).map_err(|e| e.to_string())?,
+        seed: args.get_or("seed", 0).map_err(|e| e.to_string())?,
+    };
+    ses_server::install_signal_handlers();
+    let handle = ses_server::serve(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    println!(
+        "ses-server listening on {} — {} shards, {} io threads, instance {}u/{}e/{}t seed {}",
+        handle.addr(),
+        cfg.shards,
+        cfg.io_threads,
+        cfg.users,
+        cfg.events,
+        cfg.intervals,
+        cfg.seed
+    );
+    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics");
+    handle.join();
+    println!("ses-server: drained, bye");
+    Ok(())
+}
+
+/// `ses loadgen`
+pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let spec = spec_of(args, "GRD", seed)?;
+    let cfg = ses_server::LoadgenConfig {
+        addr: addr.clone(),
+        clients: args.get_or("clients", 8).map_err(|e| e.to_string())?,
+        requests: args.get_or("requests", 2000).map_err(|e| e.to_string())?,
+        solve_fraction: args
+            .get_or("solve-fraction", 0.02)
+            .map_err(|e| e.to_string())?,
+        solve_k: args.get_or("solve-k", 8).map_err(|e| e.to_string())?,
+        k: args.get_or("k", 12).map_err(|e| e.to_string())?,
+        spec,
+        threads: args.get_or("threads", 1).map_err(|e| e.to_string())?,
+        seed,
+    };
+    let verify_steps: u64 = args
+        .get_or("verify-steps", 200)
+        .map_err(|e| e.to_string())?;
+    let format = format_of(args)?;
+
+    let summary = ses_server::loadgen::run(&cfg)?;
+
+    let mut client = ses_server::HttpClient::new(addr);
+    let digest = if verify_steps > 0 {
+        Some(ses_server::verify_replay(
+            &mut client,
+            &ses_server::ReplayConfig {
+                scenario: args
+                    .options
+                    .get("scenario")
+                    .cloned()
+                    .unwrap_or_else(|| "flash-crowd".to_owned()),
+                steps: verify_steps,
+                seed,
+                spec,
+                k: cfg.k,
+                threads: cfg.threads,
+                holdback: args.get_or("holdback", 0.3).map_err(|e| e.to_string())?,
+                session: format!("replay-{seed}"),
+            },
+        )?)
+    } else {
+        None
+    };
+    let (status, body) = client
+        .get("/metrics")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics answered {status}: {body}"));
+    }
+    let server: ses_server::MetricsReport =
+        serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))?;
+    let report = ses_server::ServerBenchReport {
+        loadgen: summary,
+        server,
+        digest,
+    };
+
+    if let Some(out) = args.options.get("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+    }
+    if format == Format::Json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        let s = &report.loadgen;
+        println!(
+            "loadgen: {} clients × {} requests against {} — {:.0} req/s ({} requests in {:.1} ms)",
+            s.clients, cfg.requests, cfg.addr, s.req_per_sec, s.requests, s.elapsed_millis
+        );
+        println!(
+            "latency: mean {:.0} µs, p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+            s.mean_micros, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
+        );
+        let mix: Vec<String> = s
+            .mix
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(l, n)| format!("{l} {n}"))
+            .collect();
+        println!("mix: {}; {} ok, {} errors", mix.join(", "), s.ok, s.errors);
+        for sample in &s.error_samples {
+            println!("  error sample: {sample}");
+        }
+        match &report.digest {
+            Some(d) if d.matches && d.utility_bits_match => println!(
+                "determinism: {} replayed disruptions, server digest ≡ sim digest ({:#018x}) ✓",
+                d.steps, d.sim_digest
+            ),
+            Some(d) => println!(
+                "determinism: MISMATCH — server {:#018x} vs sim {:#018x} (utility bits equal: {})",
+                d.server_digest, d.sim_digest, d.utility_bits_match
+            ),
+            None => println!("determinism: skipped (--verify-steps 0)"),
+        }
+        if let Some(out) = args.options.get("out") {
+            println!("wrote report to {out}");
+        }
+    }
+
+    if args.has_flag("strict") {
+        if report.loadgen.errors > 0 {
+            return Err(format!(
+                "strict mode: {} non-2xx responses",
+                report.loadgen.errors
+            ));
+        }
+        if let Some(d) = &report.digest {
+            if !d.matches || !d.utility_bits_match {
+                return Err(format!(
+                    "strict mode: digest mismatch (server {:#018x} vs sim {:#018x})",
+                    d.server_digest, d.sim_digest
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

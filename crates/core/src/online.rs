@@ -156,6 +156,16 @@ impl OnlineSession {
         self.engine.counters()
     }
 
+    /// The engine's monotone mutation clock: how many state-changing
+    /// engine operations (assigns, unassigns, competing-mass injections
+    /// that landed in the slot index) this session has absorbed. Serving
+    /// front ends surface it next to [`Self::counters`] so operators can
+    /// see how much schedule churn a session has seen, independent of how
+    /// much scoring work that churn cost.
+    pub fn clock(&self) -> u64 {
+        self.engine.clock()
+    }
+
     /// Whether `event` may be drawn by backfills and extensions.
     pub fn is_available(&self, event: EventId) -> bool {
         self.available[event.index()]

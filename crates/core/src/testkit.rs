@@ -118,6 +118,30 @@ pub fn random_instance(cfg: &TestInstanceConfig) -> Arc<SesInstance> {
         .expect("generated instance must validate")
 }
 
+/// The canonical serving-workload instance: the sizing `ses simulate`,
+/// `ses serve` and the server replay check all share, parameterized only by
+/// the four knobs they expose. Keeping this in one place is what makes the
+/// server-vs-simulator determinism digest comparable — both sides must build
+/// bit-identical instances from `(users, events, intervals, seed)`.
+pub fn workload_instance(
+    users: usize,
+    events: usize,
+    intervals: usize,
+    seed: u64,
+) -> Arc<SesInstance> {
+    random_instance(&TestInstanceConfig {
+        num_users: users,
+        num_events: events,
+        num_intervals: intervals,
+        num_competing: events / 2,
+        num_locations: (events / 3).max(1),
+        theta: 20.0,
+        xi_max: 3.0,
+        interest_density: 0.2,
+        seed,
+    })
+}
+
 /// A medium instance: 30 users, 12 events, 6 intervals, 10 competing events.
 pub fn medium_instance(seed: u64) -> Arc<SesInstance> {
     random_instance(&TestInstanceConfig {

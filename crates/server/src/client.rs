@@ -1,0 +1,172 @@
+//! A small blocking HTTP/1.1 client with keep-alive, for the load
+//! generator, the replay determinism check and the integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A keep-alive connection to one server. Reconnects lazily after the
+/// server closes the connection or an I/O error poisons it.
+pub struct HttpClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (e.g. `"127.0.0.1:7878"`). No connection is
+    /// made until the first request.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the full response. Returns
+    /// `(status, body)`; transport failures poison the connection so the
+    /// next request reconnects.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let addr = self.addr.clone();
+        let conn = self.ensure_connected()?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len(),
+        );
+        conn.get_mut().write_all(request.as_bytes())?;
+
+        // Status line; interim 1xx responses (100 Continue) carry no body,
+        // so skip them until the final status arrives.
+        let mut status = read_status_line(conn)?;
+        while (100..200).contains(&status) {
+            skip_headers(conn)?;
+            status = read_status_line(conn)?;
+        }
+
+        // Headers.
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            let mut line = String::new();
+            if conn.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside response headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => {
+                        content_length = value.trim().parse().map_err(|_| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("bad content-length {value:?}"),
+                            )
+                        })?;
+                    }
+                    "connection" => {
+                        keep_alive = !value.to_ascii_lowercase().contains("close");
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut buf = vec![0u8; content_length];
+        conn.read_exact(&mut buf)?;
+        let body = String::from_utf8(buf).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response body")
+        })?;
+        if !keep_alive {
+            self.conn = None;
+        }
+        Ok((status, body))
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Drops the connection (the next request reconnects).
+    pub fn close(&mut self) {
+        self.conn = None;
+    }
+}
+
+/// Reads one `HTTP/1.1 <status> …` line and parses the status code.
+fn read_status_line(conn: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+    let mut line = String::new();
+    if conn.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection before responding",
+        ));
+    }
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {line:?}"),
+            )
+        })
+}
+
+fn skip_headers(conn: &mut BufReader<TcpStream>) -> std::io::Result<()> {
+    loop {
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside interim response",
+            ));
+        }
+        if line.trim_end().is_empty() {
+            return Ok(());
+        }
+    }
+}

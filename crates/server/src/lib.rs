@@ -1,0 +1,97 @@
+//! # ses-server — the sharded concurrent network front end
+//!
+//! Serves the [`ses_service`] wire vocabulary over HTTP/1.1 on plain
+//! `std::net` (the offline dependency set has no async runtime and no HTTP
+//! crate — and this workload does not need either):
+//!
+//! | Route | Body → Response |
+//! |---|---|
+//! | `POST /solve` | [`SolveRequest`] → [`SolveResponse`] |
+//! | `POST /eval` | [`EvalRequest`] → [`EvalResponse`] |
+//! | `POST /sessions/{name}/open` | [`SessionOpen`] → [`SolveResponse`] |
+//! | `POST /sessions/{name}/event` | [`SessionEvent`] → [`EventReport`] |
+//! | `POST /sessions/{name}/report` | — → [`SessionReport`] |
+//! | `POST /sessions/{name}/close` | — → final [`SessionReport`] |
+//! | `GET /healthz` | — → [`HealthReport`] (instance identity) |
+//! | `GET /metrics` | — → [`MetricsReport`] (latency histograms + engine totals) |
+//!
+//! ## Architecture
+//!
+//! * **Shard workers** — N threads, each owning a
+//!   [`SchedulerService`](ses_service::SchedulerService). Sessions route by
+//!   a stable FNV hash of their name, so one session's events arrive in
+//!   order on one shard and `apply`'s `&mut self` never needs a global
+//!   lock; stateless solves round-robin.
+//! * **Connection handlers** — a fixed pool on a rendezvous channel, with
+//!   tracked overflow threads when every pool worker is pinned by a
+//!   keep-alive connection. Request bodies are size-capped (413) and parse
+//!   errors answer as structured 400s, never dropped connections.
+//! * **Observability** — per-endpoint log-bucketed latency histograms
+//!   (p50/p95/p99 on `/metrics`), status-class counters, and per-shard
+//!   engine totals (sessions, events, scoring counters, mutation clocks).
+//! * **Shutdown** — cooperative, via [`ServerHandle::shutdown`] or the
+//!   SIGTERM/SIGINT flag from [`install_signal_handlers`]; in-flight
+//!   requests finish, then threads drain in dependency order.
+//!
+//! The crate also ships the client side: a keep-alive [`HttpClient`], the
+//! closed-loop [load generator](loadgen) behind `ses loadgen`, and the
+//! [replay determinism check](replay) proving a disruption stream replayed
+//! over HTTP yields bit-for-bit the same trace digest as the in-process
+//! `ses-sim` path.
+//!
+//! ## In-process quick start
+//!
+//! ```
+//! use ses_server::{serve, HttpClient, ServerConfig};
+//!
+//! let handle = serve(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     shards: 2,
+//!     users: 40,
+//!     events: 12,
+//!     intervals: 6,
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let mut client = HttpClient::new(handle.addr().to_string());
+//! let (status, body) = client.get("/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"ok\""));
+//!
+//! let (status, body) = client
+//!     .post("/solve", r#"{"spec":"Greedy","k":4,"threads":1}"#)
+//!     .unwrap();
+//! assert_eq!(status, 200, "{body}");
+//! handle.shutdown();
+//! ```
+//!
+//! [`SolveRequest`]: ses_service::SolveRequest
+//! [`SolveResponse`]: ses_service::SolveResponse
+//! [`EvalRequest`]: ses_service::EvalRequest
+//! [`EvalResponse`]: ses_service::EvalResponse
+//! [`SessionOpen`]: ses_service::SessionOpen
+//! [`SessionEvent`]: ses_service::SessionEvent
+//! [`EventReport`]: ses_service::EventReport
+//! [`SessionReport`]: ses_service::SessionReport
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod replay;
+mod server;
+mod shard;
+
+pub use client::HttpClient;
+pub use loadgen::{LoadgenConfig, LoadgenSummary, ServerBenchReport};
+pub use metrics::{EndpointLatency, EngineTotals, MetricsReport};
+pub use replay::{verify_replay, DigestCheck, ReplayConfig};
+pub use server::{
+    install_signal_handlers, serve, signal_shutdown_requested, HealthReport, ServerConfig,
+    ServerHandle,
+};
+pub use shard::ErrorBody;

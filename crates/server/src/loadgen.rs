@@ -1,0 +1,323 @@
+//! The built-in closed-loop load generator.
+//!
+//! N client threads each hold one keep-alive connection and one private
+//! server session, and drive a seeded mix of solve / session-event /
+//! report traffic as fast as the server answers (closed loop: the next
+//! request leaves when the previous response lands). Latencies are
+//! recorded client-side into the same log-bucketed histograms the server
+//! uses, then merged; the summary carries req/s, p50/p95/p99 and the
+//! per-endpoint mix.
+
+use crate::client::HttpClient;
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::replay::DigestCheck;
+use crate::server::HealthReport;
+use crate::shard::ErrorBody;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ses_core::{EventId, IntervalId, SchedulerSpec};
+use ses_datagen::streams::{rival_postings, RivalProfile};
+use ses_service::{
+    Announcement, Arrival, Cancellation, CapacityChange, SessionEvent, SessionOpen, SolveRequest,
+};
+use std::time::Instant;
+
+/// What traffic to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent closed-loop clients (one connection + session each).
+    pub clients: usize,
+    /// Requests per client (the open/close bracket is extra).
+    pub requests: u64,
+    /// Fraction of requests that are stateless `POST /solve` calls.
+    pub solve_fraction: f64,
+    /// `k` of those solve calls (small: solves are the expensive op).
+    pub solve_k: usize,
+    /// `k` of each client's session.
+    pub k: usize,
+    /// Algorithm for solves and session opens.
+    pub spec: SchedulerSpec,
+    /// Scoring threads per solve (keep at 1 under concurrent load).
+    pub threads: usize,
+    /// Mix seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            clients: 8,
+            requests: 2000,
+            solve_fraction: 0.02,
+            solve_k: 8,
+            k: 12,
+            spec: SchedulerSpec::Greedy,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// What the run measured, across all clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadgenSummary {
+    /// Client threads.
+    pub clients: u64,
+    /// Total requests sent (including each client's open/close bracket).
+    pub requests: u64,
+    /// Requests answered 2xx.
+    pub ok: u64,
+    /// Requests answered anything else.
+    pub errors: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed_millis: f64,
+    /// Aggregate closed-loop throughput.
+    pub req_per_sec: f64,
+    /// Mean client-observed latency (µs).
+    pub mean_micros: f64,
+    /// Median client-observed latency (µs).
+    pub p50_micros: u64,
+    /// 95th-percentile latency (µs).
+    pub p95_micros: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_micros: u64,
+    /// Worst observed latency (µs).
+    pub max_micros: u64,
+    /// Requests per endpoint label.
+    pub mix: Vec<(String, u64)>,
+    /// A sample of error bodies (first few), for diagnosis.
+    pub error_samples: Vec<String>,
+}
+
+/// The report `ses loadgen --out` and `bench_server` write (the committed
+/// `BENCH_server.json`): client-side load numbers, the server's own
+/// `/metrics` view, and the replay determinism verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerBenchReport {
+    /// Client-side measurements.
+    pub loadgen: LoadgenSummary,
+    /// The server's `/metrics` at the end of the run.
+    pub server: crate::metrics::MetricsReport,
+    /// The server-vs-simulator digest check (when run).
+    pub digest: Option<DigestCheck>,
+}
+
+struct WorkerOutcome {
+    histogram: HistogramSnapshot,
+    ok: u64,
+    errors: u64,
+    mix: Vec<(&'static str, u64)>,
+    error_samples: Vec<String>,
+}
+
+/// Runs the load. Transport-level failures abort the run with an error
+/// (they mean the server is gone, not slow); HTTP-level non-2xx responses
+/// are counted and sampled instead.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
+    let clients = cfg.clients.max(1);
+    let start = Instant::now();
+    let outcomes: Vec<Result<WorkerOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| scope.spawn(move || worker(cfg, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut merged: Option<HistogramSnapshot> = None;
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut mix: Vec<(String, u64)> = Vec::new();
+    let mut error_samples = Vec::new();
+    for outcome in outcomes {
+        let outcome = outcome?;
+        merged = Some(match merged {
+            None => outcome.histogram,
+            Some(mut m) => {
+                m.merge(&outcome.histogram);
+                m
+            }
+        });
+        ok += outcome.ok;
+        errors += outcome.errors;
+        for (label, n) in outcome.mix {
+            match mix.iter_mut().find(|(l, _)| l == label) {
+                Some((_, total)) => *total += n,
+                None => mix.push((label.to_owned(), n)),
+            }
+        }
+        for sample in outcome.error_samples {
+            if error_samples.len() < 5 {
+                error_samples.push(sample);
+            }
+        }
+    }
+    let snap = merged.expect("at least one client");
+    let requests = ok + errors;
+    let secs = elapsed.as_secs_f64();
+    Ok(LoadgenSummary {
+        clients: clients as u64,
+        requests,
+        ok,
+        errors,
+        elapsed_millis: secs * 1e3,
+        req_per_sec: if secs > 0.0 {
+            requests as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+        mean_micros: snap.mean(),
+        p50_micros: snap.quantile(0.50),
+        p95_micros: snap.quantile(0.95),
+        p99_micros: snap.quantile(0.99),
+        max_micros: snap.max,
+        mix,
+        error_samples,
+    })
+}
+
+/// One timed request; records latency + status into the worker's tallies.
+fn timed_post(
+    client: &mut HttpClient,
+    path: &str,
+    body: &str,
+    label: &'static str,
+    out: &mut WorkerTally,
+) -> Result<(), String> {
+    let start = Instant::now();
+    let (status, resp) = client
+        .post(path, body)
+        .map_err(|e| format!("{label} request failed: {e}"))?;
+    out.histogram.record(start.elapsed().as_micros() as u64);
+    out.mix
+        .iter_mut()
+        .find(|(l, _)| *l == label)
+        .expect("label pre-registered")
+        .1 += 1;
+    if (200..300).contains(&status) {
+        out.ok += 1;
+    } else {
+        out.errors += 1;
+        if out.error_samples.len() < 3 {
+            let detail = serde_json::from_str::<ErrorBody>(&resp)
+                .map(|b| format!("{status} {}: {}", b.kind, b.error))
+                .unwrap_or_else(|_| format!("{status}: {resp}"));
+            out.error_samples.push(detail);
+        }
+    }
+    Ok(())
+}
+
+struct WorkerTally {
+    histogram: Histogram,
+    ok: u64,
+    errors: u64,
+    mix: Vec<(&'static str, u64)>,
+    error_samples: Vec<String>,
+}
+
+fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
+    let mut client = HttpClient::new(cfg.addr.clone());
+    let (status, body) = client
+        .get("/healthz")
+        .map_err(|e| format!("GET /healthz failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /healthz answered {status}: {body}"));
+    }
+    let health: HealthReport =
+        serde_json::from_str(&body).map_err(|e| format!("bad /healthz body: {e}"))?;
+    let users = health.users as usize;
+    let events = health.events as u32;
+    let intervals = health.intervals as u32;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let session = format!("lg-{}-{index}", cfg.seed);
+    let mut tally = WorkerTally {
+        histogram: Histogram::new(),
+        ok: 0,
+        errors: 0,
+        mix: ["open", "solve", "event", "report", "close"]
+            .into_iter()
+            .map(|l| (l, 0u64))
+            .collect(),
+        error_samples: Vec::new(),
+    };
+
+    let open = SessionOpen {
+        name: session.clone(),
+        spec: cfg.spec,
+        k: cfg.k.min(events as usize),
+        threads: cfg.threads,
+    };
+    let open_body = serde_json::to_string(&open).map_err(|e| e.to_string())?;
+    timed_post(
+        &mut client,
+        &format!("/sessions/{session}/open"),
+        &open_body,
+        "open",
+        &mut tally,
+    )?;
+
+    let event_path = format!("/sessions/{session}/event");
+    let report_path = format!("/sessions/{session}/report");
+    for _ in 0..cfg.requests {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < cfg.solve_fraction {
+            let req = SolveRequest {
+                spec: cfg.spec,
+                k: cfg.solve_k,
+                threads: cfg.threads,
+            };
+            let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+            timed_post(&mut client, "/solve", &body, "solve", &mut tally)?;
+            continue;
+        }
+        // Session traffic: mostly announcements (the paper's headline
+        // disruption), plus schedule churn and reports.
+        let event = match rng.gen_range(0u32..100) {
+            0..=44 => SessionEvent::Announce(Announcement {
+                interval: IntervalId::new(rng.gen_range(0..intervals)),
+                postings: rival_postings(&mut rng, users, &RivalProfile::mild()),
+            }),
+            45..=56 => SessionEvent::Extend,
+            57..=68 => SessionEvent::Cancel(Cancellation {
+                event: EventId::new(rng.gen_range(0..events)),
+            }),
+            69..=79 => SessionEvent::Arrive(Arrival {
+                event: EventId::new(rng.gen_range(0..events)),
+            }),
+            80..=84 => SessionEvent::Capacity(CapacityChange {
+                budget: 20.0 * rng.gen_range(0.5..1.5),
+            }),
+            _ => {
+                timed_post(&mut client, &report_path, "", "report", &mut tally)?;
+                continue;
+            }
+        };
+        let body = serde_json::to_string(&event).map_err(|e| e.to_string())?;
+        timed_post(&mut client, &event_path, &body, "event", &mut tally)?;
+    }
+
+    timed_post(
+        &mut client,
+        &format!("/sessions/{session}/close"),
+        "",
+        "close",
+        &mut tally,
+    )?;
+
+    Ok(WorkerOutcome {
+        histogram: tally.histogram.snapshot(),
+        ok: tally.ok,
+        errors: tally.errors,
+        mix: tally.mix,
+        error_samples: tally.error_samples,
+    })
+}

@@ -1,0 +1,275 @@
+//! The server-vs-simulator determinism check.
+//!
+//! `ses-sim` proves the *in-process* stack deterministic by running a
+//! disruption stream twice and comparing trace digests. This module closes
+//! the remaining gap — the network front end — by recording the exact
+//! stream an in-process simulation applied, replaying it against a live
+//! server session opened over the *same* workload instance, reconstructing
+//! the trace from the wire-level [`EventReport`]s, and comparing digests
+//! bit for bit. A matching digest certifies that HTTP framing, JSON
+//! round-trips, shard routing and the service facade changed nothing about
+//! the schedule's evolution.
+//!
+//! [`EventReport`]: ses_service::EventReport
+
+use crate::client::HttpClient;
+use crate::server::HealthReport;
+use serde::{Deserialize, Serialize};
+use ses_core::testkit::workload_instance;
+use ses_core::SchedulerSpec;
+use ses_service::{Availability, EventReport, SchedulerService, SessionEvent, SessionOpen};
+use ses_sim::{scenario_by_name, Simulator, TimedDisruption, Trace, TraceRecord, SCENARIO_NAMES};
+
+/// What stream to replay. The instance itself comes from the server's
+/// `/healthz` (users/events/intervals/seed), so the two sides cannot
+/// silently disagree about the universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Scenario name (see [`ses_sim::SCENARIO_NAMES`]).
+    pub scenario: String,
+    /// Disruptions to record and replay.
+    pub steps: u64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Algorithm for the initial schedule.
+    pub spec: SchedulerSpec,
+    /// Initial schedule size.
+    pub k: usize,
+    /// Scoring threads for the initial solve.
+    pub threads: usize,
+    /// Fraction of unscheduled candidates withheld as late arrivals.
+    pub holdback: f64,
+    /// Server-side session name used during the replay.
+    pub session: String,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            scenario: "flash-crowd".to_owned(),
+            steps: 200,
+            seed: 0,
+            spec: SchedulerSpec::Greedy,
+            k: 20,
+            threads: 1,
+            holdback: 0.3,
+            session: "replay-check".to_owned(),
+        }
+    }
+}
+
+/// The verdict: both digests, plus the bit-level final-utility comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigestCheck {
+    /// Disruptions replayed.
+    pub steps: u64,
+    /// Digest of the in-process simulator trace.
+    pub sim_digest: u64,
+    /// Digest of the trace reconstructed from server responses.
+    pub server_digest: u64,
+    /// Whether the digests match bit for bit.
+    pub matches: bool,
+    /// Whether the final utility Ω agrees to the last bit as well.
+    pub utility_bits_match: bool,
+}
+
+/// Runs the full check against a live server. Fails with a description if
+/// the server rejects any request or the universes do not line up; a clean
+/// run returns the two digests (which the caller should still compare —
+/// [`DigestCheck::matches`] — rather than assume).
+pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<DigestCheck, String> {
+    let Some(_) = scenario_by_name(&cfg.scenario, cfg.seed) else {
+        return Err(format!(
+            "unknown scenario '{}' (expected one of: {})",
+            cfg.scenario,
+            SCENARIO_NAMES.join(", ")
+        ));
+    };
+
+    // The server's universe, from its own mouth.
+    let (status, body) = client
+        .get("/healthz")
+        .map_err(|e| format!("GET /healthz failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /healthz answered {status}: {body}"));
+    }
+    let health: HealthReport =
+        serde_json::from_str(&body).map_err(|e| format!("bad /healthz body: {e}"))?;
+    let inst = workload_instance(
+        health.users as usize,
+        health.events as usize,
+        health.intervals as usize,
+        health.seed,
+    );
+
+    // In-process arm: open a session through the service (the same call
+    // the server's open endpoint makes), record the stream it applies.
+    let k = cfg.k.min(health.events as usize);
+    let open = SessionOpen {
+        name: cfg.session.clone(),
+        spec: cfg.spec,
+        k,
+        threads: cfg.threads,
+    };
+    let mut service = SchedulerService::new();
+    let initial = service
+        .open_session(&inst, &open)
+        .map_err(|e| format!("in-process open failed: {e}"))?;
+    let scenario = scenario_by_name(&cfg.scenario, cfg.seed).expect("name checked above");
+    let mut sim = Simulator::over_service(service, cfg.session.clone(), vec![scenario])
+        .map_err(|e| e.to_string())?;
+    let withheld = sim.withhold_fraction(cfg.holdback);
+    sim.set_recording(true);
+    let summary = sim.run(cfg.steps);
+    let recorded = sim.take_recorded();
+
+    // Server arm: same open, same withholding, same stream — over HTTP.
+    let open_body = serde_json::to_string(&open).map_err(|e| e.to_string())?;
+    let open_path = format!("/sessions/{}/open", cfg.session);
+    let close_path = format!("/sessions/{}/close", cfg.session);
+    let (mut status, mut body) = client
+        .post(&open_path, &open_body)
+        .map_err(|e| format!("open request failed: {e}"))?;
+    if status == 409 {
+        // A previous replay against this long-lived server failed midway
+        // and left its session behind; clear it and retry once.
+        let _ = client.post(&close_path, "");
+        (status, body) = client
+            .post(&open_path, &open_body)
+            .map_err(|e| format!("open retry failed: {e}"))?;
+    }
+    if status != 200 {
+        return Err(format!("server open answered {status}: {body}"));
+    }
+    // From here the server session exists: close it on every exit, or a
+    // transient failure would wedge all later replays with 409s.
+    let result = drive_server_arm(
+        client,
+        cfg,
+        &body,
+        initial.total_utility,
+        &withheld,
+        &recorded,
+    );
+    match result {
+        Ok((trace, final_utility)) => {
+            let _ = client.post(&close_path, "");
+            Ok(DigestCheck {
+                steps: recorded.len() as u64,
+                sim_digest: summary.digest,
+                server_digest: trace.digest(),
+                matches: summary.digest == trace.digest(),
+                utility_bits_match: final_utility.to_bits() == summary.final_utility.to_bits(),
+            })
+        }
+        Err(e) => {
+            let _ = client.post(&close_path, "");
+            Err(e)
+        }
+    }
+}
+
+/// The server side of the check, between open and close: withholding, the
+/// recorded stream, and the trace reconstruction. Returns the rebuilt
+/// trace plus the session's final utility.
+fn drive_server_arm(
+    client: &mut HttpClient,
+    cfg: &ReplayConfig,
+    open_response: &str,
+    initial_utility: f64,
+    withheld: &[ses_core::EventId],
+    recorded: &[TimedDisruption],
+) -> Result<(Trace, f64), String> {
+    let server_initial: ses_service::SolveResponse =
+        serde_json::from_str(open_response).map_err(|e| format!("bad open response: {e}"))?;
+    if server_initial.total_utility.to_bits() != initial_utility.to_bits() {
+        return Err(format!(
+            "initial schedules differ before any disruption (server Ω {} vs local Ω {}) — \
+             instance or solver mismatch",
+            server_initial.total_utility, initial_utility
+        ));
+    }
+
+    for &event in withheld {
+        let ev = SessionEvent::SetAvailable(Availability {
+            event,
+            available: false,
+        });
+        let body = serde_json::to_string(&ev).map_err(|e| e.to_string())?;
+        let (status, resp) = client
+            .post(&format!("/sessions/{}/event", cfg.session), &body)
+            .map_err(|e| format!("withhold request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("server withhold answered {status}: {resp}"));
+        }
+    }
+
+    // Inert steps record the session's *own* running utility (which can
+    // differ from the solver-reported Ω in the last bits — the session's
+    // engine re-derives it), so seed the running value from the live
+    // session, not from the solve response.
+    let (status, resp) = client
+        .post(&format!("/sessions/{}/report", cfg.session), "")
+        .map_err(|e| format!("report request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("server report answered {status}: {resp}"));
+    }
+    let baseline: ses_service::SessionReport =
+        serde_json::from_str(&resp).map_err(|e| format!("bad report response: {e}"))?;
+
+    let mut trace = Trace::new();
+    let mut last_utility = baseline.utility;
+    for (step, timed) in recorded.iter().enumerate() {
+        let event = timed.disruption.to_session_event();
+        let body = serde_json::to_string(&event).map_err(|e| e.to_string())?;
+        let (status, resp) = client
+            .post(&format!("/sessions/{}/event", cfg.session), &body)
+            .map_err(|e| format!("event request failed at step {step}: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "server event at step {step} answered {status}: {resp}"
+            ));
+        }
+        let report: EventReport =
+            serde_json::from_str(&resp).map_err(|e| format!("bad event response: {e}"))?;
+        // The simulator records a step as applied only when a repair ran
+        // (see `Simulator::apply`); mirror that here exactly.
+        let record = match &report.report {
+            Some(r) => TraceRecord {
+                step: step as u64,
+                tick: timed.at,
+                kind: timed.disruption.kind(),
+                applied: true,
+                utility_before: r.utility_before,
+                utility_disrupted: r.utility_disrupted,
+                utility_after: r.utility_after,
+                moves: r.moves.len() as u32,
+            },
+            None => TraceRecord {
+                step: step as u64,
+                tick: timed.at,
+                kind: timed.disruption.kind(),
+                applied: false,
+                utility_before: last_utility,
+                utility_disrupted: last_utility,
+                utility_after: last_utility,
+                moves: 0,
+            },
+        };
+        trace.push(record);
+        last_utility = report.utility;
+    }
+
+    // The final utility comes from a report (not the close itself) so the
+    // caller can own closing on success and failure paths alike.
+    let (status, resp) = client
+        .post(&format!("/sessions/{}/report", cfg.session), "")
+        .map_err(|e| format!("final report request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("server final report answered {status}: {resp}"));
+    }
+    let final_report: ses_service::SessionReport =
+        serde_json::from_str(&resp).map_err(|e| format!("bad final report response: {e}"))?;
+
+    Ok((trace, final_report.utility))
+}

@@ -1,0 +1,598 @@
+//! The server runtime: listener, connection handlers, routing, shutdown.
+//!
+//! Concurrency model (see `DESIGN.md` §8):
+//!
+//! * one **acceptor** thread polls a non-blocking listener;
+//! * a fixed pool of **connection handlers** waits on a rendezvous channel;
+//!   when every pool worker is busy (keep-alive connections pin a worker
+//!   for their lifetime) the acceptor spawns a tracked *overflow* handler
+//!   instead of queueing — a connection is never stuck behind another
+//!   connection, only behind its own shard;
+//! * N **shard workers** each own a [`SchedulerService`]; sessions route
+//!   by name hash, stateless solves round-robin. Shards never share
+//!   mutable state, so there is no global lock anywhere on the request
+//!   path.
+//!
+//! Shutdown is cooperative: a control flag (from [`ServerHandle::shutdown`]
+//! or a SIGTERM/SIGINT handler installed via
+//! [`install_signal_handlers`]) stops the acceptor, connection handlers
+//! notice at their next request boundary or idle tick, and shard workers
+//! exit when the last request sender is dropped.
+//!
+//! [`SchedulerService`]: ses_service::SchedulerService
+
+use crate::http::{self, RecvError};
+use crate::metrics::{Endpoint, EngineTotals, MetricsReport, ServerMetrics};
+use crate::shard::{run_shard, shard_of, ApiError, ShardMsg, ShardOp, ShardReply};
+use serde::{Deserialize, Serialize};
+use ses_core::testkit::workload_instance;
+use ses_service::{EvalRequest, SessionEvent, SessionOpen, SolveRequest};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How the server is built: network shape, concurrency, limits, and the
+/// workload instance every request runs against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests do this).
+    pub addr: String,
+    /// Shard workers (each owns a `SchedulerService`).
+    pub shards: usize,
+    /// Pre-spawned connection-handler pool size. More concurrent
+    /// keep-alive connections than this are still served — by tracked
+    /// overflow threads — so this sizes the steady state, not a limit.
+    pub io_threads: usize,
+    /// Largest accepted request body; longer bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Users in the workload instance (see
+    /// [`ses_core::testkit::workload_instance`]).
+    pub users: usize,
+    /// Candidate events in the workload instance.
+    pub events: usize,
+    /// Intervals in the workload instance.
+    pub intervals: usize,
+    /// Instance seed.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            shards: 4,
+            io_threads: 8,
+            max_body_bytes: 1 << 20,
+            users: 400,
+            events: 60,
+            intervals: 24,
+            seed: 0,
+        }
+    }
+}
+
+/// The `GET /healthz` response: liveness plus the instance identity a
+/// client needs to rebuild the server's universe bit-for-bit (the replay
+/// determinism check does exactly that).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Always `"ok"` when the server answers at all.
+    pub status: String,
+    /// Users in the workload instance.
+    pub users: u64,
+    /// Candidate events in the workload instance.
+    pub events: u64,
+    /// Intervals in the workload instance.
+    pub intervals: u64,
+    /// Instance seed.
+    pub seed: u64,
+    /// Shard workers serving sessions.
+    pub shards: u64,
+}
+
+/// Set by the SIGTERM/SIGINT handler; checked by the acceptor and every
+/// connection handler alongside the per-server control flag.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM + SIGINT handlers that request a graceful shutdown of
+/// every server in the process (`ses serve` calls this; tests use
+/// [`ServerHandle::shutdown`] instead). The handler only stores to an
+/// atomic — the async-signal-safe minimum.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op outside unix (the ctrl-channel path still works everywhere).
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// Whether a process-wide signal shutdown has been requested.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Shared, all-atomic server state (config copies, flags, metrics).
+struct ServerState {
+    ctrl_shutdown: AtomicBool,
+    max_body_bytes: usize,
+    shards: usize,
+    round_robin: AtomicUsize,
+    overflow_active: AtomicUsize,
+    started: Instant,
+    metrics: ServerMetrics,
+    health: HealthReport,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.ctrl_shutdown.load(Ordering::SeqCst) || signal_shutdown_requested()
+    }
+}
+
+/// A running server: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: std::thread::JoinHandle<()>,
+    pool: Vec<std::thread::JoinHandle<()>>,
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown over the control channel and waits for
+    /// every thread to drain: in-flight requests finish, new connections
+    /// are no longer accepted.
+    pub fn shutdown(self) {
+        self.state.ctrl_shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Waits for the server to stop on its own (control flag or signal).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.pool {
+            let _ = worker.join();
+        }
+        // Overflow handlers are detached; wait for their counter to drain.
+        while self.state.overflow_active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for shard in self.shard_threads {
+            let _ = shard.join();
+        }
+    }
+}
+
+/// Binds the listener, spawns shard workers and the connection-handler
+/// pool, and returns a handle. The server is serving when this returns.
+pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let inst = workload_instance(cfg.users, cfg.events, cfg.intervals, cfg.seed);
+    let shards = cfg.shards.max(1);
+    let mut shard_senders = Vec::with_capacity(shards);
+    let mut shard_threads = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let (tx, rx) = mpsc::channel::<ShardMsg>();
+        let inst = Arc::clone(&inst);
+        shard_senders.push(tx);
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("ses-shard-{i}"))
+                .spawn(move || run_shard(inst, rx))
+                .expect("spawn shard worker"),
+        );
+    }
+
+    let state = Arc::new(ServerState {
+        ctrl_shutdown: AtomicBool::new(false),
+        max_body_bytes: cfg.max_body_bytes,
+        shards,
+        round_robin: AtomicUsize::new(0),
+        overflow_active: AtomicUsize::new(0),
+        started: Instant::now(),
+        metrics: ServerMetrics::new(),
+        health: HealthReport {
+            status: "ok".to_owned(),
+            users: cfg.users as u64,
+            events: cfg.events as u64,
+            intervals: cfg.intervals as u64,
+            seed: cfg.seed,
+            shards: shards as u64,
+        },
+    });
+
+    // Rendezvous channel: a send succeeds only while a pool worker is
+    // already blocked in recv, which is exactly the "is anyone idle?"
+    // question the acceptor needs answered race-free.
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(0);
+    let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
+    let mut pool = Vec::with_capacity(cfg.io_threads.max(1));
+    for i in 0..cfg.io_threads.max(1) {
+        let state = Arc::clone(&state);
+        let conn_rx = Arc::clone(&conn_rx);
+        let senders = shard_senders.clone();
+        pool.push(
+            std::thread::Builder::new()
+                .name(format!("ses-conn-{i}"))
+                .spawn(move || loop {
+                    let received = conn_rx.lock().expect("conn queue lock").recv();
+                    match received {
+                        Ok(stream) => serve_connection(stream, &state, &senders),
+                        Err(_) => break, // acceptor gone, pool drains
+                    }
+                })
+                .expect("spawn connection handler"),
+        );
+    }
+
+    let acceptor_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("ses-acceptor".to_owned())
+        .spawn(move || {
+            accept_loop(listener, conn_tx, acceptor_state, shard_senders);
+        })
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor,
+        pool,
+        shard_threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: mpsc::SyncSender<TcpStream>,
+    state: Arc<ServerState>,
+    shard_senders: Vec<mpsc::Sender<ShardMsg>>,
+) {
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(stream)) => {
+                        // Every pool worker is pinned to a live connection;
+                        // spawn a tracked overflow handler so this
+                        // connection is not starved behind them.
+                        let state2 = Arc::clone(&state);
+                        let senders = shard_senders.clone();
+                        state.overflow_active.fetch_add(1, Ordering::SeqCst);
+                        let spawned = std::thread::Builder::new()
+                            .name("ses-conn-overflow".to_owned())
+                            .spawn(move || {
+                                serve_connection(stream, &state2, &senders);
+                                state2.overflow_active.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        if spawned.is_err() {
+                            state.overflow_active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping `conn_tx` + our shard senders lets the pool and shards wind
+    // down once every in-flight connection finishes.
+}
+
+/// Per-connection read timeout between requests: bounds how long a handler
+/// can sit blocked on an idle keep-alive connection before re-checking the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Read timeout while a request body is in flight. Much longer than the
+/// idle poll: a client that received `100 Continue` (or is simply on a
+/// slow link) may legitimately take more than one idle tick to deliver
+/// its body, and dropping it mid-request would lose the request without
+/// a response.
+const BODY_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    shard_senders: &[mpsc::Sender<ShardMsg>],
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    loop {
+        let head = match http::read_head(&mut reader) {
+            Ok(head) => head,
+            Err(RecvError::Idle) => {
+                if state.shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => break,
+            Err(RecvError::Malformed(m)) => {
+                let err = ApiError::new(400, "malformed_http", m);
+                let _ = http::write_response(&mut writer, err.status, &err.body(), false);
+                state.metrics.record(Endpoint::Other, 400, 0);
+                break;
+            }
+        };
+
+        let start = Instant::now();
+        // Body-size cap *before* reading the body (satellite: oversized
+        // ingestion is rejected up front with a structured 413).
+        if head.content_length > state.max_body_bytes {
+            let err = ApiError::new(
+                413,
+                "body_too_large",
+                format!(
+                    "request body of {} bytes exceeds the {}-byte cap",
+                    head.content_length, state.max_body_bytes
+                ),
+            );
+            let _ = http::write_response(&mut writer, err.status, &err.body(), false);
+            state
+                .metrics
+                .record(Endpoint::Other, 413, start.elapsed().as_micros() as u64);
+            break; // the unread body makes the stream unusable
+        }
+        if head.expect_continue && http::write_continue(&mut writer).is_err() {
+            break;
+        }
+        // The idle-poll timeout is for *between* requests; give the body
+        // its own, much longer deadline (the socket is shared with the
+        // reader's cloned handle, so setting it on `writer` covers both).
+        let _ = writer.set_read_timeout(Some(BODY_TIMEOUT));
+        let body = match http::read_body(&mut reader, head.content_length) {
+            Ok(body) => body,
+            Err(_) => break,
+        };
+        let _ = writer.set_read_timeout(Some(IDLE_POLL));
+
+        let (endpoint, result) = route(state, shard_senders, &head.method, &head.path, &body);
+        let (status, response_body) = match result {
+            Ok(body) => (200, body),
+            Err(e) => (e.status, e.body()),
+        };
+        let keep_alive = head.keep_alive && !state.shutting_down();
+        if http::write_response(&mut writer, status, &response_body, keep_alive).is_err() {
+            break;
+        }
+        state
+            .metrics
+            .record(endpoint, status, start.elapsed().as_micros() as u64);
+        if !keep_alive {
+            break;
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Parses a request body, turning shim parse errors into structured 400s
+/// (satellite: parse failures must answer, not drop the connection).
+fn parse_body<T: serde::Deserialize>(body: &str, what: &str) -> Result<T, ApiError> {
+    serde_json::from_str(body)
+        .map_err(|e| ApiError::new(400, "parse", format!("invalid {what} body: {e}")))
+}
+
+/// Routes one request and produces its response body (or typed error).
+fn route(
+    state: &ServerState,
+    shard_senders: &[mpsc::Sender<ShardMsg>],
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (Endpoint, Result<String, ApiError>) {
+    let path = path.split('?').next().unwrap_or(path);
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let body = serde_json::to_string(&state.health).expect("plain data serializes");
+            (Endpoint::Healthz, Ok(body))
+        }
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics_report(state, shard_senders)),
+        ("POST", "/solve") => {
+            let result = parse_body::<SolveRequest>(body, "SolveRequest").and_then(|req| {
+                let shard = state.round_robin.fetch_add(1, Ordering::Relaxed) % state.shards;
+                dispatch(shard_senders, shard, ShardOp::Solve(req))
+            });
+            (Endpoint::Solve, result)
+        }
+        ("POST", "/eval") => {
+            let result = parse_body::<EvalRequest>(body, "EvalRequest").and_then(|req| {
+                let shard = state.round_robin.fetch_add(1, Ordering::Relaxed) % state.shards;
+                dispatch(shard_senders, shard, ShardOp::Eval(req))
+            });
+            (Endpoint::Eval, result)
+        }
+        _ => match session_route(path) {
+            Some((name, action)) if method == "POST" => {
+                let shard = shard_of(name, state.shards);
+                let op = match action {
+                    "open" => parse_body::<SessionOpen>(body, "SessionOpen").and_then(|open| {
+                        if open.name != name {
+                            Err(ApiError::new(
+                                400,
+                                "name_mismatch",
+                                format!(
+                                    "session name '{}' in the body does not match '{name}' in the path",
+                                    open.name
+                                ),
+                            ))
+                        } else {
+                            Ok(ShardOp::Open(open))
+                        }
+                    }),
+                    "event" => parse_body::<SessionEvent>(body, "SessionEvent").map(|event| {
+                        ShardOp::Event {
+                            name: name.to_owned(),
+                            event,
+                        }
+                    }),
+                    "report" => Ok(ShardOp::Report {
+                        name: name.to_owned(),
+                    }),
+                    "close" => Ok(ShardOp::Close {
+                        name: name.to_owned(),
+                    }),
+                    other => Err(ApiError::new(
+                        404,
+                        "unknown_route",
+                        format!("unknown session action '{other}'"),
+                    )),
+                };
+                let endpoint = match action {
+                    "open" => Endpoint::Open,
+                    "event" => Endpoint::Event,
+                    "report" => Endpoint::Report,
+                    "close" => Endpoint::Close,
+                    _ => Endpoint::Other,
+                };
+                (
+                    endpoint,
+                    op.and_then(|op| dispatch(shard_senders, shard, op)),
+                )
+            }
+            Some(_) => (
+                Endpoint::Other,
+                Err(ApiError::new(
+                    405,
+                    "method_not_allowed",
+                    format!("{method} is not allowed here (session routes are POST)"),
+                )),
+            ),
+            None => (
+                Endpoint::Other,
+                Err(ApiError::new(
+                    404,
+                    "unknown_route",
+                    format!("no route for {method} {path}"),
+                )),
+            ),
+        },
+    }
+}
+
+/// Splits `/sessions/{name}/{action}` (non-empty name, no deeper nesting).
+fn session_route(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/sessions/")?;
+    let (name, action) = rest.split_once('/')?;
+    if name.is_empty() || action.is_empty() || action.contains('/') {
+        return None;
+    }
+    Some((name, action))
+}
+
+/// Sends one op to one shard and waits for its reply.
+fn dispatch(
+    shard_senders: &[mpsc::Sender<ShardMsg>],
+    shard: usize,
+    op: ShardOp,
+) -> Result<String, ApiError> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    shard_senders[shard]
+        .send(ShardMsg {
+            op,
+            reply: reply_tx,
+        })
+        .map_err(|_| ApiError::new(503, "shutting_down", "shard worker is gone"))?;
+    match reply_rx.recv() {
+        Ok(ShardReply::Ok(body)) => Ok(body),
+        Ok(ShardReply::Err(e)) => Err(e),
+        Ok(ShardReply::Stats(_)) => Err(ApiError::new(
+            500,
+            "internal",
+            "unexpected stats reply to a request op",
+        )),
+        Err(_) => Err(ApiError::new(503, "shutting_down", "shard worker is gone")),
+    }
+}
+
+/// Builds the `/metrics` body: server-side request accounting plus engine
+/// totals gathered from every shard.
+fn metrics_report(
+    state: &ServerState,
+    shard_senders: &[mpsc::Sender<ShardMsg>],
+) -> Result<String, ApiError> {
+    let mut engine = EngineTotals::default();
+    for (shard, sender) in shard_senders.iter().enumerate() {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if sender
+            .send(ShardMsg {
+                op: ShardOp::Stats,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            continue; // shard already drained during shutdown
+        }
+        match reply_rx.recv() {
+            Ok(ShardReply::Stats(totals)) => engine.merge(&totals),
+            Ok(_) => {
+                return Err(ApiError::new(
+                    500,
+                    "internal",
+                    format!("shard {shard} answered stats with a request reply"),
+                ))
+            }
+            Err(_) => continue,
+        }
+    }
+    let report = MetricsReport {
+        uptime_millis: state.started.elapsed().as_secs_f64() * 1e3,
+        shards: state.shards as u64,
+        requests_2xx: state.metrics.requests_2xx(),
+        requests_4xx: state.metrics.requests_4xx(),
+        requests_5xx: state.metrics.requests_5xx(),
+        endpoints: state.metrics.endpoint_latencies(),
+        engine,
+    };
+    serde_json::to_string(&report).map_err(|e| ApiError::new(500, "serialize", e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_routes_parse() {
+        assert_eq!(session_route("/sessions/a/open"), Some(("a", "open")));
+        assert_eq!(
+            session_route("/sessions/lg-0-1/event"),
+            Some(("lg-0-1", "event"))
+        );
+        assert_eq!(session_route("/sessions//open"), None);
+        assert_eq!(session_route("/sessions/a"), None);
+        assert_eq!(session_route("/sessions/a/b/c"), None);
+        assert_eq!(session_route("/solve"), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shard workers: each owns a [`SchedulerService`] and serves requests off
+//! an mpsc channel, so `apply`'s `&mut self` never meets a lock.
+//!
+//! Sessions are routed by a stable hash of their name, so every event for
+//! one session lands on the same shard in arrival order; stateless
+//! `solve`/`eval` requests round-robin across shards. The only shared
+//! state between shards is the immutable `Arc<SesInstance>`.
+
+use crate::metrics::EngineTotals;
+use serde::{Deserialize, Serialize};
+use ses_core::SesInstance;
+use ses_service::{
+    EvalRequest, SchedulerService, ServiceError, SessionEvent, SessionOpen, SolveRequest,
+};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One request, as the shard sees it.
+pub(crate) enum ShardOp {
+    Solve(SolveRequest),
+    Eval(EvalRequest),
+    Open(SessionOpen),
+    Event {
+        name: String,
+        event: SessionEvent,
+    },
+    Report {
+        name: String,
+    },
+    Close {
+        name: String,
+    },
+    /// Aggregate session accounting for `/metrics`.
+    Stats,
+}
+
+/// A typed error on its way to becoming an HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable error kind.
+    pub kind: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A new error.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The structured JSON body every error response carries.
+    pub fn body(&self) -> String {
+        serde_json::to_string(&ErrorBody {
+            error: self.message.clone(),
+            kind: self.kind.to_owned(),
+        })
+        .expect("two strings always serialize")
+    }
+}
+
+/// The JSON shape of every error response: `{"error": …, "kind": …}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable message.
+    pub error: String,
+    /// Stable machine-readable kind (`unknown_session`, `parse`, …).
+    pub kind: String,
+}
+
+/// What a shard sends back.
+pub(crate) enum ShardReply {
+    /// Success: the serialized JSON response body.
+    Ok(String),
+    /// Failure: status + structured body.
+    Err(ApiError),
+    /// Answer to [`ShardOp::Stats`].
+    Stats(EngineTotals),
+}
+
+/// One queued request plus its reply channel.
+pub(crate) struct ShardMsg {
+    pub op: ShardOp,
+    pub reply: mpsc::Sender<ShardReply>,
+}
+
+/// Maps service-level failures to HTTP statuses: unknown names are 404,
+/// name collisions 409, and everything a client sent wrong — malformed
+/// values, out-of-universe references, infeasible or unsolvable requests —
+/// is a 400 with the typed core error's message.
+pub(crate) fn api_error(e: &ServiceError) -> ApiError {
+    match e {
+        ServiceError::UnknownSession(_) => ApiError::new(404, "unknown_session", e.to_string()),
+        ServiceError::SessionExists(_) => ApiError::new(409, "session_exists", e.to_string()),
+        ServiceError::InvalidRequest(_) => ApiError::new(400, "invalid_request", e.to_string()),
+        ServiceError::Core(_) => ApiError::new(400, "core", e.to_string()),
+        // `ServiceError` is non_exhaustive; future variants are server bugs
+        // until they get a mapping.
+        _ => ApiError::new(500, "internal", e.to_string()),
+    }
+}
+
+fn json_reply<T: serde::Serialize>(result: Result<T, ServiceError>) -> ShardReply {
+    match result {
+        Ok(value) => match serde_json::to_string(&value) {
+            Ok(body) => ShardReply::Ok(body),
+            Err(e) => ShardReply::Err(ApiError::new(500, "serialize", e.to_string())),
+        },
+        Err(e) => ShardReply::Err(api_error(&e)),
+    }
+}
+
+fn stats_of(service: &SchedulerService) -> EngineTotals {
+    let mut totals = EngineTotals::default();
+    for name in service.session_names() {
+        let report = service.report(name).expect("name came from the service");
+        totals.merge(&EngineTotals {
+            sessions: 1,
+            events_applied: report.events_applied,
+            clock: report.clock,
+            counters: report.counters,
+        });
+    }
+    totals
+}
+
+/// The shard worker loop: owns its service, drains its queue, exits when
+/// every sender (acceptor + connection handlers) is gone.
+pub(crate) fn run_shard(inst: Arc<SesInstance>, rx: mpsc::Receiver<ShardMsg>) {
+    let mut service = SchedulerService::new();
+    while let Ok(msg) = rx.recv() {
+        let reply = match msg.op {
+            ShardOp::Solve(req) => json_reply(service.solve(&inst, &req)),
+            ShardOp::Eval(req) => json_reply(service.evaluate(&inst, &req)),
+            ShardOp::Open(open) => json_reply(service.open_session(&inst, &open)),
+            ShardOp::Event { name, event } => json_reply(service.apply(&name, &event)),
+            ShardOp::Report { name } => json_reply(service.report(&name)),
+            ShardOp::Close { name } => json_reply(service.close_session(&name)),
+            ShardOp::Stats => ShardReply::Stats(stats_of(&service)),
+        };
+        // A dropped reply receiver means the connection died mid-request;
+        // the shard's state change (if any) stands, like any completed
+        // request whose response was lost on the wire.
+        let _ = msg.reply.send(reply);
+    }
+}
+
+/// FNV-1a over the session name — the shard routing hash. Stable across
+/// runs (no `RandomState`), so a session always lands on the same shard.
+pub(crate) fn shard_of(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in 1..8 {
+            for name in ["a", "main", "lg-0-1", "Ω-session", ""] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "routing must be stable");
+            }
+        }
+        // Names spread across shards (not all on one).
+        let hits: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("s{i}"), 4)).collect();
+        assert!(hits.len() > 1);
+    }
+
+    #[test]
+    fn error_bodies_are_structured() {
+        let e = api_error(&ServiceError::UnknownSession("x".into()));
+        assert_eq!(e.status, 404);
+        let body: ErrorBody = serde_json::from_str(&e.body()).unwrap();
+        assert_eq!(body.kind, "unknown_session");
+        assert!(body.error.contains('x'));
+    }
+}

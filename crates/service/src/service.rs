@@ -189,6 +189,7 @@ impl SchedulerService {
             budget: entry.session.budget(),
             events_applied: entry.events_applied,
             counters: entry.session.counters(),
+            clock: entry.session.clock(),
         })
     }
 

@@ -192,6 +192,14 @@ pub struct SessionReport {
     pub budget: f64,
     /// Session events applied so far (inert ones included).
     pub events_applied: u64,
-    /// Engine operation counters accumulated by the session.
+    /// Engine operation counters accumulated by the session — the scoring
+    /// work this session has cost, in hardware-independent units.
     pub counters: EngineCounters,
+    /// The engine's monotone mutation clock (see
+    /// [`ses_core::OnlineSession::clock`]): how much schedule churn the
+    /// session absorbed, as opposed to how much scoring it performed.
+    /// Defaults to `0` when absent from the wire (pre-`clock` JSON
+    /// compatibility).
+    #[serde(default)]
+    pub clock: u64,
 }

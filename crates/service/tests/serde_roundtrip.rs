@@ -29,6 +29,13 @@ fn pre_threads_request_json_still_deserializes() {
         .expect("legacy SessionOpen parses");
     assert_eq!(open.name, "main");
     assert_eq!(open.threads, 0);
+    // Likewise reports recorded before the `clock` field existed.
+    let report: ses_service::SessionReport = serde_json::from_str(
+        r#"{"name":"main","utility":1.5,"scheduled":2,"budget":8.0,"events_applied":3,
+            "counters":{"score_evaluations":1,"posting_visits":2,"assigns":3,"unassigns":4}}"#,
+    )
+    .expect("legacy SessionReport parses");
+    assert_eq!(report.clock, 0, "missing clock defaults to 0");
 }
 
 /// A spec entered through the CELF lazy-greedy alias family must behave
@@ -148,6 +155,37 @@ proptest! {
         prop_assert_eq!(back.utility_disrupted.to_bits(), report.utility_disrupted.to_bits());
         prop_assert_eq!(back.utility_after.to_bits(), report.utility_after.to_bits());
         prop_assert_eq!(back.moves, report.moves);
+    }
+
+    #[test]
+    fn session_report_round_trips_with_counters_and_clock(
+        utility in 0.0f64..1e6,
+        scheduled in 0usize..10_000,
+        budget in 0.0f64..1e6,
+        events_applied in 0u64..1_000_000,
+        clock in 0u64..1_000_000,
+        ops in prop::collection::vec(0u64..u64::MAX / 4, 4..5),
+    ) {
+        let report = ses_service::SessionReport {
+            name: format!("tenant-{scheduled}"),
+            utility,
+            scheduled,
+            budget,
+            events_applied,
+            counters: ses_core::EngineCounters {
+                score_evaluations: ops[0],
+                posting_visits: ops[1],
+                assigns: ops[2],
+                unassigns: ops[3],
+            },
+            clock,
+        };
+        let back = roundtrip_json(&report);
+        prop_assert_eq!(back.utility.to_bits(), report.utility.to_bits());
+        prop_assert_eq!(back.budget.to_bits(), report.budget.to_bits());
+        prop_assert_eq!(&back.counters, &report.counters);
+        prop_assert_eq!(back.clock, report.clock);
+        prop_assert_eq!(back, report);
     }
 
     #[test]

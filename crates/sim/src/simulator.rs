@@ -16,7 +16,7 @@ use serde::Serialize;
 use ses_core::{EngineCounters, EventId, OnlineSession, RepairReport};
 use ses_service::{Availability, SchedulerService, ServiceError, SessionEvent};
 
-use crate::disruption::{Disruption, DisruptionKind};
+use crate::disruption::{Disruption, DisruptionKind, TimedDisruption};
 use crate::scenario::{Scenario, SimView};
 use crate::trace::{Trace, TraceRecord};
 
@@ -106,6 +106,11 @@ pub struct Simulator {
     steps_done: u64,
     rejected: u64,
     trace: Trace,
+    /// When set, every disruption taken off the queue is also appended
+    /// here (in apply order, with its tick) so the exact stream can be
+    /// replayed through another front end — e.g. over a network server —
+    /// and the two traces compared digest-for-digest.
+    recording: Option<Vec<TimedDisruption>>,
 }
 
 impl Simulator {
@@ -145,34 +150,55 @@ impl Simulator {
             steps_done: 0,
             rejected: 0,
             trace: Trace::new(),
+            recording: None,
         })
+    }
+
+    /// Starts (or stops) recording the applied disruption stream. Recorded
+    /// streams come back through [`Self::take_recorded`]; replaying one
+    /// against an identically-initialized session — through any front end
+    /// that drives [`SchedulerService::apply`] — reproduces this run's
+    /// trace bit for bit.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = if on {
+            Some(self.recording.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// Takes the disruptions recorded since [`Self::set_recording`] was
+    /// switched on (empty if recording was never enabled).
+    pub fn take_recorded(&mut self) -> Vec<TimedDisruption> {
+        self.recording
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Withholds every `1/fraction`-ish unscheduled candidate (taking each
     /// with index hash below `fraction`) so scenarios have late arrivals to
     /// release. Deterministic — no RNG involved. Goes through the service's
     /// availability events like every other state change.
-    pub fn withhold_fraction(&mut self, fraction: f64) -> usize {
-        let fraction = fraction.clamp(0.0, 1.0);
-        let n = self.session().instance().num_events();
-        let take =
-            |e: usize| (((e.wrapping_mul(2654435761) >> 16) % 1000) as f64) < fraction * 1000.0;
-        let mut withheld = 0;
-        for e in (0..n).map(|e| EventId::new(e as u32)) {
-            if !self.session().schedule().contains(e) && take(e.index()) {
-                self.service
-                    .apply(
-                        &self.name,
-                        &SessionEvent::SetAvailable(Availability {
-                            event: e,
-                            available: false,
-                        }),
-                    )
-                    .expect("event id is in bounds");
-                withheld += 1;
-            }
+    ///
+    /// Returns the candidates it withheld, in id order — replay drivers
+    /// send exactly this set through other front ends (the server's
+    /// determinism check), so there is one source of truth, not two
+    /// computations that must happen to agree.
+    pub fn withhold_fraction(&mut self, fraction: f64) -> Vec<EventId> {
+        let selection = withhold_selection(self.session(), fraction);
+        for &e in &selection {
+            self.service
+                .apply(
+                    &self.name,
+                    &SessionEvent::SetAvailable(Availability {
+                        event: e,
+                        available: false,
+                    }),
+                )
+                .expect("event id is in bounds");
         }
-        withheld
+        selection
     }
 
     /// The live session (read access).
@@ -275,6 +301,12 @@ impl Simulator {
                 break;
             };
             taken += 1;
+            if let Some(rec) = &mut self.recording {
+                rec.push(TimedDisruption {
+                    at: pending.at,
+                    disruption: pending.disruption.clone(),
+                });
+            }
             self.clock = pending.at;
             let utility_before = self.session().utility();
             let report = self.apply(&pending.disruption);
@@ -363,4 +395,17 @@ impl Simulator {
             })
             .collect()
     }
+}
+
+/// The deterministic withhold selection: every unscheduled candidate whose
+/// index hash lands below `fraction`. No RNG — the same session state always
+/// selects the same set, which is what lets a network replay reproduce it.
+pub fn withhold_selection(session: &OnlineSession, fraction: f64) -> Vec<EventId> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = session.instance().num_events();
+    let take = |e: usize| (((e.wrapping_mul(2654435761) >> 16) % 1000) as f64) < fraction * 1000.0;
+    (0..n)
+        .map(|e| EventId::new(e as u32))
+        .filter(|&e| !session.schedule().contains(e) && take(e.index()))
+        .collect()
 }

@@ -46,7 +46,7 @@ fn main() {
         let session = OnlineSession::new(&inst, &plan.schedule).expect("feasible plan");
         let scenario = scenario_by_name(name, SEED).expect("builtin scenario");
         let mut sim = Simulator::new(session, vec![scenario]);
-        let withheld = sim.withhold_fraction(0.25);
+        let withheld = sim.withhold_fraction(0.25).len();
         let summary = sim.run(STEPS);
 
         println!("── {name} ({STEPS} disruptions, {withheld} late arrivals in reserve)");

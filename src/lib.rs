@@ -12,7 +12,10 @@
 //!   requests/responses and named online sessions over
 //!   `Arc<SesInstance>` handles (what a server front end speaks);
 //! * [`sim`] — the discrete-event workload simulator stress-driving
-//!   the online scheduler through the service facade.
+//!   the online scheduler through the service facade;
+//! * [`server`] — the sharded concurrent HTTP/1.1 front end serving
+//!   the service wire types over `std::net`, with a built-in load
+//!   generator and a server-vs-simulator determinism check.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper.
@@ -20,6 +23,7 @@
 pub use ses_core as core;
 pub use ses_datagen as datagen;
 pub use ses_ebsn as ebsn;
+pub use ses_server as server;
 pub use ses_service as service;
 pub use ses_sim as sim;
 
