@@ -103,6 +103,11 @@ struct Args {
     threads: usize,
     smoke: bool,
     check: bool,
+    /// Run the sweep inside an active trace scope and, under `--check`,
+    /// demand *bit-identical* counters and utility against the committed
+    /// reference — the tracing-overhead gate: span recording must never
+    /// change what the engine computes, only observe it.
+    spans: bool,
     committed: String,
     out: Option<String>,
 }
@@ -131,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         smoke: false,
         check: false,
+        spans: false,
         committed: "BENCH_engine.json".to_owned(),
         out: None,
     };
@@ -160,15 +166,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--smoke" => args.smoke = true,
             "--check" => args.check = true,
+            "--spans" => args.spans = true,
             "--committed" => args.committed = it.next().ok_or("--committed needs a path")?,
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "bench_engine — record/gate the engine perf trajectory (BENCH_engine.json)\n\
                      options: --users N | --seed S | --threads N | --smoke | --check \
-                     | --committed PATH | --out PATH\n\
+                     | --spans | --committed PATH | --out PATH\n\
                      --check re-runs the smoke sweep and fails if counters regress >10% \
-                     against the committed BENCH_engine.json"
+                     against the committed BENCH_engine.json\n\
+                     --spans runs the sweep inside an active trace scope; with --check the \
+                     gate tightens to bit-identical counters and utility (tracing overhead \
+                     must be observational only)"
                 );
                 std::process::exit(0);
             }
@@ -331,6 +341,47 @@ fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> 
     violations
 }
 
+/// The `--check --spans` tightening: with a trace scope active the engine
+/// must do *exactly* the committed work — identical counters and identical
+/// utility bits. Any drift means span recording leaked into the computation
+/// (an allocation, a reordered float sum, a skipped candidate) rather than
+/// merely observing it.
+fn check_bit_identical(fresh: &[EngineCell], reference: &SmokeReference) -> Vec<String> {
+    let mut violations = Vec::new();
+    for cell in fresh {
+        let Some(committed) = reference.cells.iter().find(|c| {
+            c.algorithm == cell.algorithm && c.axis == cell.axis && c.value == cell.value
+        }) else {
+            violations.push(format!(
+                "{} k={} has no committed reference cell — regenerate BENCH_engine.json",
+                cell.algorithm, cell.value
+            ));
+            continue;
+        };
+        if cell.score_evaluations != committed.score_evaluations
+            || cell.posting_visits != committed.posting_visits
+        {
+            violations.push(format!(
+                "{} k={}: counters with spans enabled ({} evals / {} visits) are not \
+                 bit-identical to committed ({} / {})",
+                cell.algorithm,
+                cell.value,
+                cell.score_evaluations,
+                cell.posting_visits,
+                committed.score_evaluations,
+                committed.posting_visits
+            ));
+        }
+        if cell.utility.to_bits() != committed.utility.to_bits() {
+            violations.push(format!(
+                "{} k={}: utility {} with spans enabled differs in bits from committed {}",
+                cell.algorithm, cell.value, cell.utility, committed.utility
+            ));
+        }
+    }
+    violations
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -346,13 +397,27 @@ fn main() -> ExitCode {
         &[100, 300, 500]
     };
 
-    let cells = match build_cells(args.users, args.seed, args.threads, k_values) {
-        Ok(cells) => cells,
-        Err(e) => {
-            eprintln!("bench_engine: {e}");
-            return ExitCode::FAILURE;
+    // `--spans` runs the sweep under an active trace scope so every engine
+    // span is recorded with a live trace id — the worst case for the
+    // recording path. Spans themselves are always on; the scope only makes
+    // them attributable (and thus collectable).
+    let trace = args.spans.then(ses_obs::TraceId::generate);
+    let cells = {
+        let _scope = trace.map(ses_obs::trace_scope);
+        match build_cells(args.users, args.seed, args.threads, k_values) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("bench_engine: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+    if let Some(id) = trace {
+        eprintln!(
+            "[bench_engine] trace {id}: {} spans recorded during the sweep",
+            ses_obs::collect_trace(id).len()
+        );
+    }
 
     // Full runs re-measure the CI smoke sweep too, so the committed file
     // always carries the reference counters `--check` gates against.
@@ -438,7 +503,10 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        let violations = check_against_reference(&report.cells, reference);
+        let mut violations = check_against_reference(&report.cells, reference);
+        if args.spans {
+            violations.extend(check_bit_identical(&report.cells, reference));
+        }
         if !violations.is_empty() {
             eprintln!("bench_engine --check: perf regression gate FAILED:");
             for v in &violations {
@@ -446,11 +514,19 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "[bench_engine] --check passed: {} cells within {:.0}% of committed counters",
-            report.cells.len(),
-            (CHECK_HEADROOM - 1.0) * 100.0
-        );
+        if args.spans {
+            eprintln!(
+                "[bench_engine] --check --spans passed: {} cells bit-identical to the \
+                 committed counters with tracing active",
+                report.cells.len()
+            );
+        } else {
+            eprintln!(
+                "[bench_engine] --check passed: {} cells within {:.0}% of committed counters",
+                report.cells.len(),
+                (CHECK_HEADROOM - 1.0) * 100.0
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -48,7 +48,9 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Option names that are flags (take no value).
-const FLAG_NAMES: &[&str] = &["full", "quiet", "checkins", "strict"];
+const FLAG_NAMES: &[&str] = &[
+    "full", "quiet", "checkins", "strict", "trace", "log-json", "once",
+];
 
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {

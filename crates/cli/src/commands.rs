@@ -35,6 +35,7 @@ SUBCOMMANDS:
                   --seed S (0)                --checkins  (σ from check-ins)
                   --format text|json (text)   --out PATH  (write the schedule as JSON)
                   --threads N (1)             (shard greedy scoring sweeps; same schedule)
+                  --trace  (print the span timeline of the solve afterwards)
     quality     compare heuristics against the exact optimum on small instances
                   --instances N (20)  --k K (4)
     simulate    replay a disruption workload against the online scheduler
@@ -45,14 +46,20 @@ SUBCOMMANDS:
                   --algo SPEC (GRD)     --format text|json (text)
                   --threads N (1)       (shard the initial solve's scoring)
                   --holdback F (0.3)    (fraction of candidates arriving late)
+                  --trace  (print the span timeline of the second run afterwards)
                   runs the stream twice and verifies the traces are identical
-    serve       serve the scheduler over HTTP (see DESIGN.md §8)
+    serve       serve the scheduler over HTTP (see DESIGN.md §8–9)
                   --addr A (127.0.0.1:7878)  --shards N (4)
                   --io-threads N (8)         --max-body BYTES (1048576)
                   --users N (400)   --events N (60)
                   --intervals N (24) --seed S (0)
+                  --log-level error|warn|info|debug (info)  --log-json
+                  --slow-ms MILLIS (250; slow requests log their span timeline)
                   endpoints: POST /solve /eval /sessions/{name}/open|event|report|close
-                             GET /healthz /metrics; stop with SIGTERM/ctrl-c
+                             GET /healthz /metrics /trace/{id}; stop with SIGTERM/ctrl-c
+    top         live per-shard / per-endpoint dashboard of a running server
+                  --addr A (127.0.0.1:7878)  --interval MILLIS (1000)
+                  --once  (print a single frame and exit; no screen clearing)
     loadgen     drive a running server with concurrent closed-loop clients
                   --addr A (127.0.0.1:7878)  --clients N (8)
                   --requests N (2000 per client)
@@ -175,9 +182,13 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
     };
     let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
     let service = SchedulerService::new();
-    let response = service
-        .solve(&built.instance, &SolveRequest { spec, k, threads })
-        .map_err(|e| e.to_string())?;
+    let trace = args.has_flag("trace").then(ses_obs::TraceId::generate);
+    let response = {
+        let _scope = trace.map(ses_obs::trace_scope);
+        service
+            .solve(&built.instance, &SolveRequest { spec, k, threads })
+            .map_err(|e| e.to_string())?
+    };
 
     if format == Format::Json {
         println!(
@@ -249,6 +260,10 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
             let src = built.candidate_source[a.event.index()];
             println!("  {} → {} (dataset event {src})", a.event, a.interval);
         }
+    }
+    // The timeline goes to stderr so `--format json` output stays pipeable.
+    if let Some(id) = trace {
+        eprintln!("{}", ses_obs::format_trace(id, &ses_obs::collect_trace(id)));
     }
     Ok(())
 }
@@ -342,7 +357,18 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
         Ok((initial, summary, report, sim.kind_histogram(), withheld))
     };
     let (initial, first, _, _, _) = run_once()?;
-    let (_, second, report, histogram, withheld) = run_once()?;
+    let trace = args.has_flag("trace").then(ses_obs::TraceId::generate);
+    let (_, second, report, histogram, withheld) = {
+        let _scope = trace.map(ses_obs::trace_scope);
+        run_once()?
+    };
+
+    // Timeline of the traced (second) run, to stderr so json stays pipeable.
+    // The per-thread ring keeps the most recent spans, so long runs show the
+    // tail of the repair stream rather than an unbounded dump.
+    if let Some(id) = trace {
+        eprintln!("{}", ses_obs::format_trace(id, &ses_obs::collect_trace(id)));
+    }
 
     if first.digest != second.digest {
         return Err(format!(
@@ -423,6 +449,15 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
 
 /// `ses serve`
 pub fn serve(args: &ParsedArgs) -> Result<(), String> {
+    let level_name = args
+        .options
+        .get("log-level")
+        .map(String::as_str)
+        .unwrap_or("info");
+    let level = ses_obs::Level::parse(level_name)
+        .ok_or_else(|| format!("unknown log level '{level_name}' (error|warn|info|debug)"))?;
+    ses_obs::set_log_level(level);
+    ses_obs::set_log_json(args.has_flag("log-json"));
     let cfg = ses_server::ServerConfig {
         addr: args
             .options
@@ -438,6 +473,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         events: args.get_or("events", 60).map_err(|e| e.to_string())?,
         intervals: args.get_or("intervals", 24).map_err(|e| e.to_string())?,
         seed: args.get_or("seed", 0).map_err(|e| e.to_string())?,
+        slow_request_millis: args.get_or("slow-ms", 250).map_err(|e| e.to_string())?,
     };
     ses_server::install_signal_handlers();
     let handle = ses_server::serve(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
@@ -451,7 +487,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         cfg.intervals,
         cfg.seed
     );
-    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics");
+    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics /trace/{{id}}");
     handle.join();
     println!("ses-server: drained, bye");
     Ok(())
@@ -548,8 +584,25 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
             .map(|(l, n)| format!("{l} {n}"))
             .collect();
         println!("mix: {}; {} ok, {} errors", mix.join(", "), s.ok, s.errors);
+        if !s.status_counts.is_empty() {
+            let by_status: Vec<String> = s
+                .status_counts
+                .iter()
+                .map(|c| format!("{}×{}", c.count, c.status))
+                .collect();
+            println!("  non-2xx by status: {}", by_status.join(", "));
+        }
         for sample in &s.error_samples {
             println!("  error sample: {sample}");
+        }
+        if !s.slowest.is_empty() {
+            println!("slowest requests (span timelines at GET /trace/{{id}} while spans live):");
+            for r in &s.slowest {
+                println!(
+                    "  {:>7} µs  {:<7} {}  trace {}",
+                    r.micros, r.endpoint, r.status, r.trace
+                );
+            }
         }
         match &report.digest {
             Some(d) if d.matches && d.utility_bits_match => println!(
@@ -584,6 +637,114 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders one `ses top` frame from a `/metrics` report. Pure — all state
+/// comes in through the report — so the layout is unit-testable without a
+/// server or a terminal.
+pub fn top_frame(addr: &str, report: &ses_server::MetricsReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ses top — {addr} · up {:.1}s · {} shards · {} ok / {} 4xx / {} 5xx",
+        report.uptime_millis / 1e3,
+        report.shards,
+        report.requests_2xx,
+        report.requests_4xx,
+        report.requests_5xx
+    );
+    let _ = writeln!(
+        out,
+        "engine: {} sessions, {} events applied, {} score evals, {} posting visits",
+        report.engine.sessions,
+        report.engine.events_applied,
+        report.engine.counters.score_evaluations,
+        report.engine.counters.posting_visits
+    );
+
+    let _ = writeln!(out, "\n  shard  depth  handled    busy%  sessions  events");
+    let uptime_micros = report.uptime_millis * 1e3;
+    for s in &report.shards_detail {
+        let busy_pct = if uptime_micros > 0.0 {
+            100.0 * s.busy_micros as f64 / uptime_micros
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:>5}  {:>5}  {:>7}  {:>6.1}  {:>8}  {:>6}",
+            s.shard, s.queue_depth, s.handled, busy_pct, s.sessions, s.events_applied
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n  endpoint   count   mean µs    p50    p95    p99    max"
+    );
+    for e in &report.endpoints {
+        let _ = writeln!(
+            out,
+            "  {:<9}  {:>5}  {:>8.0}  {:>5}  {:>5}  {:>5}  {:>5}",
+            e.endpoint,
+            e.count,
+            e.mean_micros,
+            e.p50_micros,
+            e.p95_micros,
+            e.p99_micros,
+            e.max_micros
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n  stage      count   mean µs    p50    p95    p99    max"
+    );
+    for s in &report.span_stages {
+        let _ = writeln!(
+            out,
+            "  {:<9}  {:>5}  {:>8.0}  {:>5}  {:>5}  {:>5}  {:>5}",
+            s.stage, s.count, s.mean_micros, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
+        );
+    }
+    out
+}
+
+/// `ses top` — poll `/metrics` and redraw a live text dashboard.
+pub fn top(args: &ParsedArgs) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let interval: u64 = args.get_or("interval", 1000).map_err(|e| e.to_string())?;
+    let once = args.has_flag("once");
+    let mut client = ses_server::HttpClient::new(addr.clone());
+    let fetch = |client: &mut ses_server::HttpClient| -> Result<ses_server::MetricsReport, String> {
+        let (status, body) = client
+            .get("/metrics")
+            .map_err(|e| format!("GET /metrics failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /metrics answered {status}: {body}"));
+        }
+        serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))
+    };
+    loop {
+        match fetch(&mut client) {
+            Ok(report) if once => {
+                print!("{}", top_frame(&addr, &report));
+                return Ok(());
+            }
+            // ANSI clear + home, then the frame — a poor man's curses.
+            Ok(report) => print!("\x1b[2J\x1b[H{}", top_frame(&addr, &report)),
+            Err(e) if once => return Err(format!("{addr}: {e}")),
+            // Live mode rides out restarts instead of dying on one bad poll.
+            Err(e) => println!("\x1b[2J\x1b[Hses top — {addr}: {e} (retrying)"),
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
 }
 
 /// `ses quality`
@@ -632,4 +793,89 @@ pub fn quality(args: &ParsedArgs) -> Result<(), String> {
         println!("  {:<7} {:.4}", name, sums[i] / solved as f64);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_server::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus};
+
+    fn sample_report() -> MetricsReport {
+        MetricsReport {
+            uptime_millis: 2_000.0,
+            shards: 2,
+            requests_2xx: 10,
+            requests_4xx: 1,
+            requests_5xx: 0,
+            endpoints: vec![EndpointLatency {
+                endpoint: "solve".to_owned(),
+                count: 3,
+                mean_micros: 850.0,
+                p50_micros: 700,
+                p95_micros: 1_400,
+                p99_micros: 1_500,
+                max_micros: 1_600,
+            }],
+            engine: EngineTotals::default(),
+            shards_detail: vec![
+                ShardStatus {
+                    shard: 0,
+                    queue_depth: 1,
+                    handled: 6,
+                    busy_micros: 400_000,
+                    sessions: 2,
+                    events_applied: 57,
+                },
+                ShardStatus {
+                    shard: 1,
+                    queue_depth: 0,
+                    handled: 5,
+                    busy_micros: 100_000,
+                    sessions: 1,
+                    events_applied: 12,
+                },
+            ],
+            span_stages: vec![ses_obs::StageLatency {
+                stage: "queue".to_owned(),
+                count: 11,
+                mean_micros: 42.0,
+                p50_micros: 30,
+                p95_micros: 90,
+                p99_micros: 120,
+                max_micros: 200,
+            }],
+        }
+    }
+
+    #[test]
+    fn top_frame_lays_out_shards_endpoints_and_stages() {
+        let frame = top_frame("127.0.0.1:7878", &sample_report());
+        assert!(frame.starts_with("ses top — 127.0.0.1:7878 · up 2.0s · 2 shards"));
+        assert!(frame.contains("10 ok / 1 4xx / 0 5xx"), "{frame}");
+        // Shard 0 spent 400 ms busy over a 2 s uptime: 20% occupancy.
+        let shard0 = frame.lines().find(|l| l.trim().starts_with('0')).unwrap();
+        assert!(shard0.contains("20.0"), "busy%% wrong in: {shard0}");
+        assert!(shard0.contains("57"), "events_applied missing: {shard0}");
+        assert!(frame.contains("solve"), "{frame}");
+        assert!(frame.contains("queue"), "{frame}");
+        // One line per shard, endpoint, and stage — nothing dropped.
+        assert_eq!(frame.lines().filter(|l| l.contains("µs")).count(), 2);
+    }
+
+    #[test]
+    fn top_frame_survives_an_empty_report() {
+        let report = MetricsReport {
+            uptime_millis: 0.0,
+            shards: 0,
+            requests_2xx: 0,
+            requests_4xx: 0,
+            requests_5xx: 0,
+            endpoints: vec![],
+            engine: EngineTotals::default(),
+            shards_detail: vec![],
+            span_stages: vec![],
+        };
+        let frame = top_frame("x", &report);
+        assert!(frame.contains("0 shards"));
+    }
 }

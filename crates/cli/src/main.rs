@@ -6,7 +6,8 @@
 //! ses solve    --dataset data.json --k 100 --algo GRD [--checkins] [--format json]
 //! ses quality  [--instances 20] [--k 4]
 //! ses simulate --scenario flash-crowd --steps 10000 --seed 42 [--format json]
-//! ses serve    --addr 127.0.0.1:7878 --shards 4
+//! ses serve    --addr 127.0.0.1:7878 --shards 4 [--log-level debug] [--log-json]
+//! ses top      --addr 127.0.0.1:7878 [--once]
 //! ses loadgen  --addr 127.0.0.1:7878 --clients 8 --requests 2000 [--strict]
 //! ses help
 //! ```
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "quality" => commands::quality(&parsed),
         "simulate" => commands::simulate(&parsed),
         "serve" => commands::serve(&parsed),
+        "top" => commands::top(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);

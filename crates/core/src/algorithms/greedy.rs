@@ -99,6 +99,9 @@ impl Scheduler for GreedyScheduler {
         // commit the engine tells us exactly which intervals' columns moved.
         let mut last_clock = engine.clock();
 
+        let mut select_span = ses_obs::span(ses_obs::Stage::Select);
+        let counters_at_select = engine.counters();
+
         // Lines 5–13: select k assignments.
         while engine.schedule().len() < k {
             // popTopAssgn: linear scan for the max, then O(1) removal.
@@ -162,6 +165,9 @@ impl Scheduler for GreedyScheduler {
                 last_clock = engine.clock();
             }
         }
+        select_span.set_ops(engine.counters().delta_since(counters_at_select).as_ops());
+        select_span.set_aux(pops, updates);
+        drop(select_span);
 
         let requested = k;
         let placed = engine.schedule().len();

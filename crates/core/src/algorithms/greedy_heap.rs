@@ -129,6 +129,8 @@ impl Scheduler for GreedyHeapScheduler {
             })
             .collect();
 
+        let mut select_span = ses_obs::span(ses_obs::Stage::Select);
+        let counters_at_select = engine.counters();
         while engine.schedule().len() < k {
             let Some(mut entry) = heap.pop() else {
                 break;
@@ -158,6 +160,9 @@ impl Scheduler for GreedyHeapScheduler {
                 .assign(entry.event, entry.interval)
                 .expect("checked assignment must apply");
         }
+        select_span.set_ops(engine.counters().delta_since(counters_at_select).as_ops());
+        select_span.set_aux(pops, updates);
+        drop(select_span);
 
         let placed = engine.schedule().len();
         Ok(ScheduleOutcome {

@@ -153,6 +153,8 @@ pub(crate) fn initial_scores(
     engine: &mut AttendanceEngine,
     threads: usize,
 ) -> Vec<(EventId, IntervalId, f64)> {
+    let mut sweep = ses_obs::span(ses_obs::Stage::Sweep);
+    let counters_before = engine.counters();
     let threads = clamp_threads(threads);
     let ne = engine.instance().num_events();
     let nt = engine.instance().num_intervals();
@@ -205,6 +207,8 @@ pub(crate) fn initial_scores(
             rows.push((event, IntervalId::new(t as u32), column[e]));
         }
     }
+    sweep.set_ops(engine.counters().delta_since(counters_before).as_ops());
+    sweep.set_aux(rows.len() as u64, threads as u64);
     rows
 }
 

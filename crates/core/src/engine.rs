@@ -130,6 +130,30 @@ impl EngineCounters {
         self.assigns += other.assigns;
         self.unassigns += other.unassigns;
     }
+
+    /// Counter-wise `self − earlier` (saturating), for attributing the work
+    /// of one bracketed operation: snapshot before, subtract after.
+    pub fn delta_since(&self, earlier: EngineCounters) -> EngineCounters {
+        EngineCounters {
+            score_evaluations: self
+                .score_evaluations
+                .saturating_sub(earlier.score_evaluations),
+            posting_visits: self.posting_visits.saturating_sub(earlier.posting_visits),
+            assigns: self.assigns.saturating_sub(earlier.assigns),
+            unassigns: self.unassigns.saturating_sub(earlier.unassigns),
+        }
+    }
+
+    /// This counter set in the observability vocabulary, ready to attach to
+    /// a span ([`ses_obs::SpanGuard::set_ops`]).
+    pub fn as_ops(&self) -> ses_obs::OpsDelta {
+        ses_obs::OpsDelta {
+            score_evaluations: self.score_evaluations,
+            posting_visits: self.posting_visits,
+            assigns: self.assigns,
+            unassigns: self.unassigns,
+        }
+    }
 }
 
 /// Incremental attendance/utility engine bound to one instance.

@@ -185,21 +185,35 @@ impl OnlineSession {
     /// reproduce exactly (Eq. 4 is a pure function of the interval's
     /// columns), so consumers cannot observe the difference.
     fn refresh_row(&mut self, event: EventId) {
+        let start_ns = ses_obs::now_ns();
+        let counters_before = self.engine.counters();
         let now = self.engine.clock();
+        let mut refreshed = 0u64;
         match &mut self.score_rows[event.index()] {
             Some(row) => {
                 for t in self.engine.dirty_intervals(row.clock) {
                     let (score, _) = self.engine.rescore_event_at(event, t);
                     row.scores[t.index()] = score;
+                    refreshed += 1;
                 }
                 row.clock = now;
             }
             slot => {
-                *slot = Some(ScoreRow {
-                    scores: self.engine.score_all(event),
-                    clock: now,
-                });
+                let scores = self.engine.score_all(event);
+                refreshed = scores.len() as u64;
+                *slot = Some(ScoreRow { scores, clock: now });
             }
+        }
+        // Clean rows are the common case on a quiet session — don't spend a
+        // ring slot recording that nothing was rescored.
+        if refreshed > 0 {
+            ses_obs::record_span(
+                ses_obs::Stage::Rescore,
+                start_ns,
+                ses_obs::now_ns().saturating_sub(start_ns),
+                self.engine.counters().delta_since(counters_before).as_ops(),
+                [refreshed, 0],
+            );
         }
     }
 
@@ -266,11 +280,15 @@ impl OnlineSession {
         interval: IntervalId,
         postings: &[(UserId, f64)],
     ) -> RepairReport {
+        let mut span = ses_obs::span(ses_obs::Stage::Repair);
+        let counters_before = self.engine.counters();
         let utility_before = self.engine.total_utility();
         self.engine.add_competing_mass(interval, postings);
         let utility_disrupted = self.engine.total_utility();
         let mut moves = Vec::new();
         self.relocate_interval(interval, &mut moves);
+        span.set_ops(self.engine.counters().delta_since(counters_before).as_ops());
+        span.set_aux(moves.len() as u64, postings.len() as u64);
         RepairReport {
             utility_before,
             utility_disrupted,
@@ -282,6 +300,8 @@ impl OnlineSession {
     /// A scheduled event is cancelled; backfills with the best remaining
     /// unscheduled candidate (if any placement is valid).
     pub fn cancel_event(&mut self, event: EventId) -> Result<RepairReport, ScheduleError> {
+        let mut span = ses_obs::span(ses_obs::Stage::Repair);
+        let counters_before = self.engine.counters();
         let utility_before = self.engine.total_utility();
         self.engine.unassign(event)?;
         let utility_disrupted = self.engine.total_utility();
@@ -292,6 +312,8 @@ impl OnlineSession {
                 .expect("placement was validated");
             moves.push((replacement, target));
         }
+        span.set_ops(self.engine.counters().delta_since(counters_before).as_ops());
+        span.set_aux(moves.len() as u64, 0);
         Ok(RepairReport {
             utility_before,
             utility_disrupted,
@@ -303,11 +325,15 @@ impl OnlineSession {
     /// Greedily schedules one more event (the `k → k+1` upgrade). Returns
     /// `None` when no valid assignment remains.
     pub fn extend(&mut self) -> Option<RepairReport> {
+        let mut span = ses_obs::span(ses_obs::Stage::Repair);
+        let counters_before = self.engine.counters();
         let utility_before = self.engine.total_utility();
         let (event, target, _) = self.best_unscheduled()?;
         self.engine
             .assign(event, target)
             .expect("placement was validated");
+        span.set_ops(self.engine.counters().delta_since(counters_before).as_ops());
+        span.set_aux(1, 0);
         Some(RepairReport {
             utility_before,
             utility_disrupted: utility_before,
@@ -326,11 +352,15 @@ impl OnlineSession {
         if self.engine.schedule().contains(event) {
             return None;
         }
+        let mut span = ses_obs::span(ses_obs::Stage::Repair);
+        let counters_before = self.engine.counters();
         let utility_before = self.engine.total_utility();
         let (target, _) = self.best_placement(event)?;
         self.engine
             .assign(event, target)
             .expect("placement was validated");
+        span.set_ops(self.engine.counters().delta_since(counters_before).as_ops());
+        span.set_aux(1, 0);
         Some(RepairReport {
             utility_before,
             utility_disrupted: utility_before,
@@ -353,6 +383,8 @@ impl OnlineSession {
     /// stays in force) — a NaN flowing into the feasibility comparisons
     /// would silently disable resource checks.
     pub fn change_capacity(&mut self, budget: f64) -> RepairReport {
+        let mut span = ses_obs::span(ses_obs::Stage::Repair);
+        let counters_before = self.engine.counters();
         let budget = if budget.is_finite() {
             budget.max(0.0)
         } else {
@@ -399,6 +431,8 @@ impl OnlineSession {
                 moves.push((event, target));
             }
         }
+        span.set_ops(self.engine.counters().delta_since(counters_before).as_ops());
+        span.set_aux(moves.len() as u64, 0);
         RepairReport {
             utility_before,
             utility_disrupted,

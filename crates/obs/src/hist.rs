@@ -1,0 +1,202 @@
+//! Lock-free log-bucketed latency histograms (microsecond samples).
+//!
+//! Latencies are recorded into log-spaced buckets (8 sub-buckets per power
+//! of two, so every bucket is at most 12.5% wide) built from plain
+//! `AtomicU64`s — recording is a single relaxed fetch-add on the hot path,
+//! snapshotting is lock-free, and p50/p95/p99 come out of the cumulative
+//! bucket counts with bounded relative error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^3 = 8 buckets per octave.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Bucket count: values 0..8 map exactly, then 8 buckets per octave up to
+/// 2^40 µs (~13 days) — far beyond any request this server can serve.
+const N_BUCKETS: usize = SUB + (40 - SUB_BITS as usize) * SUB + 1;
+
+/// Which log bucket a microsecond value lands in.
+fn bucket_index(v: u64) -> usize {
+    let v = v.max(1);
+    let msb = 63 - v.leading_zeros();
+    if msb <= SUB_BITS {
+        return v as usize; // values 1..=15 map to their own index
+    }
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    (((msb - SUB_BITS) as usize) << SUB_BITS) + sub + SUB
+}
+
+/// The lower bound (µs) of a bucket, inverse of [`bucket_index`].
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return idx as u64;
+    }
+    let octave = (idx - SUB) >> SUB_BITS;
+    let sub = (idx - SUB) & (SUB - 1);
+    ((SUB + sub) as u64) << octave
+}
+
+/// A lock-free log-bucketed latency histogram (microsecond samples).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let idx = bucket_index(micros).min(N_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile extraction.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (µs).
+    pub sum: u64,
+    /// Largest sample (µs).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (for aggregating per-worker
+    /// histograms in the load generator).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (e.g. `0.99`) in µs: the lower bound of the first
+    /// bucket whose cumulative count reaches `ceil(q · count)`. Zero when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample (µs).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 7, 8, 9, 15, 16, 100, 1000, 123_456, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last || v == 0, "bucket index not monotone at {v}");
+            last = idx.max(last);
+            assert!(idx < N_BUCKETS || v > 1 << 40);
+            // The lower bound of the bucket never exceeds the value.
+            assert!(bucket_lower_bound(idx.min(N_BUCKETS - 1)) <= v.max(1));
+        }
+        // Small values are exact.
+        for v in 1u64..16 {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, 1000);
+        let p50 = snap.quantile(0.50);
+        let p99 = snap.quantile(0.99);
+        // Log-bucket lower bounds: within one bucket (12.5%) below the true
+        // quantile, never above it.
+        assert!((437..=500).contains(&p50), "p50 = {p50}");
+        assert!((866..=990).contains(&p99), "p99 = {p99}");
+        assert!(snap.quantile(1.0) <= snap.max);
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.sum, 1010);
+    }
+}

@@ -1,0 +1,111 @@
+//! 64-bit request trace ids.
+//!
+//! A trace id names one unit of work end-to-end: one HTTP request as it
+//! crosses the connection handler, the shard queue, the service and the
+//! engine — or one offline `ses solve --trace` run. Ids travel on the wire
+//! as 16-digit lower-case hex strings (the `x-ses-trace-id` header and the
+//! JSON reports), and in-process as a plain `u64` carried by a thread-local
+//! (see [`trace_scope`](crate::trace_scope)).
+//!
+//! Zero is reserved as "no trace" so a raw `u64` of `0` can mean "absent"
+//! in span slots without an `Option`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A non-zero 64-bit trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// splitmix64 — the standard 64-bit finalizer; bijective, so distinct
+/// counter values always produce distinct ids.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Wraps a raw id; `None` for the reserved zero.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw != 0).then_some(Self(raw))
+    }
+
+    /// The raw 64-bit value (never zero).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// A fresh process-unique id: a per-process atomic counter pushed
+    /// through splitmix64 with a time/pid seed, so ids are unique within a
+    /// process and overwhelmingly unlikely to collide across processes.
+    pub fn generate() -> Self {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            splitmix64(nanos ^ ((std::process::id() as u64) << 32))
+        });
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            // splitmix64 is a bijection of (seed + n), so ids never repeat
+            // until the counter wraps; retry only filters the one input
+            // that maps to the reserved zero.
+            let id = splitmix64(seed.wrapping_add(n));
+            if let Some(t) = Self::from_raw(id) {
+                return t;
+            }
+        }
+    }
+
+    /// Parses the wire form: 1–16 hex digits, non-zero. Returns `None` on
+    /// anything else (the caller falls back to generating a fresh id).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().and_then(Self::from_raw)
+    }
+}
+
+impl fmt::Display for TraceId {
+    /// The wire form: 16 lower-case hex digits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_hex() {
+        for raw in [1u64, 0xdead_beef, u64::MAX] {
+            let id = TraceId::from_raw(raw).unwrap();
+            assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        }
+        assert_eq!(TraceId::from_raw(0), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "0", "xyz", "12345678901234567", "12 34", "-5"] {
+            assert_eq!(TraceId::parse(bad), None, "{bad:?} must not parse");
+        }
+        assert!(TraceId::parse(" 00ff ").is_some(), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let ids: std::collections::HashSet<u64> =
+            (0..1000).map(|_| TraceId::generate().raw()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+}

@@ -10,6 +10,7 @@ use std::time::Duration;
 pub struct HttpClient {
     addr: String,
     conn: Option<BufReader<TcpStream>>,
+    last_trace: Option<String>,
 }
 
 impl HttpClient {
@@ -19,12 +20,19 @@ impl HttpClient {
         Self {
             addr: addr.into(),
             conn: None,
+            last_trace: None,
         }
     }
 
     /// The address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The `x-ses-trace-id` the server echoed on the most recent response
+    /// (`None` before the first response, or if the server sent none).
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace.as_deref()
     }
 
     fn ensure_connected(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
@@ -79,6 +87,7 @@ impl HttpClient {
         // Headers.
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut trace = None;
         loop {
             let mut line = String::new();
             if conn.read_line(&mut line)? == 0 {
@@ -104,6 +113,9 @@ impl HttpClient {
                     "connection" => {
                         keep_alive = !value.to_ascii_lowercase().contains("close");
                     }
+                    "x-ses-trace-id" => {
+                        trace = Some(value.trim().to_owned());
+                    }
                     _ => {}
                 }
             }
@@ -117,6 +129,7 @@ impl HttpClient {
         if !keep_alive {
             self.conn = None;
         }
+        self.last_trace = trace;
         Ok((status, body))
     }
 

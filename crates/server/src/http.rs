@@ -28,6 +28,9 @@ pub struct Head {
     pub keep_alive: bool,
     /// Whether the client asked for `100 Continue` before sending the body.
     pub expect_continue: bool,
+    /// The raw `x-ses-trace-id` header value, if the client sent one (the
+    /// server validates and either honors or replaces it).
+    pub trace: Option<String>,
 }
 
 /// Why reading a request failed.
@@ -153,6 +156,7 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Head, RecvError> {
         content_length: 0,
         keep_alive: version == "HTTP/1.1",
         expect_continue: false,
+        trace: None,
     };
     // Headers are part of a started request: give them the slow-peer
     // budget up front (if the request line already consumed some of it,
@@ -198,6 +202,9 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Head, RecvError> {
             "expect" if value.to_ascii_lowercase().contains("100-continue") => {
                 head.expect_continue = true;
             }
+            "x-ses-trace-id" => {
+                head.trace = Some(value.to_owned());
+            }
             "transfer-encoding" => {
                 return Err(RecvError::Malformed(
                     "chunked transfer encoding is not supported; send Content-Length".into(),
@@ -239,13 +246,34 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_ex(writer, status, body, keep_alive, &[], false)
+}
+
+/// [`write_response`] with extra response headers and an optional
+/// headers-only mode: a `HEAD` answer advertises the `Content-Length` the
+/// matching `GET` would carry but sends no body bytes (RFC 9110 §9.3.2).
+pub fn write_response_ex<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+    head_only: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         status_text(status),
         body.len(),
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    if !head_only {
+        writer.write_all(body.as_bytes())?;
+    }
     writer.flush()
 }
 

@@ -13,7 +13,11 @@
 //! | `POST /sessions/{name}/report` | — → [`SessionReport`] |
 //! | `POST /sessions/{name}/close` | — → final [`SessionReport`] |
 //! | `GET /healthz` | — → [`HealthReport`] (instance identity) |
-//! | `GET /metrics` | — → [`MetricsReport`] (latency histograms + engine totals) |
+//! | `GET /metrics` | — → [`MetricsReport`] (latency histograms + gauges + engine totals) |
+//! | `GET /trace/{id}` | — → [`TraceReport`] (one request's span timeline) |
+//!
+//! `HEAD` mirrors any `GET` route headers-only, and `OPTIONS` answers with
+//! the route's `Allow` list. Session names in paths are percent-decoded.
 //!
 //! ## Architecture
 //!
@@ -26,9 +30,15 @@
 //!   tracked overflow threads when every pool worker is pinned by a
 //!   keep-alive connection. Request bodies are size-capped (413) and parse
 //!   errors answer as structured 400s, never dropped connections.
-//! * **Observability** — per-endpoint log-bucketed latency histograms
-//!   (p50/p95/p99 on `/metrics`), status-class counters, and per-shard
-//!   engine totals (sessions, events, scoring counters, mutation clocks).
+//! * **Observability** — every request gets a 64-bit trace id (a valid
+//!   inbound `x-ses-trace-id` is honored, and the id is always echoed
+//!   back); span timelines from socket to engine are recorded into
+//!   per-thread lock-free rings (`ses-obs`) and served at
+//!   `GET /trace/{id}`; `/metrics` carries per-endpoint latency
+//!   histograms, status-class counters, per-shard queue-depth/occupancy
+//!   gauges, span-stage p50/p95/p99 lines, and engine totals; requests
+//!   slower than [`ServerConfig::slow_request_millis`] dump their span
+//!   timeline to the structured log.
 //! * **Shutdown** — cooperative, via [`ServerHandle::shutdown`] or the
 //!   SIGTERM/SIGINT flag from [`install_signal_handlers`]; in-flight
 //!   requests finish, then threads drain in dependency order.
@@ -87,11 +97,11 @@ mod server;
 mod shard;
 
 pub use client::HttpClient;
-pub use loadgen::{LoadgenConfig, LoadgenSummary, ServerBenchReport};
-pub use metrics::{EndpointLatency, EngineTotals, MetricsReport};
+pub use loadgen::{LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest, StatusCount};
+pub use metrics::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus};
 pub use replay::{verify_replay, DigestCheck, ReplayConfig};
 pub use server::{
     install_signal_handlers, serve, signal_shutdown_requested, HealthReport, ServerConfig,
-    ServerHandle,
+    ServerHandle, SpanView, TraceReport,
 };
 pub use shard::ErrorBody;

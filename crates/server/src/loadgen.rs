@@ -89,8 +89,41 @@ pub struct LoadgenSummary {
     pub max_micros: u64,
     /// Requests per endpoint label.
     pub mix: Vec<(String, u64)>,
+    /// Non-2xx responses broken down by exact status code, ascending.
+    #[serde(default)]
+    pub status_counts: Vec<StatusCount>,
+    /// The slowest requests of the whole run (at most
+    /// [`SLOWEST_KEPT`]), worst first, each with the trace id the server
+    /// echoed — paste it into `GET /trace/{id}` while the run is fresh.
+    #[serde(default)]
+    pub slowest: Vec<SlowRequest>,
     /// A sample of error bodies (first few), for diagnosis.
     pub error_samples: Vec<String>,
+}
+
+/// How many of the slowest requests the summary keeps.
+pub const SLOWEST_KEPT: usize = 10;
+
+/// One non-2xx status code's tally in a [`LoadgenSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusCount {
+    /// HTTP status code.
+    pub status: u64,
+    /// Responses with that code.
+    pub count: u64,
+}
+
+/// One of the slowest requests of a load run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Endpoint label (`open`, `solve`, `event`, `report`, `close`).
+    pub endpoint: String,
+    /// HTTP status of the response.
+    pub status: u64,
+    /// Client-observed latency (µs).
+    pub micros: u64,
+    /// The `x-ses-trace-id` the server echoed (empty if none arrived).
+    pub trace: String,
 }
 
 /// The report `ses loadgen --out` and `bench_server` write (the committed
@@ -111,6 +144,8 @@ struct WorkerOutcome {
     ok: u64,
     errors: u64,
     mix: Vec<(&'static str, u64)>,
+    status_counts: Vec<StatusCount>,
+    slowest: Vec<SlowRequest>,
     error_samples: Vec<String>,
 }
 
@@ -135,6 +170,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     let mut ok = 0u64;
     let mut errors = 0u64;
     let mut mix: Vec<(String, u64)> = Vec::new();
+    let mut status_counts: Vec<StatusCount> = Vec::new();
+    let mut slowest: Vec<SlowRequest> = Vec::new();
     let mut error_samples = Vec::new();
     for outcome in outcomes {
         let outcome = outcome?;
@@ -153,12 +190,22 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
                 None => mix.push((label.to_owned(), n)),
             }
         }
+        for sc in outcome.status_counts {
+            match status_counts.iter_mut().find(|c| c.status == sc.status) {
+                Some(c) => c.count += sc.count,
+                None => status_counts.push(sc),
+            }
+        }
+        slowest.extend(outcome.slowest);
         for sample in outcome.error_samples {
             if error_samples.len() < 5 {
                 error_samples.push(sample);
             }
         }
     }
+    status_counts.sort_by_key(|c| c.status);
+    slowest.sort_by_key(|s| std::cmp::Reverse(s.micros));
+    slowest.truncate(SLOWEST_KEPT);
     let snap = merged.expect("at least one client");
     let requests = ok + errors;
     let secs = elapsed.as_secs_f64();
@@ -179,6 +226,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         p99_micros: snap.quantile(0.99),
         max_micros: snap.max,
         mix,
+        status_counts,
+        slowest,
         error_samples,
     })
 }
@@ -195,16 +244,35 @@ fn timed_post(
     let (status, resp) = client
         .post(path, body)
         .map_err(|e| format!("{label} request failed: {e}"))?;
-    out.histogram.record(start.elapsed().as_micros() as u64);
+    let micros = start.elapsed().as_micros() as u64;
+    out.histogram.record(micros);
     out.mix
         .iter_mut()
         .find(|(l, _)| *l == label)
         .expect("label pre-registered")
         .1 += 1;
+    out.slowest.push(SlowRequest {
+        endpoint: label.to_owned(),
+        status: u64::from(status),
+        micros,
+        trace: client.last_trace_id().unwrap_or_default().to_owned(),
+    });
+    if out.slowest.len() > SLOWEST_KEPT {
+        out.slowest.sort_by_key(|s| std::cmp::Reverse(s.micros));
+        out.slowest.truncate(SLOWEST_KEPT);
+    }
     if (200..300).contains(&status) {
         out.ok += 1;
     } else {
         out.errors += 1;
+        let code = u64::from(status);
+        match out.status_counts.iter_mut().find(|c| c.status == code) {
+            Some(c) => c.count += 1,
+            None => out.status_counts.push(StatusCount {
+                status: code,
+                count: 1,
+            }),
+        }
         if out.error_samples.len() < 3 {
             let detail = serde_json::from_str::<ErrorBody>(&resp)
                 .map(|b| format!("{status} {}: {}", b.kind, b.error))
@@ -220,6 +288,8 @@ struct WorkerTally {
     ok: u64,
     errors: u64,
     mix: Vec<(&'static str, u64)>,
+    status_counts: Vec<StatusCount>,
+    slowest: Vec<SlowRequest>,
     error_samples: Vec<String>,
 }
 
@@ -247,6 +317,8 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
             .into_iter()
             .map(|l| (l, 0u64))
             .collect(),
+        status_counts: Vec::new(),
+        slowest: Vec::new(),
         error_samples: Vec::new(),
     };
 
@@ -318,6 +390,8 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
         ok: tally.ok,
         errors: tally.errors,
         mix: tally.mix,
+        status_counts: tally.status_counts,
+        slowest: tally.slowest,
         error_samples: tally.error_samples,
     })
 }

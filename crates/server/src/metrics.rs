@@ -1,146 +1,20 @@
-//! Per-endpoint latency histograms and the `/metrics` report.
+//! Per-endpoint latency histograms, per-shard gauges, and the `/metrics`
+//! report.
 //!
-//! Latencies are recorded in microseconds into log-bucketed histograms
-//! (8 sub-buckets per power of two, so every bucket is at most 12.5% wide)
-//! built from plain `AtomicU64`s — recording is a single relaxed
-//! fetch-add on the hot path, snapshotting is lock-free, and p50/p95/p99
-//! come out of the cumulative bucket counts with bounded relative error.
+//! Latencies are recorded in microseconds into the lock-free log-bucketed
+//! [`Histogram`] from `ses-obs` (8 sub-buckets per power of two, so every
+//! bucket is at most 12.5% wide) — recording is a single relaxed fetch-add
+//! on the hot path, snapshotting is lock-free, and p50/p95/p99 come out of
+//! the cumulative bucket counts with bounded relative error. The report
+//! also folds in the span-stage latency distributions that the tracing
+//! layer accumulates process-wide ([`ses_obs::stage_latencies`]).
 
 use serde::{Deserialize, Serialize};
 use ses_core::EngineCounters;
+use ses_obs::StageLatency;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Sub-bucket resolution: 2^3 = 8 buckets per octave.
-const SUB_BITS: u32 = 3;
-const SUB: usize = 1 << SUB_BITS;
-
-/// Bucket count: values 0..8 map exactly, then 8 buckets per octave up to
-/// 2^40 µs (~13 days) — far beyond any request this server can serve.
-const N_BUCKETS: usize = SUB + (40 - SUB_BITS as usize) * SUB + 1;
-
-/// Which log bucket a microsecond value lands in.
-fn bucket_index(v: u64) -> usize {
-    let v = v.max(1);
-    let msb = 63 - v.leading_zeros();
-    if msb <= SUB_BITS {
-        return v as usize; // values 1..=15 map to their own index
-    }
-    let shift = msb - SUB_BITS;
-    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
-    (((msb - SUB_BITS) as usize) << SUB_BITS) + sub + SUB
-}
-
-/// The lower bound (µs) of a bucket, inverse of [`bucket_index`].
-fn bucket_lower_bound(idx: usize) -> u64 {
-    if idx < 2 * SUB {
-        return idx as u64;
-    }
-    let octave = (idx - SUB) >> SUB_BITS;
-    let sub = (idx - SUB) & (SUB - 1);
-    ((SUB + sub) as u64) << octave
-}
-
-/// A lock-free log-bucketed latency histogram (microsecond samples).
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&self, micros: u64) {
-        let idx = bucket_index(micros).min(N_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
-        self.max.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy for quantile extraction.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A frozen [`Histogram`].
-#[derive(Debug, Clone)]
-pub struct HistogramSnapshot {
-    buckets: Vec<u64>,
-    /// Total samples.
-    pub count: u64,
-    /// Sum of all samples (µs).
-    pub sum: u64,
-    /// Largest sample (µs).
-    pub max: u64,
-}
-
-impl HistogramSnapshot {
-    /// Merges another snapshot into this one (for aggregating per-worker
-    /// histograms in the load generator).
-    pub fn merge(&mut self, other: &HistogramSnapshot) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// The `q`-quantile (e.g. `0.99`) in µs: the lower bound of the first
-    /// bucket whose cumulative count reaches `ceil(q · count)`. Zero when
-    /// the histogram is empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_lower_bound(idx).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Mean sample (µs).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-}
+pub use ses_obs::{Histogram, HistogramSnapshot};
 
 /// The endpoints the server tracks latencies for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,12 +35,14 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /trace/{id}`
+    Trace,
     /// Anything that did not route (404s, bad methods, parse-level 400s).
     Other,
 }
 
 /// All endpoints, in display order.
-pub const ENDPOINTS: [Endpoint; 9] = [
+pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Solve,
     Endpoint::Eval,
     Endpoint::Open,
@@ -175,6 +51,7 @@ pub const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::Close,
     Endpoint::Healthz,
     Endpoint::Metrics,
+    Endpoint::Trace,
     Endpoint::Other,
 ];
 
@@ -190,6 +67,7 @@ impl Endpoint {
             Endpoint::Close => "close",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Trace => "trace",
             Endpoint::Other => "other",
         }
     }
@@ -204,7 +82,7 @@ impl Endpoint {
 /// handler; every member is atomic.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    latencies: [Histogram; 9],
+    latencies: [Histogram; 10],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
@@ -253,6 +131,72 @@ impl ServerMetrics {
     pub fn requests_5xx(&self) -> u64 {
         self.status_5xx.load(Ordering::Relaxed)
     }
+}
+
+/// Live occupancy gauges for one shard worker, shared between the dispatch
+/// side (which counts enqueues) and the worker loop (which counts dequeues
+/// and service time). All relaxed atomics: these are monitoring gauges, and
+/// a reader racing a writer sees a value that was true a moment ago.
+#[derive(Debug, Default)]
+pub struct ShardGauge {
+    depth: AtomicU64,
+    handled: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl ShardGauge {
+    /// Notes one enqueued request and returns the queue depth *including*
+    /// it — the depth the request observed on arrival.
+    pub fn enqueued(&self) -> u64 {
+        self.depth.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Notes a request leaving the queue after `queue_ns` waiting, then
+    /// being served for `busy_ns`.
+    pub fn served(&self, busy_ns: u64) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        self.handled.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+    }
+
+    /// Notes an enqueue that never reached the worker (the shard's sender
+    /// was already closed during shutdown).
+    pub fn abandoned(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently queued (or in service) on this shard.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Requests this shard has finished serving.
+    pub fn handled(&self) -> u64 {
+        self.handled.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative service time (µs) this shard has spent on requests.
+    pub fn busy_micros(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed) / 1_000
+    }
+}
+
+/// One shard's line in the `/metrics` report: live queue state plus the
+/// session accounting its worker reported.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: u64,
+    /// Requests currently queued (or in service) on this shard.
+    pub queue_depth: u64,
+    /// Requests this shard has finished serving.
+    pub handled: u64,
+    /// Cumulative service time (µs).
+    pub busy_micros: u64,
+    /// Open sessions on this shard.
+    pub sessions: u64,
+    /// Session events applied on this shard.
+    pub events_applied: u64,
 }
 
 /// One endpoint's latency line in the `/metrics` report.
@@ -330,67 +274,18 @@ pub struct MetricsReport {
     pub endpoints: Vec<EndpointLatency>,
     /// Engine-side totals across all shards' sessions.
     pub engine: EngineTotals,
+    /// Per-shard queue depth / occupancy / session gauges.
+    #[serde(default)]
+    pub shards_detail: Vec<ShardStatus>,
+    /// Process-wide span-stage latency distributions (queue wait, service,
+    /// solve, engine phases, …) from the tracing layer.
+    #[serde(default)]
+    pub span_stages: Vec<StageLatency>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn buckets_are_monotone_and_tight() {
-        let mut last = 0;
-        for v in [0u64, 1, 2, 7, 8, 9, 15, 16, 100, 1000, 123_456, u64::MAX] {
-            let idx = bucket_index(v);
-            assert!(idx >= last || v == 0, "bucket index not monotone at {v}");
-            last = idx.max(last);
-            assert!(idx < N_BUCKETS || v > 1 << 40);
-            // The lower bound of the bucket never exceeds the value.
-            assert!(bucket_lower_bound(idx.min(N_BUCKETS - 1)) <= v.max(1));
-        }
-        // Small values are exact.
-        for v in 1u64..16 {
-            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
-        }
-    }
-
-    #[test]
-    fn quantiles_bound_the_samples() {
-        let h = Histogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let snap = h.snapshot();
-        assert_eq!(snap.count, 1000);
-        assert_eq!(snap.max, 1000);
-        let p50 = snap.quantile(0.50);
-        let p99 = snap.quantile(0.99);
-        // Log-bucket lower bounds: within one bucket (12.5%) below the true
-        // quantile, never above it.
-        assert!((437..=500).contains(&p50), "p50 = {p50}");
-        assert!((866..=990).contains(&p99), "p99 = {p99}");
-        assert!(snap.quantile(1.0) <= snap.max);
-        assert!((snap.mean() - 500.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zero() {
-        let snap = Histogram::new().snapshot();
-        assert_eq!(snap.quantile(0.99), 0);
-        assert_eq!(snap.mean(), 0.0);
-    }
-
-    #[test]
-    fn merge_accumulates() {
-        let a = Histogram::new();
-        let b = Histogram::new();
-        a.record(10);
-        b.record(1000);
-        let mut snap = a.snapshot();
-        snap.merge(&b.snapshot());
-        assert_eq!(snap.count, 2);
-        assert_eq!(snap.max, 1000);
-        assert_eq!(snap.sum, 1010);
-    }
 
     #[test]
     fn server_metrics_track_status_classes() {
@@ -407,5 +302,18 @@ mod tests {
         let event = lines.iter().find(|l| l.endpoint == "event").unwrap();
         assert_eq!(event.count, 2);
         assert_eq!(event.max_micros, 10);
+    }
+
+    #[test]
+    fn shard_gauges_track_depth_and_occupancy() {
+        let g = ShardGauge::default();
+        assert_eq!(g.enqueued(), 1);
+        assert_eq!(g.enqueued(), 2);
+        assert_eq!(g.depth(), 2);
+        g.served(3_000);
+        g.served(1_500);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.handled(), 2);
+        assert_eq!(g.busy_micros(), 4);
     }
 }

@@ -13,6 +13,15 @@
 //!   mutable state, so there is no global lock anywhere on the request
 //!   path.
 //!
+//! Every request is traced (see `DESIGN.md` §9): a valid inbound
+//! `x-ses-trace-id` header is honored, anything else gets a fresh id, and
+//! the id is echoed on the response. The connection handler records
+//! `request`/`parse`/`respond` spans, the shard worker adds
+//! `queue`/`service`, and the engine layers below add their own — the whole
+//! timeline is queryable at `GET /trace/{id}` while it is still in the
+//! rings, and requests slower than [`ServerConfig::slow_request_millis`]
+//! dump it to the structured log.
+//!
 //! Shutdown is cooperative: a control flag (from [`ServerHandle::shutdown`]
 //! or a SIGTERM/SIGINT handler installed via
 //! [`install_signal_handlers`]) stops the acceptor, connection handlers
@@ -22,10 +31,13 @@
 //! [`SchedulerService`]: ses_service::SchedulerService
 
 use crate::http::{self, RecvError};
-use crate::metrics::{Endpoint, EngineTotals, MetricsReport, ServerMetrics};
+use crate::metrics::{
+    Endpoint, EngineTotals, MetricsReport, ServerMetrics, ShardGauge, ShardStatus,
+};
 use crate::shard::{run_shard, shard_of, ApiError, ShardMsg, ShardOp, ShardReply};
 use serde::{Deserialize, Serialize};
 use ses_core::testkit::workload_instance;
+use ses_obs::{Level, OpsDelta, Stage, TraceId};
 use ses_service::{EvalRequest, SessionEvent, SessionOpen, SolveRequest};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +59,9 @@ pub struct ServerConfig {
     pub io_threads: usize,
     /// Largest accepted request body; longer bodies get `413`.
     pub max_body_bytes: usize,
+    /// Requests slower than this dump their span timeline to the log at
+    /// `warn` level.
+    pub slow_request_millis: u64,
     /// Users in the workload instance (see
     /// [`ses_core::testkit::workload_instance`]).
     pub users: usize,
@@ -65,6 +80,7 @@ impl Default for ServerConfig {
             shards: 4,
             io_threads: 8,
             max_body_bytes: 1 << 20,
+            slow_request_millis: 250,
             users: 400,
             events: 60,
             intervals: 24,
@@ -90,6 +106,52 @@ pub struct HealthReport {
     pub seed: u64,
     /// Shard workers serving sessions.
     pub shards: u64,
+}
+
+/// The `GET /trace/{id}` response body: one request's span timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// The trace id, wire form (16 hex digits).
+    pub trace: String,
+    /// Spans still in the rings for this trace.
+    pub span_count: u64,
+    /// Wall span of the timeline: last end minus first start (ns).
+    pub total_nanos: u64,
+    /// The spans, sorted by start time (parents before children).
+    pub spans: Vec<SpanView>,
+}
+
+/// One span of a [`TraceReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanView {
+    /// Stage label (`request`, `queue`, `service`, `solve`, `select`, …).
+    pub stage: String,
+    /// Start, nanoseconds since the process epoch.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Engine-operation delta attributed to this span.
+    pub ops: OpsDelta,
+    /// First stage-specific auxiliary counter (see [`ses_obs::Stage`]).
+    pub aux_a: u64,
+    /// Second stage-specific auxiliary counter.
+    pub aux_b: u64,
+    /// Thread that recorded the span.
+    pub thread: String,
+}
+
+impl From<&ses_obs::SpanRecord> for SpanView {
+    fn from(s: &ses_obs::SpanRecord) -> Self {
+        Self {
+            stage: s.stage.label().to_owned(),
+            start_nanos: s.start_ns,
+            dur_nanos: s.dur_ns,
+            ops: s.ops,
+            aux_a: s.aux[0],
+            aux_b: s.aux[1],
+            thread: s.thread.clone(),
+        }
+    }
 }
 
 /// Set by the SIGTERM/SIGINT handler; checked by the acceptor and every
@@ -129,11 +191,14 @@ pub fn signal_shutdown_requested() -> bool {
 struct ServerState {
     ctrl_shutdown: AtomicBool,
     max_body_bytes: usize,
+    slow_request_micros: u64,
     shards: usize,
     round_robin: AtomicUsize,
     overflow_active: AtomicUsize,
     started: Instant,
     metrics: ServerMetrics,
+    /// One gauge per shard, shared with that shard's worker thread.
+    gauges: Vec<Arc<ShardGauge>>,
     health: HealthReport,
 }
 
@@ -162,6 +227,7 @@ impl ServerHandle {
     /// every thread to drain: in-flight requests finish, new connections
     /// are no longer accepted.
     pub fn shutdown(self) {
+        ses_obs::log(Level::Info, "server", "shutdown requested", &[]);
         self.state.ctrl_shutdown.store(true, Ordering::SeqCst);
         self.join();
     }
@@ -179,6 +245,7 @@ impl ServerHandle {
         for shard in self.shard_threads {
             let _ = shard.join();
         }
+        ses_obs::log(Level::Info, "server", "stopped", &[]);
     }
 }
 
@@ -191,16 +258,20 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
 
     let inst = workload_instance(cfg.users, cfg.events, cfg.intervals, cfg.seed);
     let shards = cfg.shards.max(1);
+    let gauges: Vec<Arc<ShardGauge>> = (0..shards)
+        .map(|_| Arc::new(ShardGauge::default()))
+        .collect();
     let mut shard_senders = Vec::with_capacity(shards);
     let mut shard_threads = Vec::with_capacity(shards);
-    for i in 0..shards {
+    for (i, gauge) in gauges.iter().enumerate() {
         let (tx, rx) = mpsc::channel::<ShardMsg>();
         let inst = Arc::clone(&inst);
+        let gauge = Arc::clone(gauge);
         shard_senders.push(tx);
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("ses-shard-{i}"))
-                .spawn(move || run_shard(inst, rx))
+                .spawn(move || run_shard(inst, rx, i, gauge))
                 .expect("spawn shard worker"),
         );
     }
@@ -208,11 +279,13 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let state = Arc::new(ServerState {
         ctrl_shutdown: AtomicBool::new(false),
         max_body_bytes: cfg.max_body_bytes,
+        slow_request_micros: cfg.slow_request_millis.saturating_mul(1_000),
         shards,
         round_robin: AtomicUsize::new(0),
         overflow_active: AtomicUsize::new(0),
         started: Instant::now(),
         metrics: ServerMetrics::new(),
+        gauges,
         health: HealthReport {
             status: "ok".to_owned(),
             users: cfg.users as u64,
@@ -255,6 +328,18 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         })
         .expect("spawn acceptor");
 
+    ses_obs::log(
+        Level::Info,
+        "server",
+        "listening",
+        &[
+            ("addr", addr.to_string().into()),
+            ("shards", shards.into()),
+            ("io_threads", cfg.io_threads.max(1).into()),
+            ("slow_request_millis", cfg.slow_request_millis.into()),
+        ],
+    );
+
     Ok(ServerHandle {
         addr,
         state,
@@ -282,6 +367,15 @@ fn accept_loop(
                         let state2 = Arc::clone(&state);
                         let senders = shard_senders.clone();
                         state.overflow_active.fetch_add(1, Ordering::SeqCst);
+                        ses_obs::log(
+                            Level::Debug,
+                            "server",
+                            "pool saturated, spawning overflow handler",
+                            &[(
+                                "active",
+                                state.overflow_active.load(Ordering::SeqCst).into(),
+                            )],
+                        );
                         let spawned = std::thread::Builder::new()
                             .name("ses-conn-overflow".to_owned())
                             .spawn(move || {
@@ -349,6 +443,17 @@ fn serve_connection(
         };
 
         let start = Instant::now();
+        // Honor a valid inbound trace id, mint one otherwise; everything
+        // recorded on this thread until the scope drops belongs to it.
+        let trace = head
+            .trace
+            .as_deref()
+            .and_then(TraceId::parse)
+            .unwrap_or_else(TraceId::generate);
+        let trace_hex = trace.to_string();
+        let _trace_guard = ses_obs::trace_scope(trace);
+        let mut request_span = ses_obs::span(Stage::Request);
+
         // Body-size cap *before* reading the body (satellite: oversized
         // ingestion is rejected up front with a structured 413).
         if head.content_length > state.max_body_bytes {
@@ -360,7 +465,14 @@ fn serve_connection(
                     head.content_length, state.max_body_bytes
                 ),
             );
-            let _ = http::write_response(&mut writer, err.status, &err.body(), false);
+            let _ = http::write_response_ex(
+                &mut writer,
+                err.status,
+                &err.body(),
+                false,
+                &[("x-ses-trace-id", trace_hex.as_str())],
+                false,
+            );
             state
                 .metrics
                 .record(Endpoint::Other, 413, start.elapsed().as_micros() as u64);
@@ -373,25 +485,87 @@ fn serve_connection(
         // its own, much longer deadline (the socket is shared with the
         // reader's cloned handle, so setting it on `writer` covers both).
         let _ = writer.set_read_timeout(Some(BODY_TIMEOUT));
-        let body = match http::read_body(&mut reader, head.content_length) {
-            Ok(body) => body,
-            Err(_) => break,
+        let body = {
+            let _parse_span = ses_obs::span(Stage::Parse);
+            match http::read_body(&mut reader, head.content_length) {
+                Ok(body) => body,
+                Err(_) => break,
+            }
         };
         let _ = writer.set_read_timeout(Some(IDLE_POLL));
 
-        let (endpoint, result) = route(state, shard_senders, &head.method, &head.path, &body);
-        let (status, response_body) = match result {
-            Ok(body) => (200, body),
-            Err(e) => (e.status, e.body()),
+        // OPTIONS answers with the route's Allow list; HEAD routes as GET
+        // and sends headers only (both satellites: no more blanket 405/404
+        // on known routes).
+        let (endpoint, status, response_body, allow) = if head.method == "OPTIONS" {
+            match allow_for(&head.path) {
+                Some((endpoint, allow)) => (
+                    endpoint,
+                    200,
+                    format!("{{\"allow\":\"{allow}\"}}"),
+                    Some(allow),
+                ),
+                None => {
+                    let err = ApiError::new(
+                        404,
+                        "unknown_route",
+                        format!("no route for OPTIONS {}", head.path),
+                    );
+                    (Endpoint::Other, err.status, err.body(), None)
+                }
+            }
+        } else {
+            let method = if head.method == "HEAD" {
+                "GET"
+            } else {
+                head.method.as_str()
+            };
+            let (endpoint, result) = route(state, shard_senders, method, &head.path, &body, trace);
+            let (status, response_body) = match result {
+                Ok(body) => (200, body),
+                Err(e) => (e.status, e.body()),
+            };
+            (endpoint, status, response_body, None)
         };
+
         let keep_alive = head.keep_alive && !state.shutting_down();
-        if http::write_response(&mut writer, status, &response_body, keep_alive).is_err() {
-            break;
+        let mut extra_headers: Vec<(&str, &str)> = vec![("x-ses-trace-id", trace_hex.as_str())];
+        if let Some(allow) = allow {
+            extra_headers.push(("Allow", allow));
         }
-        state
-            .metrics
-            .record(endpoint, status, start.elapsed().as_micros() as u64);
-        if !keep_alive {
+        let written = {
+            let _respond_span = ses_obs::span(Stage::Respond);
+            http::write_response_ex(
+                &mut writer,
+                status,
+                &response_body,
+                keep_alive,
+                &extra_headers,
+                head.method == "HEAD",
+            )
+        };
+
+        let micros = start.elapsed().as_micros() as u64;
+        request_span.set_aux(u64::from(status), 0);
+        drop(request_span); // recorded now, so the slow log sees it
+        state.metrics.record(endpoint, status, micros);
+        if micros >= state.slow_request_micros && ses_obs::log_enabled(Level::Warn) {
+            let timeline = ses_obs::format_trace(trace, &ses_obs::collect_trace(trace));
+            ses_obs::log(
+                Level::Warn,
+                "server",
+                "slow request",
+                &[
+                    ("method", head.method.as_str().into()),
+                    ("path", head.path.as_str().into()),
+                    ("status", status.into()),
+                    ("millis", (micros as f64 / 1e3).into()),
+                    ("trace", trace_hex.as_str().into()),
+                    ("timeline", timeline.into()),
+                ],
+            );
+        }
+        if written.is_err() || !keep_alive {
             break;
         }
     }
@@ -412,6 +586,7 @@ fn route(
     method: &str,
     path: &str,
     body: &str,
+    trace: TraceId,
 ) -> (Endpoint, Result<String, ApiError>) {
     let path = path.split('?').next().unwrap_or(path);
     match (method, path) {
@@ -419,24 +594,30 @@ fn route(
             let body = serde_json::to_string(&state.health).expect("plain data serializes");
             (Endpoint::Healthz, Ok(body))
         }
-        ("GET", "/metrics") => (Endpoint::Metrics, metrics_report(state, shard_senders)),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            metrics_report(state, shard_senders, trace),
+        ),
+        ("GET", p) if p.starts_with("/trace/") => {
+            (Endpoint::Trace, trace_report(&p["/trace/".len()..]))
+        }
         ("POST", "/solve") => {
             let result = parse_body::<SolveRequest>(body, "SolveRequest").and_then(|req| {
                 let shard = state.round_robin.fetch_add(1, Ordering::Relaxed) % state.shards;
-                dispatch(shard_senders, shard, ShardOp::Solve(req))
+                dispatch(state, shard_senders, shard, ShardOp::Solve(req), trace)
             });
             (Endpoint::Solve, result)
         }
         ("POST", "/eval") => {
             let result = parse_body::<EvalRequest>(body, "EvalRequest").and_then(|req| {
                 let shard = state.round_robin.fetch_add(1, Ordering::Relaxed) % state.shards;
-                dispatch(shard_senders, shard, ShardOp::Eval(req))
+                dispatch(state, shard_senders, shard, ShardOp::Eval(req), trace)
             });
             (Endpoint::Eval, result)
         }
         _ => match session_route(path) {
             Some((name, action)) if method == "POST" => {
-                let shard = shard_of(name, state.shards);
+                let shard = shard_of(&name, state.shards);
                 let op = match action {
                     "open" => parse_body::<SessionOpen>(body, "SessionOpen").and_then(|open| {
                         if open.name != name {
@@ -454,16 +635,12 @@ fn route(
                     }),
                     "event" => parse_body::<SessionEvent>(body, "SessionEvent").map(|event| {
                         ShardOp::Event {
-                            name: name.to_owned(),
+                            name: name.clone(),
                             event,
                         }
                     }),
-                    "report" => Ok(ShardOp::Report {
-                        name: name.to_owned(),
-                    }),
-                    "close" => Ok(ShardOp::Close {
-                        name: name.to_owned(),
-                    }),
+                    "report" => Ok(ShardOp::Report { name: name.clone() }),
+                    "close" => Ok(ShardOp::Close { name: name.clone() }),
                     other => Err(ApiError::new(
                         404,
                         "unknown_route",
@@ -479,7 +656,7 @@ fn route(
                 };
                 (
                     endpoint,
-                    op.and_then(|op| dispatch(shard_senders, shard, op)),
+                    op.and_then(|op| dispatch(state, shard_senders, shard, op, trace)),
                 )
             }
             Some(_) => (
@@ -502,29 +679,118 @@ fn route(
     }
 }
 
-/// Splits `/sessions/{name}/{action}` (non-empty name, no deeper nesting).
-fn session_route(path: &str) -> Option<(&str, &str)> {
+/// Builds the `GET /trace/{id}` response: bad ids are 400, traces with no
+/// spans left in the rings (never seen, or evicted by wrapping) are 404.
+fn trace_report(raw: &str) -> Result<String, ApiError> {
+    let Some(id) = TraceId::parse(raw) else {
+        return Err(ApiError::new(
+            400,
+            "bad_trace_id",
+            format!("'{raw}' is not a trace id (1-16 hex digits, non-zero)"),
+        ));
+    };
+    let spans = ses_obs::collect_trace(id);
+    if spans.is_empty() {
+        return Err(ApiError::new(
+            404,
+            "unknown_trace",
+            format!("trace {id} has no recorded spans (never seen, or evicted)"),
+        ));
+    }
+    let origin = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let end = spans.iter().map(|s| s.end_ns()).max().unwrap_or(origin);
+    let report = TraceReport {
+        trace: id.to_string(),
+        span_count: spans.len() as u64,
+        total_nanos: end.saturating_sub(origin),
+        spans: spans.iter().map(SpanView::from).collect(),
+    };
+    serde_json::to_string(&report).map_err(|e| ApiError::new(500, "serialize", e.to_string()))
+}
+
+/// The `Allow` list for a known route (`None` = 404). Used by the OPTIONS
+/// handler.
+fn allow_for(path: &str) -> Option<(Endpoint, &'static str)> {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/healthz" => Some((Endpoint::Healthz, "GET, HEAD, OPTIONS")),
+        "/metrics" => Some((Endpoint::Metrics, "GET, HEAD, OPTIONS")),
+        "/solve" => Some((Endpoint::Solve, "POST, OPTIONS")),
+        "/eval" => Some((Endpoint::Eval, "POST, OPTIONS")),
+        p if p.starts_with("/trace/") && !p["/trace/".len()..].is_empty() => {
+            Some((Endpoint::Trace, "GET, HEAD, OPTIONS"))
+        }
+        p => {
+            let (_, action) = session_route(p)?;
+            let endpoint = match action {
+                "open" => Endpoint::Open,
+                "event" => Endpoint::Event,
+                "report" => Endpoint::Report,
+                "close" => Endpoint::Close,
+                _ => return None,
+            };
+            Some((endpoint, "POST, OPTIONS"))
+        }
+    }
+}
+
+/// Decodes `%XX` percent-escapes (no `+`-to-space: this is a path segment,
+/// not a query string). `None` on truncated/invalid escapes or non-UTF-8.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+            let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Splits `/sessions/{name}/{action}` (non-empty name, no deeper nesting)
+/// and percent-decodes the name, so clients can use session names with
+/// spaces or non-ASCII characters in URL paths.
+fn session_route(path: &str) -> Option<(String, &str)> {
     let rest = path.strip_prefix("/sessions/")?;
     let (name, action) = rest.split_once('/')?;
     if name.is_empty() || action.is_empty() || action.contains('/') {
         return None;
     }
+    let name = percent_decode(name)?;
     Some((name, action))
 }
 
-/// Sends one op to one shard and waits for its reply.
+/// Sends one op to one shard and waits for its reply. The message carries
+/// the request's trace id and enqueue timestamp so the shard can record the
+/// queue-wait span and attribute its work to the trace.
 fn dispatch(
+    state: &ServerState,
     shard_senders: &[mpsc::Sender<ShardMsg>],
     shard: usize,
     op: ShardOp,
+    trace: TraceId,
 ) -> Result<String, ApiError> {
     let (reply_tx, reply_rx) = mpsc::channel();
-    shard_senders[shard]
-        .send(ShardMsg {
-            op,
-            reply: reply_tx,
-        })
-        .map_err(|_| ApiError::new(503, "shutting_down", "shard worker is gone"))?;
+    let gauge = &state.gauges[shard];
+    let depth = gauge.enqueued();
+    let sent = shard_senders[shard].send(ShardMsg {
+        op,
+        reply: reply_tx,
+        trace: trace.raw(),
+        enqueued_ns: ses_obs::now_ns(),
+        depth,
+    });
+    if sent.is_err() {
+        gauge.abandoned();
+        return Err(ApiError::new(503, "shutting_down", "shard worker is gone"));
+    }
     match reply_rx.recv() {
         Ok(ShardReply::Ok(body)) => Ok(body),
         Ok(ShardReply::Err(e)) => Err(e),
@@ -537,26 +803,43 @@ fn dispatch(
     }
 }
 
-/// Builds the `/metrics` body: server-side request accounting plus engine
-/// totals gathered from every shard.
+/// Builds the `/metrics` body: server-side request accounting, per-shard
+/// gauges, engine totals gathered from every shard, and the process-wide
+/// span-stage latency distributions.
 fn metrics_report(
     state: &ServerState,
     shard_senders: &[mpsc::Sender<ShardMsg>],
+    trace: TraceId,
 ) -> Result<String, ApiError> {
     let mut engine = EngineTotals::default();
+    let mut shards_detail = Vec::with_capacity(shard_senders.len());
     for (shard, sender) in shard_senders.iter().enumerate() {
         let (reply_tx, reply_rx) = mpsc::channel();
-        if sender
-            .send(ShardMsg {
-                op: ShardOp::Stats,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
+        let gauge = &state.gauges[shard];
+        let depth = gauge.enqueued();
+        let sent = sender.send(ShardMsg {
+            op: ShardOp::Stats,
+            reply: reply_tx,
+            trace: trace.raw(),
+            enqueued_ns: ses_obs::now_ns(),
+            depth,
+        });
+        if sent.is_err() {
+            gauge.abandoned();
             continue; // shard already drained during shutdown
         }
         match reply_rx.recv() {
-            Ok(ShardReply::Stats(totals)) => engine.merge(&totals),
+            Ok(ShardReply::Stats(totals)) => {
+                engine.merge(&totals);
+                shards_detail.push(ShardStatus {
+                    shard: shard as u64,
+                    queue_depth: gauge.depth(),
+                    handled: gauge.handled(),
+                    busy_micros: gauge.busy_micros(),
+                    sessions: totals.sessions,
+                    events_applied: totals.events_applied,
+                });
+            }
             Ok(_) => {
                 return Err(ApiError::new(
                     500,
@@ -575,6 +858,8 @@ fn metrics_report(
         requests_5xx: state.metrics.requests_5xx(),
         endpoints: state.metrics.endpoint_latencies(),
         engine,
+        shards_detail,
+        span_stages: ses_obs::stage_latencies(),
     };
     serde_json::to_string(&report).map_err(|e| ApiError::new(500, "serialize", e.to_string()))
 }
@@ -585,14 +870,54 @@ mod tests {
 
     #[test]
     fn session_routes_parse() {
-        assert_eq!(session_route("/sessions/a/open"), Some(("a", "open")));
+        assert_eq!(
+            session_route("/sessions/a/open"),
+            Some(("a".to_owned(), "open"))
+        );
         assert_eq!(
             session_route("/sessions/lg-0-1/event"),
-            Some(("lg-0-1", "event"))
+            Some(("lg-0-1".to_owned(), "event"))
         );
         assert_eq!(session_route("/sessions//open"), None);
         assert_eq!(session_route("/sessions/a"), None);
         assert_eq!(session_route("/sessions/a/b/c"), None);
         assert_eq!(session_route("/solve"), None);
+    }
+
+    #[test]
+    fn session_names_are_percent_decoded() {
+        assert_eq!(
+            session_route("/sessions/caf%C3%A9%20night/report"),
+            Some(("café night".to_owned(), "report"))
+        );
+        // Truncated and invalid escapes do not route.
+        assert_eq!(session_route("/sessions/a%2/open"), None);
+        assert_eq!(session_route("/sessions/a%zz/open"), None);
+        // Invalid UTF-8 after decoding does not route.
+        assert_eq!(session_route("/sessions/%ff%fe/open"), None);
+    }
+
+    #[test]
+    fn allow_lists_cover_known_routes() {
+        assert_eq!(allow_for("/healthz").unwrap().1, "GET, HEAD, OPTIONS");
+        assert_eq!(allow_for("/solve").unwrap().1, "POST, OPTIONS");
+        assert_eq!(allow_for("/trace/00ff").unwrap().1, "GET, HEAD, OPTIONS");
+        assert_eq!(
+            allow_for("/sessions/a/event"),
+            Some((Endpoint::Event, "POST, OPTIONS"))
+        );
+        assert_eq!(allow_for("/sessions/a/nope"), None);
+        assert_eq!(allow_for("/nope"), None);
+    }
+
+    #[test]
+    fn trace_reports_reject_bad_ids_and_unknown_traces() {
+        let bad = trace_report("not-hex").unwrap_err();
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.kind, "bad_trace_id");
+        // A valid id that was never recorded anywhere: 404.
+        let miss = trace_report("00000000deadbeef").unwrap_err();
+        assert_eq!(miss.status, 404);
+        assert_eq!(miss.kind, "unknown_trace");
     }
 }

@@ -5,8 +5,14 @@
 //! one session lands on the same shard in arrival order; stateless
 //! `solve`/`eval` requests round-robin across shards. The only shared
 //! state between shards is the immutable `Arc<SesInstance>`.
+//!
+//! Every message carries its request's trace id and enqueue timestamp: the
+//! worker records a `queue` span for the time the message waited and runs
+//! the operation inside that trace's scope, so engine-internal spans
+//! (solve, select, apply, repair, …) recorded on the shard thread attach to
+//! the originating HTTP request.
 
-use crate::metrics::EngineTotals;
+use crate::metrics::{EngineTotals, ShardGauge};
 use serde::{Deserialize, Serialize};
 use ses_core::SesInstance;
 use ses_service::{
@@ -84,10 +90,18 @@ pub(crate) enum ShardReply {
     Stats(EngineTotals),
 }
 
-/// One queued request plus its reply channel.
+/// One queued request plus its reply channel and trace context.
 pub(crate) struct ShardMsg {
     pub op: ShardOp,
     pub reply: mpsc::Sender<ShardReply>,
+    /// Raw trace id of the originating request (`0` = untraced internal
+    /// work, e.g. the metrics gatherer's `Stats` probes).
+    pub trace: u64,
+    /// [`ses_obs::now_ns`] at enqueue — the shard derives the queue-wait
+    /// span from it.
+    pub enqueued_ns: u64,
+    /// Queue depth observed at enqueue (including this message).
+    pub depth: u64,
 }
 
 /// Maps service-level failures to HTTP statuses: unknown names are 404,
@@ -132,9 +146,27 @@ fn stats_of(service: &SchedulerService) -> EngineTotals {
 
 /// The shard worker loop: owns its service, drains its queue, exits when
 /// every sender (acceptor + connection handlers) is gone.
-pub(crate) fn run_shard(inst: Arc<SesInstance>, rx: mpsc::Receiver<ShardMsg>) {
+pub(crate) fn run_shard(
+    inst: Arc<SesInstance>,
+    rx: mpsc::Receiver<ShardMsg>,
+    shard: usize,
+    gauge: Arc<ShardGauge>,
+) {
     let mut service = SchedulerService::new();
     while let Ok(msg) = rx.recv() {
+        // Attribute everything below — including engine-internal spans on
+        // this thread — to the originating request's trace.
+        let _scope = ses_obs::TraceId::from_raw(msg.trace).map(ses_obs::trace_scope);
+        let picked_ns = ses_obs::now_ns();
+        ses_obs::record_span(
+            ses_obs::Stage::Queue,
+            msg.enqueued_ns,
+            picked_ns.saturating_sub(msg.enqueued_ns),
+            ses_obs::OpsDelta::default(),
+            [msg.depth, shard as u64],
+        );
+        let mut service_span = ses_obs::span(ses_obs::Stage::Service);
+        service_span.set_aux(shard as u64, msg.depth);
         let reply = match msg.op {
             ShardOp::Solve(req) => json_reply(service.solve(&inst, &req)),
             ShardOp::Eval(req) => json_reply(service.evaluate(&inst, &req)),
@@ -144,6 +176,8 @@ pub(crate) fn run_shard(inst: Arc<SesInstance>, rx: mpsc::Receiver<ShardMsg>) {
             ShardOp::Close { name } => json_reply(service.close_session(&name)),
             ShardOp::Stats => ShardReply::Stats(stats_of(&service)),
         };
+        drop(service_span);
+        gauge.served(ses_obs::now_ns().saturating_sub(picked_ns));
         // A dropped reply receiver means the connection died mid-request;
         // the shard's state change (if any) stands, like any completed
         // request whose response was lost on the wire.

@@ -169,6 +169,7 @@ fn oversized_bodies_get_413_before_parsing() {
         events: 8,
         intervals: 4,
         seed: 1,
+        ..ServerConfig::default()
     })
     .unwrap();
     let mut client = client_of(&handle);

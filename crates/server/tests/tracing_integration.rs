@@ -1,0 +1,226 @@
+//! End-to-end tracing tests: trace-id propagation over the wire, the
+//! `/trace/{id}` endpoint, the enriched `/metrics` shape, and the HEAD /
+//! OPTIONS / percent-decoding satellites.
+//!
+//! Ring-capacity note: span rings are per-thread and sized at creation, so
+//! the eviction test lives in `trace_eviction.rs` (its own process) where
+//! it can shrink the default capacity before any server thread starts.
+
+use ses_server::{
+    serve, ErrorBody, HttpClient, MetricsReport, ServerConfig, ServerHandle, TraceReport,
+};
+
+fn test_server(shards: usize) -> ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        io_threads: 2,
+        users: 60,
+        events: 16,
+        intervals: 8,
+        seed: 7,
+        ..ServerConfig::default()
+    })
+    .expect("bind test server")
+}
+
+fn client_of(handle: &ServerHandle) -> HttpClient {
+    HttpClient::new(handle.addr().to_string())
+}
+
+#[test]
+fn responses_carry_a_trace_id_and_solves_are_traceable_end_to_end() {
+    let handle = test_server(2);
+    let mut client = client_of(&handle);
+    let (status, _) = client
+        .post("/solve", r#"{"spec":"Greedy","k":4,"threads":1}"#)
+        .unwrap();
+    assert_eq!(status, 200);
+    let trace = client
+        .last_trace_id()
+        .expect("response carries x-ses-trace-id")
+        .to_owned();
+    assert_eq!(trace.len(), 16, "wire form is 16 hex digits: {trace}");
+
+    // The whole pipeline is queryable while the spans are in the rings.
+    let (status, body) = client.get(&format!("/trace/{trace}")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report: TraceReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(report.trace, trace);
+    assert_eq!(report.span_count as usize, report.spans.len());
+    for stage in ["request", "queue", "service", "solve", "sweep", "select"] {
+        assert!(
+            report.spans.iter().any(|s| s.stage == stage),
+            "stage {stage} missing from {:?}",
+            report.spans.iter().map(|s| &s.stage).collect::<Vec<_>>()
+        );
+    }
+    // Engine counters are attributed to engine spans.
+    let solve = report.spans.iter().find(|s| s.stage == "solve").unwrap();
+    assert!(solve.ops.score_evaluations > 0);
+    assert!(solve.ops.assigns > 0);
+    // Spans come out sorted by start time.
+    let starts: Vec<u64> = report.spans.iter().map(|s| s.start_nanos).collect();
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    handle.shutdown();
+}
+
+#[test]
+fn inbound_trace_ids_are_honored_and_invalid_ones_replaced() {
+    let handle = test_server(1);
+    let addr = handle.addr().to_string();
+
+    // A raw request with a valid inbound id: the echo must match.
+    let send = |trace_header: &str| -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "GET /healthz HTTP/1.1\r\nHost: x\r\nx-ses-trace-id: {trace_header}\r\nConnection: close\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+            .lines()
+            .find_map(|l| l.strip_prefix("x-ses-trace-id: "))
+            .expect("trace header echoed")
+            .to_owned()
+    };
+
+    assert_eq!(send("00000000c0ffee42"), "00000000c0ffee42");
+    assert_eq!(send("c0ffee42"), "00000000c0ffee42", "short ids zero-pad");
+    let replaced = send("not-a-trace-id");
+    assert_ne!(replaced, "not-a-trace-id");
+    assert_eq!(replaced.len(), 16, "invalid ids get a fresh one");
+    assert_ne!(send("0"), "0000000000000000", "zero is reserved");
+    handle.shutdown();
+}
+
+#[test]
+fn trace_endpoint_misses_are_typed_404s_and_bad_ids_400s() {
+    let handle = test_server(1);
+    let mut client = client_of(&handle);
+    let (status, body) = client.get("/trace/1234deadbeef").unwrap();
+    assert_eq!(status, 404, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(err.kind, "unknown_trace");
+
+    let (status, body) = client.get("/trace/zzz").unwrap();
+    assert_eq!(status, 400, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(err.kind, "bad_trace_id");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_carry_shard_gauges_and_span_stage_lines() {
+    let handle = test_server(3);
+    let mut client = client_of(&handle);
+    for _ in 0..4 {
+        let (status, _) = client
+            .post("/solve", r#"{"spec":"Greedy","k":3,"threads":1}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, body) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    let report: MetricsReport = serde_json::from_str(&body).unwrap();
+
+    assert_eq!(report.shards_detail.len(), 3, "one line per shard");
+    for (i, line) in report.shards_detail.iter().enumerate() {
+        assert_eq!(line.shard, i as u64);
+        assert_eq!(line.queue_depth, 0, "idle server has empty queues");
+    }
+    let handled: u64 = report.shards_detail.iter().map(|s| s.handled).sum();
+    assert!(handled >= 4, "solves round-robined across shards");
+
+    // Span-stage lines cover the pipeline and are well-formed quantiles.
+    for stage in ["request", "queue", "service", "solve", "select"] {
+        let line = report
+            .span_stages
+            .iter()
+            .find(|l| l.stage == stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing"));
+        assert!(line.count > 0);
+        assert!(line.p50_micros <= line.p95_micros);
+        assert!(line.p95_micros <= line.p99_micros);
+        assert!(line.p99_micros <= line.max_micros);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn head_and_options_answer_on_known_routes() {
+    let handle = test_server(1);
+    let addr = handle.addr().to_string();
+    let raw = |request: &str| -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    // HEAD mirrors GET's status and Content-Length but sends no body.
+    let head = raw("HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let advertised: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(advertised > 0, "HEAD advertises the GET body length");
+    let after_headers = head.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(after_headers.is_empty(), "HEAD sends no body: {head}");
+
+    // OPTIONS answers with the Allow list instead of a 405/404.
+    let mut client = client_of(&handle);
+    for (path, expect) in [
+        ("/healthz", "GET, HEAD, OPTIONS"),
+        ("/solve", "POST, OPTIONS"),
+        ("/sessions/any/event", "POST, OPTIONS"),
+    ] {
+        let options = raw(&format!(
+            "OPTIONS {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(options.starts_with("HTTP/1.1 200"), "{path}: {options}");
+        let allow = options
+            .lines()
+            .find_map(|l| l.strip_prefix("Allow: "))
+            .unwrap_or_else(|| panic!("{path}: no Allow header in {options}"));
+        assert_eq!(allow.trim(), expect, "{path}");
+    }
+    // Unknown routes still 404 under OPTIONS.
+    let (status, _) = client.request("OPTIONS", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn percent_encoded_session_names_round_trip() {
+    let handle = test_server(2);
+    let mut client = client_of(&handle);
+    // The decoded name goes in the body; the encoded one in the path.
+    let open = r#"{"name":"café night","spec":"Greedy","k":3,"threads":1}"#;
+    let (status, body) = client
+        .post("/sessions/caf%C3%A9%20night/open", open)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client
+        .post("/sessions/caf%C3%A9%20night/report", "")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report: ses_service::SessionReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(report.name, "café night");
+    // Bad escapes do not route.
+    let (status, _) = client.post("/sessions/a%zz/report", "").unwrap();
+    assert_eq!(status, 404);
+    handle.shutdown();
+}

@@ -46,7 +46,10 @@ impl SchedulerService {
         inst: &Arc<SesInstance>,
         req: &SolveRequest,
     ) -> Result<SolveResponse, ServiceError> {
+        let mut span = ses_obs::span(ses_obs::Stage::Solve);
         let outcome = registry::build_threaded(req.spec, req.threads).run(inst, req.k)?;
+        span.set_ops(outcome.stats.engine.as_ops());
+        span.set_aux(outcome.stats.pops, outcome.stats.updates);
         Ok(SolveResponse::from_outcome(req.spec, &outcome))
     }
 
@@ -87,7 +90,11 @@ impl SchedulerService {
         if self.sessions.contains_key(&open.name) {
             return Err(ServiceError::SessionExists(open.name.clone()));
         }
+        let mut span = ses_obs::span(ses_obs::Stage::Solve);
         let outcome = registry::build_threaded(open.spec, open.threads).run(inst, open.k)?;
+        span.set_ops(outcome.stats.engine.as_ops());
+        span.set_aux(outcome.stats.pops, outcome.stats.updates);
+        drop(span);
         let session = OnlineSession::new(inst, &outcome.schedule)?;
         let response = SolveResponse::from_outcome(open.spec, &outcome);
         self.sessions.insert(
@@ -138,6 +145,8 @@ impl SchedulerService {
         // Validate against the instance before mutating anything.
         validate_event(entry.session.instance(), event)?;
         let session = &mut entry.session;
+        let mut span = ses_obs::span(ses_obs::Stage::Apply);
+        let counters_before = session.counters();
         let (applied, report): (bool, Option<RepairReport>) = match event {
             SessionEvent::Announce(a) => {
                 let r = session.announce_competing(a.interval, &a.postings);
@@ -165,6 +174,10 @@ impl SchedulerService {
                 None => (false, None),
             },
         };
+        span.set_ops(session.counters().delta_since(counters_before).as_ops());
+        let moves = report.as_ref().map_or(0, |r| r.moves.len() as u64);
+        span.set_aux(moves, u64::from(applied));
+        drop(span);
         entry.events_applied += 1;
         Ok(EventReport {
             applied,

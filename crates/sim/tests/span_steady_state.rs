@@ -1,0 +1,66 @@
+//! Property test: span recording is zero-allocation in steady state.
+//!
+//! The per-thread span ring is preallocated at first use and never grows —
+//! recording a span is a seqlock write into a fixed slot. Driving a full
+//! simulator run (announces, cancels, arrivals, capacity swings, all of
+//! which record `repair`/`rescore` spans through the engine layers) must
+//! therefore leave the ring's capacity bit-identical while its recorded
+//! count climbs, and every span recorded under a trace scope must carry
+//! that trace.
+
+use proptest::prelude::*;
+use ses_core::testkit::{random_instance, TestInstanceConfig};
+use ses_core::{GreedyScheduler, OnlineSession, Scheduler};
+use ses_sim::{scenario_by_name, Simulator, SCENARIO_NAMES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulator_runs_never_grow_the_span_ring(seed in any::<u64>(), steps in 20u64..120) {
+        let inst = random_instance(&TestInstanceConfig {
+            num_users: 40,
+            num_events: 12,
+            num_intervals: 6,
+            num_competing: 4,
+            num_locations: 4,
+            theta: 8.0,
+            xi_max: 3.0,
+            interest_density: 0.4,
+            seed,
+        });
+        let plan = GreedyScheduler::new().run(&inst, 6).unwrap();
+
+        let scenario = SCENARIO_NAMES[(seed % SCENARIO_NAMES.len() as u64) as usize];
+        let trace = ses_obs::TraceId::generate();
+        let (cap_before, recorded_before) = ses_obs::thread_ring_stats();
+        let summary = {
+            let _scope = ses_obs::trace_scope(trace);
+            let session = OnlineSession::new(&inst, &plan.schedule).unwrap();
+            let mut sim = Simulator::new(session, vec![scenario_by_name(scenario, seed).unwrap()]);
+            sim.withhold_fraction(0.25);
+            sim.run(steps)
+        };
+        let (cap_after, recorded_after) = ses_obs::thread_ring_stats();
+
+        // Steady state allocates nothing: same ring, same capacity.
+        prop_assert_eq!(cap_before, cap_after, "ring capacity changed");
+        prop_assert!(
+            recorded_after >= recorded_before + summary.applied,
+            "{scenario}: {} disruptions applied but only {} spans recorded",
+            summary.applied,
+            recorded_after - recorded_before
+        );
+
+        // Everything recorded in the scope carries the scope's trace.
+        let spans = ses_obs::collect_trace(trace);
+        prop_assert!(
+            spans.len() as u64 >= summary.applied.min(cap_after as u64),
+            "{scenario}: applied {} but trace holds {} spans (cap {})",
+            summary.applied,
+            spans.len(),
+            cap_after
+        );
+        prop_assert!(spans.iter().all(|s| s.trace == trace.raw()));
+    }
+}

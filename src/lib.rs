@@ -15,7 +15,11 @@
 //!   the online scheduler through the service facade;
 //! * [`server`] — the sharded concurrent HTTP/1.1 front end serving
 //!   the service wire types over `std::net`, with a built-in load
-//!   generator and a server-vs-simulator determinism check.
+//!   generator and a server-vs-simulator determinism check;
+//! * [`obs`] — the observability layer threaded through all of the
+//!   above: request trace ids, lock-free per-thread span rings from
+//!   socket accept down to the Eq. 4 kernel, stage latency
+//!   histograms, and leveled rate-limited structured logs.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper.
@@ -23,6 +27,7 @@
 pub use ses_core as core;
 pub use ses_datagen as datagen;
 pub use ses_ebsn as ebsn;
+pub use ses_obs as obs;
 pub use ses_server as server;
 pub use ses_service as service;
 pub use ses_sim as sim;
@@ -35,6 +40,7 @@ pub mod prelude {
     pub use ses_datagen::paper::PaperConfig;
     pub use ses_datagen::pipeline::{build_instance, BuiltInstance};
     pub use ses_ebsn::{generate, EbsnDataset, GeneratorConfig};
+    pub use ses_obs::{collect_trace, format_trace, span, trace_scope, Stage, TraceId};
     pub use ses_service::{
         SchedulerService, ServiceError, SessionEvent, SessionOpen, SolveRequest, SolveResponse,
     };
