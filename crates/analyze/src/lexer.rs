@@ -1,0 +1,422 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for lint
+//! scanning: comments are kept as tokens (the SAFETY-comment and inline
+//! `allow` pragmas live there), string/char literals are consumed so
+//! their contents can never fake a token, and lifetimes are separated
+//! from char literals. Everything the lints don't care about (numeric
+//! literal flavors, multi-char operators) degrades to single-character
+//! punctuation tokens.
+
+/// Token classes the lints consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `// …` (text includes the slashes).
+    LineComment,
+    /// `/* … */`, nesting handled (text includes delimiters).
+    BlockComment,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// A char literal `'x'` (escapes handled).
+    Char,
+    /// A lifetime `'a` (not a char literal).
+    Lifetime,
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A numeric literal (consumed wholesale, value irrelevant).
+    Number,
+    /// One punctuation character: `.`, `:`, `#`, `[`, `{`, `!`, ….
+    Punct,
+}
+
+/// One token with enough context to report and to match sequences.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Class.
+    pub kind: TokenKind,
+    /// Source text (comments keep their text; `Str` keeps only delimiters'
+    /// worth of placeholder to stay cheap).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens, which is fine for linting (the real
+/// compiler is the arbiter of validity).
+pub fn lex(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: source[start..i].to_owned(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = consume_string(b, i, &mut line);
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: "\"…\"".to_owned(),
+                    line,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                i = consume_prefixed_string(b, i, &mut line);
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: "\"…\"".to_owned(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime `'a` vs char literal `'a'`: a lifetime is a quote
+                // + ident-start NOT followed by a closing quote (except the
+                // escape and multi-byte cases, which are chars).
+                if is_lifetime(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_owned(),
+                        line,
+                    });
+                } else {
+                    i = consume_char_literal(b, i);
+                    out.push(Token {
+                        kind: TokenKind::Char,
+                        text: "'…'".to_owned(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                // Raw identifier prefix.
+                if c == b'r' && b.get(i + 1) == Some(&b'#') && ident_start(b.get(i + 2)) {
+                    i += 2;
+                }
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].trim_start_matches("r#").to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Numbers may contain `_`, hex/bin/oct letters, `.`, and
+                // exponent signs; consuming greedily is safe because a
+                // number is never adjacent to a token the lints match on.
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `0..10` — don't eat a range operator.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn ident_start(c: Option<&u8>) -> bool {
+    matches!(c, Some(c) if *c == b'_' || c.is_ascii_alphabetic())
+}
+
+/// Does `r…`, `b…`, or `c…` at `i` begin a (raw/byte/C) string literal?
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after_prefix = |s: &[u8]| -> bool {
+        // zero or more `#`, then `"`.
+        let mut j = 0;
+        while s.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        s.get(j) == Some(&b'"')
+    };
+    match rest.first() {
+        Some(b'r') | Some(b'c') => {
+            rest.get(1) == Some(&b'"') || (rest.get(1) == Some(&b'#') && after_prefix(&rest[1..]))
+        }
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => after_prefix(&rest[2..]),
+            Some(b'\'') => false, // byte char literal, handled by '\'' arm? no — see below
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Consumes a plain `"…"` string starting at the quote; returns the index
+/// after the closing quote.
+fn consume_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"` starting at the
+/// prefix letter.
+fn consume_prefixed_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b' || b[i] == b'c') {
+        if b[i] == b'r' {
+            raw = true;
+        }
+        i += 1;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a string; degrade gracefully
+    }
+    i += 1;
+    if !raw && hashes == 0 {
+        // b"…" / c"…": escapes apply.
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw: ends at `"` followed by the same number of hashes; no escapes.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = 0;
+            while j < hashes && b.get(i + 1 + j) == Some(&b'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `'a` (lifetime) vs `'a'` / `'\n'` (char literal), looking from the quote.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(c) if *c == b'_' || c.is_ascii_alphabetic() => {
+            // `'a'` is a char; `'a` / `'abc` (no closing quote after the
+            // ident run) is a lifetime.
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            b.get(j) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a char literal `'…'` starting at the quote.
+fn consume_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_survive_with_text() {
+        let toks = lex("// SAFETY: fine\nunsafe {}");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert!(toks[1].is_ident("unsafe"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `.unwrap()` inside a string must not produce ident tokens.
+        let toks = lex(r#"let s = "x.unwrap()";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_tokens() {
+        for src in [
+            r##"r#"panic!("x")"#"##,
+            r#"b"panic!()""#,
+            r###"br##"unsafe"##"###,
+        ] {
+            let toks = lex(src);
+            assert_eq!(
+                toks.iter().filter(|t| t.kind == TokenKind::Str).count(),
+                1,
+                "{src}"
+            );
+            assert!(
+                !toks
+                    .iter()
+                    .any(|t| t.is_ident("panic") || t.is_ident("unsafe")),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ unsafe");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[1].is_ident("unsafe"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let k = kinds("0..10");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Number,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Number
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        let toks = lex("r#fn");
+        assert!(toks[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let toks = lex("let s = \"a\nb\";\nunsafe");
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! # ses-analyze — workspace static analysis
+//!
+//! A hand-rolled Rust lexer plus a lightweight item/attribute scanner
+//! that walks every workspace source and `Cargo.toml` and enforces the
+//! project's cross-cutting invariants as named, individually
+//! `--allow`-able lints (see [`LINTS`]):
+//!
+//! * `atomics-confinement` — lock-free code stays in the audited,
+//!   model-checked modules;
+//! * `unsafe-needs-safety-comment` — every `unsafe` argues its safety;
+//! * `server-panic-discipline` — the request path answers errors, it
+//!   does not panic;
+//! * `wall-clock-in-core` — the deterministic layers never let wall
+//!   clocks steer decisions;
+//! * `external-deps` — the offline build only resolves workspace/path
+//!   dependencies (outside `crates/compat`).
+//!
+//! Individual sites opt out with a justification pragma:
+//! `// ses-analyze: allow(<lint>): <reason>` (suppresses that line and
+//! the next; unknown lint names are themselves findings). Test code
+//! (`#[cfg(test)]` / `#[test]` items) is exempt from the discipline
+//! lints.
+//!
+//! The `ses-analyze` binary is the CI gate: exit 0 and `"clean": true`
+//! in the JSON report, or a nonzero exit with every finding listed. The
+//! walker skips `target/` and lint fixture corpora (`tests/fixtures/`).
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod lexer;
+mod lints;
+mod manifest;
+mod report;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use lints::{analyze_source, is_known_lint, LintInfo, LINTS};
+pub use manifest::analyze_manifest;
+pub use report::{Analysis, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", ".claude"];
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            // Lint fixture corpora deliberately trip lints; they are
+            // scanned by the fixture tests, not the workspace gate.
+            if name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace at `root`, running every source and manifest lint.
+/// `allowed` lints are dropped from the result (recorded in
+/// [`Analysis::allowed`]).
+pub fn analyze_workspace(root: &Path, allowed: &[String]) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut analysis = Analysis {
+        allowed: allowed.to_vec(),
+        ..Analysis::default()
+    };
+    for path in files {
+        let rel = rel_path(root, &path);
+        let source = std::fs::read_to_string(&path)?;
+        let found = if rel.ends_with("Cargo.toml") {
+            analysis.manifests_scanned += 1;
+            analyze_manifest(&rel, &source)
+        } else {
+            analysis.files_scanned += 1;
+            analyze_source(&rel, &source)
+        };
+        analysis
+            .findings
+            .extend(found.into_iter().filter(|f| !allowed.contains(&f.lint)));
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(analysis)
+}

@@ -1,0 +1,129 @@
+//! The `ses-analyze` CLI — the workspace lint gate.
+//!
+//! ```text
+//! ses-analyze [--root DIR] [--format text|json] [--out FILE]
+//!             [--allow LINT]... [--list]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding survives the allows,
+//! 2 on usage or I/O errors. `--out` always writes the JSON report (for
+//! CI artifact upload) regardless of `--format`.
+
+use ses_analyze::{analyze_workspace, is_known_lint, LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    format: String,
+    out: Option<PathBuf>,
+    allow: Vec<String>,
+    list: bool,
+}
+
+fn usage() -> String {
+    "usage: ses-analyze [--root DIR] [--format text|json] [--out FILE] \
+     [--allow LINT]... [--list]"
+        .to_owned()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: "text".to_owned(),
+        out: None,
+        allow: Vec::new(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--root" => args.root = Some(PathBuf::from(value("--root")?)),
+            "--format" => {
+                args.format = value("--format")?;
+                if args.format != "text" && args.format != "json" {
+                    return Err("--format must be `text` or `json`".to_owned());
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--allow" => {
+                let name = value("--allow")?;
+                if !is_known_lint(&name) {
+                    return Err(format!("unknown lint `{name}` (see --list)"));
+                }
+                args.allow.push(name);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for l in LINTS {
+            println!(
+                "{:28} {}",
+                l.name,
+                l.description
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(root) = args.root.or_else(discover_root) else {
+        eprintln!("no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+    let analysis = match analyze_workspace(&root, &args.allow) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, analysis.to_json()) {
+            eprintln!("writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    match args.format.as_str() {
+        "json" => print!("{}", analysis.to_json()),
+        _ => print!("{}", analysis.to_text()),
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,170 @@
+//! The `external-deps` lint: a tiny line-oriented TOML section scanner
+//! for `Cargo.toml` files. The build environment is offline, so every
+//! dependency outside `crates/compat` must resolve inside the workspace:
+//! either `workspace = true` or an explicit `path = …`. A bare version
+//! requirement (`foo = "1.0"`) or a `{ version = … }` table without a
+//! path is a finding.
+//!
+//! Scanning is deliberately shallow — section headers, `key = value`
+//! lines, and `[dependencies.foo]` subsections — which covers everything
+//! Cargo accepts in this repo without dragging in a full TOML parser.
+
+use crate::report::Finding;
+
+fn is_dependency_section(header: &str) -> bool {
+    // `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+    // `[workspace.dependencies]`, `[target.'cfg(…)'.dependencies]`.
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header.ends_with(".dependencies")
+}
+
+/// A `[dependencies.foo]`-style subsection: returns `foo`.
+fn dependency_subsection(header: &str) -> Option<&str> {
+    let (prefix, name) = header.rsplit_once('.')?;
+    is_dependency_section(prefix).then_some(name)
+}
+
+fn value_is_workspace_local(value: &str) -> bool {
+    // `{ workspace = true }`, `{ path = "…" }`, or the bare
+    // `foo.workspace = true` dotted-key form handled by the caller.
+    value.contains("workspace") || value.contains("path")
+}
+
+/// Scans one manifest. `path` is repo-relative with `/` separators;
+/// manifests under `crates/compat/` are exempt (the shims ARE the
+/// dependency boundary).
+pub fn analyze_manifest(path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if path.starts_with("crates/compat/") {
+        return findings;
+    }
+    let mut section = String::new();
+    // Open `[dependencies.foo]` subsection: (name, header line, saw local key).
+    let mut open_subsection: Option<(String, usize, bool)> = None;
+    let close_subsection = |sub: &mut Option<(String, usize, bool)>,
+                            findings: &mut Vec<Finding>| {
+        if let Some((name, line, local)) = sub.take() {
+            if !local {
+                findings.push(Finding {
+                    lint: "external-deps".to_owned(),
+                    file: path.to_owned(),
+                    line,
+                    message: format!(
+                        "dependency `{name}` has no `path`/`workspace` key — the offline \
+                             build cannot resolve registry dependencies"
+                    ),
+                });
+            }
+        }
+    };
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_start_matches('[');
+            let header = header.trim_end_matches(']').trim().trim_matches('"');
+            close_subsection(&mut open_subsection, &mut findings);
+            if let Some(name) = dependency_subsection(header) {
+                open_subsection = Some((name.to_owned(), line_no, false));
+                section.clear();
+            } else {
+                section = header.to_owned();
+            }
+            continue;
+        }
+        if let Some((_, _, local)) = open_subsection.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || key == "workspace" {
+                *local = true;
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // Dotted forms: `foo.workspace = true` / `foo.path = "…"`.
+        if key.ends_with(".workspace") || key.ends_with(".path") {
+            continue;
+        }
+        if !value_is_workspace_local(value) {
+            findings.push(Finding {
+                lint: "external-deps".to_owned(),
+                file: path.to_owned(),
+                line: line_no,
+                message: format!(
+                    "dependency `{key}` = {value} is not `workspace = true` or a `path` \
+                     dependency — the offline build cannot resolve registry dependencies"
+                ),
+            });
+        }
+    }
+    close_subsection(&mut open_subsection, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_version_is_flagged() {
+        let f = analyze_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nserde.workspace = true\nrand = \"0.8\"\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("rand"));
+    }
+
+    #[test]
+    fn workspace_path_and_dotted_forms_pass() {
+        let f = analyze_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\na = { workspace = true }\nb = { path = \"../b\" }\nc.workspace = true\n\n[dev-dependencies]\nd.workspace = true\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn subsection_without_path_is_flagged() {
+        let f = analyze_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies.foo]\nversion = \"1\"\nfeatures = [\"x\"]\n",
+        );
+        assert_eq!(f.len(), 1);
+        let ok = analyze_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies.foo]\npath = \"../foo\"\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn compat_manifests_are_exempt() {
+        let f = analyze_manifest(
+            "crates/compat/rand/Cargo.toml",
+            "[dependencies]\nlibc = \"0.2\"\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let f = analyze_manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[lints.rust]\nfoo = \"warn\"\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

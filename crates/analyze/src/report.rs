@@ -1,0 +1,136 @@
+//! Findings and their renderings: stable JSON for machines (the CI gate
+//! and its uploaded artifact) and aligned text for humans. JSON is
+//! hand-emitted — the shape is flat and fixed, and keeping this crate
+//! dependency-free means the linter can never be broken by the code it
+//! lints.
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (kebab-case; `unknown-pragma` for pragma errors).
+    pub lint: String,
+    /// Repo-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A whole run: what was scanned and what was found.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// All findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Rust sources scanned.
+    pub files_scanned: usize,
+    /// Manifests scanned.
+    pub manifests_scanned: usize,
+    /// Lints disabled for this run via `--allow`.
+    pub allowed: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Analysis {
+    /// The machine-readable report (stable keys; one finding per array
+    /// element; `clean` is the gate bit CI checks).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.findings.is_empty()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"manifests_scanned\": {},\n",
+            self.manifests_scanned
+        ));
+        out.push_str(&format!(
+            "  \"allowed\": [{}],\n",
+            self.allowed
+                .iter()
+                .map(|a| format!("\"{}\"", json_escape(a)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(&f.lint),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// The human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.lint, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s) across {} source file(s) and {} manifest(s)",
+            self.findings.len(),
+            self.files_scanned,
+            self.manifests_scanned
+        ));
+        if !self.allowed.is_empty() {
+            out.push_str(&format!(" (allowed: {})", self.allowed.join(", ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_reports_clean_bit() {
+        let a = Analysis {
+            findings: vec![Finding {
+                lint: "x".into(),
+                file: "a/b.rs".into(),
+                line: 3,
+                message: "quote \" and\nnewline".into(),
+            }],
+            files_scanned: 2,
+            manifests_scanned: 1,
+            allowed: vec!["y".into()],
+        };
+        let j = a.to_json();
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("quote \\\" and\\nnewline"));
+        assert!(j.contains("\"allowed\": [\"y\"]"));
+        let clean = Analysis::default().to_json();
+        assert!(clean.contains("\"clean\": true"));
+        assert!(clean.contains("\"findings\": []"));
+    }
+}

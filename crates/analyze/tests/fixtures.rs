@@ -1,0 +1,151 @@
+//! Self-test corpus for `ses-analyze`.
+//!
+//! Each fixture under `tests/fixtures/` is scanned with a *virtual*
+//! repo-relative path chosen to put it in the scope of exactly one lint,
+//! and the test asserts that precisely that lint (and nothing else)
+//! fires. A final integration test runs the full workspace walk on HEAD
+//! and asserts it is clean — the same gate CI enforces.
+
+use ses_analyze::{analyze_manifest, analyze_source, analyze_workspace, Finding};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn lint_names(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.lint.as_str()).collect()
+}
+
+/// Assert the findings are exactly one occurrence of `lint`.
+fn assert_exactly_one(findings: &[Finding], lint: &str) {
+    assert_eq!(
+        lint_names(findings),
+        vec![lint],
+        "expected exactly one `{lint}` finding, got: {findings:#?}"
+    );
+}
+
+#[test]
+fn fixture_atomics_outside_allowlist_trips_confinement() {
+    let src = fixture("atomics.rs");
+    // Outside the atomics allowlist: one finding per atomic-type token.
+    let findings = analyze_source("crates/core/src/bad_counter.rs", &src);
+    assert!(
+        !findings.is_empty() && findings.iter().all(|f| f.lint == "atomics-confinement"),
+        "expected only atomics-confinement findings, got: {findings:#?}"
+    );
+
+    // The same file inside the allowlist is clean.
+    let allowed = analyze_source("crates/obs/src/bad_counter.rs", &src);
+    assert!(
+        allowed.is_empty(),
+        "allowlisted path should be clean: {allowed:#?}"
+    );
+}
+
+#[test]
+fn fixture_unsafe_without_safety_comment_trips() {
+    let findings = analyze_source("crates/core/src/peek.rs", &fixture("unsafe_no_safety.rs"));
+    assert_exactly_one(&findings, "unsafe-needs-safety-comment");
+}
+
+#[test]
+fn fixture_unsafe_with_safety_comment_is_clean() {
+    let findings = analyze_source("crates/core/src/peek.rs", &fixture("unsafe_with_safety.rs"));
+    assert!(
+        findings.is_empty(),
+        "argued unsafe should be clean: {findings:#?}"
+    );
+}
+
+#[test]
+fn fixture_server_panic_trips_only_outside_tests() {
+    let src = fixture("server_panic.rs");
+    let findings = analyze_source("crates/server/src/server.rs", &src);
+    assert_exactly_one(&findings, "server-panic-discipline");
+    // The finding is the real `.unwrap()`, not the string literal or the
+    // `unwrap_or_else`, and not anything in the `#[cfg(test)]` module.
+    assert_eq!(findings[0].line, 8, "finding anchored to the wrong line");
+
+    // Outside the request path the same source is clean.
+    let elsewhere = analyze_source("crates/core/src/handle.rs", &src);
+    assert!(
+        elsewhere.is_empty(),
+        "panic lint scoped to server request path: {elsewhere:#?}"
+    );
+}
+
+#[test]
+fn fixture_wall_clock_trips_only_in_deterministic_scopes() {
+    let src = fixture("wall_clock.rs");
+    let findings = analyze_source("crates/core/src/decide.rs", &src);
+    assert_exactly_one(&findings, "wall-clock-in-core");
+
+    let sim = analyze_source("crates/sim/src/decide.rs", &src);
+    assert_exactly_one(&sim, "wall-clock-in-core");
+
+    let server = analyze_source("crates/server/src/decide.rs", &src);
+    assert!(
+        server.is_empty(),
+        "wall-clock lint scoped to core/sim: {server:#?}"
+    );
+}
+
+#[test]
+fn fixture_clean_file_is_clean_in_every_scope() {
+    let src = fixture("clean.rs");
+    for path in [
+        "crates/core/src/math.rs",
+        "crates/sim/src/math.rs",
+        "crates/server/src/server.rs",
+        "crates/obs/src/math.rs",
+    ] {
+        let findings = analyze_source(path, &src);
+        assert!(findings.is_empty(), "{path} should be clean: {findings:#?}");
+    }
+}
+
+#[test]
+fn fixture_manifest_external_dep_trips() {
+    let src = fixture("bad_manifest.toml");
+    let findings = analyze_manifest("crates/fixture/Cargo.toml", &src);
+    assert_exactly_one(&findings, "external-deps");
+    assert!(
+        findings[0].message.contains("rand"),
+        "finding should name the offending dependency: {findings:#?}"
+    );
+
+    // compat crates are exempt — that is where vendored shims live.
+    let compat = analyze_manifest("crates/compat/fixture/Cargo.toml", &src);
+    assert!(
+        compat.is_empty(),
+        "compat manifests are exempt: {compat:#?}"
+    );
+}
+
+/// The gate CI enforces: the workspace at HEAD is clean with no allows.
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = analyze_workspace(&root, &[]).expect("walk workspace");
+    assert!(
+        analysis.files_scanned > 100,
+        "workspace walk looks truncated: {} files",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.manifests_scanned > 10,
+        "workspace walk missed manifests: {}",
+        analysis.manifests_scanned
+    );
+    assert!(
+        analysis.findings.is_empty(),
+        "workspace must be ses-analyze clean:\n{}",
+        analysis.to_text()
+    );
+}

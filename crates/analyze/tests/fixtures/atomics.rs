@@ -1,0 +1,8 @@
+// Fixture: trips `atomics-confinement` (exactly once) when scanned under
+// a path outside the audited lock-free modules.
+use std::sync::atomic::Ordering;
+
+pub fn sneak_a_counter() -> u64 {
+    static C: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    C.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+// Fixture: trips nothing anywhere — panics only inside tests, clocks and
+// atomics only mentioned in strings/comments ("AtomicU64", Instant::now).
+pub fn add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::add;
+
+    #[test]
+    fn adds() {
+        assert_eq!(add(2, 2).checked_sub(4).unwrap(), 0);
+    }
+}

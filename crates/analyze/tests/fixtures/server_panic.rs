@@ -1,0 +1,23 @@
+// Fixture: trips `server-panic-discipline` (exactly once) when scanned
+// under a server request-path file. The test module is exempt, the
+// string literal cannot fake a token, and `unwrap_or_else` is not a
+// panic site.
+pub fn handle(body: &str) -> String {
+    let parsed: Result<String, ()> = Ok(body.to_owned());
+    let fallback = "x.unwrap()".to_owned();
+    let value = parsed.unwrap(); // the one real finding
+    let _ = std::sync::Mutex::new(0).lock().unwrap_or_else(|p| p.into_inner());
+    format!("{value}{fallback}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

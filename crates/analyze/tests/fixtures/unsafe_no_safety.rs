@@ -1,0 +1,5 @@
+// Fixture: trips `unsafe-needs-safety-comment` (exactly once).
+pub fn peek(p: *const u8) -> u8 {
+    // just dereference it
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// Fixture: a properly argued unsafe block — trips nothing.
+pub fn peek(p: *const u8, len: usize) -> u8 {
+    assert!(len > 0);
+    // SAFETY: the caller guarantees `p` points to an allocation of at
+    // least `len` bytes (asserted nonempty above), so reading the first
+    // byte is in bounds and the pointee is plain data.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// Fixture: trips `wall-clock-in-core` (exactly once) when scanned under
+// a deterministic-layer path.
+use std::time::Instant;
+
+pub fn tainted_decision() -> bool {
+    let t = Instant::now(); // the one finding
+    t.elapsed().as_nanos() % 2 == 0
+}

@@ -1,0 +1,882 @@
+//! The explorer: serialized execution, DFS over scheduling + visibility
+//! choices, and the vector-clock happens-before model.
+//!
+//! One [`Execution`] is shared by every model thread of one [`check`] call.
+//! Exactly one model thread runs at a time; the baton is handed over a
+//! condvar. Each instrumented operation calls [`schedule`], which may
+//! branch the search (context switch) before the operation's own effect —
+//! and loads additionally branch on *which* store they observe, which is
+//! where weak-memory staleness comes from.
+//!
+//! Happens-before is tracked with fixed-size vector clocks
+//! ([`MAX_THREADS`] lanes). Every store remembers its writer, the writer's
+//! event stamp, and a *release clock* (what an acquire-reader inherits):
+//! the writer's full clock for `Release`-or-stronger stores, the clock at
+//! the writer's last release *fence* for relaxed stores sequenced after
+//! one, and nothing otherwise. A load may observe any store not superseded
+//! by happens-before: the visible window starts at the newest store that
+//! happens-before the reader (or the reader's own previous read of the
+//! location, whichever is later — per-location coherence) and extends to
+//! the newest store.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Vector-clock width: the most model threads one execution may spawn.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock; lane `i` counts thread `i`'s events.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VClock(pub(crate) [u64; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// One store in a location's modification order.
+#[derive(Clone, Copy)]
+struct StoreElem {
+    value: u64,
+    writer: usize,
+    /// The writer's event stamp at the store: `clock[writer] >= stamp`
+    /// means this store happens-before the clock's owner.
+    stamp: u64,
+    /// What an acquire-reader (or a relaxed reader followed by an acquire
+    /// fence) joins into its clock.
+    release: VClock,
+}
+
+/// Per-location model state, embedded in every instrumented atomic.
+struct LocState {
+    /// Execution generation this state belongs to; stale state is reset
+    /// from the std value (statics survive across executions).
+    gen: u64,
+    /// Modification order (serialized execution order of stores).
+    stores: Vec<StoreElem>,
+    /// Per-thread coherence floor: the newest store index each thread has
+    /// already observed (reads never go backwards per location).
+    last_read: [usize; MAX_THREADS],
+}
+
+/// The model state carried by every instrumented atomic, alongside its
+/// plain std value (used outside executions and to seed fresh ones).
+pub(crate) struct Loc {
+    state: Mutex<LocState>,
+}
+
+impl Loc {
+    pub(crate) const fn new() -> Self {
+        Self {
+            state: Mutex::new(LocState {
+                gen: 0,
+                stores: Vec::new(),
+                last_read: [0; MAX_THREADS],
+            }),
+        }
+    }
+}
+
+/// Explorer configuration; see the crate docs for the search strategy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Max context switches away from a still-runnable thread per
+    /// execution; the DFS is exhaustive within this bound.
+    pub preemption_bound: usize,
+    /// Safety valve on the DFS: stop (non-exhaustively) after this many
+    /// executions instead of running forever on a too-large state space.
+    pub max_executions: u64,
+    /// Per-execution operation budget; exceeding it fails the check
+    /// (livelock / unbounded loop in the test body).
+    pub max_ops_per_execution: u64,
+    /// Extra seeded pseudo-random executions with *unbounded* preemptions,
+    /// run after the DFS as a lottery over schedules beyond the bound.
+    pub random_samples: u64,
+    /// Seed for the random phase.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_executions: 2_000_000,
+            max_ops_per_execution: 50_000,
+            random_samples: 0,
+            seed: 0x5e5_c0de,
+        }
+    }
+}
+
+/// What a completed [`check`] explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// DFS executions run.
+    pub executions: u64,
+    /// Whether the DFS enumerated every schedule within the preemption
+    /// bound (false only if `max_executions` cut it short).
+    pub exhaustive: bool,
+    /// Random-phase executions run after the DFS.
+    pub random_samples: u64,
+}
+
+/// One DFS decision: `taken` of `options` alternatives.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+enum Mode {
+    /// Replay the stack prefix, then extend with first-choice defaults.
+    Dfs { stack: Vec<Choice>, cursor: usize },
+    /// Seeded pseudo-random choices, no preemption bound.
+    Random(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedOn(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    clock: VClock,
+    /// Release clocks of stores observed by relaxed loads since the last
+    /// acquire fence — an acquire fence joins this into `clock`.
+    acq_pending: VClock,
+    /// Clock at the last release fence: relaxed stores sequenced after it
+    /// carry it as their release clock.
+    rel_fence: Option<VClock>,
+    status: Status,
+}
+
+impl ThreadSt {
+    fn new(clock: VClock) -> Self {
+        Self {
+            clock,
+            acq_pending: VClock::default(),
+            rel_fence: None,
+            status: Status::Runnable,
+        }
+    }
+}
+
+struct ExecState {
+    gen: u64,
+    mode: Mode,
+    threads: Vec<ThreadSt>,
+    active: usize,
+    preemptions: usize,
+    ops: u64,
+    finished: usize,
+    failure: Option<String>,
+    abort: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    cfg: Config,
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+/// The calling thread's model identity, if it belongs to an execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Monotone across every execution of the whole process, so statics with
+/// stale location state are detected and reseeded.
+static EXEC_GEN: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Mutation knob: treat `Release`-or-stronger *stores* as `Relaxed`
+/// (release *fences* keep their semantics). Used by mutation harnesses to
+/// prove the explorer catches a removed publish ordering.
+static WEAKEN_RELEASE_STORES: StdAtomicBool = StdAtomicBool::new(false);
+
+/// Enables/disables the release-store weakening mutation. Only meaningful
+/// around a [`check`] call; never leave it set — it poisons every
+/// execution in the process (mutation tests run `#[ignore]`d and alone).
+pub fn set_weaken_release_stores(on: bool) {
+    WEAKEN_RELEASE_STORES.store(on, Ordering::SeqCst);
+}
+
+/// Panic payload used to unwind model threads when an execution aborts;
+/// the panic hook installed by [`check`] suppresses its default printout.
+struct AbortToken;
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+fn lock_state(exec: &Execution) -> MutexGuard<'_, ExecState> {
+    // A model thread that panicked (assertion failure — the point of the
+    // tool) poisons this mutex; keep operating on the inner state.
+    exec.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn record_failure(st: &mut ExecState, msg: String) {
+    if st.failure.is_none() {
+        st.failure = Some(msg);
+    }
+    st.abort = true;
+}
+
+/// Picks one of `options` alternatives at the current decision point.
+fn choose(exec: &Execution, st: &mut ExecState, options: usize) -> usize {
+    debug_assert!(options >= 1);
+    if options == 1 {
+        return 0;
+    }
+    // (at-index, previous option count) when a replay diverges.
+    let mismatch: (usize, usize);
+    match &mut st.mode {
+        Mode::Dfs { stack, cursor } => {
+            let at = *cursor;
+            if at < stack.len() {
+                let c = stack[at];
+                if c.options == options {
+                    *cursor += 1;
+                    return c.taken;
+                }
+                mismatch = (at, c.options);
+            } else {
+                stack.push(Choice { taken: 0, options });
+                *cursor += 1;
+                return 0;
+            }
+        }
+        Mode::Random(s) => {
+            // splitmix64 step.
+            *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            return ((z ^ (z >> 31)) % options as u64) as usize;
+        }
+    }
+    let (at, prev) = mismatch;
+    record_failure(
+        st,
+        format!(
+            "nondeterministic test body: decision {at} had {options} options on replay, {prev} before"
+        ),
+    );
+    exec.cv.notify_all();
+    // The caller's guard unlocks as this unwinds past it.
+    abort_unwind();
+}
+
+/// Threads blocked on a join whose target has finished become runnable.
+fn promote_unblocked(st: &mut ExecState) {
+    for i in 0..st.threads.len() {
+        if let Status::BlockedOn(t) = st.threads[i].status {
+            if st.threads[t].status == Status::Finished {
+                st.threads[i].status = Status::Runnable;
+            }
+        }
+    }
+}
+
+fn runnable_ids(st: &ExecState) -> Vec<usize> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Blocks until `active == tid` again (after this thread handed the baton
+/// to `next`). Unwinds if the execution aborts meanwhile.
+fn wait_for_turn<'a>(
+    exec: &'a Execution,
+    mut st: MutexGuard<'a, ExecState>,
+    tid: usize,
+) -> MutexGuard<'a, ExecState> {
+    loop {
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        if st.active == tid && st.threads[tid].status == Status::Runnable {
+            return st;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The decision point before every instrumented operation: counts the op,
+/// branches on which runnable thread proceeds (bounded preemption), and
+/// returns with the state locked and the calling thread active.
+fn schedule<'a>(exec: &'a Execution, tid: usize) -> MutexGuard<'a, ExecState> {
+    let mut st = lock_state(exec);
+    if st.abort {
+        drop(st);
+        abort_unwind();
+    }
+    st.ops += 1;
+    if st.ops > exec.cfg.max_ops_per_execution {
+        record_failure(
+            &mut st,
+            format!(
+                "operation budget ({}) exceeded — livelock or unbounded loop in the test body",
+                exec.cfg.max_ops_per_execution
+            ),
+        );
+        exec.cv.notify_all();
+        drop(st);
+        abort_unwind();
+    }
+    promote_unblocked(&mut st);
+    let runnable = runnable_ids(&st);
+    debug_assert!(
+        runnable.contains(&tid),
+        "scheduling thread must be runnable"
+    );
+    let unbounded = matches!(st.mode, Mode::Random(_));
+    let may_preempt = unbounded || st.preemptions < exec.cfg.preemption_bound;
+    let next = if may_preempt && runnable.len() > 1 {
+        // Option 0 = stay on the current thread; >0 = preempt.
+        let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != tid).collect();
+        let pick = choose(exec, &mut st, 1 + others.len());
+        if pick == 0 {
+            tid
+        } else {
+            others[pick - 1]
+        }
+    } else {
+        tid
+    };
+    if next == tid {
+        return st;
+    }
+    st.preemptions += 1;
+    st.active = next;
+    exec.cv.notify_all();
+    wait_for_turn(exec, st, tid)
+}
+
+/// Marks `tid` finished and hands the baton onward (or completes the
+/// execution). Called on the thread's normal exit.
+fn finish_thread(exec: &Execution, tid: usize) {
+    let mut st = lock_state(exec);
+    st.threads[tid].status = Status::Finished;
+    st.finished += 1;
+    if st.abort {
+        exec.cv.notify_all();
+        return;
+    }
+    promote_unblocked(&mut st);
+    let runnable = runnable_ids(&st);
+    if runnable.is_empty() {
+        if st.finished < st.threads.len() {
+            record_failure(
+                &mut st,
+                "deadlock: every live thread is blocked on a join".to_owned(),
+            );
+        }
+    } else {
+        // Switching away from a finished thread is free (not a preemption).
+        let pick = choose(exec, &mut st, runnable.len());
+        st.active = runnable[pick];
+    }
+    exec.cv.notify_all();
+}
+
+/// Marks `tid` finished without scheduling (abort paths).
+fn finish_quiet(exec: &Execution, tid: usize) {
+    let mut st = lock_state(exec);
+    if st.threads[tid].status != Status::Finished {
+        st.threads[tid].status = Status::Finished;
+        st.finished += 1;
+    }
+    exec.cv.notify_all();
+}
+
+fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn lock_loc(loc: &Loc) -> MutexGuard<'_, LocState> {
+    loc.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn init_loc(l: &mut LocState, gen: u64, std_val: &StdAtomicU64) {
+    if l.gen != gen {
+        l.gen = gen;
+        l.stores.clear();
+        // The initial value happens-before everything (stamp 0 is always
+        // covered): objects reach other threads through a real sync edge
+        // (Arc publication, spawn), which the spawn clock models.
+        l.stores.push(StoreElem {
+            value: std_val.load(Ordering::Relaxed),
+            writer: 0,
+            stamp: 0,
+            release: VClock::default(),
+        });
+        l.last_read = [0; MAX_THREADS];
+    }
+}
+
+/// The release clock a new store publishes: the writer's full clock for a
+/// (non-weakened) release store, the last release-fence clock for a
+/// relaxed store after a fence, nothing otherwise. `carry` seeds release
+/// sequences (RMWs pass through the clock of the store they replaced).
+fn store_release_clock(t: &ThreadSt, ord: Ordering, carry: Option<&VClock>) -> VClock {
+    let mut release = carry.copied().unwrap_or_default();
+    let weakened = WEAKEN_RELEASE_STORES.load(Ordering::Relaxed);
+    if is_release(ord) && !weakened {
+        release.join(&t.clock);
+    } else if let Some(fc) = &t.rel_fence {
+        release.join(fc);
+    }
+    release
+}
+
+/// Instrumented load: branch on the observable store, join release clocks
+/// per the ordering.
+pub(crate) fn op_load(ctx: &Ctx, loc: &Loc, std_val: &StdAtomicU64, ord: Ordering) -> u64 {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let mut l = lock_loc(loc);
+    init_loc(&mut l, st.gen, std_val);
+    let me = ctx.tid;
+    // The visible window: from the newest store that happens-before this
+    // thread (or its own coherence floor) to the newest store.
+    let mut floor = l.last_read[me];
+    for i in (0..l.stores.len()).rev() {
+        let s = &l.stores[i];
+        if st.threads[me].clock.0[s.writer] >= s.stamp {
+            floor = floor.max(i);
+            break;
+        }
+    }
+    let options = l.stores.len() - floor;
+    let idx = floor + choose(&ctx.exec, &mut st, options);
+    let s = l.stores[idx];
+    l.last_read[me] = idx;
+    let t = &mut st.threads[me];
+    t.clock.0[me] += 1;
+    if is_acquire(ord) {
+        t.clock.join(&s.release);
+    }
+    t.acq_pending.join(&s.release);
+    s.value
+}
+
+/// Instrumented store: appends to the modification order with the release
+/// clock the ordering (or a prior release fence) grants it.
+pub(crate) fn op_store(ctx: &Ctx, loc: &Loc, std_val: &StdAtomicU64, value: u64, ord: Ordering) {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let mut l = lock_loc(loc);
+    init_loc(&mut l, st.gen, std_val);
+    let me = ctx.tid;
+    let t = &mut st.threads[me];
+    t.clock.0[me] += 1;
+    let elem = StoreElem {
+        value,
+        writer: me,
+        stamp: t.clock.0[me],
+        release: store_release_clock(t, ord, None),
+    };
+    l.stores.push(elem);
+    std_val.store(value, Ordering::Relaxed);
+}
+
+/// Instrumented read-modify-write: atomically reads the *newest* store
+/// (that is what makes it an RMW) and appends its replacement, continuing
+/// the release sequence of the store it replaced.
+pub(crate) fn op_rmw(
+    ctx: &Ctx,
+    loc: &Loc,
+    std_val: &StdAtomicU64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let mut l = lock_loc(loc);
+    init_loc(&mut l, st.gen, std_val);
+    let me = ctx.tid;
+    let read = *l.stores.last().expect("location always has a store");
+    let t = &mut st.threads[me];
+    t.clock.0[me] += 1;
+    if is_acquire(ord) {
+        t.clock.join(&read.release);
+    }
+    t.acq_pending.join(&read.release);
+    let elem = StoreElem {
+        value: f(read.value),
+        writer: me,
+        stamp: t.clock.0[me],
+        release: store_release_clock(t, ord, Some(&read.release)),
+    };
+    let value = elem.value;
+    l.stores.push(elem);
+    l.last_read[me] = l.stores.len() - 1;
+    std_val.store(value, Ordering::Relaxed);
+    read.value
+}
+
+/// Instrumented compare-exchange over the newest store.
+pub(crate) fn op_cas(
+    ctx: &Ctx,
+    loc: &Loc,
+    std_val: &StdAtomicU64,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let mut l = lock_loc(loc);
+    init_loc(&mut l, st.gen, std_val);
+    let me = ctx.tid;
+    let read = *l.stores.last().expect("location always has a store");
+    let t = &mut st.threads[me];
+    t.clock.0[me] += 1;
+    let ord = if read.value == current {
+        success
+    } else {
+        failure
+    };
+    if is_acquire(ord) {
+        t.clock.join(&read.release);
+    }
+    t.acq_pending.join(&read.release);
+    l.last_read[me] = l.stores.len() - 1;
+    if read.value != current {
+        return Err(read.value);
+    }
+    let elem = StoreElem {
+        value: new,
+        writer: me,
+        stamp: t.clock.0[me],
+        release: store_release_clock(t, success, Some(&read.release)),
+    };
+    l.stores.push(elem);
+    l.last_read[me] = l.stores.len() - 1;
+    std_val.store(new, Ordering::Relaxed);
+    Ok(read.value)
+}
+
+/// Instrumented fence: an acquire fence upgrades every relaxed load since
+/// the last one, a release fence arms every relaxed store until the next.
+pub(crate) fn op_fence(ctx: &Ctx, ord: Ordering) {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let me = ctx.tid;
+    let t = &mut st.threads[me];
+    t.clock.0[me] += 1;
+    if is_acquire(ord) {
+        let pending = t.acq_pending;
+        t.clock.join(&pending);
+    }
+    if is_release(ord) {
+        t.rel_fence = Some(t.clock);
+    }
+}
+
+/// Registers a new model thread and starts its OS thread (which waits for
+/// the baton). The spawn itself is a decision point.
+pub(crate) fn model_spawn<F, T>(ctx: &Ctx, f: F) -> (usize, Arc<Mutex<Option<T>>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let tid_new = st.threads.len();
+    if tid_new >= MAX_THREADS {
+        record_failure(
+            &mut st,
+            format!("more than {MAX_THREADS} model threads spawned"),
+        );
+        ctx.exec.cv.notify_all();
+        drop(st);
+        abort_unwind();
+    }
+    let me = ctx.tid;
+    st.threads[me].clock.0[me] += 1;
+    let mut child_clock = st.threads[me].clock;
+    child_clock.0[tid_new] += 1;
+    st.threads.push(ThreadSt::new(child_clock));
+    let exec = Arc::clone(&ctx.exec);
+    let slot2 = Arc::clone(&slot);
+    let handle = std::thread::Builder::new()
+        .name(format!("shuttle-{tid_new}"))
+        .spawn(move || runner(exec, tid_new, f, slot2))
+        .expect("spawn model thread");
+    st.os_handles.push(handle);
+    (tid_new, slot)
+}
+
+/// The spawned OS thread's body: wait for the first baton, run the model
+/// thread's closure, store its value, hand the baton on.
+fn runner<F, T>(exec: Arc<Execution>, tid: usize, f: F, slot: Arc<Mutex<Option<T>>>)
+where
+    F: FnOnce() -> T,
+{
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    let first = {
+        let st = lock_state(&exec);
+        // catch_unwind so an abort during the initial wait still cleans up.
+        catch_unwind(AssertUnwindSafe(|| {
+            drop(wait_for_turn(&exec, st, tid));
+        }))
+    };
+    if first.is_ok() {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                finish_thread(&exec, tid);
+            }
+            Err(p) => {
+                if p.downcast_ref::<AbortToken>().is_none() {
+                    let mut st = lock_state(&exec);
+                    record_failure(
+                        &mut st,
+                        format!("model thread {tid} panicked: {}", payload_to_string(&*p)),
+                    );
+                    exec.cv.notify_all();
+                }
+                finish_quiet(&exec, tid);
+            }
+        }
+    } else {
+        finish_quiet(&exec, tid);
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Blocks the calling model thread until `target` finishes, then joins its
+/// clock (the sync edge `JoinHandle::join` provides).
+pub(crate) fn model_join(ctx: &Ctx, target: usize) {
+    let mut st = schedule(&ctx.exec, ctx.tid);
+    let me = ctx.tid;
+    if st.threads[target].status != Status::Finished {
+        st.threads[me].status = Status::BlockedOn(target);
+        let runnable = runnable_ids(&st);
+        if runnable.is_empty() {
+            record_failure(
+                &mut st,
+                "deadlock: every live thread is blocked on a join".to_owned(),
+            );
+            ctx.exec.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+        // Blocking is not a preemption: the thread cannot continue.
+        let pick = choose(&ctx.exec, &mut st, runnable.len());
+        st.active = runnable[pick];
+        ctx.exec.cv.notify_all();
+        st = wait_for_turn(&ctx.exec, st, me);
+    }
+    let tclock = st.threads[target].clock;
+    let t = &mut st.threads[me];
+    t.clock.join(&tclock);
+    t.clock.0[me] += 1;
+}
+
+/// A plain decision point with no memory effect (`thread::yield_now`).
+pub(crate) fn model_yield(ctx: &Ctx) {
+    drop(schedule(&ctx.exec, ctx.tid));
+}
+
+/// Suppresses the default panic printout for [`AbortToken`] unwinds
+/// (installed once per process; delegates everything else).
+fn install_quiet_abort_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the body once under `mode`; returns the mode (with the choice
+/// stack grown by this run) and the failure, if any.
+fn run_one<F: Fn()>(exec: &Arc<Execution>, mode: Mode, f: &F) -> (Mode, Option<String>) {
+    {
+        let mut st = lock_state(exec);
+        st.gen = EXEC_GEN.fetch_add(1, Ordering::Relaxed) + 1;
+        st.mode = mode;
+        st.threads.clear();
+        let mut main_clock = VClock::default();
+        main_clock.0[0] = 1;
+        st.threads.push(ThreadSt::new(main_clock));
+        st.active = 0;
+        st.preemptions = 0;
+        st.ops = 0;
+        st.finished = 0;
+        st.failure = None;
+        st.abort = false;
+        debug_assert!(st.os_handles.is_empty());
+    }
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(exec),
+            tid: 0,
+        })
+    });
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => finish_thread(exec, 0),
+        Err(p) => {
+            if p.downcast_ref::<AbortToken>().is_none() {
+                let mut st = lock_state(exec);
+                record_failure(
+                    &mut st,
+                    format!("main thread panicked: {}", payload_to_string(&*p)),
+                );
+                exec.cv.notify_all();
+            }
+            finish_quiet(exec, 0);
+        }
+    }
+    // Wait for every model thread (normal or unwinding) to finish, then
+    // reap the OS threads so the next execution starts clean.
+    let handles = {
+        let mut st = lock_state(exec);
+        while st.finished < st.threads.len() {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+    let mut st = lock_state(exec);
+    let failure = st.failure.take();
+    let mode = std::mem::replace(&mut st.mode, Mode::Random(0));
+    (mode, failure)
+}
+
+/// Explores `f` under the default [`Config`]; panics on the first failing
+/// schedule. See the crate docs.
+pub fn check<F: Fn()>(f: F) -> Report {
+    check_with(Config::default(), f)
+}
+
+/// Explores `f` under `cfg`: exhaustive bounded-preemption DFS, then the
+/// optional random phase. Panics (with the failing choice path) on the
+/// first execution whose body panics, deadlocks, or exceeds its budget.
+pub fn check_with<F: Fn()>(cfg: Config, f: F) -> Report {
+    assert!(
+        current_ctx().is_none(),
+        "shuttle::check may not be nested inside another check"
+    );
+    install_quiet_abort_hook();
+    let exec = Arc::new(Execution {
+        cfg: cfg.clone(),
+        state: Mutex::new(ExecState {
+            gen: 0,
+            mode: Mode::Random(0),
+            threads: Vec::new(),
+            active: 0,
+            preemptions: 0,
+            ops: 0,
+            finished: 0,
+            failure: None,
+            abort: false,
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    let mut stack: Vec<Choice> = Vec::new();
+    let mut executions = 0u64;
+    let mut exhaustive = true;
+    loop {
+        executions += 1;
+        let (mode, failure) = run_one(
+            &exec,
+            Mode::Dfs {
+                stack: std::mem::take(&mut stack),
+                cursor: 0,
+            },
+            &f,
+        );
+        if let Mode::Dfs { stack: s, .. } = mode {
+            stack = s;
+        }
+        if let Some(msg) = failure {
+            let path: Vec<usize> = stack.iter().map(|c| c.taken).collect();
+            panic!(
+                "shuttle: execution {executions} failed: {msg}\n  \
+                 choice path {path:?} (re-run with the same Config to reproduce)"
+            );
+        }
+        loop {
+            match stack.last_mut() {
+                None => break,
+                Some(c) if c.taken + 1 < c.options => {
+                    c.taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+        if stack.is_empty() {
+            break;
+        }
+        if executions >= cfg.max_executions {
+            exhaustive = false;
+            break;
+        }
+    }
+    let mut rng = cfg.seed | 1;
+    for i in 0..cfg.random_samples {
+        let (_, failure) = run_one(&exec, Mode::Random(rng), &f);
+        rng = rng.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        if let Some(msg) = failure {
+            panic!(
+                "shuttle: random sample {i} (of {}) failed: {msg}",
+                cfg.random_samples
+            );
+        }
+    }
+    Report {
+        executions,
+        exhaustive,
+        random_samples: cfg.random_samples,
+    }
+}

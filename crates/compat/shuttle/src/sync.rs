@@ -1,0 +1,297 @@
+//! Instrumented drop-ins for `std::sync::atomic`.
+//!
+//! Each atomic pairs a plain std atomic (the authoritative value outside
+//! executions, and the seed when an execution first touches the location)
+//! with the explorer's per-location model state. Inside a [`crate::check`]
+//! execution every operation is a decision point; outside one, every
+//! operation falls straight through to the std atomic, so the same binary
+//! runs ordinary tests unchanged.
+//!
+//! ## The memory model, in one paragraph
+//!
+//! Stores append to a per-location history. A load does *not* simply see
+//! the newest store: it may observe any store from its visible window —
+//! everything from the newest store that happens-before the loading
+//! thread (or the thread's own latest read of that location, whichever is
+//! newer) up to the newest store — and the choice is a DFS branch. A
+//! `Release` store carries the writer's vector clock; an `Acquire` load
+//! that observes it joins that clock (the classic release/acquire edge).
+//! Relaxed stores after a `fence(Release)` carry the fence-time clock;
+//! `fence(Acquire)` retroactively upgrades earlier relaxed loads. RMWs
+//! always operate on the newest store (that is their atomicity) and
+//! continue release sequences. `SeqCst` is modeled as `AcqRel`.
+
+use crate::exec::{self, current_ctx, Loc};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Atomic memory orderings, re-exported from std so call sites switch
+/// between std and shuttle by changing only the type imports.
+pub use std::sync::atomic::Ordering;
+
+/// `std::sync::atomic::fence` drop-in; a decision point inside executions.
+pub fn fence(order: Ordering) {
+    match current_ctx() {
+        Some(ctx) => exec::op_fence(&ctx, order),
+        None => std::sync::atomic::fence(order),
+    }
+}
+
+/// The shared core: every instrumented atomic is a `u64` cell plus model
+/// state, with narrower types converting at the API boundary.
+struct Cell {
+    std: StdAtomicU64,
+    loc: Loc,
+}
+
+impl Cell {
+    const fn new(v: u64) -> Self {
+        Self {
+            std: StdAtomicU64::new(v),
+            loc: Loc::new(),
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        match current_ctx() {
+            Some(ctx) => exec::op_load(&ctx, &self.loc, &self.std, order),
+            None => self.std.load(order),
+        }
+    }
+
+    fn store(&self, val: u64, order: Ordering) {
+        match current_ctx() {
+            Some(ctx) => exec::op_store(&ctx, &self.loc, &self.std, val, order),
+            None => self.std.store(val, order),
+        }
+    }
+
+    fn rmw(
+        &self,
+        order: Ordering,
+        model: impl FnOnce(u64) -> u64,
+        std: impl FnOnce(&StdAtomicU64) -> u64,
+    ) -> u64 {
+        match current_ctx() {
+            Some(ctx) => exec::op_rmw(&ctx, &self.loc, &self.std, order, model),
+            None => std(&self.std),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match current_ctx() {
+            Some(ctx) => exec::op_cas(&ctx, &self.loc, &self.std, current, new, success, failure),
+            None => self.std.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+macro_rules! forward_common {
+    ($native:ty) => {
+        /// `load` drop-in.
+        pub fn load(&self, order: Ordering) -> $native {
+            self.cell.load(order) as $native
+        }
+
+        /// `store` drop-in.
+        pub fn store(&self, val: $native, order: Ordering) {
+            self.cell.store(val as u64, order);
+        }
+
+        /// `swap` drop-in.
+        pub fn swap(&self, val: $native, order: Ordering) -> $native {
+            self.cell
+                .rmw(order, |_| val as u64, |s| s.swap(val as u64, order)) as $native
+        }
+
+        /// `fetch_add` drop-in (wrapping, like std).
+        pub fn fetch_add(&self, val: $native, order: Ordering) -> $native {
+            self.cell.rmw(
+                order,
+                |v| (v as $native).wrapping_add(val) as u64,
+                |s| s.fetch_add(val as u64, order),
+            ) as $native
+        }
+
+        /// `fetch_sub` drop-in (wrapping, like std).
+        pub fn fetch_sub(&self, val: $native, order: Ordering) -> $native {
+            self.cell.rmw(
+                order,
+                |v| (v as $native).wrapping_sub(val) as u64,
+                |s| s.fetch_sub(val as u64, order),
+            ) as $native
+        }
+
+        /// `fetch_max` drop-in.
+        pub fn fetch_max(&self, val: $native, order: Ordering) -> $native {
+            self.cell.rmw(
+                order,
+                |v| (v as $native).max(val) as u64,
+                |s| s.fetch_max(val as u64, order),
+            ) as $native
+        }
+
+        /// `fetch_min` drop-in.
+        pub fn fetch_min(&self, val: $native, order: Ordering) -> $native {
+            self.cell.rmw(
+                order,
+                |v| (v as $native).min(val) as u64,
+                |s| s.fetch_min(val as u64, order),
+            ) as $native
+        }
+
+        /// `compare_exchange` drop-in.
+        pub fn compare_exchange(
+            &self,
+            current: $native,
+            new: $native,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<$native, $native> {
+            self.cell
+                .compare_exchange(current as u64, new as u64, success, failure)
+                .map(|v| v as $native)
+                .map_err(|v| v as $native)
+        }
+
+        /// `compare_exchange_weak` drop-in (never fails spuriously here —
+        /// removing behaviors from the model is sound, adding none).
+        pub fn compare_exchange_weak(
+            &self,
+            current: $native,
+            new: $native,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<$native, $native> {
+            self.compare_exchange(current, new, success, failure)
+        }
+    };
+}
+
+/// `std::sync::atomic::AtomicU64` drop-in.
+pub struct AtomicU64 {
+    cell: Cell,
+}
+
+impl AtomicU64 {
+    /// `const`-constructible, like std (required for statics).
+    pub const fn new(v: u64) -> Self {
+        Self { cell: Cell::new(v) }
+    }
+
+    forward_common!(u64);
+}
+
+impl Default for AtomicU64 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl std::fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Peek the std value without a model decision point, like std's impl.
+        f.debug_tuple("AtomicU64")
+            .field(&self.cell.std.load(StdOrdering::Relaxed))
+            .finish()
+    }
+}
+
+/// `std::sync::atomic::AtomicUsize` drop-in.
+pub struct AtomicUsize {
+    cell: Cell,
+}
+
+impl AtomicUsize {
+    /// `const`-constructible, like std (required for statics).
+    pub const fn new(v: usize) -> Self {
+        Self {
+            cell: Cell::new(v as u64),
+        }
+    }
+
+    forward_common!(usize);
+}
+
+impl Default for AtomicUsize {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl std::fmt::Debug for AtomicUsize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicUsize")
+            .field(&(self.cell.std.load(StdOrdering::Relaxed) as usize))
+            .finish()
+    }
+}
+
+/// `std::sync::atomic::AtomicBool` drop-in.
+pub struct AtomicBool {
+    cell: Cell,
+}
+
+impl AtomicBool {
+    /// `const`-constructible, like std (required for statics).
+    pub const fn new(v: bool) -> Self {
+        Self {
+            cell: Cell::new(v as u64),
+        }
+    }
+
+    /// `load` drop-in.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.cell.load(order) != 0
+    }
+
+    /// `store` drop-in.
+    pub fn store(&self, val: bool, order: Ordering) {
+        self.cell.store(val as u64, order);
+    }
+
+    /// `swap` drop-in.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        self.cell
+            .rmw(order, |_| val as u64, |s| s.swap(val as u64, order))
+            != 0
+    }
+
+    /// `compare_exchange` drop-in.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.cell
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&(self.cell.std.load(StdOrdering::Relaxed) != 0))
+            .finish()
+    }
+}
+
+/// Mirror of `std::sync::atomic` so facades can `pub use` a whole module.
+pub mod atomic {
+    pub use super::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

@@ -1,0 +1,77 @@
+//! Instrumented stand-ins for `std::thread::{spawn, JoinHandle, yield_now}`.
+//!
+//! Inside a [`crate::check`] execution, `spawn` registers a *model* thread
+//! with the explorer (spawn and join are decision points and
+//! happens-before edges); outside one, everything falls through to std.
+
+use crate::exec::{self, current_ctx, Execution};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Model {
+        exec: Arc<Execution>,
+        target: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// `std::thread::JoinHandle` drop-in.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// `join` drop-in. Inside an execution this blocks the calling model
+    /// thread until the target finishes and joins its vector clock (the
+    /// same synchronizes-with edge real `join` provides).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, target, slot } => {
+                let ctx = current_ctx()
+                    .filter(|c| Arc::ptr_eq(&c.exec, &exec))
+                    .expect("model JoinHandle joined outside its execution");
+                exec::model_join(&ctx, target);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread stored its result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// `std::thread::spawn` drop-in.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some(ctx) => {
+            let (target, slot) = exec::model_spawn(&ctx, f);
+            JoinHandle {
+                inner: Inner::Model {
+                    exec: ctx.exec,
+                    target,
+                    slot,
+                },
+            }
+        }
+    }
+}
+
+/// `std::thread::yield_now` drop-in: a pure decision point inside an
+/// execution (lets the DFS switch threads with no memory effect).
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => exec::model_yield(&ctx),
+        None => std::thread::yield_now(),
+    }
+}

@@ -158,6 +158,7 @@ impl<S: Scheduler> Scheduler for LocalSearchScheduler<S> {
 
     fn run(&self, inst: &Arc<SesInstance>, k: usize) -> Result<ScheduleOutcome, SesError> {
         let base_outcome = self.base.run(inst, k)?;
+        // ses-analyze: allow(wall-clock-in-core): elapsed feeds SolveStats reporting only, never decisions
         let start = Instant::now();
         let mut engine = AttendanceEngine::with_schedule(inst, &base_outcome.schedule)
             .expect("base schedule must be feasible");

@@ -6,7 +6,7 @@
 //! snapshotting is lock-free, and p50/p95/p99 come out of the cumulative
 //! bucket counts with bounded relative error.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-bucket resolution: 2^3 = 8 buckets per octave.
 const SUB_BITS: u32 = 3;

@@ -27,7 +27,11 @@
 mod hist;
 mod log;
 mod span;
+pub mod sync;
 mod trace;
+
+#[cfg(all(test, ses_shuttle))]
+mod model_tests;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use log::{

@@ -18,10 +18,10 @@
 //! spans).
 
 use crate::hist::Histogram;
+use crate::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use crate::trace::TraceId;
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -194,7 +194,7 @@ impl std::fmt::Debug for SpanRing {
 }
 
 impl SpanRing {
-    fn new(thread: String, capacity: usize) -> Self {
+    pub(crate) fn new(thread: String, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
             thread,
@@ -210,14 +210,22 @@ impl SpanRing {
 
     /// Total spans ever recorded (monotone; `recorded - capacity` oldest
     /// ones have been evicted by wrapping).
+    ///
+    /// The `Relaxed` load (here and in `Debug`) is deliberate: `head` is
+    /// written by one thread and monotone, and no reader derives slot
+    /// *validity* from it — `snapshot` only uses it to size its `Vec`,
+    /// while per-slot correctness rests entirely on the `seq` protocol. A
+    /// stale value can at worst under-reserve the allocation. Pinned by
+    /// `model_tests::model_head_relaxed_is_a_safe_capacity_hint`.
     pub fn recorded(&self) -> u64 {
         self.head.load(Ordering::Relaxed)
     }
 
     /// Writes one span. Must only be called from the ring's owning thread
     /// (enforced by the module API: rings are reachable for writing only
-    /// through the thread-local handle).
-    fn record(
+    /// through the thread-local handle; `pub(crate)` so the model-check
+    /// suite can drive the protocol directly).
+    pub(crate) fn record(
         &self,
         trace: u64,
         stage: Stage,

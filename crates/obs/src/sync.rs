@@ -1,0 +1,27 @@
+//! Atomics facade: `std::sync::atomic` normally, the `shuttle`
+//! interleaving explorer under `--cfg ses_shuttle`.
+//!
+//! Every lock-free module in this crate (and `ses-server`'s metrics)
+//! imports its atomics from here instead of std, so the exact code that
+//! ships is the code the model checker explores — no test-only forks of
+//! the protocol. Outside a `shuttle::check` execution the instrumented
+//! types fall through to std, which keeps the ordinary test suite green
+//! under `--cfg ses_shuttle` too (CI runs both suites in one build).
+
+/// The `atomic` submodule mirror (`sync::atomic::{AtomicU64, Ordering, fence}`).
+pub mod atomic {
+    #[cfg(not(ses_shuttle))]
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(ses_shuttle)]
+    pub use shuttle::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread drop-ins: std normally, model threads under `--cfg ses_shuttle`.
+pub mod thread {
+    #[cfg(not(ses_shuttle))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(ses_shuttle)]
+    pub use shuttle::thread::{spawn, yield_now, JoinHandle};
+}

@@ -10,8 +10,8 @@
 //! Zero is reserved as "no trace" so a raw `u64` of `0` can mean "absent"
 //! in span slots without an `Option`.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// A non-zero 64-bit trace id.

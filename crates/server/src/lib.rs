@@ -96,6 +96,9 @@ pub mod replay;
 mod server;
 mod shard;
 
+#[cfg(all(test, ses_shuttle))]
+mod model_tests;
+
 pub use client::HttpClient;
 pub use loadgen::{LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest, StatusCount};
 pub use metrics::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus};

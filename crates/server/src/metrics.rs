@@ -12,7 +12,9 @@
 use serde::{Deserialize, Serialize};
 use ses_core::EngineCounters;
 use ses_obs::StageLatency;
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come through the ses-obs facade so the `cfg(ses_shuttle)`
+// model-check build explores this module's gauges too.
+use ses_obs::sync::atomic::{AtomicU64, Ordering};
 
 pub use ses_obs::{Histogram, HistogramSnapshot};
 
@@ -72,8 +74,21 @@ impl Endpoint {
         }
     }
 
+    // A total match instead of a positional search: runs on the request
+    // path, where the server's panic-discipline lint bans `.expect()`.
     fn index(self) -> usize {
-        ENDPOINTS.iter().position(|&e| e == self).expect("listed")
+        match self {
+            Endpoint::Solve => 0,
+            Endpoint::Eval => 1,
+            Endpoint::Open => 2,
+            Endpoint::Event => 3,
+            Endpoint::Report => 4,
+            Endpoint::Close => 5,
+            Endpoint::Healthz => 6,
+            Endpoint::Metrics => 7,
+            Endpoint::Trace => 8,
+            Endpoint::Other => 9,
+        }
     }
 }
 
@@ -302,6 +317,13 @@ mod tests {
         let event = lines.iter().find(|l| l.endpoint == "event").unwrap();
         assert_eq!(event.count, 2);
         assert_eq!(event.max_micros, 10);
+    }
+
+    #[test]
+    fn endpoint_index_matches_display_order() {
+        for (i, e) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(e.index(), i, "{e:?} out of step with ENDPOINTS");
+        }
     }
 
     #[test]

@@ -172,6 +172,14 @@ pub fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C standard library's handler registration,
+    // declared with its exact ABI; SIGINT/SIGTERM are valid signal numbers
+    // on every unix this builds for. The handler itself only performs a
+    // single atomic store to a `static AtomicBool` — no allocation, locks,
+    // formatting, or non-reentrant libc calls — which keeps it within the
+    // async-signal-safe subset, and `extern "C" fn(i32)` matches the
+    // handler type `signal` expects. Replacing a previously installed
+    // handler is the documented, race-free behavior of `signal`.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
@@ -272,6 +280,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             std::thread::Builder::new()
                 .name(format!("ses-shard-{i}"))
                 .spawn(move || run_shard(inst, rx, i, gauge))
+                // ses-analyze: allow(server-panic-discipline): boot-time spawn, fails fast before serving
                 .expect("spawn shard worker"),
         );
     }
@@ -310,12 +319,19 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             std::thread::Builder::new()
                 .name(format!("ses-conn-{i}"))
                 .spawn(move || loop {
-                    let received = conn_rx.lock().expect("conn queue lock").recv();
+                    // A poisoned lock only means a sibling handler panicked
+                    // while holding it; the receiver inside is still sound,
+                    // so keep serving instead of tearing down the pool.
+                    let received = conn_rx
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .recv();
                     match received {
                         Ok(stream) => serve_connection(stream, &state, &senders),
                         Err(_) => break, // acceptor gone, pool drains
                     }
                 })
+                // ses-analyze: allow(server-panic-discipline): boot-time spawn, fails fast before serving
                 .expect("spawn connection handler"),
         );
     }
@@ -326,6 +342,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         .spawn(move || {
             accept_loop(listener, conn_tx, acceptor_state, shard_senders);
         })
+        // ses-analyze: allow(server-panic-discipline): boot-time spawn, fails fast before serving
         .expect("spawn acceptor");
 
     ses_obs::log(
@@ -591,8 +608,12 @@ fn route(
     let path = path.split('?').next().unwrap_or(path);
     match (method, path) {
         ("GET", "/healthz") => {
-            let body = serde_json::to_string(&state.health).expect("plain data serializes");
-            (Endpoint::Healthz, Ok(body))
+            // Serialization of this plain struct cannot fail today, but the
+            // request path answers a structured 500 rather than panicking
+            // if the shim ever grows a failure mode.
+            let body = serde_json::to_string(&state.health)
+                .map_err(|e| ApiError::new(500, "internal", format!("health report: {e}")));
+            (Endpoint::Healthz, body)
         }
         ("GET", "/metrics") => (
             Endpoint::Metrics,

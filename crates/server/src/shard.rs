@@ -63,11 +63,16 @@ impl ApiError {
 
     /// The structured JSON body every error response carries.
     pub fn body(&self) -> String {
+        // Two strings cannot fail to serialize today, but this runs on the
+        // request path (every error response), so degrade to a static body
+        // rather than panicking the connection handler if the shim changes.
         serde_json::to_string(&ErrorBody {
             error: self.message.clone(),
             kind: self.kind.to_owned(),
         })
-        .expect("two strings always serialize")
+        .unwrap_or_else(|_| {
+            r#"{"error":"error body serialization failed","kind":"internal"}"#.to_owned()
+        })
     }
 }
 
@@ -133,7 +138,12 @@ fn json_reply<T: serde::Serialize>(result: Result<T, ServiceError>) -> ShardRepl
 fn stats_of(service: &SchedulerService) -> EngineTotals {
     let mut totals = EngineTotals::default();
     for name in service.session_names() {
-        let report = service.report(name).expect("name came from the service");
+        // The name list and the lookup are a single-threaded sequence on
+        // this worker, so a miss is unreachable today — but `Stats` runs
+        // per `/metrics` request, so skip rather than panic the shard.
+        let Ok(report) = service.report(name) else {
+            continue;
+        };
         totals.merge(&EngineTotals {
             sessions: 1,
             events_applied: report.events_applied,
