@@ -29,7 +29,7 @@ pub struct LintInfo {
 }
 
 /// Every lint the tool knows, in report order.
-pub const LINTS: [LintInfo; 5] = [
+pub const LINTS: [LintInfo; 6] = [
     LintInfo {
         name: "atomics-confinement",
         description: "atomic types only in the audited lock-free modules \
@@ -53,6 +53,13 @@ pub const LINTS: [LintInfo; 5] = [
         description: "no Instant::now/SystemTime::now in the deterministic \
                       core/sim layers except allowlisted timing sites — \
                       wall clocks must never steer algorithm decisions",
+    },
+    LintInfo {
+        name: "kernel-unsafe-confinement",
+        description: "in crates/core, `unsafe` lives only in the scoring \
+                      kernel module (crates/core/src/engine/kernel.rs) — \
+                      the rest of the deterministic core stays safe Rust \
+                      so the bit-exactness argument has one audit surface",
     },
     LintInfo {
         name: "external-deps",
@@ -92,6 +99,16 @@ const SERVER_REQUEST_PATH: [&str; 4] = [
 /// timing sites (pragma-marked: they feed `SolveStats`/throughput
 /// reporting, never algorithm decisions).
 const DETERMINISTIC_SCOPES: [&str; 2] = ["crates/core/", "crates/sim/"];
+
+/// Scope of the kernel-unsafe confinement: inside this tree, `unsafe`
+/// may appear only in [`KERNEL_MODULE`] (and tests). The chunked scoring
+/// kernel is the one place where bounds checks are hand-argued away;
+/// keeping every other core module safe keeps that audit surface small.
+const KERNEL_UNSAFE_SCOPE: &str = "crates/core/";
+
+/// The single core module allowed to contain `unsafe` code. SAFETY
+/// comments are still required there by `unsafe-needs-safety-comment`.
+const KERNEL_MODULE: &str = "crates/core/src/engine/kernel.rs";
 
 fn path_in(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {
@@ -315,6 +332,24 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
+    // --- kernel-unsafe-confinement -------------------------------------
+    if path.starts_with(KERNEL_UNSAFE_SCOPE) && path != KERNEL_MODULE {
+        for (idx, t) in tokens.iter().enumerate() {
+            if in_test[idx] || !t.is_ident("unsafe") {
+                continue;
+            }
+            push(
+                &mut findings,
+                "kernel-unsafe-confinement",
+                t.line,
+                format!(
+                    "`unsafe` in the deterministic core outside {KERNEL_MODULE} — \
+                     move the code into the kernel module or write it in safe Rust"
+                ),
+            );
+        }
+    }
+
     // --- server-panic-discipline ---------------------------------------
     if path_in(path, &SERVER_REQUEST_PATH) {
         for (idx, t) in tokens.iter().enumerate() {
@@ -417,6 +452,31 @@ y.expect(\"not covered\");
         );
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].lint, "unknown-pragma");
+    }
+
+    #[test]
+    fn kernel_module_and_core_tests_are_exempt_from_unsafe_confinement() {
+        let src = "\
+// SAFETY: caller guarantees `p` is valid for reads.
+pub fn peek(p: *const u8) -> u8 { unsafe { *p } }
+";
+        // In the kernel module: confinement does not fire (SAFETY present,
+        // so nothing fires at all).
+        let kernel = analyze_source(KERNEL_MODULE, src);
+        assert!(kernel.is_empty(), "{kernel:?}");
+        // Anywhere else in core: exactly the confinement finding.
+        let stray = analyze_source("crates/core/src/engine/columns.rs", src);
+        assert_eq!(stray.len(), 1, "{stray:?}");
+        assert_eq!(stray[0].lint, "kernel-unsafe-confinement");
+        // Outside core the lint is out of scope.
+        let elsewhere = analyze_source("crates/obs/src/peek.rs", src);
+        assert!(elsewhere.is_empty(), "{elsewhere:?}");
+        // Test code in core may use unsafe (e.g. miri-style probes).
+        let in_test = analyze_source(
+            "crates/core/src/engine/columns.rs",
+            "#[cfg(test)]\nmod tests {\n// SAFETY: test-local.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n",
+        );
+        assert!(in_test.is_empty(), "{in_test:?}");
     }
 
     #[test]

@@ -50,16 +50,44 @@ fn fixture_atomics_outside_allowlist_trips_confinement() {
 
 #[test]
 fn fixture_unsafe_without_safety_comment_trips() {
-    let findings = analyze_source("crates/core/src/peek.rs", &fixture("unsafe_no_safety.rs"));
+    // Scanned at the kernel-module path: confinement permits the unsafe,
+    // but the SAFETY-comment discipline still applies inside the kernel.
+    let findings = analyze_source(
+        "crates/core/src/engine/kernel.rs",
+        &fixture("unsafe_no_safety.rs"),
+    );
     assert_exactly_one(&findings, "unsafe-needs-safety-comment");
 }
 
 #[test]
 fn fixture_unsafe_with_safety_comment_is_clean() {
-    let findings = analyze_source("crates/core/src/peek.rs", &fixture("unsafe_with_safety.rs"));
+    let findings = analyze_source(
+        "crates/core/src/engine/kernel.rs",
+        &fixture("unsafe_with_safety.rs"),
+    );
     assert!(
         findings.is_empty(),
         "argued unsafe should be clean: {findings:#?}"
+    );
+}
+
+#[test]
+fn fixture_kernel_unsafe_confined_to_kernel_module() {
+    let src = fixture("kernel_unsafe.rs");
+    // Inside the kernel module the argued unsafe is legal.
+    let kernel = analyze_source("crates/core/src/engine/kernel.rs", &src);
+    assert!(
+        kernel.is_empty(),
+        "kernel module may hold argued unsafe: {kernel:#?}"
+    );
+    // Anywhere else under crates/core/ the same code is confined out.
+    let stray = analyze_source("crates/core/src/engine/columns.rs", &src);
+    assert_exactly_one(&stray, "kernel-unsafe-confinement");
+    // Outside the deterministic core the lint is out of scope.
+    let elsewhere = analyze_source("crates/obs/src/span.rs", &src);
+    assert!(
+        elsewhere.is_empty(),
+        "confinement scoped to crates/core/: {elsewhere:#?}"
     );
 }
 

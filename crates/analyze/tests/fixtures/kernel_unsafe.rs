@@ -1,0 +1,9 @@
+// Fixture: a fully argued unsafe block. Clean inside the kernel module,
+// trips `kernel-unsafe-confinement` (exactly once) anywhere else under
+// crates/core/.
+pub fn first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the slice is asserted nonempty above, so index 0 is in
+    // bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

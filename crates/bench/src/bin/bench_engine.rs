@@ -1,7 +1,9 @@
 //! Records the engine perf trajectory and gates it in CI: release-mode GRD
 //! and GRD-PQ (CELF lazy) solves over the Fig. 1 `k` sweep, columnar engine
-//! vs the frozen hash-map baseline (`ses_bench::baseline`), written as
-//! `BENCH_engine.json` at the repo root.
+//! vs the frozen hash-map baseline (`ses_bench::baseline`), plus a
+//! users-axis sweep (10k → 1M members on the sparse-population family) that
+//! records the blocked layout's resident bytes and slot counts per cell —
+//! all written as `BENCH_engine.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p ses-bench --bin bench_engine -- \
@@ -31,7 +33,9 @@ use ses_bench::baseline::greedy_hashmap;
 use ses_core::{evaluate_schedule, registry, SchedulerSpec};
 use ses_datagen::pipeline::build_instance;
 use ses_datagen::sweep::k_sweep;
+use ses_datagen::synthetic::sparse_population;
 use ses_ebsn::{generate, GeneratorConfig};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Headroom the `--check` gate grants over the committed counters before it
@@ -48,6 +52,28 @@ const SMOKE_USERS: usize = 400;
 
 /// `k` values of the smoke/CI sweep (the full sweep is Fig. 1's).
 const SMOKE_KS: &[usize] = &[20, 40];
+
+/// Users-axis sweep of the full run: the sparse-population family through a
+/// million members at fixed `k` — the regime the blocked column layout
+/// exists for (resident bytes must scale with nnz, not `|T|·|union|`).
+const USERS_AXIS: &[usize] = &[10_000, 100_000, 1_000_000];
+
+/// Fixed `k` of the full users-axis sweep.
+const USERS_AXIS_K: usize = 20;
+
+/// Users-axis values of the smoke/CI sweep (counters and resident bytes are
+/// deterministic, so `--check` pins these cells like the k-sweep ones).
+const SMOKE_USERS_AXIS: &[usize] = &[2_000, 8_000];
+
+/// Fixed `k` of the smoke users-axis sweep.
+const SMOKE_USERS_AXIS_K: usize = 10;
+
+/// Interests per user / active intervals per user of the users-axis family
+/// (`sparse_population`): a few postings and a short activity window each,
+/// so nnz grows linearly in users while the dense-equivalent layout grows
+/// as `|T| · union`.
+const USERS_AXIS_INTERESTS: usize = 3;
+const USERS_AXIS_ACTIVE: usize = 3;
 
 /// One (cell × algorithm) comparison row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,8 +93,23 @@ struct EngineCell {
     /// engine for GRD rows, the same cell's eager columnar GRD for GRD-PQ
     /// rows.
     baseline_millis: f64,
-    /// `baseline_millis / millis`.
+    /// `baseline_millis / millis`. Users-axis cells have no hash-map
+    /// baseline (the dense-era layout does not fit at that scale — the
+    /// point of the axis), so their GRD rows carry `0.0`.
     speedup: f64,
+    /// Resident `(t, rank)` slots of the cell's engine (blocked layout
+    /// nnz). Absent in pre-PR-8 JSON.
+    #[serde(default)]
+    column_slots: u64,
+    /// Slots a dense uniform-stride layout would have held (`|T|·stride`).
+    #[serde(default)]
+    dense_slots: u64,
+    /// Resident engine bytes (columns + runs).
+    #[serde(default)]
+    resident_bytes: u64,
+    /// Wall-clock millis spent building the slot index/columns/runs.
+    #[serde(default)]
+    build_millis: f64,
 }
 
 /// The deterministic small-sweep counters the CI `--check` gate compares
@@ -88,10 +129,13 @@ struct EngineReport {
     threads: usize,
     smoke: bool,
     cells: Vec<EngineCell>,
-    /// GRD-vs-hashmap speedup at the largest sweep cell (PR 3's headline).
-    largest_cell_speedup: f64,
+    /// Per-algorithm speedup at each algorithm's largest k-sweep cell: GRD
+    /// against the frozen hash-map baseline, GRD-PQ against the same cell's
+    /// eager columnar GRD — so lazy gains are first-class in the
+    /// trajectory, not folded into a GRD-only scalar.
+    largest_cell_speedup: BTreeMap<String, f64>,
     /// Lazy GRD-PQ score evaluations at the largest sweep cell vs eager
-    /// GRD's (this PR's headline: strictly fewer with identical utility).
+    /// GRD's (strictly fewer with identical utility).
     lazy_eval_ratio_at_max_k: f64,
     #[serde(default)]
     smoke_reference: Option<SmokeReference>,
@@ -256,6 +300,10 @@ fn build_cells(
                 scheduled: outcome.len(),
                 baseline_millis,
                 speedup: baseline_millis / millis.max(1e-9),
+                column_slots: outcome.stats.memory.column_slots,
+                dense_slots: outcome.stats.memory.dense_slots,
+                resident_bytes: outcome.stats.memory.total_resident_bytes(),
+                build_millis: outcome.stats.memory.build_millis,
             };
             eprintln!(
                 "[bench_engine] k={:>3} {:>6}: {:>9.2} ms vs baseline {:>9.2} ms ({:.2}x), \
@@ -268,6 +316,95 @@ fn build_cells(
                 row.utility,
                 row.score_evaluations,
                 row.posting_visits
+            );
+            cell_rows.push(row);
+        }
+        cells.extend(cell_rows);
+    }
+    Ok(cells)
+}
+
+/// The users-axis sweep: GRD + GRD-PQ on the `sparse_population` family at
+/// fixed `k`, one cell per universe size. There is no hash-map baseline row
+/// at this scale — the dense-era layout is exactly what these cells prove
+/// unnecessary — so GRD rows carry speedup 0 and GRD-PQ rows still compare
+/// against the same cell's eager GRD. Resident bytes and slot counts come
+/// from the engine's own exact accounting, so they are deterministic and
+/// `--check`-pinnable like the operation counters.
+fn build_users_cells(
+    users_values: &[usize],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<EngineCell>, String> {
+    let num_events = 2 * k;
+    let num_intervals = 3 * k / 2;
+    let mut cells = Vec::new();
+    for &users in users_values {
+        let inst = sparse_population(
+            users,
+            num_events,
+            num_intervals,
+            USERS_AXIS_INTERESTS,
+            USERS_AXIS_ACTIVE,
+            seed,
+        );
+        let mut cell_rows: Vec<EngineCell> = Vec::new();
+        for spec in [SchedulerSpec::Greedy, SchedulerSpec::GreedyHeap] {
+            let scheduler = registry::build_threaded(spec, threads);
+            let outcome = scheduler.run(&inst, k).expect("k ≤ |E| by construction");
+            let oracle = evaluate_schedule(&inst, &outcome.schedule);
+            let drift = (outcome.total_utility - oracle.total_utility).abs()
+                / oracle.total_utility.abs().max(1.0);
+            if drift > 1e-9 {
+                return Err(format!(
+                    "{} Ω {} drifted from oracle {} at users={users} (rel {drift:.2e})",
+                    spec.name(),
+                    outcome.total_utility,
+                    oracle.total_utility,
+                ));
+            }
+            let millis = outcome.stats.elapsed.as_secs_f64() * 1e3;
+            let baseline_millis = match spec {
+                SchedulerSpec::Greedy => 0.0,
+                _ => cell_rows
+                    .first()
+                    .map(|grd: &EngineCell| grd.millis)
+                    .unwrap_or(0.0),
+            };
+            let mem = outcome.stats.memory;
+            let row = EngineCell {
+                axis: "users".to_owned(),
+                value: users as f64,
+                algorithm: spec.name().to_owned(),
+                utility: outcome.total_utility,
+                oracle_utility: oracle.total_utility,
+                millis,
+                score_evaluations: outcome.stats.engine.score_evaluations,
+                posting_visits: outcome.stats.engine.posting_visits,
+                scheduled: outcome.len(),
+                baseline_millis,
+                speedup: if baseline_millis > 0.0 {
+                    baseline_millis / millis.max(1e-9)
+                } else {
+                    0.0
+                },
+                column_slots: mem.column_slots,
+                dense_slots: mem.dense_slots,
+                resident_bytes: mem.total_resident_bytes(),
+                build_millis: mem.build_millis,
+            };
+            eprintln!(
+                "[bench_engine] users={users:>9} {:>6}: {:>9.2} ms (build {:>7.2} ms), \
+                 Ω = {:.3}, {} slots of {} dense ({:.1}%), {:.1} MiB resident",
+                row.algorithm,
+                row.millis,
+                row.build_millis,
+                row.utility,
+                row.column_slots,
+                row.dense_slots,
+                100.0 * row.column_slots as f64 / row.dense_slots.max(1) as f64,
+                row.resident_bytes as f64 / (1024.0 * 1024.0),
             );
             cell_rows.push(row);
         }
@@ -291,8 +428,8 @@ fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> 
                 && c.value == committed.value
         }) {
             violations.push(format!(
-                "committed reference cell {} k={} was not re-measured by this sweep",
-                committed.algorithm, committed.value
+                "committed reference cell {} {}={} was not re-measured by this sweep",
+                committed.algorithm, committed.axis, committed.value
             ));
         }
     }
@@ -301,16 +438,17 @@ fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> 
             c.algorithm == cell.algorithm && c.axis == cell.axis && c.value == cell.value
         }) else {
             violations.push(format!(
-                "{} k={} has no committed reference cell — regenerate BENCH_engine.json",
-                cell.algorithm, cell.value
+                "{} {}={} has no committed reference cell — regenerate BENCH_engine.json",
+                cell.algorithm, cell.axis, cell.value
             ));
             continue;
         };
         let eval_limit = (committed.score_evaluations as f64 * CHECK_HEADROOM) as u64;
         if cell.score_evaluations > eval_limit {
             violations.push(format!(
-                "{} k={}: score_evaluations {} exceed committed {} by >{:.0}% (limit {})",
+                "{} {}={}: score_evaluations {} exceed committed {} by >{:.0}% (limit {})",
                 cell.algorithm,
+                cell.axis,
                 cell.value,
                 cell.score_evaluations,
                 committed.score_evaluations,
@@ -321,8 +459,9 @@ fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> 
         let visit_limit = (committed.posting_visits as f64 * CHECK_HEADROOM) as u64;
         if cell.posting_visits > visit_limit {
             violations.push(format!(
-                "{} k={}: posting_visits {} exceed committed {} by >{:.0}% (limit {})",
+                "{} {}={}: posting_visits {} exceed committed {} by >{:.0}% (limit {})",
                 cell.algorithm,
+                cell.axis,
                 cell.value,
                 cell.posting_visits,
                 committed.posting_visits,
@@ -333,8 +472,27 @@ fn check_against_reference(fresh: &[EngineCell], reference: &SmokeReference) -> 
         let drift = (cell.utility - committed.utility).abs() / committed.utility.abs().max(1.0);
         if drift > CHECK_UTILITY_TOL {
             violations.push(format!(
-                "{} k={}: utility {} drifted from committed {} (rel {drift:.2e})",
-                cell.algorithm, cell.value, cell.utility, committed.utility
+                "{} {}={}: utility {} drifted from committed {} (rel {drift:.2e})",
+                cell.algorithm, cell.axis, cell.value, cell.utility, committed.utility
+            ));
+        }
+        // Memory accounting is exact byte arithmetic, not a measurement:
+        // any change is a layout change and must come with a regenerated
+        // reference. (Zero committed slots means a pre-PR-8 reference.)
+        if committed.column_slots != 0
+            && (cell.column_slots != committed.column_slots
+                || cell.resident_bytes != committed.resident_bytes)
+        {
+            violations.push(format!(
+                "{} {}={}: resident layout {} slots / {} bytes differs from committed \
+                 {} slots / {} bytes — regenerate BENCH_engine.json",
+                cell.algorithm,
+                cell.axis,
+                cell.value,
+                cell.column_slots,
+                cell.resident_bytes,
+                committed.column_slots,
+                committed.resident_bytes
             ));
         }
     }
@@ -402,15 +560,28 @@ fn main() -> ExitCode {
     // recording path. Spans themselves are always on; the scope only makes
     // them attributable (and thus collectable).
     let trace = args.spans.then(ses_obs::TraceId::generate);
+    let (users_axis, users_axis_k): (&[usize], usize) = if args.smoke || args.check {
+        (SMOKE_USERS_AXIS, SMOKE_USERS_AXIS_K)
+    } else {
+        (USERS_AXIS, USERS_AXIS_K)
+    };
     let cells = {
         let _scope = trace.map(ses_obs::trace_scope);
-        match build_cells(args.users, args.seed, args.threads, k_values) {
+        let mut cells = match build_cells(args.users, args.seed, args.threads, k_values) {
             Ok(cells) => cells,
             Err(e) => {
                 eprintln!("bench_engine: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        match build_users_cells(users_axis, users_axis_k, args.seed, args.threads) {
+            Ok(users_cells) => cells.extend(users_cells),
+            Err(e) => {
+                eprintln!("bench_engine: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+        cells
     };
     if let Some(id) = trace {
         eprintln!(
@@ -425,7 +596,17 @@ fn main() -> ExitCode {
         None
     } else {
         eprintln!("[bench_engine] recording the smoke-sweep reference counters");
-        match build_cells(args.users.min(SMOKE_USERS), args.seed, 1, SMOKE_KS) {
+        let smoke_cells = build_cells(args.users.min(SMOKE_USERS), args.seed, 1, SMOKE_KS)
+            .and_then(|mut cells| {
+                cells.extend(build_users_cells(
+                    SMOKE_USERS_AXIS,
+                    SMOKE_USERS_AXIS_K,
+                    args.seed,
+                    1,
+                )?);
+                Ok(cells)
+            });
+        match smoke_cells {
             Ok(cells) => Some(SmokeReference {
                 users: args.users.min(SMOKE_USERS),
                 seed: args.seed,
@@ -438,11 +619,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let grd_cells: Vec<&EngineCell> = cells.iter().filter(|c| c.algorithm == "GRD").collect();
-    let largest_cell_speedup = grd_cells.last().map(|c| c.speedup).unwrap_or(0.0);
+    // Per-algorithm headline: each algorithm's speedup at its largest
+    // k-sweep cell (cells arrive in ascending k order, so the last insert
+    // wins). Users-axis cells are excluded — they have no dense baseline.
+    let mut largest_cell_speedup: BTreeMap<String, f64> = BTreeMap::new();
+    for cell in cells.iter().filter(|c| c.axis == "k") {
+        largest_cell_speedup.insert(cell.algorithm.clone(), cell.speedup);
+    }
     let lazy_eval_ratio_at_max_k = match (
-        grd_cells.last(),
-        cells.iter().rfind(|c| c.algorithm == "GRD-PQ"),
+        cells
+            .iter()
+            .rfind(|c| c.axis == "k" && c.algorithm == "GRD"),
+        cells
+            .iter()
+            .rfind(|c| c.axis == "k" && c.algorithm == "GRD-PQ"),
     ) {
         (Some(grd), Some(lazy)) => {
             lazy.score_evaluations as f64 / grd.score_evaluations.max(1) as f64
@@ -466,11 +656,16 @@ fn main() -> ExitCode {
         eprintln!("bench_engine: failed to write {out}: {e}");
         return ExitCode::FAILURE;
     }
+    let speedup_summary = report
+        .largest_cell_speedup
+        .iter()
+        .map(|(algo, s)| format!("{algo} {s:.2}x"))
+        .collect::<Vec<_>>()
+        .join(", ");
     eprintln!(
-        "[bench_engine] wrote {out} ({} cells, largest-cell speedup {:.2}x, \
+        "[bench_engine] wrote {out} ({} cells, largest-cell speedups [{speedup_summary}], \
          lazy/eager evals at max k {:.3})",
         report.cells.len(),
-        largest_cell_speedup,
         lazy_eval_ratio_at_max_k
     );
 

@@ -825,6 +825,8 @@ mod tests {
                     busy_micros: 400_000,
                     sessions: 2,
                     events_applied: 57,
+                    column_slots: 1_024,
+                    resident_bytes: 40_960,
                 },
                 ShardStatus {
                     shard: 1,
@@ -833,6 +835,8 @@ mod tests {
                     busy_micros: 100_000,
                     sessions: 1,
                     events_applied: 12,
+                    column_slots: 512,
+                    resident_bytes: 20_480,
                 },
             ],
             span_stages: vec![ses_obs::StageLatency {

@@ -10,7 +10,12 @@
 //! * [`ConstantActivity`] — a single value, for analytical tests;
 //! * [`HashedActivity`] — procedural `U[0,1)` values derived from a seed, so
 //!   paper-scale populations need no `|U| × |T|` storage (the paper draws
-//!   σ from a uniform distribution).
+//!   σ from a uniform distribution);
+//! * [`MaskedActivity`] — procedural *sparse* σ: each user is active only in
+//!   a small window of intervals and `σ = 0` everywhere else (the
+//!   companion attendance-maximization regime: many users, few active per
+//!   interval). This is the model that makes the engine's blocked columns
+//!   (DESIGN.md §11) pay at million-user scale.
 
 use crate::ids::{IntervalId, UserId};
 use crate::util::fxhash::FxHasher;
@@ -26,6 +31,26 @@ pub trait ActivityModel: Send + Sync {
     fn num_intervals(&self) -> usize;
     /// The probability `σ(u, t) ∈ [0,1]`.
     fn activity(&self, user: UserId, interval: IntervalId) -> f64;
+
+    /// Calls `visit(t, σ(u,t))` for every interval with `σ(u,t) > 0`, in
+    /// ascending interval order, each interval at most once, with values
+    /// bit-identical to [`Self::activity`]. The engine builds its blocked
+    /// per-interval columns through this enumeration (and debug-asserts the
+    /// contract), so a model that violates it corrupts the slot index.
+    ///
+    /// The default probes every interval in `O(|T|)` virtual calls; sparse
+    /// models (e.g. [`MaskedActivity`]) override it in `O(active)` so
+    /// million-user engines build without ever materializing a dense
+    /// `|U| × |T|` pass.
+    fn for_each_active(&self, user: UserId, visit: &mut dyn FnMut(IntervalId, f64)) {
+        for t in 0..self.num_intervals() {
+            let interval = IntervalId::new(t as u32);
+            let sigma = self.activity(user, interval);
+            if sigma > 0.0 {
+                visit(interval, sigma);
+            }
+        }
+    }
 }
 
 /// Errors raised while building an activity model.
@@ -306,6 +331,139 @@ impl ActivityModel for HashedActivity {
     }
 }
 
+/// Procedural *sparse* σ: each user is active only inside a contiguous
+/// (possibly wrapping) window of `active_per_user` intervals, with hashed
+/// values in `[lo, hi) ⊆ (0,1]` there and exactly `0.0` everywhere else.
+///
+/// The window start is a deterministic hash of `(seed, u)`, so a population
+/// of millions of users spreads roughly evenly over the horizon with zero
+/// storage. With `active_per_user ≪ |T|`, per-interval engine columns hold
+/// `≈ |U| · active_per_user / |T|` slots instead of `|U|`, which is the
+/// regime the blocked layout (DESIGN.md §11) is built for.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MaskedActivity {
+    num_users: usize,
+    num_intervals: usize,
+    active_per_user: usize,
+    seed: u64,
+    lo: f64,
+    hi: f64,
+}
+
+impl MaskedActivity {
+    /// Hashed values over `[0.1, 1.0)` inside each user's window.
+    pub fn sparse(
+        num_users: usize,
+        num_intervals: usize,
+        active_per_user: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_range(num_users, num_intervals, active_per_user, seed, 0.1, 1.0)
+            .expect("[0.1,1.0) is valid")
+    }
+
+    /// Hashed values over `[lo, hi)` inside each user's window; `lo` must be
+    /// strictly positive so every in-window slot has `σ > 0` (the engine's
+    /// column-membership predicate).
+    pub fn with_range(
+        num_users: usize,
+        num_intervals: usize,
+        active_per_user: usize,
+        seed: u64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, ActivityError> {
+        check_prob(lo)?;
+        check_prob(hi)?;
+        if lo > hi || lo <= 0.0 {
+            return Err(ActivityError::ValueOutOfRange { value: lo });
+        }
+        Ok(Self {
+            num_users,
+            num_intervals,
+            active_per_user,
+            seed,
+            lo,
+            hi,
+        })
+    }
+
+    /// Window width actually in effect (clamped to the horizon).
+    fn window(&self) -> usize {
+        self.active_per_user.min(self.num_intervals)
+    }
+
+    /// First interval of `user`'s active window.
+    fn window_start(&self, user: UserId) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        h.write_u32(user.raw());
+        (h.finish() % self.num_intervals.max(1) as u64) as usize
+    }
+
+    fn value(&self, user: UserId, interval: IntervalId) -> f64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seed);
+        h.write_u32(user.raw());
+        h.write_u32(interval.raw());
+        let unit = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        self.lo + unit * (self.hi - self.lo)
+    }
+}
+
+impl ActivityModel for MaskedActivity {
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    #[inline]
+    fn activity(&self, user: UserId, interval: IntervalId) -> f64 {
+        let nt = self.num_intervals;
+        let a = self.window();
+        if a == 0 || nt == 0 {
+            return 0.0;
+        }
+        let start = self.window_start(user);
+        let offset = (interval.index() + nt - start) % nt;
+        if offset < a {
+            self.value(user, interval)
+        } else {
+            0.0
+        }
+    }
+
+    fn for_each_active(&self, user: UserId, visit: &mut dyn FnMut(IntervalId, f64)) {
+        let nt = self.num_intervals;
+        let a = self.window();
+        if a == 0 || nt == 0 {
+            return;
+        }
+        let start = self.window_start(user);
+        let end = start + a;
+        // Ascending interval order: the wrapped tail `[0, end-nt)` precedes
+        // the head `[start, nt)`.
+        if end > nt {
+            for t in 0..end - nt {
+                let interval = IntervalId::new(t as u32);
+                visit(interval, self.value(user, interval));
+            }
+            for t in start..nt {
+                let interval = IntervalId::new(t as u32);
+                visit(interval, self.value(user, interval));
+            }
+        } else {
+            for t in start..end {
+                let interval = IntervalId::new(t as u32);
+                visit(interval, self.value(user, interval));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +561,67 @@ mod tests {
             assert!((0.2..0.4).contains(&v));
         }
         assert!(HashedActivity::with_range(1, 1, 0, 0.9, 0.1).is_err());
+    }
+
+    #[test]
+    fn masked_window_has_exactly_active_per_user_slots() {
+        let a = MaskedActivity::sparse(40, 24, 5, 11);
+        for u in 0..40u32 {
+            let user = UserId::new(u);
+            let active = (0..24u32)
+                .filter(|&t| a.activity(user, IntervalId::new(t)) > 0.0)
+                .count();
+            assert_eq!(active, 5, "user {u}");
+        }
+    }
+
+    #[test]
+    fn masked_for_each_active_matches_dense_probe_bitwise() {
+        // Include widths that wrap (larger than nt - start for some users)
+        // and the degenerate full-horizon width.
+        for width in [1usize, 3, 7, 24, 40] {
+            let a = MaskedActivity::sparse(60, 24, width, 99);
+            for u in 0..60u32 {
+                let user = UserId::new(u);
+                let mut enumerated = Vec::new();
+                a.for_each_active(user, &mut |t, sigma| enumerated.push((t, sigma)));
+                let probed: Vec<(IntervalId, f64)> = (0..24u32)
+                    .map(IntervalId::new)
+                    .filter_map(|t| {
+                        let sigma = a.activity(user, t);
+                        (sigma > 0.0).then_some((t, sigma))
+                    })
+                    .collect();
+                assert_eq!(enumerated.len(), probed.len());
+                for (e, p) in enumerated.iter().zip(&probed) {
+                    assert_eq!(e.0, p.0, "interval order must be ascending");
+                    assert_eq!(e.1.to_bits(), p.1.to_bits(), "values must be bit-equal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_values_stay_in_range_and_reject_zero_lo() {
+        let a = MaskedActivity::sparse(30, 12, 4, 5);
+        for u in 0..30u32 {
+            for t in 0..12u32 {
+                let v = a.activity(UserId::new(u), IntervalId::new(t));
+                assert!(v == 0.0 || (0.1..1.0).contains(&v));
+            }
+        }
+        assert!(MaskedActivity::with_range(1, 1, 1, 0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn masked_degenerate_shapes_are_inert() {
+        let empty = MaskedActivity::sparse(4, 0, 3, 1);
+        let mut hits = 0;
+        empty.for_each_active(UserId::new(0), &mut |_, _| hits += 1);
+        assert_eq!(hits, 0);
+        let zero_width = MaskedActivity::sparse(4, 8, 0, 1);
+        assert_eq!(zero_width.activity(UserId::new(1), IntervalId::new(3)), 0.0);
+        zero_width.for_each_active(UserId::new(1), &mut |_, _| hits += 1);
+        assert_eq!(hits, 0);
     }
 }

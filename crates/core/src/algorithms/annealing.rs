@@ -213,6 +213,7 @@ impl<S: Scheduler> Scheduler for AnnealingScheduler<S> {
                 engine: engine.counters(),
                 pops: moves_tried,
                 updates: moves_accepted,
+                memory: engine.memory_stats(),
             },
         })
     }

@@ -166,6 +166,7 @@ impl Scheduler for ExactScheduler {
                 engine: engine.counters(),
                 pops: nodes,
                 updates: 0,
+                memory: engine.memory_stats(),
             },
         })
     }

@@ -181,6 +181,7 @@ impl Scheduler for GreedyScheduler {
                 engine: engine.counters(),
                 pops,
                 updates,
+                memory: engine.memory_stats(),
             },
             schedule: engine.into_schedule(),
         })

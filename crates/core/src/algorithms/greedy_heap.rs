@@ -175,6 +175,7 @@ impl Scheduler for GreedyHeapScheduler {
                 engine: engine.counters(),
                 pops,
                 updates,
+                memory: engine.memory_stats(),
             },
             schedule: engine.into_schedule(),
         })

@@ -189,6 +189,7 @@ impl<S: Scheduler> Scheduler for LocalSearchScheduler<S> {
                 engine: engine.counters(),
                 pops: moves,
                 updates: passes,
+                memory: engine.memory_stats(),
             },
             schedule: engine.into_schedule(),
         })

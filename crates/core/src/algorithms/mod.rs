@@ -18,7 +18,7 @@ pub use local_search::{LocalSearchConfig, LocalSearchScheduler};
 pub use random::RandomScheduler;
 pub use top::TopScheduler;
 
-use crate::engine::{AttendanceEngine, EngineCounters};
+use crate::engine::{AttendanceEngine, EngineCounters, EngineMemoryStats};
 use crate::ids::{EventId, IntervalId};
 use crate::instance::SesInstance;
 use crate::schedule::Schedule;
@@ -80,6 +80,9 @@ pub struct RunStats {
     pub pops: u64,
     /// Score *updates* performed after selections (GRD's inner loop).
     pub updates: u64,
+    /// Resident-memory/build accounting of the run's engine (blocked column
+    /// layout — see [`EngineMemoryStats`]).
+    pub memory: EngineMemoryStats,
 }
 
 /// The result of a scheduler run.
@@ -167,13 +170,39 @@ pub(crate) fn initial_scores(
             .collect()
     } else {
         let shards = threads.min(nt);
-        let chunk = nt.div_ceil(shards);
+        // Contiguous interval ranges balanced by *column length* (each
+        // interval's share of the layout's nnz, +1 so empty columns still
+        // bill their loop iteration) instead of uniform width: under the
+        // blocked layout an interval's scoring cost is proportional to its
+        // resident column, and skewed activity patterns would leave
+        // uniform-width shards mostly idle. Shard boundaries only decide
+        // *who* computes a row, never its inputs, so results stay
+        // bit-identical to the serial sweep.
+        let weights: Vec<u64> = (0..nt)
+            .map(|t| engine.column_len(IntervalId::new(t as u32)) as u64 + 1)
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let mut bounds: Vec<usize> = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        let mut cum = 0u64;
+        for (t, &w) in weights.iter().enumerate() {
+            cum += w;
+            // Cut after interval `t` each time the running mass crosses the
+            // next multiple of total/shards (integer-exact comparison).
+            while bounds.len() < shards && cum * shards as u64 >= total * bounds.len() as u64 {
+                bounds.push(t + 1);
+            }
+        }
+        while bounds.len() <= shards {
+            bounds.push(nt);
+        }
         let frozen: &AttendanceEngine = engine;
         let all_events = &all_events;
+        let bounds = &bounds;
         let shard_results: Vec<(Vec<Vec<f64>>, EngineCounters)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
-                    let (lo, hi) = (s * chunk, ((s + 1) * chunk).min(nt));
+                    let (lo, hi) = (bounds[s], bounds[s + 1]);
                     scope.spawn(move || {
                         let mut counters = EngineCounters::default();
                         let cols: Vec<Vec<f64>> = (lo..hi)

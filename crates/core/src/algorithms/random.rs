@@ -78,6 +78,7 @@ impl Scheduler for RandomScheduler {
                 engine: engine.counters(),
                 pops,
                 updates: 0,
+                memory: engine.memory_stats(),
             },
             schedule: engine.into_schedule(),
         })

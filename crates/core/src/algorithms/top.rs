@@ -94,6 +94,7 @@ impl Scheduler for TopScheduler {
                 engine: engine.counters(),
                 pops,
                 updates: 0, // TOP never updates scores — the point of the baseline
+                memory: engine.memory_stats(),
             },
             schedule: engine.into_schedule(),
         })

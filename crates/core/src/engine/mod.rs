@@ -2,7 +2,7 @@
 //! expected attendance (Eq. 2), total utility (Eq. 3) and incremental
 //! assignment scores (Eq. 4).
 //!
-//! # Data layout — the columnar mass table
+//! # Data layout — blocked per-interval columns
 //!
 //! For every interval `t` the engine maintains two per-user aggregates:
 //!
@@ -22,17 +22,29 @@
 //! interval's total expected attendance (it *does* cannibalize co-scheduled
 //! events — Eq. 4 accounts for that).
 //!
-//! The aggregates are **not** hash maps. At construction the engine builds a
-//! *slot index* over the union of the candidate posting lists: each indexed
-//! user gets a dense rank `r ∈ [0, stride)`, and the aggregates live in
-//! flat columns indexed by `slot = t·stride + r` — `B`, `M`, a
-//! contributing-event count, and a snapshot of `σ(u,t)`. Each candidate
-//! event's posting list is pre-resolved once into `(rank, µ)` pairs, so
-//! scoring is a branch-light linear scan over four contiguous arrays with
-//! no hashing and no virtual `σ` lookups (the layout and its ablation are
-//! documented in `DESIGN.md` §2). Users outside the union — including
-//! users interested only in competing events — can never accrue scheduled
-//! mass, so their aggregates are never consulted and need no slots.
+//! The aggregates are **not** hash maps, and they are **not** a dense
+//! `|T| × union` matrix either. At construction the engine builds a *slot
+//! index* over the union of the candidate posting lists: each indexed user
+//! gets a dense rank `r ∈ [0, stride)`. Per interval, only the ranks with
+//! `σ(u,t) > 0` get a slot: interval `t` owns a compact *column* of those
+//! ranks (CSR offsets + rank ids + parallel `B`/`M`/count/`σ` arrays — see
+//! the `columns` module), because a `σ = 0` slot is provably inert: every read path
+//! multiplies it by `σ`, so its term is `±0.0` and dropping it keeps all
+//! results bit-identical to the dense layout. Resident memory is
+//! `O(nnz + |T|)` instead of `O(|T|·|union|)`, which is what lets
+//! million-user instances build at all (DESIGN.md §11; the original dense
+//! layout and its ablation are §2).
+//!
+//! Each candidate event's posting list is pre-resolved once into `(rank, µ)`
+//! pairs, and — for every *partially populated* column — additionally into a
+//! contiguous run of `(local_slot, µ)`, so scoring is a linear walk over the
+//! run and the column's value arrays with no rank translation in the hot
+//! loop. Full columns (every dense-era instance) skip the extra storage
+//! entirely: there the rank **is** the local slot and the shared posting
+//! list doubles as the run. The walk itself is the explicitly chunked
+//! Eq. 4 kernel in the `kernel` module, which batches the independent divisions
+//! 4-wide while preserving the scalar left-to-right f64 reduction order —
+//! sparse ≡ dense ≡ chunked, bit for bit.
 //!
 //! On top of the per-pair [`AttendanceEngine::score`], the engine exposes a
 //! batch API — [`AttendanceEngine::score_all`] (one event against every
@@ -45,16 +57,16 @@
 //! The engine keeps the running total utility in sync with every
 //! `assign`/`unassign`, so `ΔΩ` equals the assignment score by construction;
 //! [`evaluate_schedule`] recomputes Ω from scratch over hash maps and is the
-//! testing oracle for both the bookkeeping and the columnar layout.
+//! testing oracle for both the bookkeeping and the blocked layout.
 //!
 //! # Dirty-interval generations
 //!
-//! An Eq. 4 score is a pure function of one interval's column block
-//! (`B`/`M`/`σ` slices at `t·stride + rank`), so a score computed for
+//! An Eq. 4 score is a pure function of one interval's column
+//! (`B`/`M`/`σ` slices at its CSR range), so a score computed for
 //! `(e, t)` stays *bit-exact* until something mutates interval `t`'s
-//! columns. The engine tracks this with a monotone **mutation clock**: every
-//! column mutation (`assign`, `unassign`, and any
-//! [`AttendanceEngine::add_competing_mass`] that lands on an indexed slot)
+//! column. The engine tracks this with a monotone **mutation clock**: every
+//! column mutation (`assign`/`unassign` whose run moves mass, and any
+//! [`AttendanceEngine::add_competing_mass`] that lands on a resident slot)
 //! advances the clock and stamps the touched interval's **generation** with
 //! it. Consumers snapshot the clock, cache scores, and later ask
 //! [`AttendanceEngine::dirty_intervals`] which intervals moved — everything
@@ -63,43 +75,20 @@
 //! is valid at, which is what the CELF-style lazy greedy stores in its heap
 //! entries (see `algorithms::greedy_heap` and DESIGN.md §7).
 
+mod columns;
+mod kernel;
+
 use crate::ids::{EventId, IntervalId, UserId};
 use crate::instance::{FeasibilityViolation, SesInstance};
 use crate::schedule::{Schedule, ScheduleError};
 use crate::util::float::luce_ratio;
 use crate::util::fxhash::FxHashMap;
+use columns::{IntervalColumns, ResolvedRuns};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Rank sentinel for users outside the slot index (no posting anywhere).
 const NO_RANK: u32 = u32::MAX;
-
-/// One posting's Eq. 4 contribution, algebraically reduced.
-///
-/// With `D = B + M`, the telescoped difference
-/// `(M+µ)/(D+µ) − M/D` simplifies to `µ·B / (D·(D+µ))` — one division
-/// instead of two, and *zero* divisions when `B = 0` (then the ratio is `1`
-/// before and after if the user already has mass, and jumps `0 → 1` if `µ`
-/// is the first mass at the interval). The 0/0 := 0 Luce convention is what
-/// the `d > 0` branch encodes.
-#[inline(always)]
-fn posting_gain(b: f64, m: f64, mu: f64) -> f64 {
-    let d = b + m;
-    let denom = d * (d + mu);
-    // `denom > 0` whenever the user has any mass; the fallback covers the
-    // first-mass case `D = 0` (ratio jumps 0 → µ/µ = 1) and is rare enough
-    // for the branch to predict perfectly. The `µ > 0` guard there keeps a
-    // contract-violating zero-weight posting (built-in backends drop them,
-    // third-party `InterestModel`s might not) at the 0/0 := 0 convention
-    // instead of inventing a phantom unit of gain.
-    if denom > 0.0 {
-        mu * b / denom
-    } else if mu > 0.0 {
-        1.0
-    } else {
-        0.0
-    }
-}
 
 /// Operation counters, for the paper's complexity claims and the benches.
 ///
@@ -156,6 +145,48 @@ impl EngineCounters {
     }
 }
 
+/// Resident-memory and build-cost accounting for the blocked column layout.
+///
+/// `column_slots` vs `dense_slots` is the layout's headline ratio: the
+/// number of `(t, rank)` slots actually resident against what the dense
+/// uniform-stride layout would have allocated. All byte counts are exact
+/// (element sizes × lengths), so two engines on the same instance report
+/// identical values — only `build_millis` is wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineMemoryStats {
+    /// Resident `(t, rank)` slots (`nnz` of the activity pattern).
+    pub column_slots: u64,
+    /// Slots the dense layout would hold: `|T| · stride`.
+    pub dense_slots: u64,
+    /// Bytes in the column arrays (ranks + offsets + `B`/`M`/`σ`/count).
+    pub resident_column_bytes: u64,
+    /// Bytes in the per-`(interval, event)` run arrays (zero when every
+    /// column is full — dense-era instances pay nothing).
+    pub run_bytes: u64,
+    /// Wall-clock milliseconds spent building the slot index, columns and
+    /// runs. Reporting only — never branched on, never digested.
+    pub build_millis: f64,
+}
+
+impl EngineMemoryStats {
+    /// Total resident bytes of the blocked layout (columns + runs).
+    #[inline]
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.resident_column_bytes + self.run_bytes
+    }
+
+    /// Sums another engine's accounting into this one (per-shard session
+    /// totals on the server; `build_millis` accumulates, like a CPU-time
+    /// counter).
+    pub fn merge(&mut self, other: &EngineMemoryStats) {
+        self.column_slots += other.column_slots;
+        self.dense_slots += other.dense_slots;
+        self.resident_column_bytes += other.resident_column_bytes;
+        self.run_bytes += other.run_bytes;
+        self.build_millis += other.build_millis;
+    }
+}
+
 /// Incremental attendance/utility engine bound to one instance.
 ///
 /// Owns the evolving [`Schedule`] and a shared handle to its
@@ -171,30 +202,17 @@ impl EngineCounters {
 pub struct AttendanceEngine {
     inst: Arc<SesInstance>,
     schedule: Schedule,
-    /// `rank_of[u]` — the user's dense rank in every interval block, or
-    /// [`NO_RANK`] for users outside the slot index.
+    /// `rank_of[u]` — the user's dense rank in the slot index, or
+    /// [`NO_RANK`] for users outside it.
     rank_of: Vec<u32>,
-    /// Slots per interval block (number of indexed users).
-    stride: usize,
     /// `resolved[e]` — event `e`'s posting list as `(rank, µ)` pairs.
     resolved: Vec<Box<[(u32, f64)]>>,
-    /// Competing mass column, `b[t·stride + r]` (static after construction
-    /// unless [`Self::add_competing_mass`] injects more).
-    b: Vec<f64>,
-    /// Scheduled mass column, `m[t·stride + r]`.
-    m: Vec<f64>,
-    /// Contributing-event count per slot. Exists for numerical robustness,
-    /// not bookkeeping convenience: the Luce ratio `M/(B+M)` is
-    /// scale-invariant, so when `B = 0` a floating-point residue of `1e-16`
-    /// left in `M` after an unassign would evaluate to `1.0` — a whole
-    /// phantom user of utility. Snapping the mass to exactly zero when the
-    /// last contributing event leaves makes unassign an exact inverse of
-    /// assign.
-    mcount: Vec<u32>,
-    /// `σ(u,t)` snapshot column, `sigma[t·stride + r]`. Activity models are
-    /// immutable, so snapshotting at construction is exact; it removes the
-    /// virtual `ActivityModel::activity` call from the hot loop.
-    sigma: Vec<f64>,
+    /// The blocked per-interval aggregate columns (`B`/`M`/count/`σ`).
+    cols: IntervalColumns,
+    /// Per-`(interval, event)` posting runs against partial columns.
+    runs: ResolvedRuns,
+    /// Construction-time memory/build accounting (immutable thereafter).
+    memory: EngineMemoryStats,
     /// Per-interval resources in use.
     used_resources: Vec<f64>,
     /// Per-interval occupied locations (location → occupying event).
@@ -217,12 +235,16 @@ pub struct AttendanceEngine {
 impl AttendanceEngine {
     /// Creates an engine with an empty schedule. Builds the slot index from
     /// the union of the candidate posting lists, pre-resolves every
-    /// candidate event's postings to `(rank, µ)` pairs, snapshots `σ`, and
-    /// accumulates the competing masses `B_t` — `O(nnz + |T|·stride)` total.
+    /// candidate event's postings to `(rank, µ)` pairs, builds the blocked
+    /// `σ`-columns and per-interval runs, and accumulates the competing
+    /// masses `B_t` — `O(nnz + |T| + Σ_h |postings(h)|)` plus the run
+    /// resolution over partial columns, never a dense `|T|·stride` pass.
     ///
     /// Takes `&Arc` and clones the handle internally — callers keep their
     /// own handle and pay one refcount bump, never a deep copy.
     pub fn new(inst: &Arc<SesInstance>) -> Self {
+        // ses-analyze: allow(wall-clock-in-core): build timing is reported in EngineMemoryStats, never branched on or digested
+        let build_start = std::time::Instant::now();
         let nt = inst.num_intervals();
         let nu = inst.num_users();
         let interest = inst.interest();
@@ -246,7 +268,6 @@ impl AttendanceEngine {
                 users.push(UserId::new(u as u32));
             }
         }
-        let stride = users.len();
 
         // Pre-resolve candidate posting lists to (rank, µ).
         let resolved: Vec<Box<[(u32, f64)]>> = (0..inst.num_events())
@@ -259,40 +280,41 @@ impl AttendanceEngine {
             })
             .collect();
 
-        // σ snapshot per slot.
-        let activity = inst.activity();
-        let mut sigma = vec![0.0; nt * stride];
-        for t in 0..nt {
-            let interval = IntervalId::new(t as u32);
-            let block = &mut sigma[t * stride..(t + 1) * stride];
-            for (r, &u) in users.iter().enumerate() {
-                block[r] = activity.activity(u, interval);
-            }
-        }
+        // Blocked σ-columns: only `σ(u,t) > 0` slots are resident.
+        let mut cols = IntervalColumns::build(inst.activity(), &users, nt);
 
-        // Competing mass column. Competing-only users have no slot and are
-        // skipped — their B is never read (see the index comment above).
-        let mut b = vec![0.0; nt * stride];
+        // Competing mass. Competing-only users have no rank and σ = 0 slots
+        // have no storage — both are skipped, and both are provably never
+        // read (every consumer multiplies by σ, see the module docs).
         for c in inst.competing() {
-            let base = c.interval.index() * stride;
+            let t = c.interval.index();
             for &(u, mu) in interest.interested_users(c.id.into()) {
                 let r = rank_of[u.index()];
                 if r != NO_RANK {
-                    b[base + r as usize] += mu;
+                    if let Some(i) = cols.slot_of(t, r) {
+                        cols.b[i] += mu;
+                    }
                 }
             }
         }
+
+        let runs = ResolvedRuns::build(&cols, &resolved);
+        let memory = EngineMemoryStats {
+            column_slots: cols.nnz() as u64,
+            dense_slots: nt as u64 * cols.stride as u64,
+            resident_column_bytes: cols.resident_bytes(),
+            run_bytes: runs.resident_bytes(),
+            build_millis: build_start.elapsed().as_secs_f64() * 1e3,
+        };
 
         Self {
             inst: Arc::clone(inst),
             schedule: inst.empty_schedule(),
             rank_of,
-            stride,
             resolved,
-            b,
-            m: vec![0.0; nt * stride],
-            mcount: vec![0; nt * stride],
-            sigma,
+            cols,
+            runs,
+            memory,
             used_resources: vec![0.0; nt],
             used_locations: vec![FxHashMap::default(); nt],
             budget: inst.budget(),
@@ -348,6 +370,21 @@ impl AttendanceEngine {
     /// Operation counters accumulated so far.
     pub fn counters(&self) -> EngineCounters {
         self.counters
+    }
+
+    /// Resident-memory and build-cost accounting for the blocked layout,
+    /// fixed at construction (columns never grow or shrink afterwards).
+    #[inline]
+    pub fn memory_stats(&self) -> EngineMemoryStats {
+        self.memory
+    }
+
+    /// Number of resident slots in `interval`'s column (its share of the
+    /// layout's `nnz`) — the per-interval work estimate the parallel sweeps
+    /// use to balance their shards.
+    #[inline]
+    pub fn column_len(&self, interval: IntervalId) -> usize {
+        self.cols.len(interval.index())
     }
 
     /// Resets the operation counters (the aggregates are untouched).
@@ -477,6 +514,10 @@ impl AttendanceEngine {
     /// [`Self::score`] against `&self`, counting into `counters`. This is
     /// the shard-safe entry point: the engine is `Sync`, so scoped threads
     /// can score concurrently, each with its own counter set.
+    ///
+    /// `posting_visits` counts the *run* length — on partial columns that is
+    /// at most (and on full columns exactly) the posting-list length, so
+    /// the counter never grows under the blocked layout.
     pub fn score_with(
         &self,
         event: EventId,
@@ -484,18 +525,22 @@ impl AttendanceEngine {
         counters: &mut EngineCounters,
     ) -> f64 {
         counters.score_evaluations += 1;
-        let postings = &self.resolved[event.index()];
-        counters.posting_visits += postings.len() as u64;
-        let base = interval.index() * self.stride;
-        let b = &self.b[base..base + self.stride];
-        let m = &self.m[base..base + self.stride];
-        let sigma = &self.sigma[base..base + self.stride];
-        let mut sum = 0.0;
-        for &(r, mu) in postings.iter() {
-            let r = r as usize;
-            sum += sigma[r] * posting_gain(b[r], m[r], mu);
-        }
-        sum
+        let t = interval.index();
+        let start = self.cols.offsets[t];
+        let end = self.cols.offsets[t + 1];
+        let run = self.runs.run(
+            &self.resolved,
+            event.index(),
+            t,
+            end - start == self.cols.stride,
+        );
+        counters.posting_visits += run.len() as u64;
+        kernel::score_run(
+            run,
+            &self.cols.b[start..end],
+            &self.cols.m[start..end],
+            &self.cols.sigma[start..end],
+        )
     }
 
     /// Batch Eq. 4: scores `event` against **every** interval in one call
@@ -571,22 +616,27 @@ impl AttendanceEngine {
         self.schedule
             .assign(event, interval)
             .expect("validated assignment must apply");
-        let base = interval.index() * self.stride;
-        // An event with an empty posting list moves no mass: validity state
-        // changes but no score can, so the generation stays put (validity is
-        // always re-checked fresh by consumers — only scores are cached).
-        if !self.resolved[event.index()].is_empty() {
+        let t = interval.index();
+        let start = self.cols.offsets[t];
+        let full = self.cols.offsets[t + 1] - start == self.cols.stride;
+        let run = self.runs.run(&self.resolved, event.index(), t, full);
+        // A run that moves no mass (empty posting list, or every posting
+        // aimed at a σ = 0 user) leaves the column bit-identical: validity
+        // state changes but no score can, so the generation stays put
+        // (validity is always re-checked fresh by consumers — only scores
+        // are cached).
+        let touched = !run.is_empty();
+        for &(slot, mu) in run {
+            let i = start + slot as usize;
+            self.cols.m[i] += mu;
+            self.cols.mcount[i] += 1;
+        }
+        if touched {
             self.touch(interval);
         }
-        for &(r, mu) in self.resolved[event.index()].iter() {
-            let i = base + r as usize;
-            self.m[i] += mu;
-            self.mcount[i] += 1;
-        }
         let ev = self.inst.event(event);
-        let ti = interval.index();
-        self.used_resources[ti] += ev.required_resources;
-        self.used_locations[ti].insert(ev.location.raw(), event);
+        self.used_resources[t] += ev.required_resources;
+        self.used_locations[t].insert(ev.location.raw(), event);
         self.total_utility += gain;
         self.counters.assigns += 1;
         gain
@@ -596,35 +646,41 @@ impl AttendanceEngine {
     /// positive amount by which Ω decreased). Used by local search.
     pub fn unassign(&mut self, event: EventId) -> Result<f64, ScheduleError> {
         let interval = self.schedule.unassign(event)?;
-        let base = interval.index() * self.stride;
-        if !self.resolved[event.index()].is_empty() {
-            self.touch(interval);
-        }
+        let t = interval.index();
+        let start = self.cols.offsets[t];
+        let full = self.cols.offsets[t + 1] - start == self.cols.stride;
+        let run = self.runs.run(&self.resolved, event.index(), t, full);
+        let touched = !run.is_empty();
         let mut loss = 0.0;
-        for &(r, mu) in self.resolved[event.index()].iter() {
-            let i = base + r as usize;
-            let (b, m) = (self.b[i], self.m[i]);
+        for &(slot, mu) in run {
+            let i = start + slot as usize;
+            let (b, m) = (self.cols.b[i], self.cols.m[i]);
             debug_assert!(
-                self.mcount[i] > 0,
+                self.cols.mcount[i] > 0,
                 "posting user must have a mass entry while assigned"
             );
-            self.mcount[i] -= 1;
-            // Snap to exactly zero when the last contributor leaves; see the
-            // `mcount` column docs for why a residue here would corrupt Ω.
-            let m_new = if self.mcount[i] == 0 {
+            self.cols.mcount[i] -= 1;
+            // Snap to exactly zero when the last contributor leaves: the
+            // Luce ratio `M/(B+M)` is scale-invariant, so with `B = 0` a
+            // floating-point residue of `1e-16` left in `M` would evaluate
+            // to `1.0` — a whole phantom user of utility. The count makes
+            // unassign an exact inverse of assign.
+            let m_new = if self.cols.mcount[i] == 0 {
                 0.0
             } else {
                 (m - mu).max(0.0)
             };
-            self.m[i] = m_new;
+            self.cols.m[i] = m_new;
             let before = luce_ratio(m, b + m);
             let after = luce_ratio(m_new, b + m_new);
-            loss += self.sigma[i] * (before - after);
+            loss += self.cols.sigma[i] * (before - after);
+        }
+        if touched {
+            self.touch(interval);
         }
         let ev = self.inst.event(event);
-        let ti = interval.index();
-        self.used_resources[ti] = (self.used_resources[ti] - ev.required_resources).max(0.0);
-        self.used_locations[ti].remove(&ev.location.raw());
+        self.used_resources[t] = (self.used_resources[t] - ev.required_resources).max(0.0);
+        self.used_locations[t].remove(&ev.location.raw());
         self.total_utility -= loss;
         self.counters.unassigns += 1;
         Ok(loss)
@@ -635,11 +691,15 @@ impl AttendanceEngine {
     pub fn attendance_probability(&self, user: UserId, event: EventId) -> Option<f64> {
         let interval = self.schedule.interval_of(event)?;
         let mu = self.inst.mu(user, event);
+        // No rank or no slot → the user holds no aggregates here: either no
+        // candidate interest anywhere, or σ(u,t) = 0 at this interval — the
+        // σ factor below zeroes the probability in the latter case exactly
+        // as the dense layout did.
         let (b, m) = match self.rank_of.get(user.index()) {
-            Some(&r) if r != NO_RANK => {
-                let i = interval.index() * self.stride + r as usize;
-                (self.b[i], self.m[i])
-            }
+            Some(&r) if r != NO_RANK => match self.cols.slot_of(interval.index(), r) {
+                Some(i) => (self.cols.b[i], self.cols.m[i]),
+                None => (0.0, 0.0),
+            },
             _ => (0.0, 0.0),
         };
         Some(self.inst.sigma(user, interval) * luce_ratio(mu, b + m))
@@ -649,25 +709,26 @@ impl AttendanceEngine {
     /// `None` if `e` is not scheduled.
     pub fn expected_attendance(&self, event: EventId) -> Option<f64> {
         let interval = self.schedule.interval_of(event)?;
-        let base = interval.index() * self.stride;
+        let t = interval.index();
+        let start = self.cols.offsets[t];
+        let full = self.cols.offsets[t + 1] - start == self.cols.stride;
+        let run = self.runs.run(&self.resolved, event.index(), t, full);
         let mut sum = 0.0;
-        for &(r, mu) in self.resolved[event.index()].iter() {
-            let i = base + r as usize;
-            sum += self.sigma[i] * luce_ratio(mu, self.b[i] + self.m[i]);
+        for &(slot, mu) in run {
+            let i = start + slot as usize;
+            sum += self.cols.sigma[i] * luce_ratio(mu, self.cols.b[i] + self.cols.m[i]);
         }
         Some(sum)
     }
 
     /// Total expected attendance of one interval: `Σ_{e ∈ E_t(S)} ω(e,t)`.
     pub fn interval_utility(&self, interval: IntervalId) -> f64 {
-        let base = interval.index() * self.stride;
-        let b = &self.b[base..base + self.stride];
-        let m = &self.m[base..base + self.stride];
-        let sigma = &self.sigma[base..base + self.stride];
+        let t = interval.index();
         let mut sum = 0.0;
-        for r in 0..self.stride {
-            if m[r] > 0.0 {
-                sum += sigma[r] * luce_ratio(m[r], b[r] + m[r]);
+        for i in self.cols.offsets[t]..self.cols.offsets[t + 1] {
+            let m = self.cols.m[i];
+            if m > 0.0 {
+                sum += self.cols.sigma[i] * luce_ratio(m, self.cols.b[i] + m);
             }
         }
         sum
@@ -710,11 +771,13 @@ impl AttendanceEngine {
     /// event at the interval loses attendance to the newcomer. The engine's
     /// aggregates stay authoritative; the underlying instance is unchanged.
     ///
-    /// Users outside the slot index are skipped: they have no interest in
-    /// any candidate, so their scheduled mass is permanently zero and extra
-    /// competing mass cannot change any score or probability.
+    /// Users outside the slot index are skipped (no interest in any
+    /// candidate → scheduled mass permanently zero), and so are indexed
+    /// users with `σ(u, interval) = 0` (no resident slot → every consumer
+    /// multiplies their aggregates by zero). Neither can change any score
+    /// or probability.
     pub fn add_competing_mass(&mut self, interval: IntervalId, postings: &[(UserId, f64)]) -> f64 {
-        let base = interval.index() * self.stride;
+        let t = interval.index();
         let mut delta = 0.0;
         let mut touched = false;
         for &(u, mu_c) in postings {
@@ -725,20 +788,22 @@ impl AttendanceEngine {
             if r == NO_RANK || mu_c <= 0.0 {
                 continue;
             }
-            let i = base + r as usize;
-            let b_old = self.b[i];
-            self.b[i] = b_old + mu_c;
+            let Some(i) = self.cols.slot_of(t, r) else {
+                continue;
+            };
+            let b_old = self.cols.b[i];
+            self.cols.b[i] = b_old + mu_c;
             touched = true;
-            let m = self.m[i];
+            let m = self.cols.m[i];
             if m > 0.0 {
                 let before = luce_ratio(m, b_old + m);
                 let after = luce_ratio(m, b_old + mu_c + m);
-                delta += self.sigma[i] * (after - before);
+                delta += self.cols.sigma[i] * (after - before);
             }
         }
         // Only a landed posting dirties the interval: mass aimed entirely at
-        // users outside the slot index leaves every `t·stride + rank` column
-        // bit-identical, so cached scores for the interval stay valid.
+        // absent slots leaves the column bit-identical, so cached scores for
+        // the interval stay valid.
         if touched {
             self.touch(interval);
         }
@@ -757,9 +822,9 @@ pub struct Evaluation {
 }
 
 /// From-scratch reference evaluation of a schedule (independent of the
-/// incremental engine *and* of its columnar layout — this path deliberately
-/// keeps the original per-interval hash-map aggregation, so it doubles as
-/// the oracle for the slot index).
+/// incremental engine *and* of its blocked column layout — this path
+/// deliberately keeps the original per-interval hash-map aggregation, so it
+/// doubles as the oracle for the slot index and the sparse columns).
 ///
 /// Cost: `O(Σ_{h ∈ C ∪ E(S)} |postings(h)|)`.
 pub fn evaluate_schedule(inst: &SesInstance, schedule: &Schedule) -> Evaluation {
@@ -797,7 +862,7 @@ pub fn evaluate_schedule(inst: &SesInstance, schedule: &Schedule) -> Evaluation 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::activity::ConstantActivity;
+    use crate::activity::{ConstantActivity, DenseActivity};
     use crate::ids::LocationId;
     use crate::interest::InterestBuilder;
     use crate::model::{uniform_grid, CandidateEvent, Organizer};
@@ -819,19 +884,31 @@ mod tests {
         UserId::new(i)
     }
 
-    #[test]
-    fn posting_gain_matches_the_two_division_form_and_keeps_conventions() {
-        // b > 0: the algebraic reduction equals (M+µ)/(D+µ) − M/D.
-        let (b, m, mu) = (0.5, 0.8, 0.4);
-        let direct = (m + mu) / (b + m + mu) - m / (b + m);
-        assert!((posting_gain(b, m, mu) - direct).abs() < 1e-15);
-        // First mass at the interval: ratio jumps 0 → µ/µ = 1.
-        assert_eq!(posting_gain(0.0, 0.0, 0.5), 1.0);
-        // b = 0 with existing mass: ratio is 1 before and after.
-        assert_eq!(posting_gain(0.0, 0.3, 0.4), 0.0);
-        // A contract-violating zero-weight posting must stay at the
-        // 0/0 := 0 convention, not invent a phantom unit of gain.
-        assert_eq!(posting_gain(0.0, 0.0, 0.0), 0.0);
+    /// 3 users × 2 intervals × 2 events with σ = 0 holes: user 0 sleeps at
+    /// t1, user 2 sleeps at t0 — so both columns are *partial* and every
+    /// engine path exercises the run translation instead of the full-column
+    /// alias.
+    fn sparse_inst() -> Arc<SesInstance> {
+        let mut interest = InterestBuilder::new(3, 2, 0);
+        interest.set(u(0), e(0), 0.8).unwrap();
+        interest.set(u(1), e(0), 0.3).unwrap();
+        interest.set(u(2), e(0), 0.6).unwrap();
+        interest.set(u(1), e(1), 0.5).unwrap();
+        interest.set(u(2), e(1), 0.9).unwrap();
+        SesInstance::builder()
+            .organizer(Organizer::new(10.0))
+            .intervals(uniform_grid(2, 10))
+            .events(vec![
+                CandidateEvent::new(e(0), LocationId::new(0), 1.0),
+                CandidateEvent::new(e(1), LocationId::new(1), 1.0),
+            ])
+            .interest(interest.build_sparse().unwrap())
+            .activity(
+                DenseActivity::from_rows(vec![vec![0.9, 0.0], vec![0.7, 0.6], vec![0.0, 0.8]])
+                    .unwrap(),
+            )
+            .build_shared()
+            .unwrap()
     }
 
     #[test]
@@ -1243,5 +1320,124 @@ mod tests {
             eval.total_utility,
             evaluate_schedule(&inst, &s1).total_utility
         ));
+    }
+
+    #[test]
+    fn sparse_columns_match_oracle_bitwise() {
+        // Partial columns on both intervals; the incremental engine must
+        // agree with the hash-map oracle *bitwise*, per event and in total.
+        let inst = sparse_inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(0)).unwrap();
+        engine.assign(e(1), t(0)).unwrap();
+        let eval = evaluate_schedule(&inst, engine.schedule());
+        for &(ev, _, omega) in &eval.per_event {
+            let engine_omega = engine.expected_attendance(ev).unwrap();
+            assert_eq!(engine_omega.to_bits(), omega.to_bits(), "event {ev}");
+        }
+        assert!(approx_eq(engine.total_utility(), eval.total_utility));
+        // Move an event across intervals; agreement must survive mutation.
+        engine.unassign(e(1)).unwrap();
+        engine.assign(e(1), t(1)).unwrap();
+        let eval = evaluate_schedule(&inst, engine.schedule());
+        assert!(approx_eq(engine.total_utility(), eval.total_utility));
+        // Round-trip back to empty is an exact zero (sparse zero-snap).
+        engine.unassign(e(0)).unwrap();
+        engine.unassign(e(1)).unwrap();
+        assert_eq!(engine.total_utility(), 0.0);
+    }
+
+    #[test]
+    fn sparse_posting_visits_never_exceed_posting_lists() {
+        let inst = sparse_inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.score_all(e(0));
+        engine.score_all(e(1));
+        // Dense layout would visit |postings| per (event, interval): 3+2
+        // postings × 2 intervals = 10. Sparse runs drop the σ = 0 entries.
+        let c = engine.counters();
+        assert!(
+            c.posting_visits < 10,
+            "sparse visits {} must be under the dense 10",
+            c.posting_visits
+        );
+        // e0 at t0 sees u0,u1 (u2 sleeps) = 2; at t1 sees u1,u2 (u0 sleeps) = 2.
+        // e1 at t0 sees u1 (u2 sleeps) = 1; at t1 sees u1,u2 = 2. Total 7.
+        assert_eq!(c.posting_visits, 7);
+    }
+
+    #[test]
+    fn sparse_attendance_probability_zeroes_inactive_users() {
+        let inst = sparse_inst();
+        let mut engine = AttendanceEngine::new(&inst);
+        engine.assign(e(0), t(1)).unwrap();
+        // u0 is interested in e0 but inactive at t1 → ρ = 0 exactly.
+        assert_eq!(engine.attendance_probability(u(0), e(0)), Some(0.0));
+        // u1 is active at t1 and alone in e0's denominator there.
+        let rho = engine.attendance_probability(u(1), e(0)).unwrap();
+        assert!(rho > 0.0);
+    }
+
+    #[test]
+    fn memory_stats_report_sub_dense_residency() {
+        let sparse = sparse_inst();
+        let engine = AttendanceEngine::new(&sparse);
+        let m = engine.memory_stats();
+        // 3 indexed users × 2 intervals = 6 dense slots; 2 σ-holes → 4.
+        assert_eq!(m.dense_slots, 6);
+        assert_eq!(m.column_slots, 4);
+        assert_eq!(engine.column_len(t(0)) + engine.column_len(t(1)), 4);
+        assert!(m.resident_column_bytes > 0);
+        assert!(m.run_bytes > 0, "partial columns need run storage");
+        assert!(m.build_millis >= 0.0);
+        assert_eq!(
+            m.total_resident_bytes(),
+            m.resident_column_bytes + m.run_bytes
+        );
+
+        // A fully dense instance keeps column_slots == dense_slots and pays
+        // zero run bytes (runs alias the shared posting lists).
+        let dense_inst = inst();
+        let dense = AttendanceEngine::new(&dense_inst);
+        let dm = dense.memory_stats();
+        assert_eq!(dm.column_slots, dm.dense_slots);
+        assert_eq!(dm.run_bytes, 0);
+
+        // Merge accumulates (the server's per-shard session totals).
+        let mut sum = m;
+        sum.merge(&dm);
+        assert_eq!(sum.column_slots, m.column_slots + dm.column_slots);
+        assert_eq!(
+            sum.resident_column_bytes,
+            m.resident_column_bytes + dm.resident_column_bytes
+        );
+    }
+
+    #[test]
+    fn assign_with_fully_inactive_postings_keeps_generation_clean() {
+        // Event e0's only fan (u0) sleeps at t1 in this universe: assigning
+        // e0 → t1 moves no mass, so the generation must stay put, and the
+        // empty run scores exactly zero.
+        let mut interest = InterestBuilder::new(2, 1, 0);
+        interest.set(u(0), e(0), 0.7).unwrap();
+        let inst = SesInstance::builder()
+            .organizer(Organizer::new(5.0))
+            .intervals(uniform_grid(2, 10))
+            .events(vec![CandidateEvent::new(e(0), LocationId::new(0), 1.0)])
+            .interest(interest.build_sparse().unwrap())
+            .activity(DenseActivity::from_rows(vec![vec![0.8, 0.0], vec![0.0, 0.0]]).unwrap())
+            .build_shared()
+            .unwrap();
+        let mut engine = AttendanceEngine::new(&inst);
+        assert_eq!(engine.score(e(0), t(1)), 0.0);
+        engine.assign(e(0), t(1)).unwrap();
+        assert_eq!(engine.clock(), 0, "no column mutated, clock must not move");
+        assert_eq!(engine.total_utility(), 0.0);
+        assert_eq!(engine.expected_attendance(e(0)), Some(0.0));
+        engine.unassign(e(0)).unwrap();
+        assert_eq!(engine.clock(), 0);
+        // The same event at the active interval does move the clock.
+        engine.assign(e(0), t(0)).unwrap();
+        assert!(engine.clock() > 0);
     }
 }

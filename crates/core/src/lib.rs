@@ -97,13 +97,17 @@ pub mod schedule;
 pub mod testkit;
 pub mod util;
 
-pub use activity::{ActivityModel, ConstantActivity, DenseActivity, HashedActivity, SlotActivity};
+pub use activity::{
+    ActivityModel, ConstantActivity, DenseActivity, HashedActivity, MaskedActivity, SlotActivity,
+};
 pub use algorithms::{
     AnnealingConfig, AnnealingScheduler, ExactScheduler, GreedyHeapScheduler, GreedyScheduler,
     LocalSearchConfig, LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome, Scheduler,
     SesError, TopScheduler,
 };
-pub use engine::{evaluate_schedule, AttendanceEngine, EngineCounters, Evaluation};
+pub use engine::{
+    evaluate_schedule, AttendanceEngine, EngineCounters, EngineMemoryStats, Evaluation,
+};
 pub use error::Error;
 pub use ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
 pub use instance::{FeasibilityViolation, InstanceBuilder, SesInstance, ValidationError};
@@ -119,14 +123,15 @@ pub use schedule::{Assignment, Schedule, ScheduleError};
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::activity::{
-        ActivityModel, ConstantActivity, DenseActivity, HashedActivity, SlotActivity,
+        ActivityModel, ConstantActivity, DenseActivity, HashedActivity, MaskedActivity,
+        SlotActivity,
     };
     pub use crate::algorithms::{
         AnnealingScheduler, ExactScheduler, GreedyHeapScheduler, GreedyScheduler,
         LocalSearchScheduler, RandomScheduler, RunStats, ScheduleOutcome, Scheduler, SesError,
         TopScheduler,
     };
-    pub use crate::engine::{evaluate_schedule, AttendanceEngine, Evaluation};
+    pub use crate::engine::{evaluate_schedule, AttendanceEngine, EngineMemoryStats, Evaluation};
     pub use crate::error::Error;
     pub use crate::ids::{CompetingEventId, EventId, EventRef, IntervalId, LocationId, UserId};
     pub use crate::instance::{FeasibilityViolation, InstanceBuilder, SesInstance};

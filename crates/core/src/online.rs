@@ -156,6 +156,13 @@ impl OnlineSession {
         self.engine.counters()
     }
 
+    /// Resident-memory and build-cost accounting of the session's engine
+    /// (blocked column layout) — fixed at session construction; serving
+    /// front ends aggregate it per shard for `/metrics`.
+    pub fn memory_stats(&self) -> crate::engine::EngineMemoryStats {
+        self.engine.memory_stats()
+    }
+
     /// The engine's monotone mutation clock: how many state-changing
     /// engine operations (assigns, unassigns, competing-mass injections
     /// that landed in the slot index) this session has absorbed. Serving

@@ -212,6 +212,14 @@ pub struct ShardStatus {
     pub sessions: u64,
     /// Session events applied on this shard.
     pub events_applied: u64,
+    /// Resident engine-column slots across this shard's open sessions
+    /// (blocked column layout; absent in pre-`memory` JSON).
+    #[serde(default)]
+    pub column_slots: u64,
+    /// Resident engine bytes (columns + runs) across this shard's open
+    /// sessions.
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 /// One endpoint's latency line in the `/metrics` report.
@@ -260,6 +268,14 @@ pub struct EngineTotals {
     pub clock: u64,
     /// Summed engine operation counters (scoring work).
     pub counters: EngineCounters,
+    /// Summed resident engine-column slots across all open sessions
+    /// (blocked column layout; absent in pre-`memory` JSON).
+    #[serde(default)]
+    pub column_slots: u64,
+    /// Summed resident engine bytes (columns + runs) across all open
+    /// sessions — what the server actually holds for scoring state.
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 impl EngineTotals {
@@ -269,6 +285,8 @@ impl EngineTotals {
         self.events_applied += other.events_applied;
         self.clock += other.clock;
         self.counters.merge(other.counters);
+        self.column_slots += other.column_slots;
+        self.resident_bytes += other.resident_bytes;
     }
 }
 

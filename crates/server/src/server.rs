@@ -859,6 +859,8 @@ fn metrics_report(
                     busy_micros: gauge.busy_micros(),
                     sessions: totals.sessions,
                     events_applied: totals.events_applied,
+                    column_slots: totals.column_slots,
+                    resident_bytes: totals.resident_bytes,
                 });
             }
             Ok(_) => {

@@ -149,6 +149,8 @@ fn stats_of(service: &SchedulerService) -> EngineTotals {
             events_applied: report.events_applied,
             clock: report.clock,
             counters: report.counters,
+            column_slots: report.memory.column_slots,
+            resident_bytes: report.memory.total_resident_bytes(),
         });
     }
     totals

@@ -203,6 +203,7 @@ impl SchedulerService {
             events_applied: entry.events_applied,
             counters: entry.session.counters(),
             clock: entry.session.clock(),
+            memory: entry.session.memory_stats(),
         })
     }
 

@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 use ses_core::{
-    Assignment, EngineCounters, EventId, IntervalId, RepairReport, ScheduleOutcome, SchedulerSpec,
-    UserId,
+    Assignment, EngineCounters, EngineMemoryStats, EventId, IntervalId, RepairReport,
+    ScheduleOutcome, SchedulerSpec, UserId,
 };
 
 /// A request to solve an instance offline: which algorithm, how many events.
@@ -202,4 +202,9 @@ pub struct SessionReport {
     /// compatibility).
     #[serde(default)]
     pub clock: u64,
+    /// Resident-memory and build-cost accounting of the session's engine
+    /// (blocked column layout). Defaults to all-zero when absent from the
+    /// wire (pre-`memory` JSON compatibility).
+    #[serde(default)]
+    pub memory: EngineMemoryStats,
 }

@@ -179,12 +179,20 @@ proptest! {
                 unassigns: ops[3],
             },
             clock,
+            memory: ses_core::EngineMemoryStats {
+                column_slots: ops[0] / 2,
+                dense_slots: ops[0],
+                resident_column_bytes: ops[1],
+                run_bytes: ops[2],
+                build_millis: utility / 3.0,
+            },
         };
         let back = roundtrip_json(&report);
         prop_assert_eq!(back.utility.to_bits(), report.utility.to_bits());
         prop_assert_eq!(back.budget.to_bits(), report.budget.to_bits());
         prop_assert_eq!(&back.counters, &report.counters);
         prop_assert_eq!(back.clock, report.clock);
+        prop_assert_eq!(back.memory.build_millis.to_bits(), report.memory.build_millis.to_bits());
         prop_assert_eq!(back, report);
     }
 
