@@ -87,12 +87,15 @@ const ATOMIC_ALLOWLIST: [&str; 4] = [
 
 /// Server files whose code runs on the request path (panic discipline).
 /// Client-side tooling (client.rs, loadgen.rs, replay.rs) may panic: it
-/// reports to a human, not to a socket.
-const SERVER_REQUEST_PATH: [&str; 4] = [
+/// reports to a human, not to a socket. The core store is included because
+/// the registry lazily opens packed tenant files while serving requests —
+/// a corrupt file must answer a structured 500, never take the shard down.
+const SERVER_REQUEST_PATH: [&str; 5] = [
     "crates/server/src/server.rs",
     "crates/server/src/shard.rs",
     "crates/server/src/http.rs",
     "crates/server/src/metrics.rs",
+    "crates/core/src/store.rs",
 ];
 
 /// Deterministic layers where wall clocks are confined to allowlisted

@@ -75,6 +75,27 @@ const SMOKE_USERS_AXIS_K: usize = 10;
 const USERS_AXIS_INTERESTS: usize = 3;
 const USERS_AXIS_ACTIVE: usize = 3;
 
+/// Shape of the pack→cold-open comparison universe (full runs): the
+/// acceptance sizing — 100k sparse users.
+const STORE_COLD_OPEN_USERS: usize = 100_000;
+/// Users for the workload-profile cold-open row: the same generator family
+/// `ses serve` boots for its default tenant, sized so one timing round
+/// stays in the hundreds of milliseconds on the bench host.
+const STORE_WORKLOAD_USERS: usize = 30_000;
+/// Interleaved timing rounds per store row; each row records the *minimum*
+/// rebuild and cold-open wall clocks across rounds. The bench host is a
+/// single shared core with wildly variable steal time, so a minimum over
+/// interleaved rounds is the only estimator that compares like with like.
+const STORE_TIMING_ROUNDS: usize = 3;
+/// Sparse-row population shape, matching the `ses pack` CLI defaults.
+const STORE_SPARSE_INTERESTS: usize = 8;
+const STORE_SPARSE_ACTIVE: usize = 6;
+const STORE_COLD_OPEN_EVENTS: usize = 400;
+const STORE_COLD_OPEN_INTERVALS: usize = 64;
+
+/// Greedy schedule size of the cold-open Ω bit-match check.
+const STORE_COLD_OPEN_K: usize = 32;
+
 /// One (cell × algorithm) comparison row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineCell {
@@ -121,6 +142,38 @@ struct SmokeReference {
     cells: Vec<EngineCell>,
 }
 
+/// One cold-open vs rebuild comparison row for the packed instance store
+/// (DESIGN.md §12). The packed file is written once; then rebuild (run the
+/// generator again) and cold-open (reopen the file) alternate for
+/// [`STORE_TIMING_ROUNDS`] rounds and the row records each side's minimum.
+/// The reopened instance must reproduce greedy Ω and the engine's
+/// deterministic memory accounting bit for bit — the booleans are a gate,
+/// the wall clocks are the evidence. Two rows are recorded: the `sparse`
+/// pack-profile universe (cheap RNG generator — the store's worst case)
+/// and the `workload` profile `ses serve` actually boots, where the dense
+/// generation pass is what cold-open avoids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreColdOpen {
+    profile: String,
+    users: usize,
+    events: usize,
+    intervals: usize,
+    seed: u64,
+    /// Size of the packed file on disk.
+    packed_bytes: u64,
+    /// Wall-clock millis to build the instance from the generator.
+    rebuild_millis: f64,
+    /// Wall-clock millis to cold-open the packed file.
+    cold_open_millis: f64,
+    /// `rebuild_millis / cold_open_millis` (both side's round minima).
+    speedup: f64,
+    /// Greedy Ω at [`STORE_COLD_OPEN_K`] identical to the last bit.
+    omega_bits_match: bool,
+    /// Engine slot/byte accounting identical (wall-clock `build_millis`
+    /// excluded — it is the one nondeterministic stat).
+    memory_stats_match: bool,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineReport {
     generator: String,
@@ -139,6 +192,10 @@ struct EngineReport {
     lazy_eval_ratio_at_max_k: f64,
     #[serde(default)]
     smoke_reference: Option<SmokeReference>,
+    /// Pack→cold-open rows; full runs only (empty under `--smoke`/`--check`,
+    /// so the gate compares the same sections it always did).
+    #[serde(default)]
+    store: Vec<StoreColdOpen>,
 }
 
 struct Args {
@@ -540,6 +597,72 @@ fn check_bit_identical(fresh: &[EngineCell], reference: &SmokeReference) -> Vec<
     violations
 }
 
+/// Measures one store row: builds the universe, packs it to a temp file,
+/// then alternates generator rebuilds and cold opens for
+/// [`STORE_TIMING_ROUNDS`] rounds (recording each side's minimum), and
+/// compares greedy Ω and engine memory accounting bit for bit between the
+/// first build and the first reopen. The wall clocks are reporting; the
+/// bit-match booleans are the gate.
+fn measure_store_profile(
+    profile: &str,
+    users: usize,
+    events: usize,
+    intervals: usize,
+    seed: u64,
+    build: &dyn Fn() -> std::sync::Arc<ses_core::SesInstance>,
+) -> Result<StoreColdOpen, String> {
+    let built = build();
+    let path =
+        std::env::temp_dir().join(format!("bench-engine-cold-open-{profile}-{seed}.sesstore"));
+    let packed_bytes = ses_core::store::pack_to_path(&built, &path).map_err(|e| e.to_string())?;
+
+    let open_start = std::time::Instant::now();
+    let reopened = ses_core::store::open_path(&path).map_err(|e| e.to_string())?;
+    let mut cold_open_millis = open_start.elapsed().as_secs_f64() * 1e3;
+    let mut rebuild_millis = f64::INFINITY;
+    for _ in 0..STORE_TIMING_ROUNDS {
+        let rebuild_start = std::time::Instant::now();
+        let again = build();
+        rebuild_millis = rebuild_millis.min(rebuild_start.elapsed().as_secs_f64() * 1e3);
+        drop(again);
+        let open_start = std::time::Instant::now();
+        let again = ses_core::store::open_path(&path).map_err(|e| e.to_string())?;
+        cold_open_millis = cold_open_millis.min(open_start.elapsed().as_secs_f64() * 1e3);
+        drop(again);
+    }
+    std::fs::remove_file(&path).ok();
+
+    let solve_built = registry::build(SchedulerSpec::Greedy)
+        .run(&built, STORE_COLD_OPEN_K)
+        .map_err(|e| e.to_string())?;
+    let solve_reopened = registry::build(SchedulerSpec::Greedy)
+        .run(&reopened, STORE_COLD_OPEN_K)
+        .map_err(|e| e.to_string())?;
+    let omega_bits_match =
+        solve_built.total_utility.to_bits() == solve_reopened.total_utility.to_bits();
+
+    let stats_built = ses_core::AttendanceEngine::new(&built).memory_stats();
+    let stats_reopened = ses_core::AttendanceEngine::new(&reopened).memory_stats();
+    let memory_stats_match = stats_built.column_slots == stats_reopened.column_slots
+        && stats_built.dense_slots == stats_reopened.dense_slots
+        && stats_built.resident_column_bytes == stats_reopened.resident_column_bytes
+        && stats_built.run_bytes == stats_reopened.run_bytes;
+
+    Ok(StoreColdOpen {
+        profile: profile.to_owned(),
+        users,
+        events,
+        intervals,
+        seed,
+        packed_bytes,
+        rebuild_millis,
+        cold_open_millis,
+        speedup: rebuild_millis / cold_open_millis.max(1e-6),
+        omega_bits_match,
+        memory_stats_match,
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -619,6 +742,79 @@ fn main() -> ExitCode {
         }
     };
 
+    // Full runs also measure the packed store's cold-open rows; a bit
+    // mismatch is a correctness failure, not a perf number.
+    let store = if args.smoke || args.check {
+        Vec::new()
+    } else {
+        let seed = args.seed;
+        type UniverseBuilder = Box<dyn Fn() -> std::sync::Arc<ses_core::SesInstance>>;
+        let profiles: [(&str, usize, UniverseBuilder); 2] = [
+            (
+                "sparse",
+                STORE_COLD_OPEN_USERS,
+                Box::new(move || {
+                    sparse_population(
+                        STORE_COLD_OPEN_USERS,
+                        STORE_COLD_OPEN_EVENTS,
+                        STORE_COLD_OPEN_INTERVALS,
+                        STORE_SPARSE_INTERESTS,
+                        STORE_SPARSE_ACTIVE,
+                        seed,
+                    )
+                }),
+            ),
+            (
+                "workload",
+                STORE_WORKLOAD_USERS,
+                Box::new(move || {
+                    ses_core::testkit::workload_instance(
+                        STORE_WORKLOAD_USERS,
+                        STORE_COLD_OPEN_EVENTS,
+                        STORE_COLD_OPEN_INTERVALS,
+                        seed,
+                    )
+                }),
+            ),
+        ];
+        let mut rows = Vec::new();
+        for (profile, users, build) in &profiles {
+            eprintln!(
+                "[bench_engine] measuring pack→cold-open on the {users}-user {profile} universe"
+            );
+            match measure_store_profile(
+                profile,
+                *users,
+                STORE_COLD_OPEN_EVENTS,
+                STORE_COLD_OPEN_INTERVALS,
+                seed,
+                build.as_ref(),
+            ) {
+                Ok(row) => {
+                    if !row.omega_bits_match || !row.memory_stats_match {
+                        eprintln!(
+                            "bench_engine: {profile} cold-open is not bit-exact \
+                             (Ω match {}, memory match {})",
+                            row.omega_bits_match, row.memory_stats_match
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "[bench_engine] {profile}: cold-open {:.1} ms vs rebuild {:.1} ms \
+                         ({:.1}x, {} packed bytes, min of {STORE_TIMING_ROUNDS} rounds)",
+                        row.cold_open_millis, row.rebuild_millis, row.speedup, row.packed_bytes
+                    );
+                    rows.push(row);
+                }
+                Err(e) => {
+                    eprintln!("bench_engine: {profile} store cold-open failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        rows
+    };
+
     // Per-algorithm headline: each algorithm's speedup at its largest
     // k-sweep cell (cells arrive in ascending k order, so the last insert
     // wins). Users-axis cells are excluded — they have no dense baseline.
@@ -649,6 +845,7 @@ fn main() -> ExitCode {
         largest_cell_speedup,
         lazy_eval_ratio_at_max_k,
         smoke_reference,
+        store,
     };
     let out = args.out_path();
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -21,6 +21,13 @@ use ses_server::{
 };
 use std::process::ExitCode;
 
+/// Dimensions of the packed second tenant. Deliberately different from the
+/// default serving instance so cross-tenant traffic exercises distinct
+/// universes, and small enough that packing adds negligible startup cost.
+const TENANT_USERS: usize = 5_000;
+const TENANT_EVENTS: usize = 120;
+const TENANT_INTERVALS: usize = 48;
+
 /// Where full runs land (the committed report).
 const DEFAULT_OUT: &str = "BENCH_server.json";
 /// Where smoke runs land unless `--out` says otherwise.
@@ -49,18 +56,36 @@ fn run() -> Result<bool, String> {
     let out = arg_value(&args, "--out")
         .unwrap_or_else(|| (if smoke { SMOKE_OUT } else { DEFAULT_OUT }).to_owned());
 
-    // The default serving instance (`ses serve`'s defaults), ephemeral port.
+    // Pack a second tenant so the loadgen splits clients across two
+    // universes — the per-instance rows below are the committed evidence
+    // that one tenant's traffic does not distort another's latency.
+    let tenant = ses_datagen::synthetic::sparse_population(
+        TENANT_USERS,
+        TENANT_EVENTS,
+        TENANT_INTERVALS,
+        8,
+        6,
+        seed.wrapping_add(1),
+    );
+    let tenant_path = std::env::temp_dir().join(format!("bench-server-tenant-{seed}.sesstore"));
+    let tenant_bytes = ses_core::store::pack_to_path(&tenant, &tenant_path)
+        .map_err(|e| format!("pack tenant: {e}"))?;
+
+    // The default serving instance (`ses serve`'s defaults) plus the packed
+    // tenant, ephemeral port.
     let server_cfg = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         shards,
         seed,
+        instances: vec![("tenant-b".to_owned(), tenant_path.clone())],
         ..ServerConfig::default()
     };
     let handle = serve(&server_cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();
     println!(
-        "bench_server: {} shards on {addr}, {clients} clients × {requests} requests",
-        shards
+        "bench_server: {} shards on {addr}, {clients} clients × {requests} requests, \
+         packed tenant {} bytes",
+        shards, tenant_bytes
     );
 
     let loadgen_cfg = LoadgenConfig {
@@ -68,6 +93,7 @@ fn run() -> Result<bool, String> {
         clients,
         requests,
         seed,
+        instances: vec!["default".to_owned(), "tenant-b".to_owned()],
         ..LoadgenConfig::default()
     };
     let summary = ses_server::loadgen::run(&loadgen_cfg)?;
@@ -81,6 +107,18 @@ fn run() -> Result<bool, String> {
         summary.ok,
         summary.errors
     );
+    for row in &summary.per_instance {
+        println!(
+            "    [{}] {} clients, {} requests — p50 {} µs, p95 {} µs, p99 {} µs ({} errors)",
+            row.instance,
+            row.clients,
+            row.requests,
+            row.p50_micros,
+            row.p95_micros,
+            row.p99_micros,
+            row.errors
+        );
+    }
 
     let mut client = HttpClient::new(addr);
     let digest = verify_replay(
@@ -123,6 +161,7 @@ fn run() -> Result<bool, String> {
     println!("  wrote {out}");
 
     handle.shutdown();
+    let _ = std::fs::remove_file(&tenant_path);
     Ok(healthy)
 }
 

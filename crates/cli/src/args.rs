@@ -8,8 +8,11 @@ use std::collections::BTreeMap;
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
-    /// `--key value` pairs.
+    /// `--key value` pairs (a repeated option keeps its last value here).
     pub options: BTreeMap<String, String>,
+    /// Every `--key value` pair in argument order, repeats included —
+    /// the source [`ParsedArgs::get_all`] reads for repeatable options.
+    pub pairs: Vec<(String, String)>,
     /// Bare `--flag`s.
     pub flags: Vec<String>,
 }
@@ -66,6 +69,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgsError> {
                     .next()
                     .cloned()
                     .ok_or_else(|| ArgsError::MissingValue(key.to_owned()))?;
+                out.pairs.push((key.to_owned(), value.clone()));
                 out.options.insert(key.to_owned(), value);
             }
         } else {
@@ -102,6 +106,16 @@ impl ParsedArgs {
     pub fn has_flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Every value a repeatable option was given, in argument order
+    /// (empty if absent). `options` keeps only the last occurrence.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +146,27 @@ mod tests {
             p.get_or("k", 1usize).unwrap_err(),
             ArgsError::BadValue { .. }
         ));
+    }
+
+    #[test]
+    fn repeated_options_are_all_kept_in_order() {
+        let p = parse(&sv(&[
+            "serve",
+            "--instance",
+            "a=/tmp/a.sesstore",
+            "--shards",
+            "2",
+            "--instance",
+            "b=/tmp/b.sesstore",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.get_all("instance"),
+            vec!["a=/tmp/a.sesstore", "b=/tmp/b.sesstore"]
+        );
+        // The map keeps last-wins semantics for single-valued callers.
+        assert_eq!(p.options["instance"], "b=/tmp/b.sesstore");
+        assert!(p.get_all("missing").is_empty());
     }
 
     #[test]

@@ -29,13 +29,22 @@ SUBCOMMANDS:
     analyze     print dataset statistics (overlap, sparsity, group sizes)
                   --dataset PATH (required)
     solve       build the paper's instance from a dataset and schedule it
-      (alias:     --dataset PATH (required)   --k K (100)
+      (alias:     --dataset PATH (required unless --instance)   --k K (100)
       schedule)   --t-factor F (1.5)          --algo GRD|GRD-PQ|TOP|RAND|LS|SA|EXACT (GRD)
                   (GRD-PQ is the CELF lazy greedy; aliases LAZY, CELF)
                   --seed S (0)                --checkins  (σ from check-ins)
                   --format text|json (text)   --out PATH  (write the schedule as JSON)
                   --threads N (1)             (shard greedy scoring sweeps; same schedule)
+                  --instance PATH  (schedule a packed universe from `ses pack`
+                                    instead of building one from a dataset)
                   --trace  (print the span timeline of the solve afterwards)
+    pack        build a synthetic universe and write it as a packed instance
+                  --profile sparse|workload (sparse)  --out PATH (required)
+                  --users N (10000)  --events N (200)  --intervals N (48)
+                  --interests N (8; sparse: candidate postings per user)
+                  --active N (6; sparse: active intervals per user)
+                  --seed S (0)
+                  the output cold-opens via --instance flags and `ses serve`
     quality     compare heuristics against the exact optimum on small instances
                   --instances N (20)  --k K (4)
     simulate    replay a disruption workload against the online scheduler
@@ -46,17 +55,24 @@ SUBCOMMANDS:
                   --algo SPEC (GRD)     --format text|json (text)
                   --threads N (1)       (shard the initial solve's scoring)
                   --holdback F (0.3)    (fraction of candidates arriving late)
+                  --instance PATH  (simulate over a packed universe instead of
+                                    the generated workload instance)
                   --trace  (print the span timeline of the second run afterwards)
                   runs the stream twice and verifies the traces are identical
-    serve       serve the scheduler over HTTP (see DESIGN.md §8–9)
+    serve       serve the scheduler over HTTP (see DESIGN.md §8–9, §12)
                   --addr A (127.0.0.1:7878)  --shards N (4)
                   --io-threads N (8)         --max-body BYTES (1048576)
                   --users N (400)   --events N (60)
                   --intervals N (24) --seed S (0)
+                  --instance NAME=PATH  (register a packed instance under NAME;
+                                         repeatable; loaded lazily on first use)
                   --log-level error|warn|info|debug (info)  --log-json
                   --slow-ms MILLIS (250; slow requests log their span timeline)
                   endpoints: POST /solve /eval /sessions/{name}/open|event|report|close
-                             GET /healthz /metrics /trace/{id}; stop with SIGTERM/ctrl-c
+                             GET /healthz /metrics /trace/{id} /instances
+                             stop with SIGTERM/ctrl-c
+    instances   list the instance registry of a running server
+                  --addr A (127.0.0.1:7878)  --format text|json (text)
     top         live per-shard / per-endpoint dashboard of a running server
                   --addr A (127.0.0.1:7878)  --interval MILLIS (1000)
                   --once  (print a single frame and exit; no screen clearing)
@@ -65,6 +81,9 @@ SUBCOMMANDS:
                   --requests N (2000 per client)
                   --solve-fraction F (0.02)  --solve-k K (8)
                   --k K (12)        --algo SPEC (GRD)   --seed S (0)
+                  --instance NAME  (repeatable; clients round-robin across the
+                                    named instances — per-instance latency in
+                                    the report; default: just \"default\")
                   --verify-steps N (200; 0 skips the sim-digest replay check)
                   --scenario NAME (flash-crowd)  --holdback F (0.3)
                   --format text|json (text)      --out PATH (write the report)
@@ -162,31 +181,54 @@ pub fn analyze(args: &ParsedArgs) -> Result<(), String> {
 
 /// `ses solve` (alias: `ses schedule`)
 pub fn solve(args: &ParsedArgs) -> Result<(), String> {
-    let dataset = load(args)?;
     let k: usize = args.get_or("k", 100).map_err(|e| e.to_string())?;
     let t_factor: f64 = args.get_or("t-factor", 1.5).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
     let threads: usize = args.get_or("threads", 1).map_err(|e| e.to_string())?;
     let format = format_of(args)?;
     let spec = spec_of(args, "GRD", seed)?;
-    let cfg = PaperConfig {
-        k,
-        t_factor,
-        seed,
-        sigma: if args.has_flag("checkins") {
-            SigmaMode::FromCheckins
-        } else {
-            SigmaMode::Uniform
-        },
-        ..PaperConfig::default()
+    // Two ways to get a universe: cold-open a packed file (`ses pack`
+    // output — no dataset needed, no rebuild), or build the paper's
+    // instance from a dataset. Only the dataset path knows which dataset
+    // event each candidate came from, so the preview's source column is
+    // optional.
+    let (instance, candidate_source) = match args.options.get("instance") {
+        Some(path) => {
+            let inst = ses_core::store::open_path(std::path::Path::new(path))
+                .map_err(|e| format!("open {path}: {e}"))?;
+            (inst, None)
+        }
+        None => {
+            let dataset = load(args)?;
+            let cfg = PaperConfig {
+                k,
+                t_factor,
+                seed,
+                sigma: if args.has_flag("checkins") {
+                    SigmaMode::FromCheckins
+                } else {
+                    SigmaMode::Uniform
+                },
+                ..PaperConfig::default()
+            };
+            let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
+            (built.instance, Some(built.candidate_source))
+        }
     };
-    let built = build_instance(&dataset, &cfg).map_err(|e| e.to_string())?;
     let service = SchedulerService::new();
     let trace = args.has_flag("trace").then(ses_obs::TraceId::generate);
     let response = {
         let _scope = trace.map(ses_obs::trace_scope);
         service
-            .solve(&built.instance, &SolveRequest { spec, k, threads })
+            .solve(
+                &instance,
+                &SolveRequest {
+                    spec,
+                    k,
+                    threads,
+                    instance: Default::default(),
+                },
+            )
             .map_err(|e| e.to_string())?
     };
 
@@ -214,14 +256,14 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
 
     // Rehydrate the schedule from the response for metrics and export —
     // everything downstream consumes only what went over the wire.
-    let mut schedule = built.instance.empty_schedule();
+    let mut schedule = instance.empty_schedule();
     for a in &response.assignments {
         schedule
             .assign(a.event, a.interval)
             .map_err(|e| e.to_string())?;
     }
     if format == Format::Text {
-        let metrics = schedule_metrics(&built.instance, &schedule);
+        let metrics = schedule_metrics(&instance, &schedule);
         println!(
             "metrics: reach {:.1} users, attendance/event {:.2} (min {:.2} / max {:.2}, gini {:.3}), \
              {} intervals occupied (max {} events), {:.0}% resource use",
@@ -234,7 +276,7 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
             metrics.max_events_per_interval,
             metrics.mean_resource_utilization * 100.0
         );
-        let ub = utility_upper_bound(&built.instance, k);
+        let ub = utility_upper_bound(&instance, k);
         if ub > 0.0 {
             println!(
                 "certified quality: Ω is ≥ {:.1}% of any feasible schedule's utility \
@@ -257,8 +299,13 @@ pub fn solve(args: &ParsedArgs) -> Result<(), String> {
                 println!("  … ({} more)", schedule.len() - 10);
                 break;
             }
-            let src = built.candidate_source[a.event.index()];
-            println!("  {} → {} (dataset event {src})", a.event, a.interval);
+            match &candidate_source {
+                Some(source) => {
+                    let src = source[a.event.index()];
+                    println!("  {} → {} (dataset event {src})", a.event, a.interval);
+                }
+                None => println!("  {} → {}", a.event, a.interval),
+            }
         }
     }
     // The timeline goes to stderr so `--format json` output stays pipeable.
@@ -320,8 +367,15 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
     };
 
     // The same sizing `ses serve` uses — keeping the construction shared is
-    // what makes server-replay digests comparable to in-process runs.
-    let inst = workload_instance(users, events, intervals, seed);
+    // what makes server-replay digests comparable to in-process runs. A
+    // packed file (`--instance`) overrides the generated workload, and the
+    // printed dimensions come from the instance either way.
+    let inst = match args.options.get("instance") {
+        Some(path) => ses_core::store::open_path(std::path::Path::new(path))
+            .map_err(|e| format!("open {path}: {e}"))?,
+        None => workload_instance(users, events, intervals, seed),
+    };
+    let (users, events, intervals) = (inst.num_users(), inst.num_events(), inst.num_intervals());
 
     type SimRun = (
         SolveResponse,
@@ -342,6 +396,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<(), String> {
                     spec,
                     k: k.min(events),
                     threads,
+                    instance: Default::default(),
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -458,6 +513,18 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         .ok_or_else(|| format!("unknown log level '{level_name}' (error|warn|info|debug)"))?;
     ses_obs::set_log_level(level);
     ses_obs::set_log_json(args.has_flag("log-json"));
+    // Each `--instance name=path` registers a packed file as a lazily
+    // loaded tenant next to the built-in "default" workload universe.
+    let mut instances = Vec::new();
+    for entry in args.get_all("instance") {
+        let Some((name, path)) = entry.split_once('=') else {
+            return Err(format!("--instance expects NAME=PATH, got '{entry}'"));
+        };
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("--instance expects NAME=PATH, got '{entry}'"));
+        }
+        instances.push((name.to_owned(), std::path::PathBuf::from(path)));
+    }
     let cfg = ses_server::ServerConfig {
         addr: args
             .options
@@ -474,20 +541,22 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         intervals: args.get_or("intervals", 24).map_err(|e| e.to_string())?,
         seed: args.get_or("seed", 0).map_err(|e| e.to_string())?,
         slow_request_millis: args.get_or("slow-ms", 250).map_err(|e| e.to_string())?,
+        instances,
     };
     ses_server::install_signal_handlers();
     let handle = ses_server::serve(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     println!(
-        "ses-server listening on {} — {} shards, {} io threads, instance {}u/{}e/{}t seed {}",
+        "ses-server listening on {} — {} shards, {} io threads, default instance {}u/{}e/{}t seed {}, {} packed tenant(s)",
         handle.addr(),
         cfg.shards,
         cfg.io_threads,
         cfg.users,
         cfg.events,
         cfg.intervals,
-        cfg.seed
+        cfg.seed,
+        cfg.instances.len()
     );
-    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics /trace/{{id}}");
+    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics /trace/{{id}} /instances");
     handle.join();
     println!("ses-server: drained, bye");
     Ok(())
@@ -502,6 +571,14 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
         .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
     let spec = spec_of(args, "GRD", seed)?;
+    let mut instances: Vec<String> = args
+        .get_all("instance")
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    if instances.is_empty() {
+        instances.push("default".to_owned());
+    }
     let cfg = ses_server::LoadgenConfig {
         addr: addr.clone(),
         clients: args.get_or("clients", 8).map_err(|e| e.to_string())?,
@@ -514,6 +591,7 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
         spec,
         threads: args.get_or("threads", 1).map_err(|e| e.to_string())?,
         seed,
+        instances,
     };
     let verify_steps: u64 = args
         .get_or("verify-steps", 200)
@@ -577,6 +655,22 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
             "latency: mean {:.0} µs, p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
             s.mean_micros, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
         );
+        if s.per_instance.len() > 1 {
+            println!("per-instance (cross-tenant isolation):");
+            for l in &s.per_instance {
+                println!(
+                    "  {:<16} {} clients, {} requests, {} errors — p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+                    l.instance,
+                    l.clients,
+                    l.requests,
+                    l.errors,
+                    l.p50_micros,
+                    l.p95_micros,
+                    l.p99_micros,
+                    l.max_micros
+                );
+            }
+        }
         let mix: Vec<String> = s
             .mix
             .iter()
@@ -745,6 +839,98 @@ pub fn top(args: &ParsedArgs) -> Result<(), String> {
         std::io::stdout().flush().ok();
         std::thread::sleep(std::time::Duration::from_millis(interval));
     }
+}
+
+/// `ses pack` — materialize a synthetic universe once and write it as a
+/// packed columnar instance file servers and CLI runs cold-open without a
+/// rebuild (see `ses_core::store` and DESIGN.md §12).
+pub fn pack(args: &ParsedArgs) -> Result<(), String> {
+    let users: usize = args.get_or("users", 10_000).map_err(|e| e.to_string())?;
+    let events: usize = args.get_or("events", 200).map_err(|e| e.to_string())?;
+    let intervals: usize = args.get_or("intervals", 48).map_err(|e| e.to_string())?;
+    let interests: usize = args.get_or("interests", 8).map_err(|e| e.to_string())?;
+    let active: usize = args.get_or("active", 6).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let profile = args
+        .options
+        .get("profile")
+        .map(String::as_str)
+        .unwrap_or("sparse");
+
+    let build_start = std::time::Instant::now();
+    let inst = match profile {
+        "sparse" => ses_datagen::synthetic::sparse_population(
+            users, events, intervals, interests, active, seed,
+        ),
+        // The same construction `ses serve` boots with, so a packed file
+        // can stand in for the server's default workload bit-for-bit.
+        "workload" => ses_core::testkit::workload_instance(users, events, intervals, seed),
+        other => {
+            return Err(format!(
+                "unknown profile '{other}' (expected 'sparse' or 'workload')"
+            ))
+        }
+    };
+    let build_millis = build_start.elapsed().as_secs_f64() * 1e3;
+    let pack_start = std::time::Instant::now();
+    ses_core::store::pack_to_path(&inst, std::path::Path::new(out))
+        .map_err(|e| format!("pack {out}: {e}"))?;
+    let pack_millis = pack_start.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(out).map_err(|e| e.to_string())?.len();
+    println!(
+        "packed {profile} universe {}u/{}e/{}t seed {seed} → {out}: {bytes} bytes \
+         (build {build_millis:.1} ms, pack {pack_millis:.1} ms)",
+        inst.num_users(),
+        inst.num_events(),
+        inst.num_intervals()
+    );
+    Ok(())
+}
+
+/// `ses instances` — list a running server's instance registry.
+pub fn instances(args: &ParsedArgs) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let format = format_of(args)?;
+    let mut client = ses_server::HttpClient::new(addr.clone());
+    let (status, body) = client
+        .get("/instances")
+        .map_err(|e| format!("GET /instances failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /instances answered {status}: {body}"));
+    }
+    let report: ses_server::InstancesReport =
+        serde_json::from_str(&body).map_err(|e| format!("bad /instances body: {e}"))?;
+    if format == Format::Json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("instances @ {addr}:");
+    println!(
+        "  {:<16} {:<8} {:>9} {:>7} {:>9} {:>9}  source",
+        "name", "loaded", "users", "events", "intervals", "competing"
+    );
+    for i in &report.instances {
+        if i.loaded {
+            println!(
+                "  {:<16} {:<8} {:>9} {:>7} {:>9} {:>9}  {}",
+                i.name, "yes", i.users, i.events, i.intervals, i.competing, i.source
+            );
+        } else {
+            println!(
+                "  {:<16} {:<8} {:>9} {:>7} {:>9} {:>9}  {}",
+                i.name, "lazy", "-", "-", "-", "-", i.source
+            );
+        }
+    }
+    Ok(())
 }
 
 /// `ses quality`

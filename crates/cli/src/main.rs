@@ -4,11 +4,13 @@
 //! ses generate --members 3000 --events 1500 --weeks 52 --seed 0 --out data.json
 //! ses analyze  --dataset data.json
 //! ses solve    --dataset data.json --k 100 --algo GRD [--checkins] [--format json]
+//! ses pack     --profile sparse --users 100000 --out universe.sesstore
 //! ses quality  [--instances 20] [--k 4]
 //! ses simulate --scenario flash-crowd --steps 10000 --seed 42 [--format json]
-//! ses serve    --addr 127.0.0.1:7878 --shards 4 [--log-level debug] [--log-json]
+//! ses serve    --addr 127.0.0.1:7878 --shards 4 [--instance name=path]...
+//! ses instances --addr 127.0.0.1:7878
 //! ses top      --addr 127.0.0.1:7878 [--once]
-//! ses loadgen  --addr 127.0.0.1:7878 --clients 8 --requests 2000 [--strict]
+//! ses loadgen  --addr 127.0.0.1:7878 --clients 8 [--instance name]... [--strict]
 //! ses help
 //! ```
 
@@ -28,9 +30,11 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&parsed),
         "analyze" => commands::analyze(&parsed),
         "solve" | "schedule" => commands::solve(&parsed),
+        "pack" => commands::pack(&parsed),
         "quality" => commands::quality(&parsed),
         "simulate" => commands::simulate(&parsed),
         "serve" => commands::serve(&parsed),
+        "instances" => commands::instances(&parsed),
         "top" => commands::top(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {

@@ -12,6 +12,7 @@ use crate::algorithms::SesError;
 use crate::instance::{FeasibilityViolation, ValidationError};
 use crate::registry::UnknownScheduler;
 use crate::schedule::ScheduleError;
+use crate::store::StoreError;
 use std::fmt;
 
 /// Any error the core library can produce, unified for facade layers.
@@ -45,6 +46,16 @@ pub enum Error {
     /// A scheduler spec string did not match any registered algorithm
     /// ([`UnknownScheduler`]).
     UnknownScheduler(UnknownScheduler),
+    /// Packing or opening a persisted instance failed ([`StoreError`]).
+    Store(StoreError),
+    /// A request named an instance that is not in the registry; carries
+    /// the registered names so callers can render an actionable message.
+    UnknownInstance {
+        /// The name the request asked for.
+        name: String,
+        /// The names that *are* registered, sorted.
+        known: Vec<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +66,18 @@ impl fmt::Display for Error {
             Error::Schedule(e) => write!(f, "schedule error: {e}"),
             Error::Solver(e) => write!(f, "solver error: {e}"),
             Error::UnknownScheduler(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "instance store error: {e}"),
+            Error::UnknownInstance { name, known } => {
+                if known.is_empty() {
+                    write!(f, "unknown instance '{name}' (no instances are registered)")
+                } else {
+                    write!(
+                        f,
+                        "unknown instance '{name}' (registered: {})",
+                        known.join(", ")
+                    )
+                }
+            }
         }
     }
 }
@@ -67,7 +90,15 @@ impl std::error::Error for Error {
             Error::Schedule(e) => Some(e),
             Error::Solver(e) => Some(e),
             Error::UnknownScheduler(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::UnknownInstance { .. } => None,
         }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 
@@ -105,6 +136,7 @@ impl From<UnknownScheduler> for Error {
 mod tests {
     use super::*;
     use crate::ids::EventId;
+    use crate::store::StoreError;
     use std::error::Error as StdError;
 
     #[test]
@@ -133,6 +165,35 @@ mod tests {
 
         let e: Error = ValidationError::Missing { what: "organizer" }.into();
         assert!(e.to_string().contains("organizer"));
+    }
+
+    #[test]
+    fn store_and_unknown_instance_variants() {
+        let e: Error = StoreError::UnsupportedVersion {
+            found: 7,
+            supported: 1,
+        }
+        .into();
+        assert!(matches!(e, Error::Store(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("v7"));
+
+        let e = Error::UnknownInstance {
+            name: "tenant-b".to_owned(),
+            known: vec!["default".to_owned(), "tenant-a".to_owned()],
+        };
+        assert!(e.source().is_none());
+        let msg = e.to_string();
+        assert!(msg.contains("tenant-b"));
+        assert!(
+            msg.contains("default") && msg.contains("tenant-a"),
+            "message must list registered instances: {msg}"
+        );
+        let e = Error::UnknownInstance {
+            name: "x".to_owned(),
+            known: vec![],
+        };
+        assert!(e.to_string().contains("no instances"));
     }
 
     #[test]

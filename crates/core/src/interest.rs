@@ -98,6 +98,15 @@ pub enum InterestError {
         /// Declared number of competing events.
         num_competing: usize,
     },
+    /// A posting list supplied as pre-sorted (see
+    /// [`SparseInterest::from_sorted_postings`]) was not in strictly
+    /// ascending user order.
+    OutOfOrder {
+        /// Offending event.
+        event: EventRef,
+        /// Position within the posting list where order breaks.
+        position: usize,
+    },
 }
 
 impl fmt::Display for InterestError {
@@ -119,6 +128,10 @@ impl fmt::Display for InterestError {
             } => write!(
                 f,
                 "event {event} out of bounds (|E| = {num_candidates}, |C| = {num_competing})"
+            ),
+            InterestError::OutOfOrder { event, position } => write!(
+                f,
+                "posting list of {event} is not strictly ascending at position {position}"
             ),
         }
     }
@@ -261,6 +274,67 @@ fn count_nnz(candidate: &[Box<[Posting]>], competing: &[Box<[Posting]>]) -> usiz
 }
 
 impl SparseInterest {
+    /// Builds directly from per-event posting lists that are **already
+    /// sorted by strictly ascending user id** — the cold-open path of the
+    /// instance store, which persists lists in exactly that order.
+    ///
+    /// Validation is a single `O(nnz)` pass (order, user bounds,
+    /// `µ ∈ (0, 1]`), skipping the builder's sort entirely; any violation
+    /// is a typed [`InterestError`].
+    pub fn from_sorted_postings(
+        num_users: usize,
+        candidate_postings: Vec<Box<[Posting]>>,
+        competing_postings: Vec<Box<[Posting]>>,
+    ) -> Result<Self, InterestError> {
+        let check = |postings: &[Box<[Posting]>],
+                     event_of: &dyn Fn(usize) -> EventRef|
+         -> Result<(), InterestError> {
+            for (i, list) in postings.iter().enumerate() {
+                for (pos, &(user, value)) in list.iter().enumerate() {
+                    if user.index() >= num_users {
+                        return Err(InterestError::UserOutOfBounds { user, num_users });
+                    }
+                    if !(value > 0.0 && value <= 1.0) || value.is_nan() {
+                        return Err(InterestError::ValueOutOfRange {
+                            user,
+                            event: event_of(i),
+                            value,
+                        });
+                    }
+                    if pos > 0 && list[pos - 1].0 >= user {
+                        return if list[pos - 1].0 == user {
+                            Err(InterestError::DuplicateEntry {
+                                user,
+                                event: event_of(i),
+                            })
+                        } else {
+                            Err(InterestError::OutOfOrder {
+                                event: event_of(i),
+                                position: pos,
+                            })
+                        };
+                    }
+                }
+            }
+            Ok(())
+        };
+        check(&candidate_postings, &|i| {
+            EventRef::Candidate(EventId::new(i as u32))
+        })?;
+        check(&competing_postings, &|i| {
+            EventRef::Competing(CompetingEventId::new(i as u32))
+        })?;
+        let nnz = count_nnz(&candidate_postings, &competing_postings);
+        Ok(Self {
+            num_users,
+            num_candidates: candidate_postings.len(),
+            num_competing: competing_postings.len(),
+            candidate_postings,
+            competing_postings,
+            nnz,
+        })
+    }
+
     fn postings(&self, event: EventRef) -> &[Posting] {
         match event {
             EventRef::Candidate(e) => &self.candidate_postings[e.index()],
@@ -562,6 +636,61 @@ mod tests {
         assert_eq!(sparse.nnz(), recount);
         assert_eq!(dense.nnz(), recount);
         assert_eq!(recount, 4);
+    }
+
+    #[test]
+    fn from_sorted_postings_matches_builder_and_rejects_bad_lists() {
+        let built = small_builder().build_sparse().unwrap();
+        let rebuilt = SparseInterest::from_sorted_postings(
+            3,
+            vec![
+                vec![(UserId::new(0), 0.9), (UserId::new(2), 0.3)].into_boxed_slice(),
+                vec![(UserId::new(1), 0.5)].into_boxed_slice(),
+            ],
+            vec![vec![(UserId::new(0), 0.2)].into_boxed_slice()],
+        )
+        .unwrap();
+        assert_eq!(rebuilt.nnz(), built.nnz());
+        for u in 0..3u32 {
+            for e in 0..2u32 {
+                let h = EventRef::Candidate(EventId::new(e));
+                assert_eq!(
+                    rebuilt.interest(UserId::new(u), h),
+                    built.interest(UserId::new(u), h)
+                );
+            }
+        }
+
+        let unsorted = SparseInterest::from_sorted_postings(
+            3,
+            vec![vec![(UserId::new(2), 0.3), (UserId::new(0), 0.9)].into_boxed_slice()],
+            vec![],
+        );
+        assert!(matches!(unsorted, Err(InterestError::OutOfOrder { .. })));
+
+        let duplicate = SparseInterest::from_sorted_postings(
+            3,
+            vec![vec![(UserId::new(1), 0.3), (UserId::new(1), 0.9)].into_boxed_slice()],
+            vec![],
+        );
+        assert!(matches!(
+            duplicate,
+            Err(InterestError::DuplicateEntry { .. })
+        ));
+
+        let zero = SparseInterest::from_sorted_postings(
+            3,
+            vec![vec![(UserId::new(1), 0.0)].into_boxed_slice()],
+            vec![],
+        );
+        assert!(matches!(zero, Err(InterestError::ValueOutOfRange { .. })));
+
+        let oob = SparseInterest::from_sorted_postings(
+            1,
+            vec![vec![(UserId::new(7), 0.4)].into_boxed_slice()],
+            vec![],
+        );
+        assert!(matches!(oob, Err(InterestError::UserOutOfBounds { .. })));
     }
 
     #[test]

@@ -36,6 +36,9 @@
 //! * [`error`] — the unified [`Error`] hierarchy folding every subsystem
 //!   error into one type with `From` conversions;
 //! * [`reduction`] — the Theorem 1 MKPI → SES reduction, executable;
+//! * [`store`] — the persisted columnar instance store: pack a validated
+//!   instance once, cold-open it later bit-identically (versioned,
+//!   checksummed sections; `DESIGN.md` §12);
 //! * [`testkit`] — deterministic instance factories for tests and benches.
 //!
 //! ## Ownership model
@@ -94,6 +97,7 @@ pub mod online;
 pub mod reduction;
 pub mod registry;
 pub mod schedule;
+pub mod store;
 pub mod testkit;
 pub mod util;
 
@@ -119,6 +123,7 @@ pub use model::{
 pub use online::{OnlineSession, RepairReport};
 pub use registry::{SchedulerSpec, UnknownScheduler, SPEC_NAMES};
 pub use schedule::{Assignment, Schedule, ScheduleError};
+pub use store::{StoreError, StoredActivity};
 
 /// One-stop imports for applications.
 pub mod prelude {

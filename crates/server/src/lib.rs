@@ -15,9 +15,19 @@
 //! | `GET /healthz` | — → [`HealthReport`] (instance identity) |
 //! | `GET /metrics` | — → [`MetricsReport`] (latency histograms + gauges + engine totals) |
 //! | `GET /trace/{id}` | — → [`TraceReport`] (one request's span timeline) |
+//! | `GET /instances` | — → [`InstancesReport`] (every registered instance) |
 //!
 //! `HEAD` mirrors any `GET` route headers-only, and `OPTIONS` answers with
 //! the route's `Allow` list. Session names in paths are percent-decoded.
+//!
+//! The server is **multi-tenant**: an
+//! [`InstanceRegistry`](ses_service::InstanceRegistry) maps names to
+//! instances — the in-memory workload universe under `"default"`, plus any
+//! packed files from [`ServerConfig::instances`], cold-opened lazily on
+//! first use. `SolveRequest`/`EvalRequest`/`SessionOpen` carry an optional
+//! `instance` field (absent = `"default"`, so legacy request JSON is
+//! untouched); unknown names answer a structured 404
+//! (`"unknown_instance"`) listing what is registered.
 //!
 //! ## Architecture
 //!
@@ -100,11 +110,13 @@ mod shard;
 mod model_tests;
 
 pub use client::HttpClient;
-pub use loadgen::{LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest, StatusCount};
+pub use loadgen::{
+    InstanceLatency, LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest, StatusCount,
+};
 pub use metrics::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus};
 pub use replay::{verify_replay, DigestCheck, ReplayConfig};
 pub use server::{
-    install_signal_handlers, serve, signal_shutdown_requested, HealthReport, ServerConfig,
-    ServerHandle, SpanView, TraceReport,
+    install_signal_handlers, serve, signal_shutdown_requested, HealthReport, InstancesReport,
+    ServerConfig, ServerHandle, SpanView, TraceReport,
 };
 pub use shard::ErrorBody;

@@ -11,7 +11,7 @@
 use crate::client::HttpClient;
 use crate::metrics::{Histogram, HistogramSnapshot};
 use crate::replay::DigestCheck;
-use crate::server::HealthReport;
+use crate::server::{HealthReport, InstancesReport};
 use crate::shard::ErrorBody;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,7 +19,8 @@ use serde::{Deserialize, Serialize};
 use ses_core::{EventId, IntervalId, SchedulerSpec};
 use ses_datagen::streams::{rival_postings, RivalProfile};
 use ses_service::{
-    Announcement, Arrival, Cancellation, CapacityChange, SessionEvent, SessionOpen, SolveRequest,
+    Announcement, Arrival, Cancellation, CapacityChange, InstanceName, SessionEvent, SessionOpen,
+    SolveRequest,
 };
 use std::time::Instant;
 
@@ -44,6 +45,12 @@ pub struct LoadgenConfig {
     pub threads: usize,
     /// Mix seed.
     pub seed: u64,
+    /// The registered instances the clients target, round-robin by client
+    /// index — client `i` binds its session (and its solves) to
+    /// `instances[i % len]`. One entry = single-tenant load; several =
+    /// a cross-tenant isolation run with a per-instance latency breakdown
+    /// in the summary.
+    pub instances: Vec<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -58,6 +65,7 @@ impl Default for LoadgenConfig {
             spec: SchedulerSpec::Greedy,
             threads: 1,
             seed: 0,
+            instances: vec!["default".to_owned()],
         }
     }
 }
@@ -99,6 +107,35 @@ pub struct LoadgenSummary {
     pub slowest: Vec<SlowRequest>,
     /// A sample of error bodies (first few), for diagnosis.
     pub error_samples: Vec<String>,
+    /// Per-instance latency breakdown (name order) when the run targeted
+    /// more than zero instances — the cross-tenant isolation view: compare
+    /// rows to see whether one tenant's load degrades another's latency.
+    #[serde(default)]
+    pub per_instance: Vec<InstanceLatency>,
+}
+
+/// Client-observed latency of one instance's traffic in a (possibly
+/// multi-tenant) load run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceLatency {
+    /// The registered instance name.
+    pub instance: String,
+    /// Clients bound to this instance.
+    pub clients: u64,
+    /// Requests this instance's clients sent.
+    pub requests: u64,
+    /// Non-2xx responses among them.
+    pub errors: u64,
+    /// Mean client-observed latency (µs).
+    pub mean_micros: f64,
+    /// Median latency (µs).
+    pub p50_micros: u64,
+    /// 95th-percentile latency (µs).
+    pub p95_micros: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_micros: u64,
+    /// Worst observed latency (µs).
+    pub max_micros: u64,
 }
 
 /// How many of the slowest requests the summary keeps.
@@ -140,6 +177,7 @@ pub struct ServerBenchReport {
 }
 
 struct WorkerOutcome {
+    instance: String,
     histogram: HistogramSnapshot,
     ok: u64,
     errors: u64,
@@ -173,8 +211,25 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     let mut status_counts: Vec<StatusCount> = Vec::new();
     let mut slowest: Vec<SlowRequest> = Vec::new();
     let mut error_samples = Vec::new();
+    // Per-instance accumulators: (name, clients, histogram, ok, errors).
+    let mut per: Vec<(String, u64, HistogramSnapshot, u64, u64)> = Vec::new();
     for outcome in outcomes {
         let outcome = outcome?;
+        match per.iter_mut().find(|(name, ..)| *name == outcome.instance) {
+            Some((_, n, h, p_ok, p_err)) => {
+                *n += 1;
+                h.merge(&outcome.histogram);
+                *p_ok += outcome.ok;
+                *p_err += outcome.errors;
+            }
+            None => per.push((
+                outcome.instance.clone(),
+                1,
+                outcome.histogram.clone(),
+                outcome.ok,
+                outcome.errors,
+            )),
+        }
         merged = Some(match merged {
             None => outcome.histogram,
             Some(mut m) => {
@@ -206,6 +261,21 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     status_counts.sort_by_key(|c| c.status);
     slowest.sort_by_key(|s| std::cmp::Reverse(s.micros));
     slowest.truncate(SLOWEST_KEPT);
+    per.sort_by(|a, b| a.0.cmp(&b.0));
+    let per_instance = per
+        .into_iter()
+        .map(|(instance, clients, h, p_ok, p_err)| InstanceLatency {
+            instance,
+            clients,
+            requests: p_ok + p_err,
+            errors: p_err,
+            mean_micros: h.mean(),
+            p50_micros: h.quantile(0.50),
+            p95_micros: h.quantile(0.95),
+            p99_micros: h.quantile(0.99),
+            max_micros: h.max,
+        })
+        .collect();
     let snap = merged.expect("at least one client");
     let requests = ok + errors;
     let secs = elapsed.as_secs_f64();
@@ -229,6 +299,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         status_counts,
         slowest,
         error_samples,
+        per_instance,
     })
 }
 
@@ -303,9 +374,53 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
     }
     let health: HealthReport =
         serde_json::from_str(&body).map_err(|e| format!("bad /healthz body: {e}"))?;
-    let users = health.users as usize;
-    let events = health.events as u32;
-    let intervals = health.intervals as u32;
+
+    // This client's tenant: round-robin over the configured instances.
+    let instance = match cfg.instances.get(index % cfg.instances.len().max(1)) {
+        Some(name) => name.clone(),
+        None => "default".to_owned(),
+    };
+    // The health report only describes the "default" workload instance;
+    // other tenants' universe shapes come from `GET /instances` (touching
+    // the instance first, so a lazily-registered packed file is cold-opened
+    // and its dimensions are visible).
+    let (users, events, intervals) = if instance == "default" {
+        (
+            health.users as usize,
+            health.events as u32,
+            health.intervals as u32,
+        )
+    } else {
+        let warm = SolveRequest {
+            spec: cfg.spec,
+            k: 1,
+            threads: cfg.threads,
+            instance: InstanceName::new(&*instance),
+        };
+        let warm_body = serde_json::to_string(&warm).map_err(|e| e.to_string())?;
+        let (status, body) = client
+            .post("/solve", &warm_body)
+            .map_err(|e| format!("warm solve on '{instance}' failed: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "warm solve on '{instance}' answered {status}: {body}"
+            ));
+        }
+        let (status, body) = client
+            .get("/instances")
+            .map_err(|e| format!("GET /instances failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET /instances answered {status}: {body}"));
+        }
+        let report: InstancesReport =
+            serde_json::from_str(&body).map_err(|e| format!("bad /instances body: {e}"))?;
+        let info = report
+            .instances
+            .iter()
+            .find(|i| i.name == instance && i.loaded)
+            .ok_or_else(|| format!("instance '{instance}' not loaded after a warm solve"))?;
+        (info.users, info.events as u32, info.intervals as u32)
+    };
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let session = format!("lg-{}-{index}", cfg.seed);
@@ -327,6 +442,7 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
         spec: cfg.spec,
         k: cfg.k.min(events as usize),
         threads: cfg.threads,
+        instance: InstanceName::new(&*instance),
     };
     let open_body = serde_json::to_string(&open).map_err(|e| e.to_string())?;
     timed_post(
@@ -344,8 +460,9 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
         if roll < cfg.solve_fraction {
             let req = SolveRequest {
                 spec: cfg.spec,
-                k: cfg.solve_k,
+                k: cfg.solve_k.min(events as usize),
                 threads: cfg.threads,
+                instance: InstanceName::new(&*instance),
             };
             let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
             timed_post(&mut client, "/solve", &body, "solve", &mut tally)?;
@@ -386,6 +503,7 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
     )?;
 
     Ok(WorkerOutcome {
+        instance,
         histogram: tally.histogram.snapshot(),
         ok: tally.ok,
         errors: tally.errors,

@@ -39,12 +39,14 @@ pub enum Endpoint {
     Metrics,
     /// `GET /trace/{id}`
     Trace,
+    /// `GET /instances`
+    Instances,
     /// Anything that did not route (404s, bad methods, parse-level 400s).
     Other,
 }
 
 /// All endpoints, in display order.
-pub const ENDPOINTS: [Endpoint; 10] = [
+pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Solve,
     Endpoint::Eval,
     Endpoint::Open,
@@ -54,6 +56,7 @@ pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Healthz,
     Endpoint::Metrics,
     Endpoint::Trace,
+    Endpoint::Instances,
     Endpoint::Other,
 ];
 
@@ -70,6 +73,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Trace => "trace",
+            Endpoint::Instances => "instances",
             Endpoint::Other => "other",
         }
     }
@@ -87,7 +91,8 @@ impl Endpoint {
             Endpoint::Healthz => 6,
             Endpoint::Metrics => 7,
             Endpoint::Trace => 8,
-            Endpoint::Other => 9,
+            Endpoint::Instances => 9,
+            Endpoint::Other => 10,
         }
     }
 }
@@ -97,7 +102,7 @@ impl Endpoint {
 /// handler; every member is atomic.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    latencies: [Histogram; 10],
+    latencies: [Histogram; 11],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,

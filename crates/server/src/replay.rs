@@ -110,6 +110,7 @@ pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<Dige
         spec: cfg.spec,
         k,
         threads: cfg.threads,
+        instance: Default::default(),
     };
     let mut service = SchedulerService::new();
     let initial = service

@@ -38,9 +38,12 @@ use crate::shard::{run_shard, shard_of, ApiError, ShardMsg, ShardOp, ShardReply}
 use serde::{Deserialize, Serialize};
 use ses_core::testkit::workload_instance;
 use ses_obs::{Level, OpsDelta, Stage, TraceId};
-use ses_service::{EvalRequest, SessionEvent, SessionOpen, SolveRequest};
+use ses_service::{
+    EvalRequest, InstanceInfo, InstanceRegistry, SessionEvent, SessionOpen, SolveRequest,
+};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -71,6 +74,12 @@ pub struct ServerConfig {
     pub intervals: usize,
     /// Instance seed.
     pub seed: u64,
+    /// Additional named instances, registered as paths to packed files
+    /// (`ses pack` output). Each is opened lazily on its first request;
+    /// the in-memory workload instance is always registered as
+    /// `"default"`. A `"default"` entry here *replaces* the workload
+    /// instance, so a server can boot entirely from packed files.
+    pub instances: Vec<(String, PathBuf)>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +94,7 @@ impl Default for ServerConfig {
             events: 60,
             intervals: 24,
             seed: 0,
+            instances: Vec::new(),
         }
     }
 }
@@ -106,6 +116,15 @@ pub struct HealthReport {
     pub seed: u64,
     /// Shard workers serving sessions.
     pub shards: u64,
+}
+
+/// The `GET /instances` response body: every registered instance, loaded
+/// or not, in name order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstancesReport {
+    /// One entry per registered instance (see
+    /// [`ses_service::InstanceInfo`]).
+    pub instances: Vec<InstanceInfo>,
 }
 
 /// The `GET /trace/{id}` response body: one request's span timeline.
@@ -208,6 +227,9 @@ struct ServerState {
     /// One gauge per shard, shared with that shard's worker thread.
     gauges: Vec<Arc<ShardGauge>>,
     health: HealthReport,
+    /// The instance registry shared with every shard worker; `GET
+    /// /instances` answers from it without touching any shard queue.
+    registry: Arc<InstanceRegistry>,
 }
 
 impl ServerState {
@@ -264,7 +286,18 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let inst = workload_instance(cfg.users, cfg.events, cfg.intervals, cfg.seed);
+    // The registry every shard resolves requests through: the in-memory
+    // workload instance under "default", then every configured packed file
+    // (registered lazily — a path is not touched until its first request,
+    // which is what makes multi-tenant boot cheap).
+    let registry = Arc::new(InstanceRegistry::new());
+    registry.register(
+        "default",
+        workload_instance(cfg.users, cfg.events, cfg.intervals, cfg.seed),
+    );
+    for (name, path) in &cfg.instances {
+        registry.register_path(name.clone(), path.clone());
+    }
     let shards = cfg.shards.max(1);
     let gauges: Vec<Arc<ShardGauge>> = (0..shards)
         .map(|_| Arc::new(ShardGauge::default()))
@@ -273,13 +306,13 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let mut shard_threads = Vec::with_capacity(shards);
     for (i, gauge) in gauges.iter().enumerate() {
         let (tx, rx) = mpsc::channel::<ShardMsg>();
-        let inst = Arc::clone(&inst);
+        let registry = Arc::clone(&registry);
         let gauge = Arc::clone(gauge);
         shard_senders.push(tx);
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("ses-shard-{i}"))
-                .spawn(move || run_shard(inst, rx, i, gauge))
+                .spawn(move || run_shard(registry, rx, i, gauge))
                 // ses-analyze: allow(server-panic-discipline): boot-time spawn, fails fast before serving
                 .expect("spawn shard worker"),
         );
@@ -303,6 +336,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             seed: cfg.seed,
             shards: shards as u64,
         },
+        registry,
     });
 
     // Rendezvous channel: a send succeeds only while a pool worker is
@@ -354,6 +388,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             ("shards", shards.into()),
             ("io_threads", cfg.io_threads.max(1).into()),
             ("slow_request_millis", cfg.slow_request_millis.into()),
+            ("instances", state.registry.names().len().into()),
         ],
     );
 
@@ -619,6 +654,14 @@ fn route(
             Endpoint::Metrics,
             metrics_report(state, shard_senders, trace),
         ),
+        ("GET", "/instances") => {
+            let report = InstancesReport {
+                instances: state.registry.describe(),
+            };
+            let body = serde_json::to_string(&report)
+                .map_err(|e| ApiError::new(500, "serialize", e.to_string()));
+            (Endpoint::Instances, body)
+        }
         ("GET", p) if p.starts_with("/trace/") => {
             (Endpoint::Trace, trace_report(&p["/trace/".len()..]))
         }
@@ -736,6 +779,7 @@ fn allow_for(path: &str) -> Option<(Endpoint, &'static str)> {
     match path {
         "/healthz" => Some((Endpoint::Healthz, "GET, HEAD, OPTIONS")),
         "/metrics" => Some((Endpoint::Metrics, "GET, HEAD, OPTIONS")),
+        "/instances" => Some((Endpoint::Instances, "GET, HEAD, OPTIONS")),
         "/solve" => Some((Endpoint::Solve, "POST, OPTIONS")),
         "/eval" => Some((Endpoint::Eval, "POST, OPTIONS")),
         p if p.starts_with("/trace/") && !p["/trace/".len()..].is_empty() => {
@@ -923,6 +967,10 @@ mod tests {
     #[test]
     fn allow_lists_cover_known_routes() {
         assert_eq!(allow_for("/healthz").unwrap().1, "GET, HEAD, OPTIONS");
+        assert_eq!(
+            allow_for("/instances"),
+            Some((Endpoint::Instances, "GET, HEAD, OPTIONS"))
+        );
         assert_eq!(allow_for("/solve").unwrap().1, "POST, OPTIONS");
         assert_eq!(allow_for("/trace/00ff").unwrap().1, "GET, HEAD, OPTIONS");
         assert_eq!(

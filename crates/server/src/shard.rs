@@ -4,7 +4,10 @@
 //! Sessions are routed by a stable hash of their name, so every event for
 //! one session lands on the same shard in arrival order; stateless
 //! `solve`/`eval` requests round-robin across shards. The only shared
-//! state between shards is the immutable `Arc<SesInstance>`.
+//! state between shards is the [`InstanceRegistry`] of immutable
+//! `Arc<SesInstance>` handles — each request names its instance (default
+//! `"default"`) and the shard resolves it per operation, so two tenants
+//! never contend on anything but the registry's short lookup lock.
 //!
 //! Every message carries its request's trace id and enqueue timestamp: the
 //! worker records a `queue` span for the time the message waited and runs
@@ -14,9 +17,9 @@
 
 use crate::metrics::{EngineTotals, ShardGauge};
 use serde::{Deserialize, Serialize};
-use ses_core::SesInstance;
 use ses_service::{
-    EvalRequest, SchedulerService, ServiceError, SessionEvent, SessionOpen, SolveRequest,
+    EvalRequest, InstanceRegistry, SchedulerService, ServiceError, SessionEvent, SessionOpen,
+    SolveRequest,
 };
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -109,20 +112,36 @@ pub(crate) struct ShardMsg {
     pub depth: u64,
 }
 
-/// Maps service-level failures to HTTP statuses: unknown names are 404,
-/// name collisions 409, and everything a client sent wrong — malformed
-/// values, out-of-universe references, infeasible or unsolvable requests —
-/// is a 400 with the typed core error's message.
+/// Maps service-level failures to HTTP statuses: unknown names — sessions
+/// and instances alike — are 404, name collisions 409, a failed packed-file
+/// open is a 500 (the server's disk, not the client's request), and
+/// everything a client sent wrong — malformed values, out-of-universe
+/// references, infeasible or unsolvable requests — is a 400 with the typed
+/// core error's message.
 pub(crate) fn api_error(e: &ServiceError) -> ApiError {
     match e {
         ServiceError::UnknownSession(_) => ApiError::new(404, "unknown_session", e.to_string()),
         ServiceError::SessionExists(_) => ApiError::new(409, "session_exists", e.to_string()),
         ServiceError::InvalidRequest(_) => ApiError::new(400, "invalid_request", e.to_string()),
+        ServiceError::Core(ses_core::Error::UnknownInstance { .. }) => {
+            ApiError::new(404, "unknown_instance", e.to_string())
+        }
+        ServiceError::Core(ses_core::Error::Store(_)) => ApiError::new(500, "store", e.to_string()),
         ServiceError::Core(_) => ApiError::new(400, "core", e.to_string()),
         // `ServiceError` is non_exhaustive; future variants are server bugs
         // until they get a mapping.
         _ => ApiError::new(500, "internal", e.to_string()),
     }
+}
+
+/// Resolves a request's instance name through the registry, folding core
+/// errors (unknown name, failed cold-open) into the service error space so
+/// [`api_error`] can map them to structured 404/500 responses.
+fn resolve(
+    registry: &InstanceRegistry,
+    name: &str,
+) -> Result<Arc<ses_core::SesInstance>, ServiceError> {
+    registry.get(name).map_err(ServiceError::Core)
 }
 
 fn json_reply<T: serde::Serialize>(result: Result<T, ServiceError>) -> ShardReply {
@@ -157,9 +176,12 @@ fn stats_of(service: &SchedulerService) -> EngineTotals {
 }
 
 /// The shard worker loop: owns its service, drains its queue, exits when
-/// every sender (acceptor + connection handlers) is gone.
+/// every sender (acceptor + connection handlers) is gone. Instance-bearing
+/// ops resolve their named instance through the shared registry first, so
+/// an unknown name (or a broken packed file) is rejected before any
+/// session state is touched.
 pub(crate) fn run_shard(
-    inst: Arc<SesInstance>,
+    registry: Arc<InstanceRegistry>,
     rx: mpsc::Receiver<ShardMsg>,
     shard: usize,
     gauge: Arc<ShardGauge>,
@@ -180,9 +202,18 @@ pub(crate) fn run_shard(
         let mut service_span = ses_obs::span(ses_obs::Stage::Service);
         service_span.set_aux(shard as u64, msg.depth);
         let reply = match msg.op {
-            ShardOp::Solve(req) => json_reply(service.solve(&inst, &req)),
-            ShardOp::Eval(req) => json_reply(service.evaluate(&inst, &req)),
-            ShardOp::Open(open) => json_reply(service.open_session(&inst, &open)),
+            ShardOp::Solve(req) => json_reply(
+                resolve(&registry, req.instance.as_str())
+                    .and_then(|inst| service.solve(&inst, &req)),
+            ),
+            ShardOp::Eval(req) => json_reply(
+                resolve(&registry, req.instance.as_str())
+                    .and_then(|inst| service.evaluate(&inst, &req)),
+            ),
+            ShardOp::Open(open) => json_reply(
+                resolve(&registry, open.instance.as_str())
+                    .and_then(|inst| service.open_session(&inst, &open)),
+            ),
             ShardOp::Event { name, event } => json_reply(service.apply(&name, &event)),
             ShardOp::Report { name } => json_reply(service.report(&name)),
             ShardOp::Close { name } => json_reply(service.close_session(&name)),
@@ -234,5 +265,26 @@ mod tests {
         let body: ErrorBody = serde_json::from_str(&e.body()).unwrap();
         assert_eq!(body.kind, "unknown_session");
         assert!(body.error.contains('x'));
+    }
+
+    #[test]
+    fn instance_errors_map_to_structured_statuses() {
+        let e = api_error(&ServiceError::Core(ses_core::Error::UnknownInstance {
+            name: "ghost".into(),
+            known: vec!["default".into(), "tenant-a".into()],
+        }));
+        assert_eq!(e.status, 404);
+        assert_eq!(e.kind, "unknown_instance");
+        let body: ErrorBody = serde_json::from_str(&e.body()).unwrap();
+        assert!(body.error.contains("ghost") && body.error.contains("tenant-a"));
+
+        let e = api_error(&ServiceError::Core(ses_core::Error::Store(
+            ses_core::StoreError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+        )));
+        assert_eq!(e.status, 500);
+        assert_eq!(e.kind, "store");
     }
 }

@@ -2,8 +2,8 @@
 //! workers, connection pool) and real TCP clients in one test process.
 
 use ses_server::{
-    serve, verify_replay, ErrorBody, HealthReport, HttpClient, MetricsReport, ReplayConfig,
-    ServerConfig,
+    serve, verify_replay, ErrorBody, HealthReport, HttpClient, InstancesReport, LoadgenConfig,
+    MetricsReport, ReplayConfig, ServerConfig,
 };
 use ses_service::SessionReport;
 
@@ -61,6 +61,7 @@ fn solve_and_eval_round_trip_over_the_wire() {
     // Feed the produced schedule back through /eval.
     let eval_req = serde_json::to_string(&ses_service::EvalRequest {
         assignments: solved.assignments.clone(),
+        instance: Default::default(),
     })
     .unwrap();
     let (status, body) = client.post("/eval", &eval_req).unwrap();
@@ -403,6 +404,130 @@ fn slow_header_and_body_arrival_is_not_dropped() {
         "slow client must still be served, got: {response}"
     );
     handle.shutdown();
+}
+
+#[test]
+fn packed_tenant_serves_requests_and_instances_endpoint_tracks_it() {
+    // Pack a second universe to disk, boot the server with it registered.
+    let packed = std::env::temp_dir().join("ses-http-it-tenant-b.sesstore");
+    let fixture = ses_core::testkit::workload_instance(40, 10, 6, 21);
+    ses_core::store::pack_to_path(&fixture, &packed).unwrap();
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        io_threads: 2,
+        users: 60,
+        events: 16,
+        intervals: 8,
+        seed: 7,
+        instances: vec![("tenant-b".to_owned(), packed.clone())],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = client_of(&handle);
+
+    // Registered but untouched: the packed entry must not be loaded yet.
+    let (status, body) = client.get("/instances").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report: InstancesReport = serde_json::from_str(&body).unwrap();
+    let names: Vec<&str> = report.instances.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["default", "tenant-b"]);
+    assert!(report.instances[0].loaded, "workload default is resident");
+    assert_eq!(report.instances[0].source, "builtin");
+    assert!(!report.instances[1].loaded, "packed entry stays lazy");
+    assert_eq!(report.instances[1].source, packed.display().to_string());
+
+    // First request naming the tenant cold-opens the file.
+    let (status, body) = client
+        .post(
+            "/solve",
+            r#"{"spec":"Greedy","k":3,"threads":1,"instance":"tenant-b"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let solved: ses_service::SolveResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(solved.scheduled(), 3);
+    let (_, body) = client.get("/instances").unwrap();
+    let report: InstancesReport = serde_json::from_str(&body).unwrap();
+    let b = report
+        .instances
+        .iter()
+        .find(|i| i.name == "tenant-b")
+        .unwrap();
+    assert!(b.loaded, "first touch loads the packed file");
+    assert_eq!((b.users, b.events, b.intervals), (40, 10, 6));
+
+    // Unknown names are structured 404s listing what is registered.
+    let (status, body) = client
+        .post(
+            "/solve",
+            r#"{"spec":"Greedy","k":2,"threads":1,"instance":"ghost"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 404, "{body}");
+    let err: ErrorBody = serde_json::from_str(&body).unwrap();
+    assert_eq!(err.kind, "unknown_instance");
+    assert!(
+        err.error.contains("default") && err.error.contains("tenant-b"),
+        "{}",
+        err.error
+    );
+
+    // Sessions bind to their tenant and echo it in reports.
+    let open = r#"{"name":"tb","spec":"Greedy","k":2,"threads":1,"instance":"tenant-b"}"#;
+    let (status, body) = client.post("/sessions/tb/open", open).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client.post("/sessions/tb/report", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report: SessionReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(report.instance.as_str(), "tenant-b");
+    let (status, _) = client.post("/sessions/tb/close", "").unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+    std::fs::remove_file(&packed).ok();
+}
+
+#[test]
+fn multi_tenant_loadgen_breaks_latency_down_per_instance() {
+    let packed = std::env::temp_dir().join("ses-http-it-loadgen-mix.sesstore");
+    let fixture = ses_core::testkit::workload_instance(50, 12, 6, 3);
+    ses_core::store::pack_to_path(&fixture, &packed).unwrap();
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        io_threads: 2,
+        users: 60,
+        events: 16,
+        intervals: 8,
+        seed: 7,
+        instances: vec![("fixture".to_owned(), packed.clone())],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let summary = ses_server::loadgen::run(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        clients: 2,
+        requests: 12,
+        instances: vec!["default".to_owned(), "fixture".to_owned()],
+        ..LoadgenConfig::default()
+    })
+    .unwrap();
+    assert_eq!(summary.errors, 0, "{:?}", summary.error_samples);
+    let names: Vec<&str> = summary
+        .per_instance
+        .iter()
+        .map(|l| l.instance.as_str())
+        .collect();
+    assert_eq!(names, ["default", "fixture"]);
+    for line in &summary.per_instance {
+        assert_eq!(line.clients, 1, "{}", line.instance);
+        assert!(line.requests > 0, "{}", line.instance);
+        assert_eq!(line.errors, 0, "{}", line.instance);
+        assert!(line.p50_micros <= line.max_micros, "{}", line.instance);
+    }
+    handle.shutdown();
+    std::fs::remove_file(&packed).ok();
 }
 
 #[test]

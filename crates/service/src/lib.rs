@@ -12,7 +12,11 @@
 //! * [`SessionOpen`] → open a named session; [`SessionEvent`] (announce /
 //!   cancel / arrive / capacity / availability / extend) → [`EventReport`]
 //!   with the repair accounting ([`RepairReport`](ses_core::RepairReport));
-//! * [`SessionReport`] — point-in-time session summaries.
+//! * [`SessionReport`] — point-in-time session summaries;
+//! * [`InstanceRegistry`] — the multi-tenant map of *named* instances
+//!   (in-memory or lazily opened from `ses pack` files); requests carry an
+//!   [`InstanceName`] that defaults to `"default"` so legacy wire JSON
+//!   parses unchanged.
 //!
 //! Everything the service owns is `Send + 'static`, so a service can live
 //! behind a lock, move across threads, and outlive the scope that built its
@@ -35,7 +39,13 @@
 //! let solved = service
 //!     .open_session(
 //!         &inst,
-//!         &SessionOpen { name: "main".into(), spec: SchedulerSpec::Greedy, k: 6, threads: 1 },
+//!         &SessionOpen {
+//!             name: "main".into(),
+//!             spec: SchedulerSpec::Greedy,
+//!             k: 6,
+//!             threads: 1,
+//!             instance: Default::default(),
+//!         },
 //!     )
 //!     .unwrap();
 //! assert_eq!(solved.scheduled(), 6);
@@ -68,13 +78,15 @@
 #![warn(rust_2018_idioms)]
 
 mod error;
+mod registry;
 mod service;
 mod types;
 
 pub use error::ServiceError;
+pub use registry::{InstanceInfo, InstanceRegistry};
 pub use service::SchedulerService;
 pub use types::{
     Announcement, Arrival, Availability, Cancellation, CapacityChange, EvalRequest, EvalResponse,
-    EventAttendance, EventReport, SessionEvent, SessionOpen, SessionReport, SolveRequest,
-    SolveResponse,
+    EventAttendance, EventReport, InstanceName, SessionEvent, SessionOpen, SessionReport,
+    SolveRequest, SolveResponse,
 };

@@ -2,8 +2,8 @@
 
 use crate::error::ServiceError;
 use crate::types::{
-    EvalRequest, EvalResponse, EventAttendance, EventReport, SessionEvent, SessionOpen,
-    SessionReport, SolveRequest, SolveResponse,
+    EvalRequest, EvalResponse, EventAttendance, EventReport, InstanceName, SessionEvent,
+    SessionOpen, SessionReport, SolveRequest, SolveResponse,
 };
 use ses_core::{
     evaluate_schedule, registry, EventId, IntervalId, OnlineSession, RepairReport, ScheduleError,
@@ -16,6 +16,9 @@ use std::sync::Arc;
 struct SessionEntry {
     session: OnlineSession,
     events_applied: u64,
+    /// The registry name of the instance the session was opened against
+    /// (echoed in every [`SessionReport`]).
+    instance: InstanceName,
 }
 
 /// A request/response facade over the SES engine, managing any number of
@@ -102,6 +105,7 @@ impl SchedulerService {
             SessionEntry {
                 session,
                 events_applied: 0,
+                instance: open.instance.clone(),
             },
         );
         Ok(response)
@@ -123,6 +127,7 @@ impl SchedulerService {
             SessionEntry {
                 session,
                 events_applied: 0,
+                instance: InstanceName::default(),
             },
         );
         Ok(())
@@ -204,6 +209,7 @@ impl SchedulerService {
             counters: entry.session.counters(),
             clock: entry.session.clock(),
             memory: entry.session.memory_stats(),
+            instance: entry.instance.clone(),
         })
     }
 
@@ -299,6 +305,7 @@ mod tests {
                     spec: SchedulerSpec::Greedy,
                     k,
                     threads: 1,
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap()
@@ -315,6 +322,7 @@ mod tests {
                     spec: SchedulerSpec::Greedy,
                     k: 6,
                     threads: 1,
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap();
@@ -338,6 +346,7 @@ mod tests {
                     spec: SchedulerSpec::Greedy,
                     k: 10_000,
                     threads: 1,
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap_err();
@@ -358,6 +367,7 @@ mod tests {
                     spec: SchedulerSpec::Greedy,
                     k: 5,
                     threads: 1,
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap();
@@ -366,6 +376,7 @@ mod tests {
                 &inst,
                 &EvalRequest {
                     assignments: solved.assignments.clone(),
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap();
@@ -387,6 +398,7 @@ mod tests {
                         Assignment::new(EventId::new(0), IntervalId::new(0)),
                         Assignment::new(EventId::new(1), IntervalId::new(0)),
                     ],
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap_err();
@@ -414,6 +426,7 @@ mod tests {
                     spec: SchedulerSpec::Greedy,
                     k: 2,
                     threads: 1,
+                    instance: InstanceName::default(),
                 },
             )
             .unwrap_err();

@@ -10,9 +10,73 @@ use ses_core::{
     Assignment, EngineCounters, EngineMemoryStats, EventId, IntervalId, RepairReport,
     ScheduleOutcome, SchedulerSpec, UserId,
 };
+use std::fmt;
+
+/// The name of a registered instance a request targets.
+///
+/// On the wire this is a plain JSON string, and it defaults to
+/// `"default"` when the field is absent — so every pre-instance request
+/// body (and every recorded replay stream) parses unchanged. The
+/// `Serialize`/`Deserialize` impls are written by hand because the shim's
+/// `#[serde(default)]` resolves through `Default`, which this newtype
+/// points at the `"default"` instance rather than the empty string.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceName(String);
+
+impl InstanceName {
+    /// Wraps an instance name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for InstanceName {
+    /// The implicit tenant every legacy request targets.
+    fn default() -> Self {
+        Self("default".to_owned())
+    }
+}
+
+impl fmt::Display for InstanceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for InstanceName {
+    fn from(name: &str) -> Self {
+        Self(name.to_owned())
+    }
+}
+
+impl From<String> for InstanceName {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+impl Serialize for InstanceName {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.0.clone())
+    }
+}
+
+impl Deserialize for InstanceName {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => Ok(Self(s.clone())),
+            _ => Err(serde::Error::custom("instance name must be a string")),
+        }
+    }
+}
 
 /// A request to solve an instance offline: which algorithm, how many events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveRequest {
     /// The algorithm to run (see [`ses_core::registry`]).
     pub spec: SchedulerSpec,
@@ -24,6 +88,10 @@ pub struct SolveRequest {
     /// from the wire, so pre-`threads` request JSON still deserializes.
     #[serde(default)]
     pub threads: usize,
+    /// The registered instance to solve over. Defaults to `"default"` when
+    /// absent from the wire (pre-instance JSON compatibility).
+    #[serde(default)]
+    pub instance: InstanceName,
 }
 
 /// The result of a solve: the schedule plus quality and cost accounting.
@@ -68,6 +136,10 @@ impl SolveResponse {
 pub struct EvalRequest {
     /// The assignments to evaluate.
     pub assignments: Vec<Assignment>,
+    /// The registered instance to evaluate against. Defaults to
+    /// `"default"` when absent from the wire.
+    #[serde(default)]
+    pub instance: InstanceName,
 }
 
 /// Per-event attendance line of an [`EvalResponse`].
@@ -104,6 +176,10 @@ pub struct SessionOpen {
     /// to `0` when absent from the wire (pre-`threads` JSON compatibility).
     #[serde(default)]
     pub threads: usize,
+    /// The registered instance the session schedules over. Defaults to
+    /// `"default"` when absent from the wire.
+    #[serde(default)]
+    pub instance: InstanceName,
 }
 
 /// A rival event announced at an interval (or diffuse activity drift —
@@ -207,4 +283,9 @@ pub struct SessionReport {
     /// wire (pre-`memory` JSON compatibility).
     #[serde(default)]
     pub memory: EngineMemoryStats,
+    /// The instance this session was opened against. Defaults to
+    /// `"default"` when absent from the wire (pre-instance JSON
+    /// compatibility).
+    #[serde(default)]
+    pub instance: InstanceName,
 }

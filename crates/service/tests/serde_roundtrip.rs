@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use ses_core::{Assignment, EventId, IntervalId, RepairReport, SchedulerSpec, UserId};
 use ses_service::{
-    Announcement, Arrival, Availability, Cancellation, CapacityChange, SessionEvent, SessionOpen,
-    SolveRequest,
+    Announcement, Arrival, Availability, Cancellation, CapacityChange, InstanceName, SessionEvent,
+    SessionOpen, SolveRequest,
 };
 
 fn roundtrip_json<T>(value: &T) -> T
@@ -36,6 +36,39 @@ fn pre_threads_request_json_still_deserializes() {
     )
     .expect("legacy SessionReport parses");
     assert_eq!(report.clock, 0, "missing clock defaults to 0");
+    assert_eq!(report.instance.as_str(), "default");
+}
+
+/// Requests recorded before the `instance` field existed must land on the
+/// `"default"` tenant — not on an empty string — and explicit instance
+/// names must survive a JSON round-trip.
+#[test]
+fn pre_instance_request_json_lands_on_default_tenant() {
+    let req: SolveRequest = serde_json::from_str(r#"{"spec":"Greedy","k":6,"threads":2}"#)
+        .expect("pre-instance SolveRequest parses");
+    assert_eq!(req.instance, InstanceName::default());
+    assert_eq!(req.instance.as_str(), "default");
+
+    let open: SessionOpen =
+        serde_json::from_str(r#"{"name":"main","spec":"Top","k":3,"threads":1}"#)
+            .expect("pre-instance SessionOpen parses");
+    assert_eq!(open.instance.as_str(), "default");
+
+    let eval: ses_service::EvalRequest =
+        serde_json::from_str(r#"{"assignments":[]}"#).expect("pre-instance EvalRequest parses");
+    assert_eq!(eval.instance.as_str(), "default");
+
+    // An explicit name is a plain JSON string on the wire.
+    let req: SolveRequest =
+        serde_json::from_str(r#"{"spec":"Greedy","k":2,"threads":0,"instance":"tenant-b"}"#)
+            .expect("explicit instance parses");
+    assert_eq!(req.instance.as_str(), "tenant-b");
+    let json = serde_json::to_string(&req).expect("serializes");
+    assert!(json.contains(r#""instance":"tenant-b""#), "{json}");
+    // A non-string instance is a typed parse error, not a panic.
+    assert!(
+        serde_json::from_str::<SolveRequest>(r#"{"spec":"Greedy","k":2,"instance":7}"#).is_err()
+    );
 }
 
 /// A spec entered through the CELF lazy-greedy alias family must behave
@@ -53,6 +86,7 @@ fn lazy_alias_specs_round_trip_like_grd_pq() {
             spec,
             k: 7,
             threads: 2,
+            instance: InstanceName::default(),
         };
         assert_eq!(roundtrip_json(&req), req, "alias {alias}");
     }
@@ -131,13 +165,24 @@ proptest! {
 
     #[test]
     fn solve_request_round_trips(spec in spec_strategy(), k in 0usize..100_000) {
-        let req = SolveRequest { spec, k, threads: k % 5 };
+        let req = SolveRequest {
+            spec,
+            k,
+            threads: k % 5,
+            instance: InstanceName::new(format!("inst-{}", k % 7)),
+        };
         prop_assert_eq!(roundtrip_json(&req), req);
     }
 
     #[test]
     fn session_open_round_trips(spec in spec_strategy(), k in 0usize..10_000) {
-        let open = SessionOpen { name: format!("tenant-{k}"), spec, k, threads: k % 3 };
+        let open = SessionOpen {
+            name: format!("tenant-{k}"),
+            spec,
+            k,
+            threads: k % 3,
+            instance: InstanceName::new(format!("inst-{}", k % 4)),
+        };
         prop_assert_eq!(roundtrip_json(&open), open);
     }
 
@@ -186,6 +231,7 @@ proptest! {
                 run_bytes: ops[2],
                 build_millis: utility / 3.0,
             },
+            instance: InstanceName::new(format!("inst-{}", events_applied % 3)),
         };
         let back = roundtrip_json(&report);
         prop_assert_eq!(back.utility.to_bits(), report.utility.to_bits());
@@ -204,7 +250,10 @@ proptest! {
             .into_iter()
             .map(|(e, t)| Assignment::new(EventId::new(e), IntervalId::new(t)))
             .collect();
-        let req = ses_service::EvalRequest { assignments };
+        let req = ses_service::EvalRequest {
+            assignments,
+            instance: InstanceName::default(),
+        };
         prop_assert_eq!(roundtrip_json(&req), req);
     }
 }
