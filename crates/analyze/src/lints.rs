@@ -90,12 +90,18 @@ const ATOMIC_ALLOWLIST: [&str; 4] = [
 /// reports to a human, not to a socket. The core store is included because
 /// the registry lazily opens packed tenant files while serving requests —
 /// a corrupt file must answer a structured 500, never take the shard down.
-const SERVER_REQUEST_PATH: [&str; 5] = [
+/// The durable crate's WAL and recovery paths run inside shard workers
+/// (every append is on the event hot path, and recovery gates boot), so a
+/// torn tail or corrupt segment must come back as a typed `WalError`,
+/// never a panic.
+const SERVER_REQUEST_PATH: [&str; 7] = [
     "crates/server/src/server.rs",
     "crates/server/src/shard.rs",
     "crates/server/src/http.rs",
     "crates/server/src/metrics.rs",
     "crates/core/src/store.rs",
+    "crates/durable/src/wal.rs",
+    "crates/durable/src/recover.rs",
 ];
 
 /// Deterministic layers where wall clocks are confined to allowlisted

@@ -17,7 +17,8 @@
 //! answered non-2xx or the replay digests diverge, so CI can gate on it.
 
 use ses_server::{
-    serve, verify_replay, HttpClient, LoadgenConfig, ReplayConfig, ServerBenchReport, ServerConfig,
+    serve, verify_replay, DurabilityRow, FsyncPolicy, HttpClient, LoadgenConfig, ReplayConfig,
+    ServerBenchReport, ServerConfig,
 };
 use std::process::ExitCode;
 
@@ -150,11 +151,13 @@ fn run() -> Result<bool, String> {
     let server: ses_server::MetricsReport =
         serde_json::from_str(&body).map_err(|e| format!("bad /metrics body: {e}"))?;
 
+    let durability = durability_sweep(smoke, shards, seed)?;
     let healthy = summary.errors == 0 && digest.matches && digest.utility_bits_match;
     let report = ServerBenchReport {
         loadgen: summary,
         server,
         digest: Some(digest),
+        durability,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
@@ -163,6 +166,75 @@ fn run() -> Result<bool, String> {
     handle.shutdown();
     let _ = std::fs::remove_file(&tenant_path);
     Ok(healthy)
+}
+
+/// Measures the durability cost curve: for each fsync policy, a fresh
+/// WAL-backed server on a scratch directory takes the same closed-loop
+/// load, and the resulting throughput + append/fsync tails become one
+/// committed row. Policies run weakest-first so the `per-record` row —
+/// the one that pays a sync per event — closes the table.
+fn durability_sweep(smoke: bool, shards: usize, seed: u64) -> Result<Vec<DurabilityRow>, String> {
+    let policies = [
+        FsyncPolicy::Off,
+        FsyncPolicy::Interval { millis: 25 },
+        FsyncPolicy::PerRecord,
+    ];
+    let mut rows = Vec::new();
+    for policy in policies {
+        let tag = policy.label().replace(':', "-");
+        let wal_dir =
+            std::env::temp_dir().join(format!("bench-server-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let handle = serve(&ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards,
+            seed,
+            wal_dir: Some(wal_dir.clone()),
+            fsync: policy,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("bind durable server ({tag}): {e}"))?;
+        let summary = ses_server::loadgen::run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            clients: if smoke { 2 } else { 4 },
+            requests: if smoke { 100 } else { 500 },
+            seed,
+            ..LoadgenConfig::default()
+        })?;
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let wal = summary
+            .wal
+            .as_ref()
+            .ok_or_else(|| format!("durable server ({tag}) reported no wal metrics"))?;
+        let row = DurabilityRow {
+            policy: wal.policy.clone(),
+            req_per_sec: summary.req_per_sec,
+            p50_micros: summary.p50_micros,
+            p99_micros: summary.p99_micros,
+            durable_acks: wal.durable_acks,
+            append_p99_micros: wal.append.as_ref().map_or(0, |l| l.p99_micros),
+            fsync_p99_micros: wal.fsync.as_ref().map_or(0, |l| l.p99_micros),
+        };
+        println!(
+            "  durability [{}] {:>8.0} req/s — p99 {} µs, append p99 {} µs, fsync p99 {} µs, \
+             {} durable acks",
+            row.policy,
+            row.req_per_sec,
+            row.p99_micros,
+            row.append_p99_micros,
+            row.fsync_p99_micros,
+            row.durable_acks
+        );
+        if summary.errors > 0 {
+            return Err(format!(
+                "durability sweep ({tag}): {} non-2xx responses",
+                summary.errors
+            ));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 fn main() -> ExitCode {

@@ -52,7 +52,7 @@ impl std::error::Error for ArgsError {}
 
 /// Option names that are flags (take no value).
 const FLAG_NAMES: &[&str] = &[
-    "full", "quiet", "checkins", "strict", "trace", "log-json", "once",
+    "full", "quiet", "checkins", "strict", "trace", "log-json", "once", "records",
 ];
 
 /// Parses an argument vector (without the program name).

@@ -68,7 +68,13 @@ SUBCOMMANDS:
                                          repeatable; loaded lazily on first use)
                   --log-level error|warn|info|debug (info)  --log-json
                   --slow-ms MILLIS (250; slow requests log their span timeline)
+                  --wal-dir DIR  (per-shard write-ahead log: sessions survive
+                                  kill -9, recovered by replay on next boot;
+                                  unlocks live migration via POST /admin/rebalance)
+                  --fsync per-record|interval[:ms]|off (interval:25; needs --wal-dir)
+                  --snapshot-every N (64; events between session snapshots, 0 = never)
                   endpoints: POST /solve /eval /sessions/{name}/open|event|report|close
+                             POST /admin/rebalance (durable servers)
                              GET /healthz /metrics /trace/{id} /instances
                              stop with SIGTERM/ctrl-c
     instances   list the instance registry of a running server
@@ -88,6 +94,12 @@ SUBCOMMANDS:
                   --scenario NAME (flash-crowd)  --holdback F (0.3)
                   --format text|json (text)      --out PATH (write the report)
                   --strict  (exit non-zero on any non-2xx or digest mismatch)
+                  against a durable server the summary adds a durability
+                  section: durable acks + server-side append/fsync latencies
+    wal         offline WAL tooling (no server needed)
+        inspect   --dir DIR (required; a server's --wal-dir)
+                  --records (list every record: kind, LSN, session)
+                  --format text|json (text)
     help        show this message
 ";
 
@@ -525,6 +537,17 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         }
         instances.push((name.to_owned(), std::path::PathBuf::from(path)));
     }
+    let wal_dir = args.options.get("wal-dir").map(std::path::PathBuf::from);
+    let fsync = match args.options.get("fsync") {
+        None => ses_server::FsyncPolicy::Interval { millis: 25 },
+        Some(v) => ses_server::FsyncPolicy::parse(v)?,
+    };
+    if wal_dir.is_none() && args.options.contains_key("fsync") {
+        return Err("--fsync needs --wal-dir (no WAL to sync without one)".to_owned());
+    }
+    let snapshot_every: u64 = args
+        .get_or("snapshot-every", 64)
+        .map_err(|e| e.to_string())?;
     let cfg = ses_server::ServerConfig {
         addr: args
             .options
@@ -542,6 +565,9 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         seed: args.get_or("seed", 0).map_err(|e| e.to_string())?,
         slow_request_millis: args.get_or("slow-ms", 250).map_err(|e| e.to_string())?,
         instances,
+        wal_dir,
+        fsync,
+        snapshot_every,
     };
     ses_server::install_signal_handlers();
     let handle = ses_server::serve(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
@@ -556,7 +582,17 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         cfg.seed,
         cfg.instances.len()
     );
-    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close · GET /healthz /metrics /trace/{{id}} /instances");
+    match &cfg.wal_dir {
+        Some(dir) => println!(
+            "durability: WAL at {} (fsync {}, snapshot every {} events) — sessions survive \
+             kill -9; live migration via POST /admin/rebalance",
+            dir.display(),
+            cfg.fsync.label(),
+            cfg.snapshot_every
+        ),
+        None => println!("durability: off (no --wal-dir; sessions are in-memory only)"),
+    }
+    println!("endpoints: POST /solve /eval /sessions/{{name}}/open|event|report|close /admin/rebalance · GET /healthz /metrics /trace/{{id}} /instances");
     handle.join();
     println!("ses-server: drained, bye");
     Ok(())
@@ -634,6 +670,7 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
         loadgen: summary,
         server,
         digest,
+        durability: Vec::new(),
     };
 
     if let Some(out) = args.options.get("out") {
@@ -678,6 +715,24 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
             .map(|(l, n)| format!("{l} {n}"))
             .collect();
         println!("mix: {}; {} ok, {} errors", mix.join(", "), s.ok, s.errors);
+        if let Some(w) = &s.wal {
+            println!(
+                "durability: fsync {}, {} records, {} fsyncs, {} durable acks",
+                w.policy, w.records, w.fsyncs, w.durable_acks
+            );
+            for line in [w.append.as_ref(), w.fsync.as_ref()].into_iter().flatten() {
+                println!(
+                    "  {:<10} {} calls — mean {:.0} µs, p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+                    line.endpoint,
+                    line.count,
+                    line.mean_micros,
+                    line.p50_micros,
+                    line.p95_micros,
+                    line.p99_micros,
+                    line.max_micros
+                );
+            }
+        }
         if !s.status_counts.is_empty() {
             let by_status: Vec<String> = s
                 .status_counts
@@ -933,6 +988,57 @@ pub fn instances(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `ses wal inspect` — offline dissection of a server's `--wal-dir`:
+/// per-shard segment and snapshot inventory, LSN ranges, torn tails, and
+/// (with `--records`) every record's kind/LSN/session.
+pub fn wal_inspect(args: &ParsedArgs) -> Result<(), String> {
+    let dir = args.require("dir").map_err(|e| e.to_string())?;
+    let with_records = args.has_flag("records");
+    let format = format_of(args)?;
+    let inspection = ses_durable::inspect_dir(std::path::Path::new(dir), with_records)?;
+    if format == Format::Json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&inspection).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if inspection.shards.is_empty() {
+        println!("wal inspect: no WAL shards under {dir}");
+        return Ok(());
+    }
+    for shard in &inspection.shards {
+        println!("{} — {} records", shard.dir, shard.records);
+        for seg in &shard.segments {
+            let torn = seg
+                .torn
+                .as_deref()
+                .map(|t| format!("  TORN: {t}"))
+                .unwrap_or_default();
+            println!(
+                "  {:<16} {:>9} bytes, {:>6} records, lsn {}..={}{torn}",
+                seg.file, seg.bytes, seg.records, seg.first_lsn, seg.last_lsn
+            );
+        }
+        for snap in &shard.snapshots {
+            println!(
+                "  {:<16} session '{}' @ lsn {} — {} events, {} scheduled",
+                snap.file, snap.session, snap.lsn, snap.events, snap.scheduled
+            );
+        }
+        for err in &shard.errors {
+            println!("  ERROR: {err}");
+        }
+        for rec in &shard.record_list {
+            println!(
+                "    {:>8}  {:<8} lsn {:>6}  {:>6} bytes  {}",
+                rec.offset, rec.kind, rec.lsn, rec.bytes, rec.session
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `ses quality`
 pub fn quality(args: &ParsedArgs) -> Result<(), String> {
     use ses_core::registry;
@@ -1034,6 +1140,7 @@ mod tests {
                 p99_micros: 120,
                 max_micros: 200,
             }],
+            wal: None,
         }
     }
 
@@ -1064,6 +1171,7 @@ mod tests {
             engine: EngineTotals::default(),
             shards_detail: vec![],
             span_stages: vec![],
+            wal: None,
         };
         let frame = top_frame("x", &report);
         assert!(frame.contains("0 shards"));

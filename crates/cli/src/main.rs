@@ -7,10 +7,11 @@
 //! ses pack     --profile sparse --users 100000 --out universe.sesstore
 //! ses quality  [--instances 20] [--k 4]
 //! ses simulate --scenario flash-crowd --steps 10000 --seed 42 [--format json]
-//! ses serve    --addr 127.0.0.1:7878 --shards 4 [--instance name=path]...
+//! ses serve    --addr 127.0.0.1:7878 --shards 4 [--wal-dir DIR [--fsync POLICY]] [--instance name=path]...
 //! ses instances --addr 127.0.0.1:7878
 //! ses top      --addr 127.0.0.1:7878 [--once]
 //! ses loadgen  --addr 127.0.0.1:7878 --clients 8 [--instance name]... [--strict]
+//! ses wal inspect --dir DIR [--records] [--format json]
 //! ses help
 //! ```
 
@@ -18,7 +19,15 @@ use ses_cli::{args, commands};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // `ses wal <action>` is a two-word command; fold it into one token so
+    // the flat option parser stays flat.
+    if argv.first().map(String::as_str) == Some("wal")
+        && argv.get(1).is_some_and(|a| !a.starts_with("--"))
+    {
+        let action = argv.remove(1);
+        argv[0] = format!("wal-{action}");
+    }
     let parsed = match args::parse(&argv) {
         Ok(p) => p,
         Err(e) => {
@@ -37,6 +46,8 @@ fn main() -> ExitCode {
         "instances" => commands::instances(&parsed),
         "top" => commands::top(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "wal-inspect" => commands::wal_inspect(&parsed),
+        "wal" => Err("wal needs an action (try `ses wal inspect --dir DIR`)".to_owned()),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -1,0 +1,161 @@
+//! The kill -9 test: a real `ses serve` child process, killed without
+//! warning halfway through a recorded disruption stream, restarted on the
+//! same `--wal-dir` — and the resumed replay must produce the same trace
+//! digest, bit for bit, as the uninterrupted in-process simulation. This
+//! is the out-of-process proof of the recovery-equals-replay argument
+//! (DESIGN.md §13); the in-process variants live in `ses-server`'s
+//! `durability_integration` tests.
+
+use ses_server::{
+    drive_range, finish_replay, open_server_session, prepare_replay, HttpClient, ReplayConfig,
+};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Scratch WAL directory, wiped on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("ses-crash-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A `ses serve` child that is SIGKILLed on drop (tests must never leak a
+/// listener, least of all on a failing assertion).
+struct Server(std::process::Child);
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `ses serve` with a fixed universe on `addr`, WAL-backed with
+/// per-record fsync (the strictest policy — every acked event must survive
+/// the kill).
+fn spawn_server(addr: &str, wal_dir: &std::path::Path) -> Server {
+    let child = Command::new(env!("CARGO_BIN_EXE_ses"))
+        .args([
+            "serve",
+            "--addr",
+            addr,
+            "--shards",
+            "2",
+            "--io-threads",
+            "2",
+            "--users",
+            "60",
+            "--events",
+            "16",
+            "--intervals",
+            "8",
+            "--seed",
+            "7",
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+            "--fsync",
+            "per-record",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ses serve");
+    Server(child)
+}
+
+/// Polls `/healthz` until the server answers (fresh connection per try —
+/// the listener may not exist yet).
+fn wait_ready(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let mut client = HttpClient::new(addr.to_owned());
+        if let Ok((200, _)) = client.get("/healthz") {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server on {addr} never became healthy"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn kill_dash_nine_mid_stream_recovers_to_a_bit_identical_replay() {
+    let scratch = Scratch::new();
+    // Reserve a port, then free it for the child. (The tiny window between
+    // drop and bind is the standard ephemeral-port test idiom.)
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+
+    let server = spawn_server(&addr, &scratch.0);
+    wait_ready(&addr);
+
+    let cfg = ReplayConfig {
+        steps: 60,
+        k: 8,
+        session: "crash-replay".to_owned(),
+        ..ReplayConfig::default()
+    };
+    let mut client = HttpClient::new(addr.clone());
+    let session = prepare_replay(&mut client, &cfg).expect("reference simulation");
+    let mut state = open_server_session(&mut client, &cfg, &session).expect("server arm open");
+    let half = session.recorded.len() / 2;
+    drive_range(&mut client, &cfg, &session, &mut state, 0, half).expect("first half");
+    assert_eq!(
+        state.trace.digest(),
+        session.sim_trace.digest_prefix(half),
+        "prefix digests must agree before the crash"
+    );
+
+    // kill -9: no drain, no flush hooks, no goodbye. Every event above was
+    // acked, and per-record fsync means every ack is on disk.
+    drop(server);
+
+    let server = spawn_server(&addr, &scratch.0);
+    wait_ready(&addr);
+    let mut client = HttpClient::new(addr);
+    drive_range(
+        &mut client,
+        &cfg,
+        &session,
+        &mut state,
+        half,
+        session.recorded.len(),
+    )
+    .expect("second half after recovery");
+    let check = finish_replay(&mut client, &cfg, &session, &state).expect("final comparison");
+    assert!(
+        check.matches,
+        "recovered replay diverged: server {:#018x} vs sim {:#018x}",
+        check.server_digest, check.sim_digest
+    );
+    assert!(
+        check.utility_bits_match,
+        "final utility bits diverged after recovery"
+    );
+    // Recovery left its reports on disk for the operator.
+    assert!(
+        (0..2).any(|i| scratch
+            .0
+            .join(format!("shard-{i}"))
+            .join("recovery.json")
+            .exists()),
+        "no recovery.json written by the restarted server"
+    );
+    drop(server);
+}

@@ -123,7 +123,7 @@ pub use model::{
 pub use online::{OnlineSession, RepairReport};
 pub use registry::{SchedulerSpec, UnknownScheduler, SPEC_NAMES};
 pub use schedule::{Assignment, Schedule, ScheduleError};
-pub use store::{StoreError, StoredActivity};
+pub use store::{FoldState, StoreError, StoredActivity};
 
 /// One-stop imports for applications.
 pub mod prelude {

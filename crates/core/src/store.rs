@@ -100,16 +100,27 @@ const CHUNK: usize = 64 * 1024;
 ///
 /// `carry`/`carry_len` hold an incomplete trailing word between `update`
 /// calls, so the fold can consume arbitrarily-sized chunks.
-#[derive(Clone, Copy)]
-struct FoldState {
+///
+/// Public so other on-disk formats in the workspace (the `ses-durable`
+/// WAL records) frame their payloads with the *same* checksum the
+/// instance store uses, rather than a second, subtly-different one.
+#[derive(Clone, Copy, Debug)]
+pub struct FoldState {
     lanes: [u64; 4],
     phase: usize,
     carry: u64,
     carry_len: usize,
 }
 
+impl Default for FoldState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl FoldState {
-    fn new() -> Self {
+    /// A fresh fold over the empty stream.
+    pub fn new() -> Self {
         Self {
             lanes: [FNV_OFFSET, FNV_OFFSET ^ 1, FNV_OFFSET ^ 2, FNV_OFFSET ^ 3],
             phase: 0,
@@ -124,7 +135,9 @@ impl FoldState {
         self.phase = (self.phase + 1) & 3;
     }
 
-    fn update(&mut self, mut bytes: &[u8]) {
+    /// Folds `bytes` into the running checksum (chunk boundaries do not
+    /// affect the result).
+    pub fn update(&mut self, mut bytes: &[u8]) {
         if self.carry_len > 0 {
             while self.carry_len < 8 {
                 match bytes.split_first() {
@@ -170,7 +183,9 @@ impl FoldState {
         }
     }
 
-    fn finalize(mut self) -> u64 {
+    /// Zero-pads any trailing partial word and folds the four lanes into
+    /// the final 64-bit checksum.
+    pub fn finalize(mut self) -> u64 {
         if self.carry_len > 0 {
             let word = self.carry;
             self.carry = 0;

@@ -1,0 +1,451 @@
+//! End-to-end durability contracts for `ses-durable`:
+//!
+//! * append → reopen reconstructs exactly the sessions and events that
+//!   were live (write-ahead mirror and recovery scan agree);
+//! * recovery *through the service* rebuilds session state bit-for-bit
+//!   (utility Ω, schedule size, clock) — recovery is replay;
+//! * snapshots compact the journal, survive reopen, and let sealed
+//!   segments be truncated;
+//! * extract/install (the migration primitives) move a session between
+//!   two WALs without changing its replayed state;
+//! * a torn or bit-flipped tail is a typed, recoverable condition: the
+//!   log recovers to the last whole record and **never panics** (the
+//!   satellite contract, swept by proptest below).
+
+use proptest::prelude::*;
+use ses_core::testkit::small_instance;
+use ses_core::{EventId, IntervalId, SchedulerSpec, UserId};
+use ses_durable::{
+    recover_sessions, FsyncPolicy, RecoveredLog, SessionJournal, ShardWal, WalConfig, HEADER_LEN,
+};
+use ses_service::{
+    Announcement, Arrival, Availability, Cancellation, CapacityChange, InstanceName,
+    InstanceRegistry, SchedulerService, SessionEvent, SessionOpen,
+};
+use std::path::PathBuf;
+
+/// A scratch directory under the OS temp dir, wiped on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ses-durable-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open_request(name: &str) -> SessionOpen {
+    SessionOpen {
+        name: name.to_owned(),
+        spec: SchedulerSpec::Greedy,
+        k: 4,
+        threads: 0,
+        instance: InstanceName::default(),
+    }
+}
+
+/// A deterministic mixed event stream, valid for `small_instance` (6
+/// events, 3 intervals, 8 users) but deliberately including events the
+/// service answers with `applied: false` or rejects — replay must treat
+/// them identically.
+fn event_stream(n: usize) -> Vec<SessionEvent> {
+    (0..n)
+        .map(|i| match i % 6 {
+            0 => SessionEvent::SetAvailable(Availability {
+                event: EventId::new((i % 6) as u32),
+                available: i % 2 == 0,
+            }),
+            1 => SessionEvent::Capacity(CapacityChange {
+                budget: 2.0 + (i % 5) as f64,
+            }),
+            2 => SessionEvent::Cancel(Cancellation {
+                event: EventId::new((i % 6) as u32),
+            }),
+            3 => SessionEvent::Arrive(Arrival {
+                event: EventId::new(((i + 3) % 6) as u32),
+            }),
+            4 => SessionEvent::Announce(Announcement {
+                interval: IntervalId::new((i % 3) as u32),
+                postings: vec![(UserId::new((i % 8) as u32), 0.4), (UserId::new(0), 0.2)],
+            }),
+            _ => SessionEvent::Extend,
+        })
+        .collect()
+}
+
+fn registry() -> InstanceRegistry {
+    let reg = InstanceRegistry::new();
+    reg.register("default", small_instance(7));
+    reg
+}
+
+fn wal_config(dir: &std::path::Path) -> WalConfig {
+    WalConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Off,
+        snapshot_every: 0,
+        segment_bytes: 4 << 20,
+    }
+}
+
+/// Appends opens/events/closes and reopens the directory: the recovered
+/// log must list exactly the live sessions with their full event history,
+/// and the journal mirror must agree with what recovery scans from disk.
+#[test]
+fn reopen_reconstructs_live_sessions_exactly() {
+    let scratch = Scratch::new("reopen");
+    let events = event_stream(9);
+    {
+        let (mut wal, log) = ShardWal::open(wal_config(scratch.path())).expect("fresh open");
+        assert!(log.sessions.is_empty());
+        wal.append_open(&open_request("a")).expect("open a");
+        wal.append_open(&open_request("b")).expect("open b");
+        for e in &events {
+            wal.append_event("a", e).expect("event a");
+        }
+        wal.append_event("b", &events[0]).expect("event b");
+        // A rejected duplicate open and an event for an unknown session
+        // leave records behind; recovery must skip both.
+        wal.append_open(&open_request("a")).expect("dup open");
+        wal.append_event("ghost", &events[1]).expect("ghost event");
+        wal.append_close("b").expect("close b");
+        assert_eq!(
+            wal.journal("a").expect("journal a").events.len(),
+            events.len()
+        );
+        assert!(wal.journal("b").is_none(), "closed session leaves mirror");
+        wal.flush().expect("flush");
+    }
+    let (wal, log) = ShardWal::open(wal_config(scratch.path())).expect("reopen");
+    assert_eq!(log.sessions.len(), 1, "only 'a' is live");
+    let a = &log.sessions[0];
+    assert_eq!(a.name, "a");
+    assert_eq!(a.open, open_request("a"));
+    assert!(a.snapshot_events.is_empty());
+    assert_eq!(a.tail_events, events);
+    assert_eq!(a.snapshot_lsn, 0);
+    // Dup open counts as covered (not skipped); the ghost event is skipped.
+    assert_eq!(log.records_skipped, 1);
+    assert!(log.torn_tail.is_none());
+    assert!(log.scan_errors.is_empty());
+    let stats = wal.stats();
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.last_lsn, log.max_lsn);
+    assert_eq!(
+        wal.journal("a").expect("mirror survives reopen").events,
+        events
+    );
+}
+
+/// Recovery through a real `SchedulerService` rebuilds the session's
+/// report bit-for-bit: utility Ω, schedule size, events applied, clock.
+#[test]
+fn recovery_through_service_is_bit_identical_replay() {
+    let scratch = Scratch::new("replay");
+    let reg = registry();
+    let inst = reg.get("default").expect("instance");
+    let open = open_request("live");
+    let events = event_stream(24);
+
+    // Arm A: the "pre-crash" server — log first, then apply.
+    let mut live = SchedulerService::new();
+    let (mut wal, _) = ShardWal::open(wal_config(scratch.path())).expect("fresh open");
+    wal.append_open(&open).expect("log open");
+    live.open_session(&inst, &open).expect("open");
+    for e in &events {
+        wal.append_event("live", e).expect("log event");
+        let _ = live.apply("live", e);
+    }
+    wal.flush().expect("flush");
+    let before = live.report("live").expect("report");
+    drop(wal);
+
+    // Arm B: recovery after a clean kill.
+    let (_wal, log) = ShardWal::open(wal_config(scratch.path())).expect("reopen");
+    let mut recovered = SchedulerService::new();
+    let report = recover_sessions(&mut recovered, &reg, &log);
+    assert_eq!(report.sessions_recovered, 1, "errors: {:?}", report.errors);
+    assert_eq!(report.sessions_failed, 0);
+    assert_eq!(
+        report.events_replayed + report.events_rejected,
+        events.len() as u64
+    );
+    let after = recovered.report("live").expect("recovered report");
+    assert_eq!(after.utility.to_bits(), before.utility.to_bits());
+    assert_eq!(after.scheduled, before.scheduled);
+    assert_eq!(after.events_applied, before.events_applied);
+    assert_eq!(after.clock, before.clock);
+    assert_eq!(after.budget.to_bits(), before.budget.to_bits());
+}
+
+/// With snapshots enabled and tiny segments, old segments get truncated,
+/// and reopening from snapshot + tail still replays to the same state.
+#[test]
+fn snapshots_compact_and_truncate_without_changing_replay() {
+    let scratch = Scratch::new("snapshot");
+    let reg = registry();
+    let inst = reg.get("default").expect("instance");
+    let open = open_request("snappy");
+    let events = event_stream(40);
+
+    let cfg = WalConfig {
+        dir: scratch.path().to_path_buf(),
+        fsync: FsyncPolicy::Off,
+        snapshot_every: 8,
+        segment_bytes: 1024, // force frequent rotation
+    };
+    let mut live = SchedulerService::new();
+    let (mut wal, _) = ShardWal::open(cfg.clone()).expect("fresh open");
+    wal.append_open(&open).expect("log open");
+    live.open_session(&inst, &open).expect("open");
+    let mut snapshots_taken = 0u64;
+    for e in &events {
+        wal.append_event("snappy", e).expect("log event");
+        let _ = live.apply("snappy", e);
+        let report = live.report("snappy").expect("report");
+        if wal
+            .maybe_snapshot("snappy", report.scheduled, report.utility)
+            .expect("maybe snapshot")
+            .is_some()
+        {
+            snapshots_taken += 1;
+        }
+    }
+    wal.flush().expect("flush");
+    let before = live.report("snappy").expect("report");
+    let stats = wal.stats();
+    assert!(snapshots_taken >= 2, "snapshots: {snapshots_taken}");
+    assert_eq!(stats.snapshots, snapshots_taken);
+    assert!(
+        stats.segments_removed > 0,
+        "tiny segments + snapshots must truncate, stats: {stats:?}"
+    );
+    drop(wal);
+
+    let (_wal, log) = ShardWal::open(cfg).expect("reopen");
+    assert_eq!(log.sessions.len(), 1);
+    let s = &log.sessions[0];
+    assert!(s.snapshot_lsn > 0, "recovery must find the snapshot");
+    assert!(
+        !s.snapshot_events.is_empty(),
+        "snapshot carries the compacted prefix"
+    );
+    assert_eq!(
+        s.snapshot_events.len() + s.tail_events.len(),
+        events.len(),
+        "snapshot prefix + WAL tail cover every event exactly once"
+    );
+    let mut recovered = SchedulerService::new();
+    let report = recover_sessions(&mut recovered, &reg, &log);
+    assert_eq!(report.sessions_recovered, 1, "errors: {:?}", report.errors);
+    assert!(
+        report.check_failures.is_empty(),
+        "snapshot integrity checks must pass: {:?}",
+        report.check_failures
+    );
+    let after = recovered.report("snappy").expect("recovered report");
+    assert_eq!(after.utility.to_bits(), before.utility.to_bits());
+    assert_eq!(after.scheduled, before.scheduled);
+    assert_eq!(after.events_applied, before.events_applied);
+}
+
+/// A tampered snapshot (flipped utility bits) recovers the session anyway
+/// but surfaces a typed integrity-check failure in the report.
+#[test]
+fn tampered_snapshot_check_is_reported_not_fatal() {
+    let scratch = Scratch::new("tamper-snap");
+    let reg = registry();
+    let inst = reg.get("default").expect("instance");
+    let open = open_request("s");
+    let cfg = WalConfig {
+        dir: scratch.path().to_path_buf(),
+        fsync: FsyncPolicy::Off,
+        snapshot_every: 4,
+        segment_bytes: 4 << 20,
+    };
+    let mut live = SchedulerService::new();
+    let (mut wal, _) = ShardWal::open(cfg.clone()).expect("fresh open");
+    wal.append_open(&open).expect("log open");
+    live.open_session(&inst, &open).expect("open");
+    for e in event_stream(6) {
+        wal.append_event("s", &e).expect("log event");
+        let _ = live.apply("s", &e);
+        let report = live.report("s").expect("report");
+        // Lie about the utility: the snapshot records a wrong bit pattern.
+        wal.maybe_snapshot("s", report.scheduled, report.utility + 1.0)
+            .expect("maybe snapshot");
+    }
+    wal.flush().expect("flush");
+    drop(wal);
+
+    let (_wal, log) = ShardWal::open(cfg).expect("reopen");
+    let mut recovered = SchedulerService::new();
+    let report = recover_sessions(&mut recovered, &reg, &log);
+    assert_eq!(report.sessions_recovered, 1);
+    assert!(
+        !report.check_failures.is_empty(),
+        "the lie must be caught: {report:?}"
+    );
+    assert!(recovered.report("s").is_ok(), "session is still live");
+}
+
+/// Extract on one WAL + install on another moves the session: the source
+/// recovery no longer lists it, the target replays it to identical state.
+#[test]
+fn extract_install_moves_a_session_between_wals() {
+    let scratch_a = Scratch::new("migrate-src");
+    let scratch_b = Scratch::new("migrate-dst");
+    let reg = registry();
+    let inst = reg.get("default").expect("instance");
+    let open = open_request("mover");
+    let events = event_stream(15);
+
+    let mut live = SchedulerService::new();
+    let (mut wal_a, _) = ShardWal::open(wal_config(scratch_a.path())).expect("open a");
+    wal_a.append_open(&open).expect("log open");
+    live.open_session(&inst, &open).expect("open");
+    for e in &events {
+        wal_a.append_event("mover", e).expect("log event");
+        let _ = live.apply("mover", e);
+    }
+    let before = live.report("mover").expect("report");
+
+    let journal: SessionJournal = wal_a
+        .extract("mover")
+        .expect("extract io")
+        .expect("session was live");
+    assert_eq!(journal.events, events);
+    assert!(wal_a.journal("mover").is_none());
+
+    let (mut wal_b, _) = ShardWal::open(wal_config(scratch_b.path())).expect("open b");
+    wal_b.install(&journal).expect("install");
+    drop(wal_a);
+    drop(wal_b);
+
+    // Source shard: the close record wins; nothing to recover.
+    let (_w, log_a) = ShardWal::open(wal_config(scratch_a.path())).expect("reopen a");
+    assert!(log_a.sessions.is_empty(), "source must not resurrect");
+
+    // Target shard: full replay to the same state.
+    let (_w, log_b) = ShardWal::open(wal_config(scratch_b.path())).expect("reopen b");
+    assert_eq!(log_b.sessions.len(), 1);
+    let mut recovered = SchedulerService::new();
+    let report = recover_sessions(&mut recovered, &reg, &log_b);
+    assert_eq!(report.sessions_recovered, 1, "errors: {:?}", report.errors);
+    let after = recovered.report("mover").expect("recovered report");
+    assert_eq!(after.utility.to_bits(), before.utility.to_bits());
+    assert_eq!(after.scheduled, before.scheduled);
+    assert_eq!(after.events_applied, before.events_applied);
+}
+
+/// Builds one shard-WAL directory with `n` events and returns the live
+/// segment's path plus the byte offsets at which each whole record ends
+/// (so the sweep below can truncate at record boundaries and inside them).
+fn seeded_wal(dir: &std::path::Path, n: usize) -> PathBuf {
+    let (mut wal, _) = ShardWal::open(wal_config(dir)).expect("fresh open");
+    wal.append_open(&open_request("t")).expect("open");
+    for e in event_stream(n) {
+        wal.append_event("t", &e).expect("event");
+    }
+    wal.flush().expect("flush");
+    dir.join("seg-00000000.wal")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The satellite contract: truncate the segment anywhere — recovery
+    /// never panics, reports a typed torn tail (when the cut lands inside
+    /// a record), and recovers exactly the whole-record prefix.
+    #[test]
+    fn truncated_tail_recovers_cleanly_at_every_cut(n in 1usize..8, cut in 0u64..4096) {
+        let scratch = Scratch::new(&format!("torn-{n}-{cut}"));
+        let seg = seeded_wal(scratch.path(), n);
+        let full = std::fs::metadata(&seg).expect("metadata").len();
+        let cut = cut.min(full);
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).expect("open seg");
+        f.set_len(cut).expect("truncate");
+        drop(f);
+
+        let (_wal, log) = ShardWal::open(wal_config(scratch.path()))
+            .expect("reopen after truncation must not error");
+        if cut < full && cut >= HEADER_LEN {
+            // Some suffix was lost: either a clean record boundary (fewer
+            // events, no torn tail) or a mid-record cut (torn tail set).
+            let events = log.sessions.first().map_or(0, |s| s.tail_events.len());
+            prop_assert!(events <= n, "recovered {events} of {n}");
+            if log.torn_tail.is_none() {
+                // Boundary cut: the file is now a clean shorter log.
+                prop_assert!(log.max_lsn <= (n as u64) + 1);
+            }
+        } else if cut < HEADER_LEN {
+            // Header gone: the segment is unreadable, moved aside; the
+            // error is typed, recovery proceeds with nothing.
+            prop_assert!(log.sessions.is_empty());
+            prop_assert!(!log.scan_errors.is_empty());
+        }
+        // Reopening once more must see a consistent (already-repaired) log.
+        drop(_wal);
+        let (_wal2, log2) = ShardWal::open(wal_config(scratch.path()))
+            .expect("second reopen is clean");
+        prop_assert!(log2.torn_tail.is_none(), "repair is sticky: {:?}", log2.torn_tail);
+        prop_assert_eq!(log2.sessions.len(), log.sessions.len());
+    }
+
+    /// Flip any single byte after the header: recovery never panics, and
+    /// either the flip lands in the lost suffix (torn tail truncated /
+    /// moved aside) or recovery still yields a prefix of the original
+    /// event stream.
+    #[test]
+    fn bit_flips_never_panic_and_keep_a_clean_prefix(
+        n in 1usize..6,
+        byte in HEADER_LEN..2048u64,
+        bit in 0u8..8,
+    ) {
+        let scratch = Scratch::new(&format!("flip-{n}-{byte}-{bit}"));
+        let seg = seeded_wal(scratch.path(), n);
+        let mut bytes = std::fs::read(&seg).expect("read seg");
+        // Fold the generated offset into the record region of the file.
+        let base = HEADER_LEN as usize;
+        let byte = base + (byte as usize - base) % (bytes.len() - base);
+        bytes[byte] ^= 1 << bit;
+        std::fs::write(&seg, &bytes).expect("write flipped");
+
+        let (_wal, log) = ShardWal::open(wal_config(scratch.path()))
+            .expect("reopen after bit flip must not error");
+        let original = event_stream(n);
+        if let Some(s) = log.sessions.first() {
+            // Whatever survived is a strict prefix of what was written —
+            // a flip can cost us the tail, never alter an accepted event.
+            prop_assert!(s.tail_events.len() <= n);
+            prop_assert_eq!(
+                s.tail_events.as_slice(),
+                &original[..s.tail_events.len()],
+                "accepted events must be unaltered"
+            );
+        }
+        prop_assert!(
+            log.torn_tail.is_some() || !log.scan_errors.is_empty() || log.records_skipped > 0
+                || log.sessions.first().is_some_and(|s| s.tail_events.len() == n),
+            "a flip that changed bytes must be detected or fully covered: {log:?}"
+        );
+    }
+}
+
+/// `RecoveredLog` default is empty (used by the no-WAL server path).
+#[test]
+fn recovered_log_default_is_empty() {
+    let log = RecoveredLog::default();
+    assert!(log.sessions.is_empty());
+    assert_eq!(log.max_lsn, 0);
+}

@@ -54,10 +54,16 @@ pub enum Stage {
     Rescore = 9,
     /// Serializing and writing the HTTP response.
     Respond = 10,
+    /// Appending one record batch to the durability WAL
+    /// (`aux_a` = bytes appended, `aux_b` = 1 if the append fsynced).
+    Wal = 11,
+    /// Replaying one session's snapshot + WAL tail at boot or migration
+    /// (`aux_a` = events replayed).
+    Recover = 12,
 }
 
 /// All stages, in pipeline order.
-pub const STAGES: [Stage; 11] = [
+pub const STAGES: [Stage; 13] = [
     Stage::Request,
     Stage::Parse,
     Stage::Queue,
@@ -69,6 +75,8 @@ pub const STAGES: [Stage; 11] = [
     Stage::Repair,
     Stage::Rescore,
     Stage::Respond,
+    Stage::Wal,
+    Stage::Recover,
 ];
 
 impl Stage {
@@ -86,6 +94,8 @@ impl Stage {
             Stage::Repair => "repair",
             Stage::Rescore => "rescore",
             Stage::Respond => "respond",
+            Stage::Wal => "wal",
+            Stage::Recover => "recover",
         }
     }
 

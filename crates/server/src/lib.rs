@@ -16,6 +16,7 @@
 //! | `GET /metrics` | — → [`MetricsReport`] (latency histograms + gauges + engine totals) |
 //! | `GET /trace/{id}` | — → [`TraceReport`] (one request's span timeline) |
 //! | `GET /instances` | — → [`InstancesReport`] (every registered instance) |
+//! | `POST /admin/rebalance` | [`RebalanceRequest`] → [`RebalanceResponse`] (live session migration; requires `--wal-dir`) |
 //!
 //! `HEAD` mirrors any `GET` route headers-only, and `OPTIONS` answers with
 //! the route's `Allow` list. Session names in paths are percent-decoded.
@@ -111,12 +112,20 @@ mod model_tests;
 
 pub use client::HttpClient;
 pub use loadgen::{
-    InstanceLatency, LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest, StatusCount,
+    DurabilityRow, InstanceLatency, LoadgenConfig, LoadgenSummary, ServerBenchReport, SlowRequest,
+    StatusCount, WalDurability,
 };
-pub use metrics::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus};
-pub use replay::{verify_replay, DigestCheck, ReplayConfig};
+pub use metrics::{EndpointLatency, EngineTotals, MetricsReport, ShardStatus, WalReport};
+pub use replay::{
+    drive_range, finish_replay, open_server_session, prepare_replay, verify_replay, DigestCheck,
+    ReplayConfig, ReplaySession, ServerArmState,
+};
 pub use server::{
     install_signal_handlers, serve, signal_shutdown_requested, HealthReport, InstancesReport,
-    ServerConfig, ServerHandle, SpanView, TraceReport,
+    RebalanceRequest, RebalanceResponse, ServerConfig, ServerHandle, SpanView, TraceReport,
 };
 pub use shard::ErrorBody;
+
+/// Re-exported so binaries configuring durability (the CLI's `--fsync`
+/// flag, the bench sweep) need not depend on `ses-durable` directly.
+pub use ses_durable::FsyncPolicy;

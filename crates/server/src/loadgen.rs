@@ -9,7 +9,7 @@
 //! per-endpoint mix.
 
 use crate::client::HttpClient;
-use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::metrics::{EndpointLatency, Histogram, HistogramSnapshot, MetricsReport};
 use crate::replay::DigestCheck;
 use crate::server::{HealthReport, InstancesReport};
 use crate::shard::ErrorBody;
@@ -112,6 +112,35 @@ pub struct LoadgenSummary {
     /// rows to see whether one tenant's load degrades another's latency.
     #[serde(default)]
     pub per_instance: Vec<InstanceLatency>,
+    /// Durability view when the server runs with a WAL: client-observed
+    /// durable acks next to the server's own append/fsync latency lines.
+    /// `None` against a non-durable server (and in legacy summaries).
+    #[serde(default)]
+    pub wal: Option<WalDurability>,
+}
+
+/// The durability side of a load run: how many event replies carried a
+/// WAL LSN (the client-side proof the write was logged before it was
+/// answered), and what appends and fsyncs cost server-side — read from
+/// `/metrics` after the last client finishes, so the latency lines cover
+/// exactly this run against a fresh server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalDurability {
+    /// Fsync policy label the server runs under (`per-record`,
+    /// `interval:25ms`, `off`).
+    pub policy: String,
+    /// WAL records the server has appended.
+    pub records: u64,
+    /// fsync calls the server has issued.
+    pub fsyncs: u64,
+    /// Event replies observed by the clients that carried a WAL LSN.
+    pub durable_acks: u64,
+    /// Server-side append latency (absent when nothing was appended).
+    #[serde(default)]
+    pub append: Option<EndpointLatency>,
+    /// Server-side fsync latency (absent under `--fsync off`).
+    #[serde(default)]
+    pub fsync: Option<EndpointLatency>,
 }
 
 /// Client-observed latency of one instance's traffic in a (possibly
@@ -174,6 +203,31 @@ pub struct ServerBenchReport {
     pub server: crate::metrics::MetricsReport,
     /// The server-vs-simulator digest check (when run).
     pub digest: Option<DigestCheck>,
+    /// The durability sweep: one row per fsync policy, each from a fresh
+    /// WAL-backed server under identical load — the committed cost curve
+    /// of the durability knob. Empty in legacy reports and when the sweep
+    /// is skipped.
+    #[serde(default)]
+    pub durability: Vec<DurabilityRow>,
+}
+
+/// One fsync policy's measured cost in the durability sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityRow {
+    /// Fsync policy label (`off`, `interval:<millis>`, `per-record`).
+    pub policy: String,
+    /// Closed-loop throughput under this policy.
+    pub req_per_sec: f64,
+    /// Median client-observed latency (µs).
+    pub p50_micros: u64,
+    /// 99th-percentile client-observed latency (µs).
+    pub p99_micros: u64,
+    /// Event replies that carried a WAL LSN.
+    pub durable_acks: u64,
+    /// Server-side 99th-percentile append latency (µs; 0 if none).
+    pub append_p99_micros: u64,
+    /// Server-side 99th-percentile fsync latency (µs; 0 under `off`).
+    pub fsync_p99_micros: u64,
 }
 
 struct WorkerOutcome {
@@ -181,6 +235,7 @@ struct WorkerOutcome {
     histogram: HistogramSnapshot,
     ok: u64,
     errors: u64,
+    durable_acks: u64,
     mix: Vec<(&'static str, u64)>,
     status_counts: Vec<StatusCount>,
     slowest: Vec<SlowRequest>,
@@ -207,6 +262,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     let mut merged: Option<HistogramSnapshot> = None;
     let mut ok = 0u64;
     let mut errors = 0u64;
+    let mut durable_acks = 0u64;
     let mut mix: Vec<(String, u64)> = Vec::new();
     let mut status_counts: Vec<StatusCount> = Vec::new();
     let mut slowest: Vec<SlowRequest> = Vec::new();
@@ -239,6 +295,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         });
         ok += outcome.ok;
         errors += outcome.errors;
+        durable_acks += outcome.durable_acks;
         for (label, n) in outcome.mix {
             match mix.iter_mut().find(|(l, _)| l == label) {
                 Some((_, total)) => *total += n,
@@ -276,6 +333,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
             max_micros: h.max,
         })
         .collect();
+    // Durability view: the server's own append/fsync histograms, fetched
+    // after the last client finished so the lines cover this run. Best
+    // effort — a server without `--wal-dir` reports no `wal` section and
+    // the summary's durability view stays `None`.
+    let wal = fetch_wal_view(&cfg.addr, durable_acks);
     let snap = merged.expect("at least one client");
     let requests = ok + errors;
     let secs = elapsed.as_secs_f64();
@@ -300,17 +362,41 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         slowest,
         error_samples,
         per_instance,
+        wal,
     })
 }
 
-/// One timed request; records latency + status into the worker's tallies.
+/// Reads the server's WAL stats from `/metrics` into a [`WalDurability`]
+/// view. Returns `None` when the server is not durable (no `wal` section)
+/// or the scrape fails — durability reporting never fails a load run.
+fn fetch_wal_view(addr: &str, durable_acks: u64) -> Option<WalDurability> {
+    let mut client = HttpClient::new(addr.to_owned());
+    let (status, body) = client.get("/metrics").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let report: MetricsReport = serde_json::from_str(&body).ok()?;
+    let wal = report.wal?;
+    Some(WalDurability {
+        policy: wal.policy,
+        records: wal.records,
+        fsyncs: wal.fsyncs,
+        durable_acks,
+        append: wal.append,
+        fsync: wal.fsync,
+    })
+}
+
+/// One timed request; records latency + status into the worker's tallies
+/// and hands back the response body (so the event path can check for a
+/// durable ack without a second parse site).
 fn timed_post(
     client: &mut HttpClient,
     path: &str,
     body: &str,
     label: &'static str,
     out: &mut WorkerTally,
-) -> Result<(), String> {
+) -> Result<String, String> {
     let start = Instant::now();
     let (status, resp) = client
         .post(path, body)
@@ -351,13 +437,14 @@ fn timed_post(
             out.error_samples.push(detail);
         }
     }
-    Ok(())
+    Ok(resp)
 }
 
 struct WorkerTally {
     histogram: Histogram,
     ok: u64,
     errors: u64,
+    durable_acks: u64,
     mix: Vec<(&'static str, u64)>,
     status_counts: Vec<StatusCount>,
     slowest: Vec<SlowRequest>,
@@ -428,6 +515,7 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
         histogram: Histogram::new(),
         ok: 0,
         errors: 0,
+        durable_acks: 0,
         mix: ["open", "solve", "event", "report", "close"]
             .into_iter()
             .map(|l| (l, 0u64))
@@ -491,7 +579,14 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
             }
         };
         let body = serde_json::to_string(&event).map_err(|e| e.to_string())?;
-        timed_post(&mut client, &event_path, &body, "event", &mut tally)?;
+        let resp = timed_post(&mut client, &event_path, &body, "event", &mut tally)?;
+        // A reply carrying a WAL LSN means the event was logged before it
+        // was answered — the client-side half of the durability contract.
+        if let Ok(report) = serde_json::from_str::<ses_service::EventReport>(&resp) {
+            if report.lsn > 0 {
+                tally.durable_acks += 1;
+            }
+        }
     }
 
     timed_post(
@@ -507,6 +602,7 @@ fn worker(cfg: &LoadgenConfig, index: usize) -> Result<WorkerOutcome, String> {
         histogram: tally.histogram.snapshot(),
         ok: tally.ok,
         errors: tally.errors,
+        durable_acks: tally.durable_acks,
         mix: tally.mix,
         status_counts: tally.status_counts,
         slowest: tally.slowest,

@@ -41,12 +41,14 @@ pub enum Endpoint {
     Trace,
     /// `GET /instances`
     Instances,
+    /// `POST /admin/rebalance` (live session migration).
+    Rebalance,
     /// Anything that did not route (404s, bad methods, parse-level 400s).
     Other,
 }
 
 /// All endpoints, in display order.
-pub const ENDPOINTS: [Endpoint; 11] = [
+pub const ENDPOINTS: [Endpoint; 12] = [
     Endpoint::Solve,
     Endpoint::Eval,
     Endpoint::Open,
@@ -57,6 +59,7 @@ pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Metrics,
     Endpoint::Trace,
     Endpoint::Instances,
+    Endpoint::Rebalance,
     Endpoint::Other,
 ];
 
@@ -74,6 +77,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Trace => "trace",
             Endpoint::Instances => "instances",
+            Endpoint::Rebalance => "rebalance",
             Endpoint::Other => "other",
         }
     }
@@ -92,7 +96,8 @@ impl Endpoint {
             Endpoint::Metrics => 7,
             Endpoint::Trace => 8,
             Endpoint::Instances => 9,
-            Endpoint::Other => 10,
+            Endpoint::Rebalance => 10,
+            Endpoint::Other => 11,
         }
     }
 }
@@ -102,7 +107,7 @@ impl Endpoint {
 /// handler; every member is atomic.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    latencies: [Histogram; 11],
+    latencies: [Histogram; 12],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
@@ -295,6 +300,55 @@ impl EngineTotals {
     }
 }
 
+/// The durability section of `/metrics`, present only when the server
+/// runs with `--wal-dir`: WAL accounting summed across every shard, plus
+/// append/fsync latency distributions in the same line shape as the
+/// endpoint latencies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WalReport {
+    /// Fsync policy label (`per-record`, `interval:<millis>`, `off`).
+    pub policy: String,
+    /// Records appended since boot, all shards.
+    pub records: u64,
+    /// Bytes appended since boot (framing included).
+    pub appended_bytes: u64,
+    /// `fdatasync` calls issued since boot.
+    pub fsyncs: u64,
+    /// Snapshot files written since boot.
+    pub snapshots: u64,
+    /// Segment files currently on disk (sealed + live).
+    pub segments: u64,
+    /// Sealed segments deleted by truncation since boot.
+    pub segments_removed: u64,
+    /// Open sessions mirrored in shard journals.
+    pub sessions: u64,
+    /// Append latency distribution (`wal_append`), absent before the
+    /// first append.
+    #[serde(default)]
+    pub append: Option<EndpointLatency>,
+    /// Fsync latency distribution (`wal_fsync`), absent before the first
+    /// sync.
+    #[serde(default)]
+    pub fsync: Option<EndpointLatency>,
+}
+
+impl WalReport {
+    /// Folds one shard's WAL stats into the totals (the policy is uniform
+    /// across shards — the first one seen wins).
+    pub fn merge_stats(&mut self, stats: &ses_durable::WalStats) {
+        if self.policy.is_empty() {
+            self.policy = stats.policy.clone();
+        }
+        self.records += stats.records;
+        self.appended_bytes += stats.appended_bytes;
+        self.fsyncs += stats.fsyncs;
+        self.snapshots += stats.snapshots;
+        self.segments += stats.segments;
+        self.segments_removed += stats.segments_removed;
+        self.sessions += stats.sessions;
+    }
+}
+
 /// The `GET /metrics` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
@@ -319,6 +373,10 @@ pub struct MetricsReport {
     /// solve, engine phases, …) from the tracing layer.
     #[serde(default)]
     pub span_stages: Vec<StageLatency>,
+    /// Durability accounting, when the server runs with a WAL (absent —
+    /// and absent from legacy JSON — otherwise).
+    #[serde(default)]
+    pub wal: Option<WalReport>,
 }
 
 #[cfg(test)]
@@ -347,6 +405,42 @@ mod tests {
         for (i, e) in ENDPOINTS.iter().enumerate() {
             assert_eq!(e.index(), i, "{e:?} out of step with ENDPOINTS");
         }
+    }
+
+    #[test]
+    fn wal_report_merges_shard_stats_and_parses_legacy_json() {
+        let mut wal = WalReport::default();
+        wal.merge_stats(&ses_durable::WalStats {
+            policy: "per-record".to_owned(),
+            records: 10,
+            appended_bytes: 1000,
+            fsyncs: 10,
+            snapshots: 1,
+            segments: 2,
+            segments_removed: 1,
+            last_lsn: 10,
+            sessions: 3,
+        });
+        wal.merge_stats(&ses_durable::WalStats {
+            policy: "per-record".to_owned(),
+            records: 5,
+            sessions: 1,
+            ..ses_durable::WalStats::default()
+        });
+        assert_eq!(wal.policy, "per-record");
+        assert_eq!(wal.records, 15);
+        assert_eq!(wal.sessions, 4);
+        assert_eq!(wal.segments, 2);
+        // A pre-durability metrics body (no `wal` key) still parses, with
+        // the section absent.
+        let legacy: MetricsReport = serde_json::from_str(
+            r#"{"uptime_millis":1.0,"shards":2,"requests_2xx":0,"requests_4xx":0,
+                "requests_5xx":0,"endpoints":[],"engine":{"sessions":0,"events_applied":0,
+                "clock":0,"counters":{"score_evaluations":0,"posting_visits":0,
+                "assigns":0,"unassigns":0}}}"#,
+        )
+        .expect("legacy metrics JSON parses");
+        assert!(legacy.wal.is_none());
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! round-trips, shard routing and the service facade changed nothing about
 //! the schedule's evolution.
 //!
+//! The check is built from resumable pieces — [`prepare_replay`] (the
+//! reference simulation), [`open_server_session`], [`drive_range`], and
+//! [`finish_replay`] — so the crash-recovery test can drive part of the
+//! stream, `kill -9` the server, restart it on the same `--wal-dir`, and
+//! *resume* driving where it stopped: if recovery truly equals replay, the
+//! final digest still matches the uninterrupted simulation bit for bit.
+//! [`verify_replay`] runs the whole sequence in one call.
+//!
 //! [`EventReport`]: ses_service::EventReport
 
 use crate::client::HttpClient;
@@ -73,11 +81,52 @@ pub struct DigestCheck {
     pub utility_bits_match: bool,
 }
 
-/// Runs the full check against a live server. Fails with a description if
-/// the server rejects any request or the universes do not line up; a clean
-/// run returns the two digests (which the caller should still compare —
-/// [`DigestCheck::matches`] — rather than assume).
-pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<DigestCheck, String> {
+/// The reference arm of the check, fully materialized: the open request
+/// both arms issue, the recorded disruption stream, and the in-process
+/// simulation's trace. Everything here is computed once, *before* any
+/// server-side driving — which is what lets the crash test compare
+/// against it across a server restart.
+#[derive(Debug, Clone)]
+pub struct ReplaySession {
+    /// The open request (identical on both arms).
+    pub open: SessionOpen,
+    /// Solver-reported Ω of the initial schedule.
+    pub initial_utility: f64,
+    /// Candidates withheld as late arrivals (replayed before step 0).
+    pub withheld: Vec<ses_core::EventId>,
+    /// The recorded disruption stream, in step order.
+    pub recorded: Vec<TimedDisruption>,
+    /// The reference simulation's full trace.
+    pub sim_trace: Trace,
+    /// The reference simulation's final utility Ω.
+    pub sim_final_utility: f64,
+}
+
+impl ReplaySession {
+    /// Digest of the full reference trace.
+    pub fn sim_digest(&self) -> u64 {
+        self.sim_trace.digest()
+    }
+}
+
+/// The server arm's progress: the trace reconstructed so far and the
+/// running utility inert steps record. Survives a server restart — only
+/// the HTTP client is tied to one server process.
+#[derive(Debug, Clone)]
+pub struct ServerArmState {
+    /// Trace rebuilt from the server's [`EventReport`]s so far.
+    pub trace: Trace,
+    /// The session's running utility after the last driven step.
+    pub last_utility: f64,
+}
+
+/// Builds the reference arm: reads the server's universe from `/healthz`,
+/// rebuilds the instance, opens an in-process session, and records the
+/// scenario's disruption stream through the simulator.
+pub fn prepare_replay(
+    client: &mut HttpClient,
+    cfg: &ReplayConfig,
+) -> Result<ReplaySession, String> {
     let Some(_) = scenario_by_name(&cfg.scenario, cfg.seed) else {
         return Err(format!(
             "unknown scenario '{}' (expected one of: {})",
@@ -116,16 +165,34 @@ pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<Dige
     let initial = service
         .open_session(&inst, &open)
         .map_err(|e| format!("in-process open failed: {e}"))?;
-    let scenario = scenario_by_name(&cfg.scenario, cfg.seed).expect("name checked above");
+    let scenario = scenario_by_name(&cfg.scenario, cfg.seed)
+        .ok_or_else(|| format!("scenario '{}' vanished between checks", cfg.scenario))?;
     let mut sim = Simulator::over_service(service, cfg.session.clone(), vec![scenario])
         .map_err(|e| e.to_string())?;
     let withheld = sim.withhold_fraction(cfg.holdback);
     sim.set_recording(true);
     let summary = sim.run(cfg.steps);
     let recorded = sim.take_recorded();
+    Ok(ReplaySession {
+        open,
+        initial_utility: initial.total_utility,
+        withheld,
+        recorded,
+        sim_trace: sim.trace().clone(),
+        sim_final_utility: summary.final_utility,
+    })
+}
 
-    // Server arm: same open, same withholding, same stream — over HTTP.
-    let open_body = serde_json::to_string(&open).map_err(|e| e.to_string())?;
+/// Opens the server-side session and brings it to step 0: posts the open
+/// (self-healing a 409 left by an earlier failed replay), checks the
+/// initial Ω bit-for-bit, posts the withheld-candidate events, and seeds
+/// the running utility from a live report.
+pub fn open_server_session(
+    client: &mut HttpClient,
+    cfg: &ReplayConfig,
+    session: &ReplaySession,
+) -> Result<ServerArmState, String> {
+    let open_body = serde_json::to_string(&session.open).map_err(|e| e.to_string())?;
     let open_path = format!("/sessions/{}/open", cfg.session);
     let close_path = format!("/sessions/{}/close", cfg.session);
     let (mut status, mut body) = client
@@ -142,56 +209,17 @@ pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<Dige
     if status != 200 {
         return Err(format!("server open answered {status}: {body}"));
     }
-    // From here the server session exists: close it on every exit, or a
-    // transient failure would wedge all later replays with 409s.
-    let result = drive_server_arm(
-        client,
-        cfg,
-        &body,
-        initial.total_utility,
-        &withheld,
-        &recorded,
-    );
-    match result {
-        Ok((trace, final_utility)) => {
-            let _ = client.post(&close_path, "");
-            Ok(DigestCheck {
-                steps: recorded.len() as u64,
-                sim_digest: summary.digest,
-                server_digest: trace.digest(),
-                matches: summary.digest == trace.digest(),
-                utility_bits_match: final_utility.to_bits() == summary.final_utility.to_bits(),
-            })
-        }
-        Err(e) => {
-            let _ = client.post(&close_path, "");
-            Err(e)
-        }
-    }
-}
-
-/// The server side of the check, between open and close: withholding, the
-/// recorded stream, and the trace reconstruction. Returns the rebuilt
-/// trace plus the session's final utility.
-fn drive_server_arm(
-    client: &mut HttpClient,
-    cfg: &ReplayConfig,
-    open_response: &str,
-    initial_utility: f64,
-    withheld: &[ses_core::EventId],
-    recorded: &[TimedDisruption],
-) -> Result<(Trace, f64), String> {
     let server_initial: ses_service::SolveResponse =
-        serde_json::from_str(open_response).map_err(|e| format!("bad open response: {e}"))?;
-    if server_initial.total_utility.to_bits() != initial_utility.to_bits() {
+        serde_json::from_str(&body).map_err(|e| format!("bad open response: {e}"))?;
+    if server_initial.total_utility.to_bits() != session.initial_utility.to_bits() {
         return Err(format!(
             "initial schedules differ before any disruption (server Ω {} vs local Ω {}) — \
              instance or solver mismatch",
-            server_initial.total_utility, initial_utility
+            server_initial.total_utility, session.initial_utility
         ));
     }
 
-    for &event in withheld {
+    for &event in &session.withheld {
         let ev = SessionEvent::SetAvailable(Availability {
             event,
             available: false,
@@ -217,10 +245,27 @@ fn drive_server_arm(
     }
     let baseline: ses_service::SessionReport =
         serde_json::from_str(&resp).map_err(|e| format!("bad report response: {e}"))?;
+    Ok(ServerArmState {
+        trace: Trace::new(),
+        last_utility: baseline.utility,
+    })
+}
 
-    let mut trace = Trace::new();
-    let mut last_utility = baseline.utility;
-    for (step, timed) in recorded.iter().enumerate() {
+/// Drives recorded steps `[from, to)` against the live server, extending
+/// `state.trace` with the records reconstructed from the wire replies.
+/// Resumable: after a crash and recovery, call again with `from` equal to
+/// the number of steps already driven.
+pub fn drive_range(
+    client: &mut HttpClient,
+    cfg: &ReplayConfig,
+    session: &ReplaySession,
+    state: &mut ServerArmState,
+    from: usize,
+    to: usize,
+) -> Result<(), String> {
+    let to = to.min(session.recorded.len());
+    for (step, timed) in session.recorded[from..to].iter().enumerate() {
+        let step = from + step;
         let event = timed.disruption.to_session_event();
         let body = serde_json::to_string(&event).map_err(|e| e.to_string())?;
         let (status, resp) = client
@@ -251,18 +296,27 @@ fn drive_server_arm(
                 tick: timed.at,
                 kind: timed.disruption.kind(),
                 applied: false,
-                utility_before: last_utility,
-                utility_disrupted: last_utility,
-                utility_after: last_utility,
+                utility_before: state.last_utility,
+                utility_disrupted: state.last_utility,
+                utility_after: state.last_utility,
                 moves: 0,
             },
         };
-        trace.push(record);
-        last_utility = report.utility;
+        state.trace.push(record);
+        state.last_utility = report.utility;
     }
+    Ok(())
+}
 
-    // The final utility comes from a report (not the close itself) so the
-    // caller can own closing on success and failure paths alike.
+/// Finishes the server arm: reads the session's final utility, closes the
+/// session, and compares both traces. The comparison is the caller's
+/// verdict — [`DigestCheck::matches`] — not an assumption.
+pub fn finish_replay(
+    client: &mut HttpClient,
+    cfg: &ReplayConfig,
+    session: &ReplaySession,
+    state: &ServerArmState,
+) -> Result<DigestCheck, String> {
     let (status, resp) = client
         .post(&format!("/sessions/{}/report", cfg.session), "")
         .map_err(|e| format!("final report request failed: {e}"))?;
@@ -271,6 +325,34 @@ fn drive_server_arm(
     }
     let final_report: ses_service::SessionReport =
         serde_json::from_str(&resp).map_err(|e| format!("bad final report response: {e}"))?;
+    let _ = client.post(&format!("/sessions/{}/close", cfg.session), "");
+    let sim_digest = session.sim_digest();
+    let server_digest = state.trace.digest();
+    Ok(DigestCheck {
+        steps: session.recorded.len() as u64,
+        sim_digest,
+        server_digest,
+        matches: sim_digest == server_digest,
+        utility_bits_match: final_report.utility.to_bits() == session.sim_final_utility.to_bits(),
+    })
+}
 
-    Ok((trace, final_report.utility))
+/// Runs the full check against a live server. Fails with a description if
+/// the server rejects any request or the universes do not line up; a clean
+/// run returns the two digests (which the caller should still compare —
+/// [`DigestCheck::matches`] — rather than assume).
+pub fn verify_replay(client: &mut HttpClient, cfg: &ReplayConfig) -> Result<DigestCheck, String> {
+    let session = prepare_replay(client, cfg)?;
+    let mut state = open_server_session(client, cfg, &session)?;
+    // From here the server session exists: close it on every exit, or a
+    // transient failure would wedge all later replays with 409s.
+    let driven = drive_range(client, cfg, &session, &mut state, 0, session.recorded.len())
+        .and_then(|()| finish_replay(client, cfg, &session, &state));
+    match driven {
+        Ok(check) => Ok(check),
+        Err(e) => {
+            let _ = client.post(&format!("/sessions/{}/close", cfg.session), "");
+            Err(e)
+        }
+    }
 }

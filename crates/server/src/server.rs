@@ -32,20 +32,24 @@
 
 use crate::http::{self, RecvError};
 use crate::metrics::{
-    Endpoint, EngineTotals, MetricsReport, ServerMetrics, ShardGauge, ShardStatus,
+    Endpoint, EndpointLatency, EngineTotals, MetricsReport, ServerMetrics, ShardGauge, ShardStatus,
+    WalReport,
 };
 use crate::shard::{run_shard, shard_of, ApiError, ShardMsg, ShardOp, ShardReply};
 use serde::{Deserialize, Serialize};
 use ses_core::testkit::workload_instance;
+use ses_durable::{FsyncPolicy, RecoveredLog, SessionJournal, ShardWal, WalConfig};
 use ses_obs::{Level, OpsDelta, Stage, TraceId};
 use ses_service::{
-    EvalRequest, InstanceInfo, InstanceRegistry, SessionEvent, SessionOpen, SolveRequest,
+    EvalRequest, InstanceInfo, InstanceRegistry, SessionEvent, SessionOpen, SessionReport,
+    SolveRequest,
 };
+use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// How the server is built: network shape, concurrency, limits, and the
@@ -80,6 +84,16 @@ pub struct ServerConfig {
     /// `"default"`. A `"default"` entry here *replaces* the workload
     /// instance, so a server can boot entirely from packed files.
     pub instances: Vec<(String, PathBuf)>,
+    /// Durability: when set, every shard keeps a [`ses_durable::ShardWal`]
+    /// under `<wal_dir>/shard-{i}`, recovers its sessions at boot, and
+    /// `POST /admin/rebalance` can migrate live sessions between shards.
+    /// `None` (the default) runs fully in-memory, exactly as before.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy for WAL appends (ignored without `wal_dir`).
+    pub fsync: FsyncPolicy,
+    /// Snapshot a session's journal after this many events (`0` disables
+    /// snapshots and WAL truncation; ignored without `wal_dir`).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +109,9 @@ impl Default for ServerConfig {
             intervals: 24,
             seed: 0,
             instances: Vec::new(),
+            wal_dir: None,
+            fsync: FsyncPolicy::Interval { millis: 25 },
+            snapshot_every: 64,
         }
     }
 }
@@ -214,6 +231,15 @@ pub fn signal_shutdown_requested() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// Where a session's requests route while (or after) a migration.
+enum RouteState {
+    /// A rebalance is in flight: requests for the session wait briefly and
+    /// retry, exactly as if the session were mid-close.
+    Pending,
+    /// The session now lives on this shard instead of its name-hash home.
+    To(usize),
+}
+
 /// Shared, all-atomic server state (config copies, flags, metrics).
 struct ServerState {
     ctrl_shutdown: AtomicBool,
@@ -230,11 +256,70 @@ struct ServerState {
     /// The instance registry shared with every shard worker; `GET
     /// /instances` answers from it without touching any shard queue.
     registry: Arc<InstanceRegistry>,
+    /// Whether shards run with a WAL (gates `POST /admin/rebalance`).
+    durable: bool,
+    /// Session-name → route override, consulted before the name hash.
+    /// Touched only by rebalances and by session routes of overridden
+    /// names; the common case is one uncontended read of an empty map.
+    route_overrides: RwLock<HashMap<String, RouteState>>,
 }
 
 impl ServerState {
     fn shutting_down(&self) -> bool {
         self.ctrl_shutdown.load(Ordering::SeqCst) || signal_shutdown_requested()
+    }
+
+    /// The shard `name`'s requests go to right now: the override when one
+    /// is set, the stable name hash otherwise. While a migration is in
+    /// flight the request waits (bounded), then answers 503 — the same
+    /// contract as racing any other connection's close.
+    fn effective_shard(&self, name: &str) -> Result<usize, ApiError> {
+        // ~2 s at 5 ms per poll; a migration is two shard-queue round
+        // trips, normally well under one tick.
+        for _ in 0..400 {
+            {
+                // A poisoned lock means a handler panicked mid-insert;
+                // the map itself is still sound, keep routing.
+                let map = self
+                    .route_overrides
+                    .read()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                match map.get(name) {
+                    None => return Ok(shard_of(name, self.shards)),
+                    Some(RouteState::To(shard)) => return Ok(*shard),
+                    Some(RouteState::Pending) => {}
+                }
+            }
+            if self.shutting_down() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Err(ApiError::new(
+            503,
+            "rebalancing",
+            format!("session '{name}' is migrating between shards; retry"),
+        ))
+    }
+
+    /// Sets (`Some`) or clears (`None`) a session's route override,
+    /// normalizing "override equals the name hash" back to no entry.
+    fn set_route(&self, name: &str, value: Option<RouteState>) {
+        let mut map = self
+            .route_overrides
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match value {
+            Some(RouteState::To(shard)) if shard == shard_of(name, self.shards) => {
+                map.remove(name);
+            }
+            Some(v) => {
+                map.insert(name.to_owned(), v);
+            }
+            None => {
+                map.remove(name);
+            }
+        }
     }
 }
 
@@ -299,12 +384,48 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         registry.register_path(name.clone(), path.clone());
     }
     let shards = cfg.shards.max(1);
+
+    // Durability: open every shard's WAL on this thread, *before* any
+    // worker spawns — a bad --wal-dir (or an unsupported on-disk format)
+    // must fail the boot with a typed error, not a half-started server.
+    let mut shard_wals: Vec<Option<(ShardWal, RecoveredLog)>> = Vec::with_capacity(shards);
+    for i in 0..shards {
+        match &cfg.wal_dir {
+            None => shard_wals.push(None),
+            Some(dir) => {
+                let wal_cfg = WalConfig {
+                    dir: dir.join(format!("shard-{i}")),
+                    fsync: cfg.fsync,
+                    snapshot_every: cfg.snapshot_every,
+                    ..WalConfig::new(dir.clone())
+                };
+                let opened = ShardWal::open(wal_cfg).map_err(std::io::Error::other)?;
+                shard_wals.push(Some(opened));
+            }
+        }
+    }
+
+    // A migrated session recovers on the shard whose WAL holds it — which
+    // is not its name-hash home. Seed the route overrides from the
+    // recovered logs so those sessions stay reachable across restarts
+    // (the override map is otherwise in-memory only).
+    let mut recovered_routes = HashMap::new();
+    for (i, wal) in shard_wals.iter().enumerate() {
+        if let Some((_, log)) = wal {
+            for session in &log.sessions {
+                if shard_of(&session.name, shards) != i {
+                    recovered_routes.insert(session.name.clone(), RouteState::To(i));
+                }
+            }
+        }
+    }
+
     let gauges: Vec<Arc<ShardGauge>> = (0..shards)
         .map(|_| Arc::new(ShardGauge::default()))
         .collect();
     let mut shard_senders = Vec::with_capacity(shards);
     let mut shard_threads = Vec::with_capacity(shards);
-    for (i, gauge) in gauges.iter().enumerate() {
+    for (i, (gauge, wal)) in gauges.iter().zip(shard_wals).enumerate() {
         let (tx, rx) = mpsc::channel::<ShardMsg>();
         let registry = Arc::clone(&registry);
         let gauge = Arc::clone(gauge);
@@ -312,7 +433,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("ses-shard-{i}"))
-                .spawn(move || run_shard(registry, rx, i, gauge))
+                .spawn(move || run_shard(registry, rx, i, gauge, wal))
                 // ses-analyze: allow(server-panic-discipline): boot-time spawn, fails fast before serving
                 .expect("spawn shard worker"),
         );
@@ -337,6 +458,8 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
             shards: shards as u64,
         },
         registry,
+        durable: cfg.wal_dir.is_some(),
+        route_overrides: RwLock::new(recovered_routes),
     });
 
     // Rendezvous channel: a send succeeds only while a pool worker is
@@ -679,9 +802,12 @@ fn route(
             });
             (Endpoint::Eval, result)
         }
+        ("POST", "/admin/rebalance") => (
+            Endpoint::Rebalance,
+            rebalance(state, shard_senders, body, trace),
+        ),
         _ => match session_route(path) {
             Some((name, action)) if method == "POST" => {
-                let shard = shard_of(&name, state.shards);
                 let op = match action {
                     "open" => parse_body::<SessionOpen>(body, "SessionOpen").and_then(|open| {
                         if open.name != name {
@@ -720,7 +846,13 @@ fn route(
                 };
                 (
                     endpoint,
-                    op.and_then(|op| dispatch(state, shard_senders, shard, op, trace)),
+                    op.and_then(|op| {
+                        // The override map first (a migrated session no
+                        // longer lives on its name-hash shard), then the
+                        // stable hash.
+                        let shard = state.effective_shard(&name)?;
+                        dispatch(state, shard_senders, shard, op, trace)
+                    }),
                 )
             }
             Some(_) => (
@@ -740,6 +872,191 @@ fn route(
                 )),
             ),
         },
+    }
+}
+
+/// The `POST /admin/rebalance` request body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebalanceRequest {
+    /// The session to migrate.
+    pub session: String,
+    /// The shard index it should live on.
+    pub target: usize,
+}
+
+/// The `POST /admin/rebalance` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceResponse {
+    /// The migrated session.
+    pub session: String,
+    /// Shard it moved from.
+    pub from: u64,
+    /// Shard it lives on now.
+    pub to: u64,
+    /// Journaled events shipped with it.
+    pub events_moved: u64,
+    /// The session's report after replay on the target (`None` when the
+    /// request was a no-op because the session was already there).
+    #[serde(default)]
+    pub report: Option<SessionReport>,
+}
+
+/// Live session migration. The session is drained on its owning shard
+/// (FIFO with in-flight requests), its journal extracted (leaving a close
+/// record, so a crash never resurrects it at the source), installed on the
+/// target (re-logged with fresh LSNs, then replayed through the service),
+/// and finally re-routed. While the override is `Pending`, requests for
+/// the session wait briefly — to every client the migration is
+/// indistinguishable from a close immediately followed by a reopen
+/// elsewhere. On an install failure the journal is re-installed at the
+/// source and the route restored.
+fn rebalance(
+    state: &ServerState,
+    shard_senders: &[mpsc::Sender<ShardMsg>],
+    body: &str,
+    trace: TraceId,
+) -> Result<String, ApiError> {
+    let req: RebalanceRequest = parse_body(body, "RebalanceRequest")?;
+    if !state.durable {
+        return Err(ApiError::new(
+            400,
+            "not_durable",
+            "session migration requires the server to run with --wal-dir",
+        ));
+    }
+    if req.target >= state.shards {
+        return Err(ApiError::new(
+            400,
+            "bad_target",
+            format!(
+                "target shard {} out of range (server has {} shards)",
+                req.target, state.shards
+            ),
+        ));
+    }
+    let source = state.effective_shard(&req.session)?;
+    let respond = |resp: &RebalanceResponse| {
+        serde_json::to_string(resp).map_err(|e| ApiError::new(500, "serialize", e.to_string()))
+    };
+    if source == req.target {
+        // Already home — but "rebalance a session that does not exist"
+        // must still be a 404, so ask the shard before declaring no-op.
+        dispatch(
+            state,
+            shard_senders,
+            source,
+            ShardOp::Report {
+                name: req.session.clone(),
+            },
+            trace,
+        )?;
+        return respond(&RebalanceResponse {
+            session: req.session,
+            from: source as u64,
+            to: req.target as u64,
+            events_moved: 0,
+            report: None,
+        });
+    }
+
+    // Park the session's route: requests arriving from here on wait for
+    // the migration to settle instead of racing it.
+    state.set_route(&req.session, Some(RouteState::Pending));
+    let extracted = dispatch(
+        state,
+        shard_senders,
+        source,
+        ShardOp::Extract {
+            name: req.session.clone(),
+        },
+        trace,
+    );
+    let journal_json = match extracted {
+        Ok(body) => body,
+        Err(e) => {
+            // Nothing moved; the session (if it exists) still lives where
+            // it was.
+            state.set_route(&req.session, Some(RouteState::To(source)));
+            return Err(e);
+        }
+    };
+    let journal: SessionJournal = match serde_json::from_str(&journal_json) {
+        Ok(j) => j,
+        Err(e) => {
+            state.set_route(&req.session, Some(RouteState::To(source)));
+            return Err(ApiError::new(
+                500,
+                "internal",
+                format!("extracted journal did not parse: {e}"),
+            ));
+        }
+    };
+    let events_moved = journal.events.len() as u64;
+
+    let installed = dispatch(
+        state,
+        shard_senders,
+        req.target,
+        ShardOp::Install {
+            journal: Box::new(journal.clone()),
+        },
+        trace,
+    );
+    match installed {
+        Ok(report_json) => {
+            state.set_route(&req.session, Some(RouteState::To(req.target)));
+            ses_obs::log(
+                Level::Info,
+                "server",
+                "session rebalanced",
+                &[
+                    ("session", req.session.as_str().into()),
+                    ("from", source.into()),
+                    ("to", req.target.into()),
+                    ("events_moved", events_moved.into()),
+                ],
+            );
+            let report = serde_json::from_str::<SessionReport>(&report_json).ok();
+            respond(&RebalanceResponse {
+                session: req.session,
+                from: source as u64,
+                to: req.target as u64,
+                events_moved,
+                report,
+            })
+        }
+        Err(e) => {
+            // Roll back: the journal is still in hand — reinstall at the
+            // source so the session survives the failed migration.
+            let restored = dispatch(
+                state,
+                shard_senders,
+                source,
+                ShardOp::Install {
+                    journal: Box::new(journal),
+                },
+                trace,
+            );
+            state.set_route(&req.session, Some(RouteState::To(source)));
+            ses_obs::log(
+                Level::Warn,
+                "server",
+                "rebalance install failed, session restored at source",
+                &[
+                    ("session", req.session.as_str().into()),
+                    ("error", e.message.as_str().into()),
+                    ("restored", restored.is_ok().into()),
+                ],
+            );
+            Err(ApiError::new(
+                500,
+                "rebalance_failed",
+                format!(
+                    "install on shard {} failed ({}); session restored on shard {source}",
+                    req.target, e.message
+                ),
+            ))
+        }
     }
 }
 
@@ -782,6 +1099,7 @@ fn allow_for(path: &str) -> Option<(Endpoint, &'static str)> {
         "/instances" => Some((Endpoint::Instances, "GET, HEAD, OPTIONS")),
         "/solve" => Some((Endpoint::Solve, "POST, OPTIONS")),
         "/eval" => Some((Endpoint::Eval, "POST, OPTIONS")),
+        "/admin/rebalance" => Some((Endpoint::Rebalance, "POST, OPTIONS")),
         p if p.starts_with("/trace/") && !p["/trace/".len()..].is_empty() => {
             Some((Endpoint::Trace, "GET, HEAD, OPTIONS"))
         }
@@ -878,6 +1196,9 @@ fn metrics_report(
 ) -> Result<String, ApiError> {
     let mut engine = EngineTotals::default();
     let mut shards_detail = Vec::with_capacity(shard_senders.len());
+    let mut wal: Option<WalReport> = None;
+    let mut wal_append: Option<ses_obs::HistogramSnapshot> = None;
+    let mut wal_fsync: Option<ses_obs::HistogramSnapshot> = None;
     for (shard, sender) in shard_senders.iter().enumerate() {
         let (reply_tx, reply_rx) = mpsc::channel();
         let gauge = &state.gauges[shard];
@@ -894,18 +1215,32 @@ fn metrics_report(
             continue; // shard already drained during shutdown
         }
         match reply_rx.recv() {
-            Ok(ShardReply::Stats(totals)) => {
-                engine.merge(&totals);
+            Ok(ShardReply::Stats(stats)) => {
+                engine.merge(&stats.engine);
                 shards_detail.push(ShardStatus {
                     shard: shard as u64,
                     queue_depth: gauge.depth(),
                     handled: gauge.handled(),
                     busy_micros: gauge.busy_micros(),
-                    sessions: totals.sessions,
-                    events_applied: totals.events_applied,
-                    column_slots: totals.column_slots,
-                    resident_bytes: totals.resident_bytes,
+                    sessions: stats.engine.sessions,
+                    events_applied: stats.engine.events_applied,
+                    column_slots: stats.engine.column_slots,
+                    resident_bytes: stats.engine.resident_bytes,
                 });
+                if let Some(ws) = &stats.wal {
+                    wal.get_or_insert_with(WalReport::default).merge_stats(ws);
+                }
+                for (total, snap) in [
+                    (&mut wal_append, stats.append),
+                    (&mut wal_fsync, stats.fsync),
+                ] {
+                    if let Some(snap) = snap {
+                        match total {
+                            Some(t) => t.merge(&snap),
+                            None => *total = Some(snap),
+                        }
+                    }
+                }
             }
             Ok(_) => {
                 return Err(ApiError::new(
@@ -917,6 +1252,14 @@ fn metrics_report(
             Err(_) => continue,
         }
     }
+    if let Some(wal) = wal.as_mut() {
+        wal.append = wal_append
+            .filter(|s| s.count > 0)
+            .map(|s| EndpointLatency::from_snapshot("wal_append", &s));
+        wal.fsync = wal_fsync
+            .filter(|s| s.count > 0)
+            .map(|s| EndpointLatency::from_snapshot("wal_fsync", &s));
+    }
     let report = MetricsReport {
         uptime_millis: state.started.elapsed().as_secs_f64() * 1e3,
         shards: state.shards as u64,
@@ -927,6 +1270,7 @@ fn metrics_report(
         engine,
         shards_detail,
         span_stages: ses_obs::stage_latencies(),
+        wal,
     };
     serde_json::to_string(&report).map_err(|e| ApiError::new(500, "serialize", e.to_string()))
 }

@@ -17,6 +17,7 @@
 
 use crate::metrics::{EngineTotals, ShardGauge};
 use serde::{Deserialize, Serialize};
+use ses_durable::{recover_sessions, RecoveredLog, SessionJournal, ShardWal};
 use ses_service::{
     EvalRequest, InstanceRegistry, SchedulerService, ServiceError, SessionEvent, SessionOpen,
     SolveRequest,
@@ -38,6 +39,15 @@ pub(crate) enum ShardOp {
     },
     Close {
         name: String,
+    },
+    /// Migration: drain and remove a session, returning its journal
+    /// (serialized [`SessionJournal`]) to the rebalance handler.
+    Extract {
+        name: String,
+    },
+    /// Migration: re-log and replay a journal shipped from another shard.
+    Install {
+        journal: Box<SessionJournal>,
     },
     /// Aggregate session accounting for `/metrics`.
     Stats,
@@ -88,6 +98,17 @@ pub struct ErrorBody {
     pub kind: String,
 }
 
+/// Answer to [`ShardOp::Stats`]: engine totals plus the shard's WAL
+/// accounting when it runs durable.
+pub(crate) struct ShardStats {
+    pub engine: EngineTotals,
+    pub wal: Option<ses_durable::WalStats>,
+    /// WAL append latency distribution (µs).
+    pub append: Option<ses_obs::HistogramSnapshot>,
+    /// WAL fsync latency distribution (µs).
+    pub fsync: Option<ses_obs::HistogramSnapshot>,
+}
+
 /// What a shard sends back.
 pub(crate) enum ShardReply {
     /// Success: the serialized JSON response body.
@@ -95,7 +116,7 @@ pub(crate) enum ShardReply {
     /// Failure: status + structured body.
     Err(ApiError),
     /// Answer to [`ShardOp::Stats`].
-    Stats(EngineTotals),
+    Stats(Box<ShardStats>),
 }
 
 /// One queued request plus its reply channel and trace context.
@@ -175,18 +196,185 @@ fn stats_of(service: &SchedulerService) -> EngineTotals {
     totals
 }
 
-/// The shard worker loop: owns its service, drains its queue, exits when
-/// every sender (acceptor + connection handlers) is gone. Instance-bearing
-/// ops resolve their named instance through the shared registry first, so
-/// an unknown name (or a broken packed file) is rejected before any
-/// session state is touched.
+/// Maps a WAL failure to the HTTP response the client sees: the append
+/// did not reach disk, so the operation is rejected *before* the service
+/// state changes (write-ahead ordering cuts both ways).
+fn wal_api_error(e: &ses_durable::WalError) -> ApiError {
+    ApiError::new(500, "wal", e.to_string())
+}
+
+/// Session open, write-ahead: the record is on disk (per the fsync
+/// policy) before the service sees the request.
+fn handle_open(
+    registry: &InstanceRegistry,
+    service: &mut SchedulerService,
+    wal: Option<&mut ShardWal>,
+    open: &SessionOpen,
+) -> ShardReply {
+    if let Some(w) = wal {
+        if let Err(e) = w.append_open(open) {
+            return ShardReply::Err(wal_api_error(&e));
+        }
+    }
+    json_reply(
+        resolve(registry, open.instance.as_str())
+            .and_then(|inst| service.open_session(&inst, open)),
+    )
+}
+
+/// Session event, write-ahead: append (stamping the LSN into the report
+/// the client gets back), apply, then maybe snapshot the session.
+fn handle_event(
+    service: &mut SchedulerService,
+    wal: Option<&mut ShardWal>,
+    name: &str,
+    event: &SessionEvent,
+) -> ShardReply {
+    let Some(w) = wal else {
+        return json_reply(service.apply(name, event));
+    };
+    let lsn = match w.append_event(name, event) {
+        Ok(lsn) => lsn,
+        Err(e) => return ShardReply::Err(wal_api_error(&e)),
+    };
+    match service.apply(name, event) {
+        Ok(mut report) => {
+            report.lsn = lsn;
+            if let Err(e) = w.maybe_snapshot(name, report.scheduled, report.utility) {
+                // A failed snapshot costs compaction, not correctness —
+                // the WAL tail still covers the session.
+                ses_obs::log(
+                    ses_obs::Level::Warn,
+                    "shard",
+                    "session snapshot failed",
+                    &[("session", name.into()), ("error", e.to_string().into())],
+                );
+            }
+            json_reply(Ok::<_, ServiceError>(report))
+        }
+        Err(e) => ShardReply::Err(api_error(&e)),
+    }
+}
+
+/// Session close, write-ahead. A close for an unknown session still leaves
+/// a record; recovery skips it exactly like the service rejects it here.
+fn handle_close(
+    service: &mut SchedulerService,
+    wal: Option<&mut ShardWal>,
+    name: &str,
+) -> ShardReply {
+    if let Some(w) = wal {
+        if let Err(e) = w.append_close(name) {
+            return ShardReply::Err(wal_api_error(&e));
+        }
+    }
+    json_reply(service.close_session(name))
+}
+
+/// Migration source: drop the live session and return its journal. The
+/// close record `extract` writes means a crash after this point never
+/// resurrects the session here — it now lives only in the reply (and,
+/// once installed, on the target shard).
+fn handle_extract(
+    service: &mut SchedulerService,
+    wal: Option<&mut ShardWal>,
+    name: &str,
+) -> ShardReply {
+    let Some(w) = wal else {
+        return ShardReply::Err(ApiError::new(
+            400,
+            "not_durable",
+            "session migration requires the server to run with --wal-dir",
+        ));
+    };
+    if service.session(name).is_none() {
+        return ShardReply::Err(api_error(&ServiceError::UnknownSession(name.to_owned())));
+    }
+    let journal = match w.extract(name) {
+        Ok(Some(journal)) => journal,
+        Ok(None) => {
+            return ShardReply::Err(api_error(&ServiceError::UnknownSession(name.to_owned())))
+        }
+        Err(e) => return ShardReply::Err(wal_api_error(&e)),
+    };
+    drop(service.take_session(name));
+    match serde_json::to_string(&journal) {
+        Ok(body) => ShardReply::Ok(body),
+        Err(e) => ShardReply::Err(ApiError::new(500, "serialize", e.to_string())),
+    }
+}
+
+/// Migration target: re-log the journal with fresh LSNs, then rebuild the
+/// session by replaying it through the service — the same recovery-equals-
+/// replay path a crash would take.
+fn handle_install(
+    registry: &InstanceRegistry,
+    service: &mut SchedulerService,
+    wal: Option<&mut ShardWal>,
+    journal: &SessionJournal,
+) -> ShardReply {
+    if let Some(w) = wal {
+        if let Err(e) = w.install(journal) {
+            return ShardReply::Err(wal_api_error(&e));
+        }
+    }
+    let inst = match resolve(registry, journal.open.instance.as_str()) {
+        Ok(inst) => inst,
+        Err(e) => return ShardReply::Err(api_error(&e)),
+    };
+    if let Err(e) = service.open_session(&inst, &journal.open) {
+        return ShardReply::Err(api_error(&e));
+    }
+    for event in &journal.events {
+        // Events the source's service rejected replay as rejections here
+        // too (deterministically); they are not errors of the migration.
+        let _ = service.apply(&journal.name, event);
+    }
+    json_reply(service.report(&journal.name))
+}
+
+/// The shard worker loop: owns its service (and, when the server runs
+/// with `--wal-dir`, its WAL), drains its queue, exits when every sender
+/// (acceptor + connection handlers) is gone. Instance-bearing ops resolve
+/// their named instance through the shared registry first, so an unknown
+/// name (or a broken packed file) is rejected before any session state is
+/// touched. A WAL-backed shard replays its recovered log through the
+/// service before taking its first request, and writes `recovery.json`
+/// into its WAL directory.
 pub(crate) fn run_shard(
     registry: Arc<InstanceRegistry>,
     rx: mpsc::Receiver<ShardMsg>,
     shard: usize,
     gauge: Arc<ShardGauge>,
+    wal: Option<(ShardWal, RecoveredLog)>,
 ) {
     let mut service = SchedulerService::new();
+    let mut wal = wal.map(|(wal, log)| {
+        let report = recover_sessions(&mut service, &registry, &log);
+        if let Err(e) = report.write_json(wal.dir()) {
+            ses_obs::log(
+                ses_obs::Level::Warn,
+                "shard",
+                "could not write recovery.json",
+                &[("shard", shard.into()), ("error", e.into())],
+            );
+        }
+        service.set_durable(true);
+        ses_obs::log(
+            ses_obs::Level::Info,
+            "shard",
+            "durability recovery complete",
+            &[
+                ("shard", shard.into()),
+                ("sessions", report.sessions_recovered.into()),
+                ("failed", report.sessions_failed.into()),
+                ("events_replayed", report.events_replayed.into()),
+                ("torn_tail", report.torn_tail.is_some().into()),
+                ("errors", report.errors.len().into()),
+            ],
+        );
+        wal
+    });
     while let Ok(msg) = rx.recv() {
         // Attribute everything below — including engine-internal spans on
         // this thread — to the originating request's trace.
@@ -210,14 +398,22 @@ pub(crate) fn run_shard(
                 resolve(&registry, req.instance.as_str())
                     .and_then(|inst| service.evaluate(&inst, &req)),
             ),
-            ShardOp::Open(open) => json_reply(
-                resolve(&registry, open.instance.as_str())
-                    .and_then(|inst| service.open_session(&inst, &open)),
-            ),
-            ShardOp::Event { name, event } => json_reply(service.apply(&name, &event)),
+            ShardOp::Open(open) => handle_open(&registry, &mut service, wal.as_mut(), &open),
+            ShardOp::Event { name, event } => {
+                handle_event(&mut service, wal.as_mut(), &name, &event)
+            }
             ShardOp::Report { name } => json_reply(service.report(&name)),
-            ShardOp::Close { name } => json_reply(service.close_session(&name)),
-            ShardOp::Stats => ShardReply::Stats(stats_of(&service)),
+            ShardOp::Close { name } => handle_close(&mut service, wal.as_mut(), &name),
+            ShardOp::Extract { name } => handle_extract(&mut service, wal.as_mut(), &name),
+            ShardOp::Install { journal } => {
+                handle_install(&registry, &mut service, wal.as_mut(), &journal)
+            }
+            ShardOp::Stats => ShardReply::Stats(Box::new(ShardStats {
+                engine: stats_of(&service),
+                wal: wal.as_ref().map(|w| w.stats()),
+                append: wal.as_ref().map(|w| w.append_latencies()),
+                fsync: wal.as_ref().map(|w| w.fsync_latencies()),
+            })),
         };
         drop(service_span);
         gauge.served(ses_obs::now_ns().saturating_sub(picked_ns));
@@ -225,6 +421,17 @@ pub(crate) fn run_shard(
         // the shard's state change (if any) stands, like any completed
         // request whose response was lost on the wire.
         let _ = msg.reply.send(reply);
+    }
+    // Graceful drain: make the tail durable before the thread exits.
+    if let Some(w) = wal.as_mut() {
+        if let Err(e) = w.flush() {
+            ses_obs::log(
+                ses_obs::Level::Warn,
+                "shard",
+                "final WAL flush failed",
+                &[("shard", shard.into()), ("error", e.to_string().into())],
+            );
+        }
     }
 }
 

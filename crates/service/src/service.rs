@@ -35,12 +35,22 @@ struct SessionEntry {
 #[derive(Default)]
 pub struct SchedulerService {
     sessions: HashMap<String, SessionEntry>,
+    /// Whether a write-ahead log persists this service's session events
+    /// (set by the durability layer; echoed in every [`SessionReport`]).
+    durable: bool,
 }
 
 impl SchedulerService {
     /// An empty service with no open sessions.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Marks this service's sessions as backed by a write-ahead log. The
+    /// owner that appends events ahead of [`Self::apply`] calls this once;
+    /// every [`SessionReport`] then carries `durable: true`.
+    pub fn set_durable(&mut self, durable: bool) {
+        self.durable = durable;
     }
 
     /// Runs the requested algorithm on an instance (offline, stateless).
@@ -189,6 +199,9 @@ impl SchedulerService {
             report,
             utility: entry.session.utility(),
             scheduled: entry.session.schedule().len(),
+            // The WAL layer (when present) stamps the real LSN after the
+            // append; `0` means the event was not durably logged.
+            lsn: 0,
         })
     }
 
@@ -210,6 +223,7 @@ impl SchedulerService {
             clock: entry.session.clock(),
             memory: entry.session.memory_stats(),
             instance: entry.instance.clone(),
+            durable: self.durable,
         })
     }
 

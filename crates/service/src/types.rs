@@ -253,6 +253,12 @@ pub struct EventReport {
     pub utility: f64,
     /// Schedule size after the event.
     pub scheduled: usize,
+    /// Log sequence number the event was durably assigned by the WAL
+    /// (`ses-durable`), or `0` when the server runs without a WAL.
+    /// Defaults to `0` when absent from the wire (pre-durability JSON
+    /// compatibility).
+    #[serde(default)]
+    pub lsn: u64,
 }
 
 /// A point-in-time summary of a live session.
@@ -288,4 +294,9 @@ pub struct SessionReport {
     /// compatibility).
     #[serde(default)]
     pub instance: InstanceName,
+    /// Whether the session's events are being persisted to a write-ahead
+    /// log (`ses-durable`). Defaults to `false` when absent from the wire
+    /// (pre-durability JSON compatibility).
+    #[serde(default)]
+    pub durable: bool,
 }

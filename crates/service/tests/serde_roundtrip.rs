@@ -232,6 +232,7 @@ proptest! {
                 build_millis: utility / 3.0,
             },
             instance: InstanceName::new(format!("inst-{}", events_applied % 3)),
+            durable: events_applied % 2 == 0,
         };
         let back = roundtrip_json(&report);
         prop_assert_eq!(back.utility.to_bits(), report.utility.to_bits());

@@ -73,12 +73,20 @@ impl Trace {
     /// FNV-1a digest of the exact trace contents. Two runs with equal
     /// digests followed the same schedule evolution bit for bit.
     pub fn digest(&self) -> u64 {
+        self.digest_prefix(self.records.len())
+    }
+
+    /// The digest of the first `steps` records (the whole trace when
+    /// `steps >= len`). Lets a crash-recovery check compare a partially
+    /// driven server arm against the matching prefix of the reference
+    /// simulation before resuming where it left off.
+    pub fn digest_prefix(&self, steps: usize) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         let mut eat = |byte: u8| {
             h ^= byte as u64;
             h = h.wrapping_mul(0x100000001b3);
         };
-        for r in &self.records {
+        for r in &self.records[..steps.min(self.records.len())] {
             for b in r.step.to_le_bytes() {
                 eat(b);
             }

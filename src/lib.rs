@@ -26,6 +26,7 @@
 
 pub use ses_core as core;
 pub use ses_datagen as datagen;
+pub use ses_durable as durable;
 pub use ses_ebsn as ebsn;
 pub use ses_obs as obs;
 pub use ses_server as server;
